@@ -1,0 +1,49 @@
+//! Re-implementations of the three state-of-the-art SADP-aware detailed
+//! routers the paper compares against (Section IV).
+//!
+//! The authors also had to re-implement two of them ("the binary codes of
+//! \[10\] and \[16\] are currently unavailable"); what matters for the
+//! comparative study is each baseline's *decision policy*, which is what
+//! these models reproduce:
+//!
+//! * [`BaselineKind::DuTrim`] — Du et al., DAC'12 \[10\]: trim-process router
+//!   with multiple pin candidate locations. Every source×target candidate
+//!   pair is routed separately and scored with a **full-layout conflict
+//!   recheck**; the cheapest conflict-free pair wins. No rip-up, colors
+//!   fixed at route time, no assist-core awareness. The exhaustive
+//!   candidate enumeration with whole-layout rechecks is what makes it
+//!   three orders of magnitude slower (Table IV).
+//! * [`BaselineKind::GaoPanTrim`] — Gao & Pan, ICCAD'12 \[11\]: trim-process
+//!   simultaneous routing and decomposition. Greedy coloring at route time
+//!   (core unless forced to trim), no color flipping, no assist cores:
+//!   every trim-colored wire side not protected by an adjacent core's
+//!   spacer is trim-mask defined and counts as overlay.
+//! * [`BaselineKind::CutNoMerge`] — the cut-process router of \[16\]: aware
+//!   of the cut process but **without the merge technique for odd cycles**
+//!   (tip-to-tip pairs are treated as conflicts to route away from) and
+//!   with aggressive core/assist-core merging, which produces the severe
+//!   side overlays of Fig. 22.
+//!
+//! # Example
+//!
+//! ```
+//! use sadp_baselines::{BaselineKind, BaselineRouter};
+//! use sadp_geom::{DesignRules, GridPoint, Layer};
+//! use sadp_grid::{Netlist, RoutingPlane};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut plane = RoutingPlane::new(3, 32, 32, DesignRules::node_10nm())?;
+//! let mut nl = Netlist::new();
+//! nl.add_two_pin("a", GridPoint::new(Layer(0), 2, 2), GridPoint::new(Layer(0), 12, 8));
+//! let mut router = BaselineRouter::new(BaselineKind::GaoPanTrim);
+//! let report = router.route_all(&mut plane, &nl);
+//! assert_eq!(report.routed_nets, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod metrics;
+pub mod router;
+
+pub use metrics::{cut_merge_exposure, trim_exposure};
+pub use router::{BaselineKind, BaselineRouter};

@@ -1,0 +1,185 @@
+//! Process-specific overlay metrics for the baseline routers.
+
+use sadp_geom::{DesignRules, Dir, SpatialHash, TrackRect};
+use sadp_scenario::Color;
+
+/// A colored fragment list per net, the
+/// [`Router::patterns_on_layer`](sadp_core::Router::patterns_on_layer)
+/// output format.
+pub type LayerPatterns = Vec<(u32, Color, Vec<TrackRect>)>;
+
+/// Builds a spatial hash of all fragments, ids encoding the pattern index.
+fn index_of(patterns: &LayerPatterns) -> SpatialHash {
+    let mut hash = SpatialHash::new(16);
+    for (pi, (_, _, rects)) in patterns.iter().enumerate() {
+        for r in rects {
+            hash.insert(pi as u64, *r);
+        }
+    }
+    hash
+}
+
+/// Cells of one side of a fragment covered by a facing neighbour at track
+/// distance `gap` with the given color filter.
+fn covered_cells(
+    rect: &TrackRect,
+    positive_side: bool,
+    gap: i32,
+    patterns: &LayerPatterns,
+    index: &SpatialHash,
+    own: usize,
+    want: impl Fn(Color) -> bool,
+) -> i64 {
+    let axis = match rect.orientation() {
+        sadp_geom::Orientation::Horizontal | sadp_geom::Orientation::Point => Dir::Horizontal,
+        sadp_geom::Orientation::Vertical => Dir::Vertical,
+    };
+    let probe = match (axis, positive_side) {
+        (Dir::Horizontal, true) => TrackRect::new(rect.x0, rect.y1 + gap, rect.x1, rect.y1 + gap),
+        (Dir::Horizontal, false) => TrackRect::new(rect.x0, rect.y0 - gap, rect.x1, rect.y0 - gap),
+        (Dir::Vertical, true) => TrackRect::new(rect.x1 + gap, rect.y0, rect.x1 + gap, rect.y1),
+        (Dir::Vertical, false) => TrackRect::new(rect.x0 - gap, rect.y0, rect.x0 - gap, rect.y1),
+    };
+    let mut covered = 0i64;
+    let mut seen: Vec<(i32, i32)> = Vec::new();
+    for (pi, other) in index.query_entries(&probe) {
+        if pi as usize == own {
+            continue;
+        }
+        let color = patterns[pi as usize].1;
+        if !want(color) {
+            continue;
+        }
+        if let Some(hit) = other.intersection(&probe) {
+            for c in hit.cells() {
+                if !seen.contains(&c) {
+                    seen.push(c);
+                    covered += 1;
+                }
+            }
+        }
+    }
+    covered
+}
+
+/// Trim-process physical side overlay, in `w_line` units.
+///
+/// In the trim process a trim-colored (second) pattern has no protecting
+/// spacer of its own: each of its side boundary cells is trim-mask defined
+/// — an overlay — unless a core pattern one track away provides its spacer
+/// there. Core-colored patterns are spacer-wrapped and contribute nothing.
+/// This is the metric under which the no-assist baselines \[10\] and \[11\]
+/// accumulate their large overlay lengths (Table III/IV).
+#[must_use]
+pub fn trim_exposure(patterns: &LayerPatterns, _rules: &DesignRules) -> u64 {
+    let index = index_of(patterns);
+    let mut overlay = 0i64;
+    for (own, (_, color, rects)) in patterns.iter().enumerate() {
+        if *color != Color::Second {
+            continue;
+        }
+        for rect in rects {
+            let len = i64::from(rect.length_tracks() as u32);
+            for positive in [true, false] {
+                let covered = covered_cells(rect, positive, 1, patterns, &index, own, |c| {
+                    c == Color::Core
+                });
+                overlay += (len - covered).max(0);
+            }
+        }
+    }
+    overlay as u64
+}
+
+/// The "severe overlay" of the cut-process baseline \[16\] (Fig. 22): its
+/// decomposer merges every assist core that lands within `d_core` of a
+/// core pattern, so each second-pattern side facing a core pattern two
+/// tracks away is produced by a merged assist whose separating cut defines
+/// the facing length of the core pattern. Returns the extra side overlay
+/// in `w_line` units.
+#[must_use]
+pub fn cut_merge_exposure(patterns: &LayerPatterns, _rules: &DesignRules) -> u64 {
+    let index = index_of(patterns);
+    let mut overlay = 0u64;
+    for (own, (_, color, rects)) in patterns.iter().enumerate() {
+        if *color != Color::Second {
+            continue;
+        }
+        for rect in rects {
+            for positive in [true, false] {
+                let covered = covered_cells(rect, positive, 2, patterns, &index, own, |c| {
+                    c == Color::Core
+                });
+                overlay += covered as u64;
+            }
+        }
+    }
+    overlay
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules() -> DesignRules {
+        DesignRules::node_10nm()
+    }
+
+    #[test]
+    fn isolated_trim_wire_is_fully_exposed() {
+        let pats: LayerPatterns = vec![(0, Color::Second, vec![TrackRect::new(0, 0, 9, 0)])];
+        // Both sides exposed: 2 x 10 cells.
+        assert_eq!(trim_exposure(&pats, &rules()), 20);
+    }
+
+    #[test]
+    fn core_wire_contributes_nothing() {
+        let pats: LayerPatterns = vec![(0, Color::Core, vec![TrackRect::new(0, 0, 9, 0)])];
+        assert_eq!(trim_exposure(&pats, &rules()), 0);
+    }
+
+    #[test]
+    fn adjacent_core_spacer_protects_one_side() {
+        let pats: LayerPatterns = vec![
+            (0, Color::Second, vec![TrackRect::new(0, 1, 9, 1)]),
+            (1, Color::Core, vec![TrackRect::new(0, 0, 9, 0)]),
+        ];
+        // The lower side is fully covered by the core's spacer.
+        assert_eq!(trim_exposure(&pats, &rules()), 10);
+    }
+
+    #[test]
+    fn partial_coverage_counts_cells() {
+        let pats: LayerPatterns = vec![
+            (0, Color::Second, vec![TrackRect::new(0, 1, 9, 1)]),
+            (1, Color::Core, vec![TrackRect::new(0, 0, 4, 0)]),
+        ];
+        // Lower side: 5 of 10 covered -> 5 exposed; upper side: 10.
+        assert_eq!(trim_exposure(&pats, &rules()), 15);
+    }
+
+    #[test]
+    fn merge_exposure_counts_gap_two_cores() {
+        let pats: LayerPatterns = vec![
+            (0, Color::Second, vec![TrackRect::new(0, 0, 9, 0)]),
+            (1, Color::Core, vec![TrackRect::new(0, 2, 9, 2)]),
+        ];
+        // One side faces a core at gap 2 over the full 10 cells.
+        assert_eq!(cut_merge_exposure(&pats, &rules()), 10);
+        // With the neighbour colored second instead there is no merge.
+        let pats: LayerPatterns = vec![
+            (0, Color::Second, vec![TrackRect::new(0, 0, 9, 0)]),
+            (1, Color::Second, vec![TrackRect::new(0, 2, 9, 2)]),
+        ];
+        assert_eq!(cut_merge_exposure(&pats, &rules()), 0);
+    }
+
+    #[test]
+    fn vertical_fragments_work() {
+        let pats: LayerPatterns = vec![
+            (0, Color::Second, vec![TrackRect::new(1, 0, 1, 7)]),
+            (1, Color::Core, vec![TrackRect::new(0, 0, 0, 7)]),
+        ];
+        assert_eq!(trim_exposure(&pats, &rules()), 8);
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion bench: the linear-time color flipping DP (Theorem 4) and the
+//! hill-climbing refinement, on chain and grid-shaped constraint graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sadp_graph::{flip, OverlayGraph, ScenarioKind};
+
+fn chain_graph(n: u32) -> OverlayGraph {
+    let mut g = OverlayGraph::new();
+    let kinds = [
+        ScenarioKind::ThreeA,
+        ScenarioKind::TwoA,
+        ScenarioKind::TwoB,
+        ScenarioKind::ThreeB,
+    ];
+    for i in 0..n - 1 {
+        let k = kinds[i as usize % kinds.len()];
+        g.add_scenario(i, i + 1, k.table()).unwrap();
+    }
+    g
+}
+
+fn bench_flipping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("color_flipping");
+    for &n in &[100u32, 1000, 5000] {
+        group.bench_with_input(BenchmarkId::new("flip_all_chain", n), &n, |b, &n| {
+            let g = chain_graph(n);
+            b.iter(|| {
+                let mut g = g.clone();
+                std::hint::black_box(flip::flip_all(&mut g))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_refine_chain", n), &n, |b, &n| {
+            let g = chain_graph(n);
+            b.iter(|| {
+                let mut g = g.clone();
+                std::hint::black_box(flip::greedy_refine(&mut g, 2))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flipping);
+criterion_main!(benches);

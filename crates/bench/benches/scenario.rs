@@ -1,0 +1,30 @@
+//! Criterion bench: potential-overlay-scenario classification throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sadp_geom::{DesignRules, TrackRect};
+use sadp_scenario::classify;
+
+fn bench_classify(c: &mut Criterion) {
+    let rules = DesignRules::node_10nm();
+    let pairs: Vec<(TrackRect, TrackRect)> = (0..64)
+        .map(|i| {
+            let a = TrackRect::new(0, 0, 5 + i % 7, 0);
+            let b = TrackRect::new(i % 9 - 4, 1 + i % 3, i % 9, 1 + i % 3 + i % 5);
+            (a, b)
+        })
+        .collect();
+    c.bench_function("classify_64_pairs", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for (a, bb) in &pairs {
+                if classify(a, bb, &rules).is_some() {
+                    hits += 1;
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates Fig. 20: our router's runtime as a function of the net
+//! count, with the least-squares power-law exponent (paper: ≈ n^1.42).
+//!
+//! Usage: `fig20 [--scale X | --full]`.
+
+use sadp_bench::{fit_power_law, paper::FIG20_EXPONENT, run_ours, scale_from_args};
+use sadp_grid::BenchmarkSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    println!("Fig. 20: running time vs number of nets (scale {scale})");
+    println!("{:>8} | {:>10} | {:>8}", "nets", "cpu (s)", "rout %");
+
+    let mut points = Vec::new();
+    for spec in BenchmarkSpec::paper_fixed_suite() {
+        let spec = spec.scaled(scale);
+        let row = run_ours(&spec);
+        let secs = row.report.cpu.as_secs_f64();
+        println!(
+            "{:>8} | {:>10.3} | {:>8.1}",
+            row.nets,
+            secs,
+            row.report.routability()
+        );
+        points.push((row.nets as f64, secs));
+    }
+
+    let (k, c) = fit_power_law(&points);
+    println!("\nleast-squares fit: T(n) = {c:.3e} * n^{k:.2}");
+    println!("paper reports n^{FIG20_EXPONENT} on its benchmark suite");
+}

@@ -1,0 +1,81 @@
+//! Least-squares power-law fitting for the Fig. 20 runtime analysis.
+
+/// Fits `y = c · x^k` by linear regression in log–log space and returns
+/// `(k, c)`. Points with non-positive coordinates are skipped.
+///
+/// # Example
+///
+/// ```
+/// use sadp_bench::fit_power_law;
+/// let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
+///     let x = 1000.0 * i as f64;
+///     (x, 0.01 * x.powf(1.42))
+/// }).collect();
+/// let (k, _) = fit_power_law(&pts);
+/// assert!((k - 1.42).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if fewer than two valid points are given.
+#[must_use]
+pub fn fit_power_law(points: &[(f64, f64)]) -> (f64, f64) {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    assert!(logs.len() >= 2, "need at least two positive points");
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| x * y).sum();
+    let k = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let c = ((sy - k * sx) / n).exp();
+    (k, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_recovered() {
+        let pts: Vec<(f64, f64)> = (1..=5)
+            .map(|i| {
+                let x = 100.0 * i as f64;
+                (x, 3.0 * x.powf(2.0))
+            })
+            .collect();
+        let (k, c) = fit_power_law(&pts);
+        assert!((k - 2.0).abs() < 1e-9);
+        assert!((c - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_fit_is_close() {
+        let pts = [
+            (1500.0, 2.3),
+            (2700.0, 5.2),
+            (5500.0, 13.0),
+            (12000.0, 42.0),
+            (28000.0, 140.0),
+        ];
+        let (k, _) = fit_power_law(&pts);
+        assert!(k > 1.0 && k < 2.0, "k = {k}");
+    }
+
+    #[test]
+    fn skips_invalid_points() {
+        let pts = [(0.0, 1.0), (1.0, 0.0), (10.0, 10.0), (100.0, 100.0)];
+        let (k, _) = fit_power_law(&pts);
+        assert!((k - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two positive points")]
+    fn too_few_points_panics() {
+        let _ = fit_power_law(&[(1.0, 1.0)]);
+    }
+}

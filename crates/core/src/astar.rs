@@ -1,0 +1,440 @@
+//! The overlay-aware A\*-search (`OverlayAwareAStarSearch`, Fig. 19
+//! line 4).
+
+use crate::config::RouterConfig;
+use sadp_geom::{Dir, GridPoint, Step, TrackRect};
+use sadp_grid::{NetId, RoutePath, RoutingPlane};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// A single search request: multi-source, multi-target (pin candidate
+/// locations route to whichever pair is cheapest).
+#[derive(Debug, Clone)]
+pub struct AstarRequest<'a> {
+    /// The net being routed (its own cells are passable).
+    pub net: NetId,
+    /// Source candidate points.
+    pub sources: &'a [GridPoint],
+    /// Target candidate points.
+    pub targets: &'a [GridPoint],
+    /// Extra per-cell penalties accumulated by rip-up iterations
+    /// (scaled cost units).
+    pub penalties: &'a HashMap<GridPoint, u64>,
+    /// Soft keep-out halos around pins: `(owning net, scaled penalty)` per
+    /// cell; charged to every net except the owner, so early nets leave
+    /// later pins approachable.
+    pub guards: &'a HashMap<GridPoint, (NetId, u64)>,
+}
+
+/// Statistics of one search.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes popped from the open list.
+    pub expanded: u64,
+    /// Whether a path was found.
+    pub found: bool,
+}
+
+/// Per-cell wire direction hints for the `T2b` term: the planar axis the
+/// occupying net runs along at that cell.
+pub type DirMap = HashMap<GridPoint, Dir>;
+
+/// Runs the overlay-aware A\*-search of eq. (5).
+///
+/// The cost of entering grid `j` from `i` is
+/// `α·C_wl + β·C_via + γ·T2b(j) + penalty(j)`, where `T2b(j)` is 1 when
+/// occupying `j` would create a type 2-b potential overlay scenario with a
+/// routed net (a tip of the new wire one track from the side of a routed
+/// wire, or vice versa).
+///
+/// Returns the cheapest path from any source to any target, or `None`.
+#[must_use]
+pub fn astar_search(
+    plane: &RoutingPlane,
+    req: &AstarRequest<'_>,
+    dir_map: &DirMap,
+    config: &RouterConfig,
+) -> (Option<RoutePath>, SearchStats) {
+    let mut stats = SearchStats::default();
+    let targets: HashSet<GridPoint> = req.targets.iter().copied().collect();
+    if targets.is_empty() || req.sources.is_empty() {
+        return (None, stats);
+    }
+
+    // Bound the search window to the pin bounding box plus a margin.
+    let window = search_window(req, config, plane);
+
+    let alpha = config.alpha_cost();
+    let beta = config.beta_cost();
+    let gamma = config.gamma_cost();
+    let wrong_way = config.wrong_way_cost();
+
+    let h = |p: GridPoint| -> u64 {
+        req.targets
+            .iter()
+            .map(|t| p.manhattan(t) as u64 * alpha + layer_delta(p, *t) * beta)
+            .min()
+            .expect("targets non-empty")
+    };
+
+    let mut open: BinaryHeap<Reverse<(u64, u64, GridPoint)>> = BinaryHeap::new();
+    let mut g: HashMap<GridPoint, u64> = HashMap::new();
+    let mut came: HashMap<GridPoint, GridPoint> = HashMap::new();
+    for &s in req.sources {
+        if passable(plane, s, req.net) {
+            g.insert(s, 0);
+            open.push(Reverse((h(s), 0, s)));
+        }
+    }
+
+    while let Some(Reverse((_, gc, p))) = open.pop() {
+        if g.get(&p).copied().unwrap_or(u64::MAX) < gc {
+            continue; // stale heap entry
+        }
+        stats.expanded += 1;
+        if targets.contains(&p) {
+            stats.found = true;
+            let mut pts = vec![p];
+            let mut cur = p;
+            while let Some(&prev) = came.get(&cur) {
+                pts.push(prev);
+                cur = prev;
+            }
+            pts.reverse();
+            let path = RoutePath::new(pts).expect("A* emits contiguous paths");
+            return (Some(path), stats);
+        }
+        for step in Step::ALL {
+            let q = p.offset(step);
+            if !in_window(q, &window, plane) || !passable(plane, q, req.net) {
+                continue;
+            }
+            let mut cost = if step.is_planar() {
+                if step.axis() == preferred_dir(q.layer) {
+                    alpha
+                } else {
+                    wrong_way
+                }
+            } else {
+                beta
+            };
+            if step.is_planar() {
+                cost += gamma * t2b_count(plane, dir_map, req.net, q, step.axis());
+            }
+            cost += req.penalties.get(&q).copied().unwrap_or(0);
+            if let Some(&(owner, guard)) = req.guards.get(&q) {
+                if owner != req.net {
+                    cost += guard;
+                }
+            }
+            let ng = gc + cost;
+            if ng < g.get(&q).copied().unwrap_or(u64::MAX) {
+                g.insert(q, ng);
+                came.insert(q, p);
+                open.push(Reverse((ng + h(q), ng, q)));
+            }
+        }
+    }
+    (None, stats)
+}
+
+/// Preferred routing direction per layer: M1 horizontal, M2 vertical, M3
+/// horizontal, alternating upward.
+#[must_use]
+pub fn preferred_dir(layer: sadp_geom::Layer) -> Dir {
+    if layer.0.is_multiple_of(2) {
+        Dir::Horizontal
+    } else {
+        Dir::Vertical
+    }
+}
+
+fn layer_delta(a: GridPoint, b: GridPoint) -> u64 {
+    (a.layer.0 as i32 - b.layer.0 as i32).unsigned_abs() as u64
+}
+
+fn passable(plane: &RoutingPlane, p: GridPoint, net: NetId) -> bool {
+    plane.is_free(p) || plane.occupant(p) == Some(net)
+}
+
+fn search_window(
+    req: &AstarRequest<'_>,
+    config: &RouterConfig,
+    plane: &RoutingPlane,
+) -> TrackRect {
+    let mut rect: Option<TrackRect> = None;
+    for p in req.sources.iter().chain(req.targets) {
+        let cell = TrackRect::cell(p.x, p.y);
+        rect = Some(match rect {
+            Some(r) => r.union_bbox(&cell),
+            None => cell,
+        });
+    }
+    let r = rect
+        .expect("pins exist")
+        .expanded(config.search_margin)
+        .intersection(&TrackRect::new(0, 0, plane.width() - 1, plane.height() - 1));
+    r.unwrap_or_else(|| TrackRect::new(0, 0, plane.width() - 1, plane.height() - 1))
+}
+
+fn in_window(p: GridPoint, window: &TrackRect, plane: &RoutingPlane) -> bool {
+    p.layer.0 < plane.layers() && window.contains_cell(p.x, p.y)
+}
+
+/// Counts the type 2-b scenarios that occupying `q` while running along
+/// `axis` would create with routed nets (the `T2b(j)` of eq. (5)):
+///
+/// * a routed wire one track *ahead* running perpendicular to us — our tip
+///   would face its side,
+/// * a routed wire one track to the *side* running perpendicular to us —
+///   its tip would face our side.
+fn t2b_count(
+    plane: &RoutingPlane,
+    dir_map: &DirMap,
+    net: NetId,
+    q: GridPoint,
+    axis: Dir,
+) -> u64 {
+    let mut count = 0;
+    let neighbors: [(i32, i32); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
+    for (dx, dy) in neighbors {
+        let n = GridPoint::new(q.layer, q.x + dx, q.y + dy);
+        let Some(occ) = plane.occupant(n) else {
+            continue;
+        };
+        if occ == net {
+            continue;
+        }
+        let neighbor_axis = match dir_map.get(&n) {
+            Some(&d) => d,
+            None => continue,
+        };
+        let approach = if dx != 0 { Dir::Horizontal } else { Dir::Vertical };
+        if approach == axis {
+            // The neighbour is ahead of or behind us along our axis: our
+            // tip faces it. 2-b if it runs perpendicular to us.
+            if neighbor_axis != axis {
+                count += 1;
+            }
+        } else {
+            // The neighbour is beside us: 2-b if its wire runs toward us
+            // (perpendicular to our axis), i.e. its tip faces our side.
+            if neighbor_axis == approach {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sadp_geom::{DesignRules, Layer};
+
+    fn plane(w: i32, h: i32) -> RoutingPlane {
+        RoutingPlane::new(3, w, h, DesignRules::node_10nm()).expect("valid")
+    }
+
+    fn search(
+        plane: &RoutingPlane,
+        from: GridPoint,
+        to: GridPoint,
+    ) -> (Option<RoutePath>, SearchStats) {
+        let penalties = HashMap::new();
+        let guards = HashMap::new();
+        let req = AstarRequest {
+            net: NetId(0),
+            sources: &[from],
+            targets: &[to],
+            penalties: &penalties,
+            guards: &guards,
+        };
+        astar_search(plane, &req, &DirMap::new(), &RouterConfig::paper_defaults())
+    }
+
+    #[test]
+    fn straight_route() {
+        let p = plane(32, 32);
+        let (path, stats) = search(
+            &p,
+            GridPoint::new(Layer(0), 2, 5),
+            GridPoint::new(Layer(0), 12, 5),
+        );
+        let path = path.expect("path found");
+        assert!(stats.found);
+        assert_eq!(path.wirelength(), 10);
+        assert_eq!(path.via_count(), 0);
+        assert_eq!(path.source(), GridPoint::new(Layer(0), 2, 5));
+        assert_eq!(path.target(), GridPoint::new(Layer(0), 12, 5));
+    }
+
+    #[test]
+    fn detours_around_blockage() {
+        let mut p = plane(32, 32);
+        p.add_blockage(Layer(0), TrackRect::new(6, 0, 6, 31));
+        // Layer 0 is fully walled: the router must via up and back down.
+        let (path, _) = search(
+            &p,
+            GridPoint::new(Layer(0), 2, 5),
+            GridPoint::new(Layer(0), 12, 5),
+        );
+        let path = path.expect("path found");
+        assert!(path.via_count() >= 2);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut p = plane(16, 16);
+        for l in 0..3 {
+            p.add_blockage(Layer(l), TrackRect::new(6, 0, 6, 15));
+        }
+        let (path, stats) = search(
+            &p,
+            GridPoint::new(Layer(0), 2, 5),
+            GridPoint::new(Layer(0), 12, 5),
+        );
+        assert!(path.is_none());
+        assert!(!stats.found);
+        assert!(stats.expanded > 0);
+    }
+
+    #[test]
+    fn multi_candidate_picks_cheapest_pair() {
+        let p = plane(32, 32);
+        let penalties = HashMap::new();
+        let guards = HashMap::new();
+        let req = AstarRequest {
+            net: NetId(0),
+            sources: &[
+                GridPoint::new(Layer(0), 0, 0),
+                GridPoint::new(Layer(0), 10, 10),
+            ],
+            targets: &[
+                GridPoint::new(Layer(0), 30, 30),
+                GridPoint::new(Layer(0), 12, 10),
+            ],
+            penalties: &penalties,
+            guards: &guards,
+        };
+        let (path, _) = astar_search(
+            &p,
+            &req,
+            &DirMap::new(),
+            &RouterConfig::paper_defaults(),
+        );
+        let path = path.expect("path found");
+        assert_eq!(path.source(), GridPoint::new(Layer(0), 10, 10));
+        assert_eq!(path.target(), GridPoint::new(Layer(0), 12, 10));
+        assert_eq!(path.wirelength(), 2);
+    }
+
+    #[test]
+    fn penalties_steer_the_route() {
+        let p = plane(32, 32);
+        let mut penalties = HashMap::new();
+        // Penalise the straight row so the path must leave it.
+        for x in 3..12 {
+            penalties.insert(GridPoint::new(Layer(0), x, 5), 50_000u64);
+        }
+        let guards = HashMap::new();
+        let req = AstarRequest {
+            net: NetId(0),
+            sources: &[GridPoint::new(Layer(0), 2, 5)],
+            targets: &[GridPoint::new(Layer(0), 12, 5)],
+            penalties: &penalties,
+            guards: &guards,
+        };
+        let (path, _) = astar_search(
+            &p,
+            &req,
+            &DirMap::new(),
+            &RouterConfig::paper_defaults(),
+        );
+        let path = path.expect("path found");
+        assert!(
+            path.wirelength() > 10 || path.via_count() > 0,
+            "path should avoid the penalised row: {path}"
+        );
+    }
+
+    #[test]
+    fn t2b_penalty_avoids_tip_to_side() {
+        // A routed vertical wire whose tip points at the straight row the
+        // new net would take: with the gamma penalty the router prefers a
+        // small detour over the 2-b scenario.
+        let mut p = plane(32, 32);
+        let mut dir_map = DirMap::new();
+        for y in 7..12 {
+            let c = GridPoint::new(Layer(0), 7, y);
+            p.occupy(c, NetId(9)).unwrap();
+            dir_map.insert(c, Dir::Vertical);
+        }
+        // Tip at (7,7); the straight row y=6 passes right under it.
+        let penalties = HashMap::new();
+        let guards = HashMap::new();
+        let req = AstarRequest {
+            net: NetId(0),
+            sources: &[GridPoint::new(Layer(0), 2, 6)],
+            targets: &[GridPoint::new(Layer(0), 12, 6)],
+            penalties: &penalties,
+            guards: &guards,
+        };
+        let mut cheap = RouterConfig::paper_defaults();
+        cheap.gamma = 0.0;
+        let (path_free, _) = astar_search(&p, &req, &dir_map, &cheap);
+        let expensive = RouterConfig {
+            gamma: 100.0,
+            ..RouterConfig::paper_defaults()
+        };
+        let (path_avoid, _) = astar_search(&p, &req, &dir_map, &expensive);
+        let free = path_free.expect("found");
+        let avoid = path_avoid.expect("found");
+        // Without the penalty the straight row (through the 2-b cell) wins.
+        assert_eq!(free.wirelength(), 10);
+        // With the penalty the path never *enters* (7,6) horizontally (the
+        // move eq. (5) charges for); a vertical entry forms a 1-b
+        // (merge-and-cut) relation instead, which is free of side overlay.
+        let pts = avoid.points();
+        if let Some(i) = pts.iter().position(|&p| p == GridPoint::new(Layer(0), 7, 6)) {
+            assert!(i > 0);
+            let prev = pts[i - 1];
+            assert_eq!(prev.x, 7, "must not enter the 2-b cell sideways");
+        }
+    }
+
+    #[test]
+    fn t2b_count_direct() {
+        let mut p = plane(16, 16);
+        let mut dm = DirMap::new();
+        // Vertical wire tip just north of (5,5).
+        for y in 6..9 {
+            let c = GridPoint::new(Layer(0), 5, y);
+            p.occupy(c, NetId(1)).unwrap();
+            dm.insert(c, Dir::Vertical);
+        }
+        // Moving horizontally through (5,5): its side faces the tip -> 1.
+        assert_eq!(
+            t2b_count(&p, &dm, NetId(0), GridPoint::new(Layer(0), 5, 5), Dir::Horizontal),
+            1
+        );
+        // Moving vertically through (5,5): tip-to-tip (1-b), not 2-b -> 0.
+        assert_eq!(
+            t2b_count(&p, &dm, NetId(0), GridPoint::new(Layer(0), 5, 5), Dir::Vertical),
+            0
+        );
+        // A horizontal neighbour beside us while we move horizontally is
+        // 1-a (side-side), not 2-b.
+        let mut p2 = plane(16, 16);
+        let mut dm2 = DirMap::new();
+        for x in 3..8 {
+            let c = GridPoint::new(Layer(0), x, 6);
+            p2.occupy(c, NetId(1)).unwrap();
+            dm2.insert(c, Dir::Horizontal);
+        }
+        assert_eq!(
+            t2b_count(&p2, &dm2, NetId(0), GridPoint::new(Layer(0), 5, 5), Dir::Horizontal),
+            0
+        );
+    }
+}

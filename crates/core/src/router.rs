@@ -1,0 +1,922 @@
+//! The overall routing flow (Fig. 18 / Fig. 19).
+
+use crate::astar::{astar_search, AstarRequest, DirMap};
+use crate::config::RouterConfig;
+use crate::report::RoutingReport;
+use crate::scan::{pack_frag_id, scan_fragments, FoundScenario};
+use sadp_geom::{Layer, Orientation, SpatialHash, TrackRect};
+use sadp_graph::{flip, OverlayGraph};
+use sadp_grid::{Net, NetId, Netlist, RoutePath, RoutingPlane};
+use sadp_scenario::{Color, ScenarioKind};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A successfully routed net: its path(s) and per-layer wire fragments.
+#[derive(Debug, Clone)]
+pub struct RoutedNet {
+    /// The net.
+    pub id: NetId,
+    /// The trunk path (source pin to target pin).
+    pub path: RoutePath,
+    /// Branch paths connecting the extra terminals of a multi-pin net to
+    /// the trunk (empty for two-pin nets).
+    pub branches: Vec<RoutePath>,
+    /// Maximal wire-fragment rectangles per layer, over all paths.
+    pub fragments: Vec<(Layer, TrackRect)>,
+    /// Spatial-index ids of the fragments (parallel to `fragments`).
+    frag_ids: Vec<u64>,
+}
+
+impl RoutedNet {
+    /// Total planar wirelength over trunk and branches.
+    #[must_use]
+    pub fn wirelength(&self) -> u64 {
+        self.path.wirelength() + self.branches.iter().map(RoutePath::wirelength).sum::<u64>()
+    }
+
+    /// Total via count over trunk and branches.
+    #[must_use]
+    pub fn via_count(&self) -> u64 {
+        self.path.via_count() + self.branches.iter().map(RoutePath::via_count).sum::<u64>()
+    }
+
+    /// Iterates over every grid point of the net (trunk then branches;
+    /// branch tap points repeat their trunk cell).
+    pub fn all_points(&self) -> impl Iterator<Item = sadp_geom::GridPoint> + '_ {
+        self.path
+            .points()
+            .iter()
+            .copied()
+            .chain(self.branches.iter().flat_map(|b| b.points().iter().copied()))
+    }
+}
+
+/// The overlay-aware detailed router.
+///
+/// One instance routes one netlist; per-layer overlay constraint graphs,
+/// the fragment spatial index and the routed-net store live here and can
+/// be inspected after routing (e.g. to feed the decomposition simulator).
+#[derive(Debug)]
+pub struct Router {
+    config: RouterConfig,
+    graphs: Vec<OverlayGraph>,
+    index: Vec<SpatialHash>,
+    dir_map: DirMap,
+    guards: HashMap<sadp_geom::GridPoint, (NetId, u64)>,
+    routed: HashMap<NetId, RoutedNet>,
+    failed: Vec<NetId>,
+    frag_seq: u32,
+    ripups: u64,
+    ripups_type_b: u64,
+    ripups_graph: u64,
+    ripups_risk: u64,
+    failed_no_path: u64,
+    failed_exhausted: u64,
+    failed_cleanup: u64,
+    flips: u64,
+    nodes_expanded: u64,
+}
+
+impl Router {
+    /// Creates a router with the given configuration.
+    #[must_use]
+    pub fn new(config: RouterConfig) -> Router {
+        Router {
+            config,
+            graphs: Vec::new(),
+            index: Vec::new(),
+            dir_map: DirMap::new(),
+            guards: HashMap::new(),
+            routed: HashMap::new(),
+            failed: Vec::new(),
+            frag_seq: 0,
+            ripups: 0,
+            ripups_type_b: 0,
+            ripups_graph: 0,
+            ripups_risk: 0,
+            failed_no_path: 0,
+            failed_exhausted: 0,
+            failed_cleanup: 0,
+            flips: 0,
+            nodes_expanded: 0,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// The per-layer overlay constraint graphs (valid after
+    /// [`Router::route_all`]).
+    #[must_use]
+    pub fn graphs(&self) -> &[OverlayGraph] {
+        &self.graphs
+    }
+
+    /// The routed nets.
+    #[must_use]
+    pub fn routed(&self) -> &HashMap<NetId, RoutedNet> {
+        &self.routed
+    }
+
+    /// Nets that could not be routed without violations.
+    #[must_use]
+    pub fn failed(&self) -> &[NetId] {
+        &self.failed
+    }
+
+    /// The mask color assigned to `net` on `layer`, if it is routed there.
+    #[must_use]
+    pub fn color_of(&self, net: NetId, layer: Layer) -> Option<Color> {
+        let g = self.graphs.get(layer.index())?;
+        g.contains(net.0).then(|| g.color(net.0))
+    }
+
+    /// The colored patterns of one layer, as
+    /// `(net, color, fragment rects)` triples — the input format of the
+    /// decomposition simulator.
+    #[must_use]
+    pub fn patterns_on_layer(&self, layer: Layer) -> Vec<(u32, Color, Vec<TrackRect>)> {
+        let mut out = Vec::new();
+        let mut ids: Vec<&RoutedNet> = self.routed.values().collect();
+        ids.sort_by_key(|r| r.id);
+        for r in ids {
+            let rects: Vec<TrackRect> = r
+                .fragments
+                .iter()
+                .filter(|(l, _)| *l == layer)
+                .map(|(_, rect)| *rect)
+                .collect();
+            if !rects.is_empty() {
+                let color = self.color_of(r.id, layer).unwrap_or(Color::Core);
+                out.push((r.id.0, color, rects));
+            }
+        }
+        out
+    }
+
+    /// Routes every net of the netlist (shortest first) on the plane,
+    /// running the full flow of Fig. 19, and returns the aggregate report.
+    pub fn route_all(&mut self, plane: &mut RoutingPlane, netlist: &Netlist) -> RoutingReport {
+        let start = Instant::now();
+        self.begin(plane.layers());
+
+        // Reserve every pin candidate cell up front so earlier nets cannot
+        // route over the pins of later ones (the owner may still enter its
+        // own reserved cells).
+        for net in netlist {
+            self.reserve_pins(plane, net);
+        }
+
+        for id in self.net_order(netlist) {
+            let net = netlist.net(id);
+            if !self.route_net(plane, net, HashMap::new()) {
+                self.failed.push(id);
+            }
+        }
+
+        self.finalize(plane, netlist);
+        self.build_report(netlist, start)
+    }
+
+    /// Resets the router state for a plane with the given layer count.
+    /// Called automatically by [`Router::route_all`]; use directly for the
+    /// incremental API ([`Router::route_incremental`]).
+    pub fn begin(&mut self, layers: u8) {
+        self.reset(layers);
+    }
+
+    /// Routes one net incrementally against the already-routed layout,
+    /// reserving its pins first. Returns whether the net was committed
+    /// (failed nets are recorded in [`Router::failed`]).
+    ///
+    /// Unlike [`Router::route_all`] the caller controls the net order and
+    /// no final flipping/cleanup runs — call [`Router::finalize`] when the
+    /// batch is complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Router::begin`] (or a prior `route_all`) has not sized
+    /// the router for the plane.
+    pub fn route_incremental(&mut self, plane: &mut RoutingPlane, net: &Net) -> bool {
+        assert!(
+            !self.graphs.is_empty(),
+            "call Router::begin before route_incremental"
+        );
+        self.reserve_pins(plane, net);
+        let ok = self.route_net(plane, net, HashMap::new());
+        if !ok {
+            self.failed.push(net.id);
+        }
+        ok
+    }
+
+    /// Runs the final full-layout color flipping (Fig. 19 line 16), the
+    /// hill-climbing refinement, and the conflict cleanup that guarantees
+    /// a conflict-free result. `netlist` is used to re-route nets the
+    /// cleanup has to move.
+    pub fn finalize(&mut self, plane: &mut RoutingPlane, netlist: &Netlist) {
+        if self.config.final_flip {
+            for g in &mut self.graphs {
+                flip::flip_all(g);
+                flip::greedy_refine(g, 4);
+            }
+        }
+        // Guarantee the conflict-free claim: any net whose coloring still
+        // realizes a hard overlay or a type-A cut risk is re-flipped,
+        // re-routed away from the offending region, or — failing both —
+        // unrouted.
+        self.cleanup_risks(plane, netlist);
+    }
+
+    /// Builds the aggregate report for the current state (used by the
+    /// incremental API after [`Router::finalize`]).
+    #[must_use]
+    pub fn report(&self, netlist: &Netlist, since: Instant) -> RoutingReport {
+        self.build_report(netlist, since)
+    }
+
+    fn net_order(&self, netlist: &Netlist) -> Vec<NetId> {
+        use crate::config::NetOrder;
+        match self.config.net_order {
+            NetOrder::HpwlAscending => netlist.ids_by_hpwl(),
+            NetOrder::HpwlDescending => {
+                let mut ids = netlist.ids_by_hpwl();
+                ids.reverse();
+                ids
+            }
+            NetOrder::Given => netlist.iter().map(|n| n.id).collect(),
+        }
+    }
+
+    fn reserve_pins(&mut self, plane: &mut RoutingPlane, net: &Net) {
+        let guard = self.config.pin_guard_cost();
+        for pin in net.pins() {
+            for &c in pin.candidates() {
+                let _ = plane.occupy(c, net.id);
+                if guard > 0 {
+                    for dx in -1..=1 {
+                        for dy in -1..=1 {
+                            let g = sadp_geom::GridPoint::new(c.layer, c.x + dx, c.y + dy);
+                            self.guards.entry(g).or_insert((net.id, guard));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self, layers: u8) {
+        self.graphs = (0..layers).map(|_| OverlayGraph::new()).collect();
+        self.index = (0..layers).map(|_| SpatialHash::new(16)).collect();
+        self.dir_map.clear();
+        self.guards.clear();
+        self.routed.clear();
+        self.failed.clear();
+        self.frag_seq = 0;
+        self.ripups = 0;
+        self.ripups_type_b = 0;
+        self.ripups_graph = 0;
+        self.ripups_risk = 0;
+        self.failed_no_path = 0;
+        self.failed_exhausted = 0;
+        self.failed_cleanup = 0;
+        self.flips = 0;
+        self.nodes_expanded = 0;
+    }
+
+    fn build_report(&self, netlist: &Netlist, start: Instant) -> RoutingReport {
+        let mut report = RoutingReport {
+            total_nets: netlist.len(),
+            routed_nets: self.routed.len(),
+            ripups: self.ripups,
+            ripups_type_b: self.ripups_type_b,
+            ripups_graph: self.ripups_graph,
+            ripups_risk: self.ripups_risk,
+            failed_no_path: self.failed_no_path,
+            failed_exhausted: self.failed_exhausted,
+            failed_cleanup: self.failed_cleanup,
+            flips: self.flips,
+            nodes_expanded: self.nodes_expanded,
+            cpu: start.elapsed(),
+            ..RoutingReport::default()
+        };
+        for r in self.routed.values() {
+            report.wirelength += r.wirelength();
+            report.vias += r.via_count();
+        }
+        for g in &self.graphs {
+            let e = g.evaluate();
+            report.overlay_units += e.overlay_units;
+            report.hard_overlay_violations += e.hard_violations;
+            report.cut_conflicts += e.cut_risks;
+        }
+        report
+    }
+
+    /// Routes one net with up to `max_ripup` rip-up-and-re-route
+    /// iterations; returns whether the net was committed.
+    fn route_net(
+        &mut self,
+        plane: &mut RoutingPlane,
+        net: &Net,
+        mut penalties: HashMap<sadp_geom::GridPoint, u64>,
+    ) -> bool {
+        let key = net.id.0;
+
+        for _attempt in 0..=self.config.max_ripup {
+            let req = AstarRequest {
+                net: net.id,
+                sources: net.source.candidates(),
+                targets: net.target.candidates(),
+                penalties: &penalties,
+                guards: &self.guards,
+            };
+            let (path, stats) = astar_search(plane, &req, &self.dir_map, &self.config);
+            self.nodes_expanded += stats.expanded;
+            let Some(path) = path else {
+                self.failed_no_path += 1;
+                return false;
+            };
+
+            // Branch routing for multi-terminal nets: each extra pin
+            // connects to any already-routed point of the net.
+            let mut branches: Vec<RoutePath> = Vec::new();
+            let mut branch_fail = false;
+            for pin in &net.extra {
+                let mut targets: Vec<sadp_geom::GridPoint> =
+                    path.points().to_vec();
+                for b in &branches {
+                    targets.extend_from_slice(b.points());
+                }
+                let breq = AstarRequest {
+                    net: net.id,
+                    sources: pin.candidates(),
+                    targets: &targets,
+                    penalties: &penalties,
+                    guards: &self.guards,
+                };
+                let (bpath, bstats) = astar_search(plane, &breq, &self.dir_map, &self.config);
+                self.nodes_expanded += bstats.expanded;
+                match bpath {
+                    Some(bp) => branches.push(bp),
+                    None => {
+                        branch_fail = true;
+                        break;
+                    }
+                }
+            }
+            if branch_fail {
+                self.failed_no_path += 1;
+                return false;
+            }
+
+            let mut fragments = path.fragments();
+            for b in &branches {
+                fragments.extend(b.fragments());
+            }
+
+            // Classify the tentative route against the routed layout
+            // (BTreeMap: layer order must be deterministic).
+            let mut found = Vec::new();
+            let mut per_layer: std::collections::BTreeMap<Layer, Vec<TrackRect>> =
+                std::collections::BTreeMap::new();
+            for &(layer, rect) in &fragments {
+                per_layer.entry(layer).or_default().push(rect);
+            }
+            for (layer, frags) in &per_layer {
+                found.extend(scan_fragments(
+                    *layer,
+                    key,
+                    frags,
+                    &self.index[layer.index()],
+                    plane.rules(),
+                ));
+            }
+
+            // Ablation: without the merge technique every tip-to-tip pair
+            // is undecomposable (the \[16\] behaviour) and must be routed
+            // away from.
+            if !self.config.allow_merge {
+                let merges: Vec<(Layer, TrackRect)> = found
+                    .iter()
+                    .filter(|f| f.scenario.kind == ScenarioKind::OneB)
+                    .map(|f| (f.layer, f.our_rect))
+                    .collect();
+                if !merges.is_empty() {
+                    self.penalize(&mut penalties, &merges);
+                    self.ripups += 1;
+                    self.ripups_graph += 1;
+                    continue;
+                }
+            }
+
+            // Cut conflict check (type B, Fig. 16).
+            if std::env::var_os("SADP_DEBUG_FAIL").is_some() && _attempt > 0 {
+                let kinds: Vec<String> = found
+                    .iter()
+                    .filter(|f| f.scenario.kind.is_constraining())
+                    .map(|f| format!("{}:{}", f.scenario.kind.name(), f.other_net))
+                    .collect();
+                let on_path: u64 = path
+                    .points()
+                    .iter()
+                    .filter_map(|pt| penalties.get(pt))
+                    .sum();
+                eprintln!(
+                    "net {} attempt {}: penalties={} cells, {} on path; {:?}",
+                    net.id,
+                    _attempt,
+                    penalties.len(),
+                    on_path,
+                    kinds
+                );
+            }
+            if let Some(bad) = type_b_conflict(&found, plane.rules()) {
+                self.penalize(&mut penalties, &bad);
+                self.ripups += 1;
+                self.ripups_type_b += 1;
+                continue;
+            }
+
+            // Update the overlay constraint graphs; odd cycles or
+            // infeasible pairs trigger rip-up (Fig. 19 lines 6-9). The
+            // union-find checkpoints make rip-up O(net) instead of O(E).
+            let marks: Vec<usize> = self.graphs.iter_mut().map(|g| g.mark()).collect();
+            let mut offender: Option<(Layer, u32)> = None;
+            for f in &found {
+                if !f.scenario.kind.is_constraining() {
+                    continue;
+                }
+                let g = &mut self.graphs[f.layer.index()];
+                if g.add_scenario_with_kind(key, f.other_net, Some(f.scenario.kind), f.scenario.table)
+                    .is_err()
+                {
+                    offender = Some((f.layer, f.other_net));
+                    break;
+                }
+            }
+            if let Some((layer, bad_net)) = offender {
+                for (g, &mark) in self.graphs.iter_mut().zip(&marks) {
+                    g.rollback_net(key, mark);
+                }
+                let bad: Vec<TrackRect> = found
+                    .iter()
+                    .filter(|f| f.layer == layer && f.other_net == bad_net)
+                    .map(|f| f.our_rect)
+                    .collect();
+                let cells: Vec<(Layer, TrackRect)> =
+                    bad.into_iter().map(|r| (layer, r)).collect();
+                self.penalize(&mut penalties, &cells);
+                self.ripups += 1;
+                self.ripups_graph += 1;
+                continue;
+            }
+
+            // Trial coloring: pseudo-color, flip on demand, and verify no
+            // hard overlay or type-A cut risk remains realized. A risk the
+            // coloring cannot avoid is a cut conflict in the making —
+            // rip up and steer away (Fig. 19 lines 6-9).
+            let mut overlay = 0u64;
+            let mut needs_flip = false;
+            for layer in per_layer.keys() {
+                let g = &mut self.graphs[layer.index()];
+                g.ensure_vertex(key);
+                g.pseudo_color(key);
+                overlay += g.net_overlay_units(key);
+                needs_flip |= g.net_has_risk(key);
+            }
+            let mut flipped = false;
+            if needs_flip || overlay > self.config.flip_threshold {
+                for layer in per_layer.keys() {
+                    flip::flip_component(&mut self.graphs[layer.index()], key);
+                }
+                flipped = true;
+            }
+            let risky_layers: Vec<Layer> = per_layer
+                .keys()
+                .copied()
+                .filter(|l| self.graphs[l.index()].net_has_risk(key))
+                .collect();
+            if !risky_layers.is_empty() {
+                let cells: Vec<(Layer, TrackRect)> = found
+                    .iter()
+                    .filter(|f| risky_layers.contains(&f.layer))
+                    .map(|f| (f.layer, f.our_rect))
+                    .collect();
+                for (g, &mark) in self.graphs.iter_mut().zip(&marks) {
+                    g.rollback_net(key, mark);
+                }
+                self.penalize(&mut penalties, &cells);
+                self.ripups += 1;
+                self.ripups_risk += 1;
+                continue;
+            }
+            if flipped {
+                self.flips += 1;
+            }
+
+            self.commit(plane, net, path, branches, fragments, &per_layer);
+            return true;
+        }
+        // Attempts exhausted; leave the graphs clean.
+        if std::env::var_os("SADP_DEBUG_FAIL").is_some() {
+            eprintln!(
+                "net {} exhausted: src={:?} dst={:?}",
+                net.id,
+                net.source.primary(),
+                net.target.primary()
+            );
+        }
+        self.failed_exhausted += 1;
+        for g in &mut self.graphs {
+            g.remove_net(key);
+        }
+        false
+    }
+
+    fn penalize(&self, penalties: &mut HashMap<sadp_geom::GridPoint, u64>, cells: &[(Layer, TrackRect)]) {
+        let p = self.config.ripup_penalty_cost();
+        for (layer, rect) in cells {
+            // Penalise the whole neighbourhood (dependence radius) so the
+            // re-route leaves the conflicting corridor instead of shifting
+            // by a single track into the same scenario.
+            for (x, y) in rect.expanded(2).cells() {
+                let d = rect.track_gap(&TrackRect::cell(x, y));
+                let scale = 2 - (d.0.max(d.1)).min(2) as u64 + 1;
+                *penalties
+                    .entry(sadp_geom::GridPoint::new(*layer, x, y))
+                    .or_insert(0) += p * scale / 2;
+            }
+        }
+    }
+
+    fn commit(
+        &mut self,
+        plane: &mut RoutingPlane,
+        net: &Net,
+        path: RoutePath,
+        branches: Vec<RoutePath>,
+        fragments: Vec<(Layer, TrackRect)>,
+        per_layer: &std::collections::BTreeMap<Layer, Vec<TrackRect>>,
+    ) {
+        let id = net.id;
+        let on_path = |c: &sadp_geom::GridPoint| {
+            path.points().contains(c) || branches.iter().any(|b| b.points().contains(c))
+        };
+        for &p in path.points() {
+            plane
+                .occupy(p, id)
+                .expect("A* only walks free or own cells");
+        }
+        for b in &branches {
+            for &p in b.points() {
+                plane
+                    .occupy(p, id)
+                    .expect("branch A* only walks free or own cells");
+            }
+        }
+        // Release the unused pin candidate reservations.
+        for pin in net.pins() {
+            for &c in pin.candidates() {
+                if !on_path(&c) {
+                    plane.clear_path(&[c], id);
+                }
+            }
+        }
+        let mut frag_ids = Vec::with_capacity(fragments.len());
+        for &(layer, rect) in &fragments {
+            if let Some(axis) = rect.orientation().axis() {
+                for (x, y) in rect.cells() {
+                    self.dir_map
+                        .insert(sadp_geom::GridPoint::new(layer, x, y), axis);
+                }
+            }
+            let fid = pack_frag_id(id.0, self.frag_seq);
+            self.index[layer.index()].insert(fid, rect);
+            frag_ids.push(fid);
+            self.frag_seq += 1;
+        }
+
+        // Coloring already happened in the trial phase of route_net; the
+        // graphs are left exactly as validated there.
+        let _ = per_layer;
+        self.routed.insert(
+            id,
+            RoutedNet {
+                id,
+                path,
+                branches,
+                fragments,
+                frag_ids,
+            },
+        );
+    }
+
+    /// Post-routing cleanup: re-flip components of nets whose coloring
+    /// still realizes a forbidden assignment or a type-A cut risk, and
+    /// unroute the incorrigible ones so the final result is conflict-free.
+    fn cleanup_risks(&mut self, plane: &mut RoutingPlane, netlist: &Netlist) {
+        for _ in 0..8 {
+            let mut risky: Vec<u32> = Vec::new();
+            for g in &self.graphs {
+                risky.extend(g.nets_with_realized_risk());
+            }
+            risky.sort_unstable();
+            risky.dedup();
+            if risky.is_empty() {
+                return;
+            }
+            for net in risky {
+                let id = NetId(net);
+                let Some(routed) = self.routed.get(&id) else {
+                    continue;
+                };
+                let old_cells: Vec<(Layer, TrackRect)> = routed.fragments.clone();
+                let layers: Vec<usize> = (0..self.graphs.len())
+                    .filter(|&l| self.graphs[l].contains(net))
+                    .collect();
+                for &l in &layers {
+                    flip::flip_component(&mut self.graphs[l], net);
+                    flip::greedy_refine(&mut self.graphs[l], 2);
+                }
+                let still = layers.iter().any(|&l| self.graphs[l].net_has_risk(net));
+                if still {
+                    // Re-route away from the old corridor; give the net up
+                    // only if that fails too.
+                    self.unroute(plane, id);
+                    let mut penalties = HashMap::new();
+                    let p = self.config.ripup_penalty_cost() * 2;
+                    for (layer, rect) in &old_cells {
+                        for (x, y) in rect.cells() {
+                            penalties.insert(sadp_geom::GridPoint::new(*layer, x, y), p);
+                        }
+                    }
+                    // The pins were freed by the unroute; re-reserve them
+                    // for the re-route attempt.
+                    let net_ref = netlist.net(id);
+                    for pin in [&net_ref.source, &net_ref.target] {
+                        for &c in pin.candidates() {
+                            let _ = plane.occupy(c, id);
+                        }
+                    }
+                    let ok = self.route_net(plane, net_ref, penalties);
+                    let risk_again = ok
+                        && (0..self.graphs.len())
+                            .any(|l| self.graphs[l].net_has_risk(net));
+                    if risk_again {
+                        self.unroute(plane, id);
+                        self.failed.push(id);
+                        self.failed_cleanup += 1;
+                    } else if !ok {
+                        self.failed.push(id);
+                        self.failed_cleanup += 1;
+                    }
+                }
+            }
+        }
+        // Anything still risky after the passes is unrouted outright.
+        loop {
+            let mut risky: Vec<u32> = Vec::new();
+            for g in &self.graphs {
+                risky.extend(g.nets_with_realized_risk());
+            }
+            risky.sort_unstable();
+            risky.dedup();
+            if risky.is_empty() {
+                break;
+            }
+            for net in risky {
+                let id = NetId(net);
+                if self.routed.contains_key(&id) {
+                    self.unroute(plane, id);
+                    self.failed.push(id);
+                    self.failed_cleanup += 1;
+                }
+            }
+        }
+    }
+
+    fn unroute(&mut self, plane: &mut RoutingPlane, id: NetId) {
+        let Some(r) = self.routed.remove(&id) else {
+            return;
+        };
+        plane.clear_path(r.path.points(), id);
+        for b in &r.branches {
+            plane.clear_path(b.points(), id);
+        }
+        for ((layer, rect), fid) in r.fragments.iter().zip(&r.frag_ids) {
+            self.index[layer.index()].remove(*fid, rect);
+            for (x, y) in rect.cells() {
+                self.dir_map
+                    .remove(&sadp_geom::GridPoint::new(*layer, x, y));
+            }
+        }
+        for g in &mut self.graphs {
+            g.remove_net(id.0);
+        }
+    }
+}
+
+/// Detects unavoidable type-B cut conflicts in the tentative route's
+/// scenarios: two cut-defined boundary sections of the same fragment
+/// within `d_cut` of each other. Returns the offending fragments.
+fn type_b_conflict(
+    found: &[FoundScenario],
+    rules: &sadp_geom::DesignRules,
+) -> Option<Vec<(Layer, TrackRect)>> {
+    // Tips of routed nets pointing at a side of one of our fragments, from
+    // which direction, and at which axial position.
+    struct TipHit {
+        layer: Layer,
+        our: TrackRect,
+        pos: i32,
+        positive_side: bool,
+    }
+    let mut hits: Vec<TipHit> = Vec::new();
+    for f in found {
+        match f.scenario.kind {
+            ScenarioKind::TwoB if f.scenario.swapped => {
+                // Canonical A (the tip) is the other net; we are the side.
+                let (pos, positive_side) = match f.our_rect.orientation() {
+                    Orientation::Horizontal | Orientation::Point => {
+                        (f.other_rect.x0, f.other_rect.y0 > f.our_rect.y1)
+                    }
+                    Orientation::Vertical => (f.other_rect.y0, f.other_rect.x0 > f.our_rect.x1),
+                };
+                hits.push(TipHit {
+                    layer: f.layer,
+                    our: f.our_rect,
+                    pos,
+                    positive_side,
+                });
+            }
+            // A one-cell fragment tip-to-tip with routed nets on both ends:
+            // the two separating cuts are only w_line apart (< d_cut).
+            ScenarioKind::OneB if f.our_rect.len_cells() == 1 => {
+                let twin = found.iter().any(|g| {
+                    g.scenario.kind == ScenarioKind::OneB
+                        && g.layer == f.layer
+                        && g.our_rect == f.our_rect
+                        && g.other_rect != f.other_rect
+                        && opposite_ends(&f.our_rect, &f.other_rect, &g.other_rect)
+                });
+                if twin {
+                    return Some(vec![(f.layer, f.our_rect)]);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Two tips on opposite sides of the same fragment within d_cut.
+    let d_tracks = (rules.d_cut().0 / rules.pitch().0 + 1) as i32;
+    for (i, a) in hits.iter().enumerate() {
+        for b in hits.iter().skip(i + 1) {
+            if a.layer == b.layer
+                && a.our == b.our
+                && a.positive_side != b.positive_side
+                && (a.pos - b.pos).abs() < d_tracks
+            {
+                return Some(vec![(a.layer, a.our)]);
+            }
+        }
+    }
+    None
+}
+
+fn opposite_ends(ours: &TrackRect, a: &TrackRect, b: &TrackRect) -> bool {
+    // For a single-cell fragment, tips approach along one axis from both
+    // directions.
+    let (ax, ay) = (a.x0.max(a.x1.min(ours.x0)), a.y0.max(a.y1.min(ours.y0)));
+    let (bx, by) = (b.x0.max(b.x1.min(ours.x0)), b.y0.max(b.y1.min(ours.y0)));
+    let da = ((ax - ours.x0).signum(), (ay - ours.y0).signum());
+    let db = ((bx - ours.x0).signum(), (by - ours.y0).signum());
+    da.0 == -db.0 && da.1 == -db.1 && (da != (0, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sadp_geom::{DesignRules, GridPoint};
+
+    fn plane(w: i32, h: i32) -> RoutingPlane {
+        RoutingPlane::new(3, w, h, DesignRules::node_10nm()).expect("valid")
+    }
+
+    fn p0(x: i32, y: i32) -> GridPoint {
+        GridPoint::new(Layer(0), x, y)
+    }
+
+    #[test]
+    fn routes_single_net() {
+        let mut plane = plane(32, 32);
+        let mut nl = Netlist::new();
+        nl.add_two_pin("a", p0(2, 2), p0(14, 9));
+        let mut router = Router::new(RouterConfig::paper_defaults());
+        let report = router.route_all(&mut plane, &nl);
+        assert_eq!(report.routed_nets, 1);
+        assert_eq!(report.wirelength, 19);
+        assert_eq!(report.overlay_units, 0);
+        assert!(router.failed().is_empty());
+    }
+
+    #[test]
+    fn adjacent_nets_get_different_colors() {
+        let mut plane = plane(32, 32);
+        let mut nl = Netlist::new();
+        let a = nl.add_two_pin("a", p0(2, 5), p0(20, 5));
+        let b = nl.add_two_pin("b", p0(2, 6), p0(20, 6));
+        let mut router = Router::new(RouterConfig::paper_defaults());
+        let report = router.route_all(&mut plane, &nl);
+        assert_eq!(report.routed_nets, 2);
+        assert_eq!(report.hard_overlay_violations, 0);
+        // Straight rails side by side: a hard 1-a constraint.
+        let ca = router.color_of(a, Layer(0)).unwrap();
+        let cb = router.color_of(b, Layer(0)).unwrap();
+        assert_ne!(ca, cb);
+    }
+
+    #[test]
+    fn odd_cycle_resolved_by_merge_or_detour() {
+        // Three parallel rails pairwise adjacent would be an odd cycle in a
+        // trim process; the middle spacing here forms 1-a chains (even), so
+        // add a third rail adjacent to both others via wrap-around is not
+        // possible on a grid — instead verify a 3-rail bus routes clean.
+        let mut plane = plane(32, 32);
+        let mut nl = Netlist::new();
+        for i in 0..3 {
+            nl.add_two_pin(
+                format!("r{i}"),
+                p0(2, 5 + i),
+                p0(20, 5 + i),
+            );
+        }
+        let mut router = Router::new(RouterConfig::paper_defaults());
+        let report = router.route_all(&mut plane, &nl);
+        assert_eq!(report.routed_nets, 3);
+        assert_eq!(report.hard_overlay_violations, 0);
+        assert_eq!(report.cut_conflicts, 0);
+    }
+
+    #[test]
+    fn patterns_on_layer_reflect_routes() {
+        let mut plane = plane(32, 32);
+        let mut nl = Netlist::new();
+        nl.add_two_pin("a", p0(2, 2), p0(10, 2));
+        let mut router = Router::new(RouterConfig::paper_defaults());
+        router.route_all(&mut plane, &nl);
+        let pats = router.patterns_on_layer(Layer(0));
+        assert_eq!(pats.len(), 1);
+        assert_eq!(pats[0].2, vec![TrackRect::new(2, 2, 10, 2)]);
+        assert!(router.patterns_on_layer(Layer(2)).is_empty());
+    }
+
+    #[test]
+    fn dense_block_routes_conflict_free() {
+        let mut plane = plane(48, 48);
+        let mut nl = Netlist::new();
+        for i in 0..12 {
+            nl.add_two_pin(format!("n{i}"), p0(2 + i, 2 + i), p0(30 + (i % 5), 20 + i));
+        }
+        let mut router = Router::new(RouterConfig::paper_defaults());
+        let report = router.route_all(&mut plane, &nl);
+        assert!(report.routed_nets >= 9, "report: {report}");
+        assert_eq!(report.hard_overlay_violations, 0);
+        assert_eq!(report.cut_conflicts, 0);
+    }
+
+    #[test]
+    fn multi_candidate_pins_route() {
+        use sadp_grid::Pin;
+        let mut plane = plane(32, 32);
+        let mut nl = Netlist::new();
+        nl.add_net(
+            "m",
+            Pin::with_candidates(vec![p0(2, 2), p0(2, 8)]),
+            Pin::with_candidates(vec![p0(20, 8), p0(20, 2)]),
+        );
+        let mut router = Router::new(RouterConfig::paper_defaults());
+        let report = router.route_all(&mut plane, &nl);
+        assert_eq!(report.routed_nets, 1);
+        // The straight pairing wins.
+        let routed = router.routed().values().next().unwrap();
+        assert_eq!(routed.path.wirelength(), 18);
+    }
+
+    #[test]
+    fn unroutable_net_reported_failed() {
+        let mut plane = plane(16, 16);
+        for l in 0..3 {
+            plane.add_blockage(Layer(l), TrackRect::new(8, 0, 8, 15));
+        }
+        let mut nl = Netlist::new();
+        let id = nl.add_two_pin("x", p0(2, 2), p0(14, 2));
+        let mut router = Router::new(RouterConfig::paper_defaults());
+        let report = router.route_all(&mut plane, &nl);
+        assert_eq!(report.routed_nets, 0);
+        assert_eq!(router.failed(), &[id]);
+        assert!(report.routability() < 1.0);
+    }
+}

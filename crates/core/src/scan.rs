@@ -1,0 +1,136 @@
+//! Scenario scanning: classifying a freshly routed net's wire fragments
+//! against every dependent routed neighbour.
+
+use sadp_geom::{DesignRules, Layer, SpatialHash, TrackRect};
+use sadp_scenario::{classify, Scenario};
+
+/// A potential overlay scenario discovered between a fragment of the net
+/// being routed and a fragment of an already-routed net.
+#[derive(Debug, Clone, Copy)]
+pub struct FoundScenario {
+    /// The layer both fragments lie on.
+    pub layer: Layer,
+    /// The other (routed) net.
+    pub other_net: u32,
+    /// The classification, oriented as `(our net, other net)`.
+    pub scenario: Scenario,
+    /// Our fragment.
+    pub our_rect: TrackRect,
+    /// The other net's fragment.
+    pub other_rect: TrackRect,
+}
+
+/// Packs a net id and a per-router fragment sequence number into the id
+/// space of [`SpatialHash`].
+#[must_use]
+pub fn pack_frag_id(net: u32, seq: u32) -> u64 {
+    (u64::from(seq) << 32) | u64::from(net)
+}
+
+/// Recovers the net id from a packed fragment id.
+#[must_use]
+pub fn net_of_frag_id(id: u64) -> u32 {
+    (id & 0xffff_ffff) as u32
+}
+
+/// Scans one layer's fragment index for all potential overlay scenarios
+/// between `our_frags` (the fragments of `our_net` on `layer`) and the
+/// routed fragments stored in `index`.
+///
+/// Pairs of fragments of the same net never induce overlays between each
+/// other (Theorem 3) and are skipped.
+#[must_use]
+pub fn scan_fragments(
+    layer: Layer,
+    our_net: u32,
+    our_frags: &[TrackRect],
+    index: &SpatialHash,
+    rules: &DesignRules,
+) -> Vec<FoundScenario> {
+    let radius = rules.dependence_radius_tracks();
+    let mut out = Vec::new();
+    for &our in our_frags {
+        let window = our.expanded(radius);
+        for (id, other) in index.query_entries(&window) {
+            let other_net = net_of_frag_id(id);
+            if other_net == our_net {
+                continue;
+            }
+            if let Some(scenario) = classify(&our, &other, rules) {
+                out.push(FoundScenario {
+                    layer,
+                    other_net,
+                    scenario,
+                    our_rect: our,
+                    other_rect: other,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sadp_scenario::ScenarioKind;
+
+    fn rules() -> DesignRules {
+        DesignRules::node_10nm()
+    }
+
+    #[test]
+    fn frag_id_round_trip() {
+        let id = pack_frag_id(0xDEAD, 7);
+        assert_eq!(net_of_frag_id(id), 0xDEAD);
+        assert_ne!(pack_frag_id(1, 2), pack_frag_id(1, 3));
+    }
+
+    #[test]
+    fn scan_finds_dependent_neighbors() {
+        let mut index = SpatialHash::new(8);
+        index.insert(pack_frag_id(1, 0), TrackRect::new(0, 1, 7, 1));
+        index.insert(pack_frag_id(2, 1), TrackRect::new(0, 8, 7, 8)); // far away
+        let found = scan_fragments(
+            Layer(0),
+            0,
+            &[TrackRect::new(0, 0, 5, 0)],
+            &index,
+            &rules(),
+        );
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].other_net, 1);
+        assert_eq!(found[0].scenario.kind, ScenarioKind::OneA);
+    }
+
+    #[test]
+    fn scan_skips_own_fragments() {
+        let mut index = SpatialHash::new(8);
+        index.insert(pack_frag_id(0, 0), TrackRect::new(0, 1, 7, 1));
+        let found = scan_fragments(
+            Layer(0),
+            0,
+            &[TrackRect::new(0, 0, 5, 0)],
+            &index,
+            &rules(),
+        );
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn scan_reports_multiple_scenarios_per_pair() {
+        // An L-shaped routed net with two fragments near our wire.
+        let mut index = SpatialHash::new(8);
+        index.insert(pack_frag_id(1, 0), TrackRect::new(0, 1, 4, 1));
+        index.insert(pack_frag_id(1, 1), TrackRect::new(4, 1, 4, 5));
+        let found = scan_fragments(
+            Layer(0),
+            0,
+            &[TrackRect::new(0, 0, 6, 0)],
+            &index,
+            &rules(),
+        );
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|f| f.other_net == 1));
+    }
+}

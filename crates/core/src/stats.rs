@@ -1,0 +1,105 @@
+//! Post-routing layout statistics.
+
+use crate::router::Router;
+use sadp_scenario::{Assignment, ScenarioKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Census of the potential overlay scenarios of a routed layout, with the
+/// overlay each kind contributes under the final coloring.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ScenarioCensus {
+    /// Occurrences per scenario kind.
+    pub counts: BTreeMap<ScenarioKind, usize>,
+    /// Realized overlay units per *pair edge*, attributed to the first
+    /// recorded kind of the edge.
+    pub realized_units: BTreeMap<ScenarioKind, u64>,
+    /// Constraint edges in total.
+    pub edges: usize,
+    /// Hard (type 1-a / 1-b) edges.
+    pub hard_edges: usize,
+}
+
+impl ScenarioCensus {
+    /// Builds the census from a routed router.
+    #[must_use]
+    pub fn of(router: &Router) -> ScenarioCensus {
+        let mut census = ScenarioCensus::default();
+        for graph in router.graphs() {
+            for (a, b, data) in graph.edges() {
+                census.edges += 1;
+                if data.table.hard_parity().is_some() {
+                    census.hard_edges += 1;
+                }
+                for kind in &data.kinds {
+                    *census.counts.entry(*kind).or_default() += 1;
+                }
+                let asg = Assignment::from_colors(graph.color(a), graph.color(b));
+                if let Some(units) = data.table.entry(asg).overlay_units() {
+                    if units > 0 {
+                        if let Some(kind) = data.kinds.first() {
+                            *census.realized_units.entry(*kind).or_default() +=
+                                u64::from(units);
+                        }
+                    }
+                }
+            }
+        }
+        census
+    }
+
+    /// Total realized overlay units.
+    #[must_use]
+    pub fn total_realized(&self) -> u64 {
+        self.realized_units.values().sum()
+    }
+}
+
+impl fmt::Display for ScenarioCensus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} constraint edges ({} hard), realized overlay {} units",
+            self.edges,
+            self.hard_edges,
+            self.total_realized()
+        )?;
+        for (kind, count) in &self.counts {
+            let realized = self.realized_units.get(kind).copied().unwrap_or(0);
+            writeln!(f, "  {kind:10}: {count:6} occurrences, {realized:6} units realized")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Router, RouterConfig};
+    use sadp_geom::{DesignRules, GridPoint, Layer};
+    use sadp_grid::{Netlist, RoutingPlane};
+
+    #[test]
+    fn census_of_a_parallel_pair() {
+        let mut plane = RoutingPlane::new(3, 32, 32, DesignRules::node_10nm()).unwrap();
+        let mut nl = Netlist::new();
+        let p = |x, y| GridPoint::new(Layer(0), x, y);
+        nl.add_two_pin("a", p(2, 5), p(20, 5));
+        nl.add_two_pin("b", p(2, 6), p(20, 6));
+        let mut router = Router::new(RouterConfig::paper_defaults());
+        router.route_all(&mut plane, &nl);
+        let census = ScenarioCensus::of(&router);
+        assert!(census.counts.contains_key(&ScenarioKind::OneA));
+        assert_eq!(census.hard_edges, 1);
+        assert_eq!(census.total_realized(), 0, "1-a colored correctly");
+        assert!(census.to_string().contains("type 1-a"));
+    }
+
+    #[test]
+    fn empty_router_has_empty_census() {
+        let router = Router::new(RouterConfig::paper_defaults());
+        let census = ScenarioCensus::of(&router);
+        assert_eq!(census.edges, 0);
+        assert_eq!(census.total_realized(), 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! The incremental routing API: begin / route_incremental / finalize.
+
+use sadp_core::{Router, RouterConfig};
+use sadp_geom::{DesignRules, GridPoint, Layer};
+use sadp_grid::{Netlist, RoutingPlane};
+use std::time::Instant;
+
+fn p0(x: i32, y: i32) -> GridPoint {
+    GridPoint::new(Layer(0), x, y)
+}
+
+fn netlist() -> Netlist {
+    let mut nl = Netlist::new();
+    nl.add_two_pin("a", p0(2, 5), p0(20, 5));
+    nl.add_two_pin("b", p0(2, 6), p0(20, 6));
+    nl.add_two_pin("c", p0(4, 10), p0(18, 14));
+    nl
+}
+
+#[test]
+fn incremental_matches_batch_in_hpwl_order() {
+    let nl = netlist();
+
+    let mut plane_a = RoutingPlane::new(3, 32, 32, DesignRules::node_10nm()).unwrap();
+    let mut batch = Router::new(RouterConfig::paper_defaults());
+    let batch_report = batch.route_all(&mut plane_a, &nl);
+
+    let mut plane_b = RoutingPlane::new(3, 32, 32, DesignRules::node_10nm()).unwrap();
+    let mut inc = Router::new(RouterConfig::paper_defaults());
+    let start = Instant::now();
+    inc.begin(plane_b.layers());
+    for id in nl.ids_by_hpwl() {
+        inc.route_incremental(&mut plane_b, nl.net(id));
+    }
+    inc.finalize(&mut plane_b, &nl);
+    let inc_report = inc.report(&nl, start);
+
+    assert_eq!(batch_report.routed_nets, inc_report.routed_nets);
+    assert_eq!(batch_report.wirelength, inc_report.wirelength);
+    assert_eq!(batch_report.overlay_units, inc_report.overlay_units);
+    assert_eq!(batch_report.cut_conflicts, 0);
+    assert_eq!(inc_report.cut_conflicts, 0);
+}
+
+#[test]
+fn caller_controls_the_order() {
+    // Routing the long net first changes the layout but not the
+    // guarantees.
+    let nl = netlist();
+    let mut plane = RoutingPlane::new(3, 32, 32, DesignRules::node_10nm()).unwrap();
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    router.begin(plane.layers());
+    let mut order: Vec<_> = nl.ids_by_hpwl();
+    order.reverse();
+    for id in order {
+        router.route_incremental(&mut plane, nl.net(id));
+    }
+    router.finalize(&mut plane, &nl);
+    let report = router.report(&nl, Instant::now());
+    assert_eq!(report.routed_nets, 3);
+    assert_eq!(report.hard_overlay_violations, 0);
+    assert_eq!(report.cut_conflicts, 0);
+}
+
+#[test]
+#[should_panic(expected = "Router::begin")]
+fn route_incremental_requires_begin() {
+    let nl = netlist();
+    let mut plane = RoutingPlane::new(3, 32, 32, DesignRules::node_10nm()).unwrap();
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    let _ = router.route_incremental(&mut plane, nl.net(sadp_grid::NetId(0)));
+}
+
+#[test]
+fn eco_style_addition_after_finalize() {
+    // Add one more net after a finalized batch — an ECO-style flow.
+    let nl = netlist();
+    let mut plane = RoutingPlane::new(3, 32, 32, DesignRules::node_10nm()).unwrap();
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    router.route_all(&mut plane, &nl);
+
+    let mut extended = nl.clone();
+    let extra = extended.add_two_pin("eco", p0(25, 2), p0(25, 20));
+    let ok = router.route_incremental(&mut plane, extended.net(extra));
+    assert!(ok);
+    router.finalize(&mut plane, &extended);
+    let report = router.report(&extended, Instant::now());
+    assert_eq!(report.routed_nets, 4);
+    assert_eq!(report.cut_conflicts, 0);
+}

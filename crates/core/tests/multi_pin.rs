@@ -1,0 +1,124 @@
+//! Multi-terminal net routing (the trunk-plus-branches extension).
+
+use sadp_core::{Router, RouterConfig};
+use sadp_geom::{DesignRules, GridPoint, Layer, TrackRect};
+use sadp_grid::{NetId, Netlist, Pin, RoutingPlane};
+
+fn p0(x: i32, y: i32) -> GridPoint {
+    GridPoint::new(Layer(0), x, y)
+}
+
+#[test]
+fn three_terminal_net_routes_as_one_polygon() {
+    let mut plane = RoutingPlane::new(3, 32, 32, DesignRules::node_10nm()).unwrap();
+    let mut nl = Netlist::new();
+    let id = nl.add_multi_pin(
+        "tee",
+        vec![
+            Pin::fixed(p0(4, 10)),
+            Pin::fixed(p0(24, 10)),
+            Pin::fixed(p0(14, 20)),
+        ],
+    );
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    let report = router.route_all(&mut plane, &nl);
+    assert_eq!(report.routed_nets, 1, "{report}");
+    assert_eq!(report.cut_conflicts, 0);
+
+    let routed = &router.routed()[&id];
+    assert_eq!(routed.branches.len(), 1);
+    // The branch taps the trunk: its last point lies on the trunk or an
+    // earlier branch.
+    let branch = &routed.branches[0];
+    assert!(routed.path.points().contains(&branch.target()));
+    // Every terminal is covered by the net.
+    for pin in nl.net(id).pins() {
+        assert!(
+            routed.all_points().any(|q| q == pin.primary()),
+            "terminal {} connected",
+            pin.primary()
+        );
+    }
+    // Wirelength counts trunk + branch.
+    assert_eq!(report.wirelength, routed.wirelength());
+    assert!(routed.wirelength() >= 20 + 10);
+}
+
+#[test]
+fn five_terminal_net() {
+    let mut plane = RoutingPlane::new(3, 48, 48, DesignRules::node_10nm()).unwrap();
+    let mut nl = Netlist::new();
+    let id = nl.add_multi_pin(
+        "clk_tree",
+        vec![
+            Pin::fixed(p0(24, 24)),
+            Pin::fixed(p0(8, 8)),
+            Pin::fixed(p0(40, 8)),
+            Pin::fixed(p0(8, 40)),
+            Pin::fixed(p0(40, 40)),
+        ],
+    );
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    let report = router.route_all(&mut plane, &nl);
+    assert_eq!(report.routed_nets, 1);
+    let routed = &router.routed()[&id];
+    assert_eq!(routed.branches.len(), 3);
+    assert_eq!(report.hard_overlay_violations, 0);
+}
+
+#[test]
+fn multi_pin_nets_mix_with_two_pin_nets() {
+    let mut plane = RoutingPlane::new(3, 40, 40, DesignRules::node_10nm()).unwrap();
+    let mut nl = Netlist::new();
+    nl.add_multi_pin(
+        "bus_tap",
+        vec![
+            Pin::fixed(p0(4, 10)),
+            Pin::fixed(p0(30, 10)),
+            Pin::fixed(p0(16, 20)),
+        ],
+    );
+    // A neighbour one track over: the hard 1-a constraint must still hold
+    // against the multi-pin net's trunk.
+    let two = nl.add_two_pin("neighbor", p0(4, 11), p0(30, 11));
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    let report = router.route_all(&mut plane, &nl);
+    assert_eq!(report.routed_nets, 2, "{report}");
+    assert_eq!(report.hard_overlay_violations, 0);
+    // Wherever the hard 1-a relation materialised, the colors obey it.
+    let g = &router.graphs()[0];
+    if let Some(edge) = g.edge(0, two.0) {
+        if edge.table.hard_parity() == Some(true) {
+            let a = router.color_of(NetId(0), Layer(0)).unwrap();
+            let b = router.color_of(two, Layer(0)).unwrap();
+            assert_ne!(a, b);
+        }
+    }
+}
+
+#[test]
+fn branch_failure_fails_the_whole_net() {
+    let mut plane = RoutingPlane::new(1, 24, 24, DesignRules::node_10nm()).unwrap();
+    // Wall off the third terminal completely.
+    plane.add_blockage(Layer(0), TrackRect::new(0, 15, 23, 15));
+    let mut nl = Netlist::new();
+    nl.add_multi_pin(
+        "cut_off",
+        vec![
+            Pin::fixed(p0(2, 2)),
+            Pin::fixed(p0(20, 2)),
+            Pin::fixed(p0(10, 20)),
+        ],
+    );
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    let report = router.route_all(&mut plane, &nl);
+    assert_eq!(report.routed_nets, 0);
+    assert_eq!(router.failed().len(), 1);
+    // Nothing but the reserved pins remains on the plane.
+    let (_, blocked_and_free, occupied) = {
+        let (f, b, o) = plane.usage();
+        (f, b, o)
+    };
+    let _ = blocked_and_free;
+    assert_eq!(occupied, 3, "only the reserved pin cells remain");
+}

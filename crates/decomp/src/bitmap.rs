@@ -1,0 +1,353 @@
+//! A dense boolean pixel grid with the morphological operations the
+//! decomposition simulator is built on.
+
+use std::fmt;
+
+/// A row-major boolean pixel grid.
+///
+/// # Example
+///
+/// ```
+/// use sadp_decomp::Bitmap;
+/// let mut b = Bitmap::new(8, 8);
+/// b.fill_rect(2, 2, 3, 3);
+/// assert_eq!(b.count(), 4);
+/// let d = b.dilated(1);
+/// assert!(d.get(1, 1) && d.get(4, 4) && !d.get(5, 5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    width: usize,
+    height: usize,
+    bits: Vec<bool>,
+}
+
+impl Bitmap {
+    /// Creates an all-false bitmap.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Bitmap {
+        Bitmap {
+            width,
+            height,
+            bits: vec![false; width * height],
+        }
+    }
+
+    /// Width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The pixel at `(x, y)`; out-of-bounds reads are `false`.
+    #[must_use]
+    pub fn get(&self, x: i64, y: i64) -> bool {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+            return false;
+        }
+        self.bits[y as usize * self.width + x as usize]
+    }
+
+    /// Sets the pixel at `(x, y)`; out-of-bounds writes are ignored.
+    pub fn set(&mut self, x: i64, y: i64, value: bool) {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+            return;
+        }
+        self.bits[y as usize * self.width + x as usize] = value;
+    }
+
+    /// Sets the inclusive pixel rectangle `[x0..=x1] × [y0..=y1]` to true,
+    /// clipped to the bitmap.
+    pub fn fill_rect(&mut self, x0: i64, y0: i64, x1: i64, y1: i64) {
+        let xa = x0.max(0) as usize;
+        let ya = y0.max(0) as usize;
+        let xb = (x1.min(self.width as i64 - 1)).max(-1);
+        let yb = (y1.min(self.height as i64 - 1)).max(-1);
+        if xb < xa as i64 || yb < ya as i64 {
+            return;
+        }
+        for y in ya..=yb as usize {
+            let row = y * self.width;
+            self.bits[row + xa..=row + xb as usize].fill(true);
+        }
+    }
+
+    /// Number of set pixels.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether no pixel is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        !self.bits.iter().any(|&b| b)
+    }
+
+    /// L∞ (square structuring element) dilation by `r` pixels, computed
+    /// separably.
+    #[must_use]
+    pub fn dilated(&self, r: usize) -> Bitmap {
+        if r == 0 {
+            return self.clone();
+        }
+        let mut tmp = Bitmap::new(self.width, self.height);
+        // Horizontal pass.
+        for y in 0..self.height {
+            let row = y * self.width;
+            for x in 0..self.width {
+                if self.bits[row + x] {
+                    let a = x.saturating_sub(r);
+                    let b = (x + r).min(self.width - 1);
+                    tmp.bits[row + a..=row + b].fill(true);
+                }
+            }
+        }
+        // Vertical pass.
+        let mut out = Bitmap::new(self.width, self.height);
+        for x in 0..self.width {
+            let mut y = 0;
+            while y < self.height {
+                if tmp.bits[y * self.width + x] {
+                    let a = y.saturating_sub(r);
+                    let b = (y + r).min(self.height - 1);
+                    for yy in a..=b {
+                        out.bits[yy * self.width + x] = true;
+                    }
+                }
+                y += 1;
+            }
+        }
+        out
+    }
+
+    /// L∞ erosion by `r` pixels. Out-of-canvas pixels count as foreground,
+    /// so regions touching the border do not erode from that direction and
+    /// [`Bitmap::closed`] is extensive (never removes original pixels).
+    #[must_use]
+    pub fn eroded(&self, r: usize) -> Bitmap {
+        if r == 0 {
+            return self.clone();
+        }
+        let mut inv = self.clone();
+        for b in &mut inv.bits {
+            *b = !*b;
+        }
+        // Erode = complement of dilation of the complement; the complement
+        // is background outside the canvas, so borders are preserved.
+        let mut grown = inv.dilated(r);
+        for b in &mut grown.bits {
+            *b = !*b;
+        }
+        grown
+    }
+
+    /// Morphological closing (dilation then erosion) by `r`: fills gaps of
+    /// width ≤ `2r` between set regions.
+    #[must_use]
+    pub fn closed(&self, r: usize) -> Bitmap {
+        self.dilated(r).eroded(r)
+    }
+
+    /// Pixel-wise union.
+    #[must_use]
+    pub fn union(&self, other: &Bitmap) -> Bitmap {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Pixel-wise difference (`self AND NOT other`).
+    #[must_use]
+    pub fn minus(&self, other: &Bitmap) -> Bitmap {
+        self.zip(other, |a, b| a & !b)
+    }
+
+    /// Pixel-wise intersection.
+    #[must_use]
+    pub fn intersect(&self, other: &Bitmap) -> Bitmap {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Pixel-wise complement (within the canvas).
+    #[must_use]
+    pub fn complement(&self) -> Bitmap {
+        let mut out = self.clone();
+        for b in &mut out.bits {
+            *b = !*b;
+        }
+        out
+    }
+
+    fn zip(&self, other: &Bitmap, f: impl Fn(bool, bool) -> bool) -> Bitmap {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "bitmap sizes must match"
+        );
+        let mut out = Bitmap::new(self.width, self.height);
+        for (o, (&a, &b)) in out.bits.iter_mut().zip(self.bits.iter().zip(&other.bits)) {
+            *o = f(a, b);
+        }
+        out
+    }
+
+    /// Labels 4-connected components; returns `(labels, count)` where
+    /// unset pixels get label 0 and components are labelled `1..=count`.
+    #[must_use]
+    pub fn components(&self) -> (Vec<u32>, u32) {
+        let mut labels = vec![0u32; self.bits.len()];
+        let mut next = 0u32;
+        let mut stack = Vec::new();
+        for start in 0..self.bits.len() {
+            if !self.bits[start] || labels[start] != 0 {
+                continue;
+            }
+            next += 1;
+            labels[start] = next;
+            stack.push(start);
+            while let Some(i) = stack.pop() {
+                let (x, y) = (i % self.width, i / self.width);
+                let mut visit = |j: usize| {
+                    if self.bits[j] && labels[j] == 0 {
+                        labels[j] = next;
+                        stack.push(j);
+                    }
+                };
+                if x > 0 {
+                    visit(i - 1);
+                }
+                if x + 1 < self.width {
+                    visit(i + 1);
+                }
+                if y > 0 {
+                    visit(i - self.width);
+                }
+                if y + 1 < self.height {
+                    visit(i + self.width);
+                }
+            }
+        }
+        (labels, next)
+    }
+}
+
+impl fmt::Display for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for y in (0..self.height).rev() {
+            for x in 0..self.width {
+                write!(f, "{}", if self.bits[y * self.width + x] { '#' } else { '.' })?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_bounds() {
+        let mut b = Bitmap::new(4, 4);
+        b.set(1, 2, true);
+        assert!(b.get(1, 2));
+        assert!(!b.get(0, 0));
+        assert!(!b.get(-1, 0));
+        assert!(!b.get(9, 9));
+        b.set(-1, 0, true); // ignored
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn fill_rect_clipped() {
+        let mut b = Bitmap::new(4, 4);
+        b.fill_rect(-2, -2, 1, 1);
+        assert_eq!(b.count(), 4);
+        b.fill_rect(3, 3, 10, 10);
+        assert_eq!(b.count(), 5);
+        let mut c = Bitmap::new(4, 4);
+        c.fill_rect(5, 5, 6, 6); // fully outside
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn dilation_and_erosion() {
+        let mut b = Bitmap::new(9, 9);
+        b.set(4, 4, true);
+        let d = b.dilated(2);
+        assert_eq!(d.count(), 25);
+        assert!(d.get(2, 2) && d.get(6, 6));
+        let e = d.eroded(2);
+        assert_eq!(e, b);
+    }
+
+    #[test]
+    fn erosion_treats_outside_as_foreground() {
+        // A full canvas does not erode at all: out-of-canvas pixels count
+        // as foreground so closing stays extensive.
+        let mut b = Bitmap::new(4, 4);
+        b.fill_rect(0, 0, 3, 3);
+        assert_eq!(b.eroded(1), b);
+        // An interior island erodes normally.
+        let mut c = Bitmap::new(8, 8);
+        c.fill_rect(2, 2, 5, 5);
+        let e = c.eroded(1);
+        assert_eq!(e.count(), 4);
+        assert!(e.get(3, 3) && !e.get(2, 2));
+    }
+
+    #[test]
+    fn closing_fills_small_gaps_only() {
+        // Two vertical bars separated by a 2px gap close; a 3px gap does not.
+        let mut b = Bitmap::new(16, 8);
+        b.fill_rect(1, 0, 2, 7);
+        b.fill_rect(5, 0, 6, 7); // gap 2 (columns 3,4)
+        b.fill_rect(10, 0, 11, 7); // gap 3 from previous (columns 7,8,9)
+        let c = b.closed(1);
+        assert!(c.get(3, 4) && c.get(4, 4), "2px gap filled");
+        assert!(!c.get(8, 4), "3px gap preserved");
+        // Closing never shrinks the original.
+        assert!(c.minus(&b).count() > 0 || c == b);
+        assert!(b.minus(&c).is_empty());
+    }
+
+    #[test]
+    fn set_ops() {
+        let mut a = Bitmap::new(3, 1);
+        a.set(0, 0, true);
+        a.set(1, 0, true);
+        let mut b = Bitmap::new(3, 1);
+        b.set(1, 0, true);
+        b.set(2, 0, true);
+        assert_eq!(a.union(&b).count(), 3);
+        assert_eq!(a.intersect(&b).count(), 1);
+        assert_eq!(a.minus(&b).count(), 1);
+        assert_eq!(a.complement().count(), 1);
+    }
+
+    #[test]
+    fn components_labelling() {
+        let mut b = Bitmap::new(8, 8);
+        b.fill_rect(0, 0, 1, 1);
+        b.fill_rect(4, 4, 6, 4);
+        b.set(7, 7, true);
+        let (labels, n) = b.components();
+        assert_eq!(n, 3);
+        assert_eq!(labels[0], labels[8 + 1]);
+        assert_ne!(labels[0], labels[4 * 8 + 4]);
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let mut b = Bitmap::new(2, 2);
+        b.set(0, 1, true);
+        let s = b.to_string();
+        assert_eq!(s, "#.\n..\n");
+    }
+}

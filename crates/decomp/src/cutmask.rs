@@ -1,0 +1,213 @@
+//! Critical cut-pattern extraction (Section III-D).
+//!
+//! The paper: *"We refer to cut patterns that directly define edges of
+//! target patterns as critical cut patterns. Note that only critical cut
+//! patterns may induce cut conflicts."* This module extracts exactly those
+//! regions from a [`Decomposition`] — the connected cut components
+//! touching a target boundary — together with the geometry the mask-rule
+//! checks care about.
+
+use crate::bitmap::Bitmap;
+use crate::cutsim::{Decomposition, PX_NM};
+use sadp_geom::Nm;
+
+/// One critical cut pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutPattern {
+    /// Pixel bounding box `(x0, y0, x1, y1)`, inclusive.
+    pub bbox_px: (i64, i64, i64, i64),
+    /// Component area in pixels.
+    pub area_px: usize,
+    /// Indices of the target patterns whose boundary this cut defines.
+    pub touches: Vec<usize>,
+    /// Minimum feature width of the component, in pixels (the `w_cut`
+    /// mask-rule quantity), estimated by erosion.
+    pub min_width_px: usize,
+}
+
+impl CutPattern {
+    /// Minimum feature width as a physical length.
+    #[must_use]
+    pub fn min_width(&self) -> Nm {
+        Nm(self.min_width_px as i64 * PX_NM)
+    }
+}
+
+/// Extracts the critical cut patterns of a decomposition: connected
+/// components of the cut region that are 4-adjacent to target metal.
+///
+/// # Example
+///
+/// ```
+/// use sadp_decomp::{critical_cuts, ColoredPattern, CutSimulator};
+/// use sadp_geom::{DesignRules, TrackRect};
+/// use sadp_scenario::Color;
+///
+/// // A merged tip-to-tip pair: exactly one cut separates the tips.
+/// let sim = CutSimulator::new(DesignRules::node_10nm());
+/// let pats = vec![
+///     ColoredPattern::new(0, Color::Core, vec![TrackRect::new(0, 0, 4, 0)]),
+///     ColoredPattern::new(1, Color::Core, vec![TrackRect::new(5, 0, 9, 0)]),
+/// ];
+/// let d = sim.run(&pats);
+/// let cuts = critical_cuts(&d);
+/// assert_eq!(cuts.len(), 1);
+/// assert_eq!(cuts[0].touches, vec![0, 1]);
+/// ```
+#[must_use]
+pub fn critical_cuts(decomp: &Decomposition) -> Vec<CutPattern> {
+    let (labels, count) = decomp.cut.components();
+    if count == 0 {
+        return Vec::new();
+    }
+    let w = decomp.cut.width();
+    let h = decomp.cut.height();
+
+    // Which components touch a target, and which patterns they touch.
+    let mut touches: Vec<Vec<usize>> = vec![Vec::new(); count as usize + 1];
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            if !decomp.target.get(x, y) {
+                continue;
+            }
+            let own = decomp.owner[y as usize * w + x as usize];
+            if own == 0 {
+                continue;
+            }
+            for (dx, dy) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+                let (nx, ny) = (x + dx, y + dy);
+                if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                    continue;
+                }
+                let label = labels[ny as usize * w + nx as usize];
+                if label != 0 {
+                    let t = &mut touches[label as usize];
+                    if !t.contains(&(own as usize - 1)) {
+                        t.push(own as usize - 1);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for label in 1..=count {
+        if touches[label as usize].is_empty() {
+            continue; // field cut region, not critical
+        }
+        // Collect the component into its own bitmap for the width check.
+        let mut bbox = (i64::MAX, i64::MAX, i64::MIN, i64::MIN);
+        let mut comp = Bitmap::new(w, h);
+        let mut area = 0usize;
+        for y in 0..h as i64 {
+            for x in 0..w as i64 {
+                if labels[y as usize * w + x as usize] == label {
+                    comp.set(x, y, true);
+                    area += 1;
+                    bbox.0 = bbox.0.min(x);
+                    bbox.1 = bbox.1.min(y);
+                    bbox.2 = bbox.2.max(x);
+                    bbox.3 = bbox.3.max(y);
+                }
+            }
+        }
+        let mut min_width = 0usize;
+        let mut eroded = comp.clone();
+        while !eroded.is_empty() {
+            min_width += 1;
+            eroded = eroded.eroded(1);
+            // A feature of width w survives floor((w-1)/2) erosions, so
+            // width ≈ 2*erosions - 1 .. 2*erosions; report the lower bound
+            // doubled for an even estimate.
+            if min_width > 64 {
+                break; // huge field-like component, width is not the issue
+            }
+        }
+        let mut touching = touches[label as usize].clone();
+        touching.sort_unstable();
+        out.push(CutPattern {
+            bbox_px: bbox,
+            area_px: area,
+            touches: touching,
+            min_width_px: min_width * 2 - 1,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutsim::CutSimulator;
+    use crate::layout::ColoredPattern;
+    use sadp_geom::{DesignRules, TrackRect};
+    use sadp_scenario::Color;
+
+    fn sim() -> CutSimulator {
+        CutSimulator::new(DesignRules::node_10nm())
+    }
+
+    #[test]
+    fn isolated_core_wire_has_no_critical_cuts() {
+        let d = sim().run(&[ColoredPattern::new(
+            0,
+            Color::Core,
+            vec![TrackRect::new(2, 2, 8, 2)],
+        )]);
+        assert!(critical_cuts(&d).is_empty());
+    }
+
+    #[test]
+    fn isolated_second_wire_has_no_critical_cuts() {
+        let d = sim().run(&[ColoredPattern::new(
+            0,
+            Color::Second,
+            vec![TrackRect::new(2, 2, 8, 2)],
+        )]);
+        assert!(critical_cuts(&d).is_empty());
+    }
+
+    #[test]
+    fn merged_pair_has_one_separating_cut() {
+        let d = sim().run(&[
+            ColoredPattern::new(0, Color::Core, vec![TrackRect::new(0, 0, 4, 0)]),
+            ColoredPattern::new(1, Color::Core, vec![TrackRect::new(5, 0, 9, 0)]),
+        ]);
+        let cuts = critical_cuts(&d);
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].touches, vec![0, 1]);
+        // The separating cut is the w_spacer-wide gap: exactly w_cut.
+        let (x0, _, x1, _) = cuts[0].bbox_px;
+        assert_eq!(x1 - x0 + 1, 2, "cut spans the 20nm gap");
+    }
+
+    #[test]
+    fn tip_to_side_merge_has_a_critical_cut_on_both() {
+        // 2-b CC: the vertical tip merges into the horizontal side; the
+        // separating cut defines boundary on both patterns.
+        let d = sim().run(&[
+            ColoredPattern::new(0, Color::Core, vec![TrackRect::new(0, 0, 6, 0)]),
+            ColoredPattern::new(1, Color::Core, vec![TrackRect::new(3, 1, 3, 5)]),
+        ]);
+        let cuts = critical_cuts(&d);
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].touches, vec![0, 1]);
+        assert!(cuts[0].min_width() >= Nm(10));
+    }
+
+    #[test]
+    fn violated_1a_pair_has_a_long_critical_cut() {
+        let d = sim().run(&[
+            ColoredPattern::new(0, Color::Core, vec![TrackRect::new(0, 0, 6, 0)]),
+            ColoredPattern::new(1, Color::Core, vec![TrackRect::new(0, 1, 6, 1)]),
+        ]);
+        let cuts = critical_cuts(&d);
+        assert!(!cuts.is_empty());
+        let longest = cuts
+            .iter()
+            .map(|c| (c.bbox_px.2 - c.bbox_px.0 + 1).max(c.bbox_px.3 - c.bbox_px.1 + 1))
+            .max()
+            .unwrap();
+        assert!(longest > 2, "the cut runs along the facing overlap");
+    }
+}

@@ -1,0 +1,152 @@
+//! Mask export: rectangle decomposition of the synthesised mask bitmaps.
+//!
+//! Mask writers (and anything downstream of the simulator) want rectangle
+//! lists, not pixel grids. [`bitmap_to_rects`] performs a deterministic
+//! horizontal-run sweep that partitions any bitmap into disjoint maximal
+//! row-merged rectangles; [`export_masks`] emits the three masks of a
+//! [`Decomposition`] in a line-oriented text form (pixel coordinates, one
+//! rectangle per line).
+
+use crate::bitmap::Bitmap;
+use crate::cutsim::Decomposition;
+use std::fmt::Write as _;
+
+/// A pixel rectangle `(x0, y0, x1, y1)`, inclusive.
+pub type PxRect = (i64, i64, i64, i64);
+
+/// Decomposes a bitmap into disjoint rectangles: horizontal runs merged
+/// across adjacent rows while identical.
+///
+/// # Example
+///
+/// ```
+/// use sadp_decomp::{bitmap_to_rects, Bitmap};
+/// let mut b = Bitmap::new(8, 8);
+/// b.fill_rect(1, 1, 4, 3);
+/// b.fill_rect(6, 2, 7, 2);
+/// let rects = bitmap_to_rects(&b);
+/// assert!(rects.contains(&(1, 1, 4, 3)));
+/// assert!(rects.contains(&(6, 2, 7, 2)));
+/// ```
+#[must_use]
+pub fn bitmap_to_rects(bitmap: &Bitmap) -> Vec<PxRect> {
+    let w = bitmap.width() as i64;
+    let h = bitmap.height() as i64;
+    // Open rectangles from the previous row: (x0, x1, y_start).
+    let mut open: Vec<(i64, i64, i64)> = Vec::new();
+    let mut out: Vec<PxRect> = Vec::new();
+    for y in 0..h {
+        // Runs of this row.
+        let mut runs: Vec<(i64, i64)> = Vec::new();
+        let mut x = 0;
+        while x < w {
+            if bitmap.get(x, y) {
+                let x0 = x;
+                while x < w && bitmap.get(x, y) {
+                    x += 1;
+                }
+                runs.push((x0, x - 1));
+            } else {
+                x += 1;
+            }
+        }
+        // Extend open rectangles whose run repeats exactly; close others.
+        let mut next_open: Vec<(i64, i64, i64)> = Vec::new();
+        for &(x0, x1, y0) in &open {
+            if runs.contains(&(x0, x1)) {
+                next_open.push((x0, x1, y0));
+            } else {
+                out.push((x0, y0, x1, y - 1));
+            }
+        }
+        for &(x0, x1) in &runs {
+            if !next_open.iter().any(|&(a, b, _)| (a, b) == (x0, x1)) {
+                next_open.push((x0, x1, y));
+            }
+        }
+        open = next_open;
+    }
+    for (x0, x1, y0) in open {
+        out.push((x0, y0, x1, h - 1));
+    }
+    out.sort_unstable_by_key(|&(x0, y0, ..)| (y0, x0));
+    out
+}
+
+/// Exports the core, spacer and cut masks of a decomposition as text:
+/// `MASK x0 y0 x1 y1` lines in pixel coordinates (10 nm units).
+#[must_use]
+pub fn export_masks(decomp: &Decomposition) -> String {
+    let mut out = String::new();
+    for (name, bitmap) in [
+        ("core", &decomp.core),
+        ("spacer", &decomp.spacer),
+        ("cut", &decomp.cut),
+    ] {
+        for (x0, y0, x1, y1) in bitmap_to_rects(bitmap) {
+            let _ = writeln!(out, "{name} {x0} {y0} {x1} {y1}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutsim::CutSimulator;
+    use crate::layout::ColoredPattern;
+    use sadp_geom::{DesignRules, TrackRect};
+    use sadp_scenario::Color;
+
+    #[test]
+    fn empty_bitmap_yields_nothing() {
+        assert!(bitmap_to_rects(&Bitmap::new(4, 4)).is_empty());
+    }
+
+    #[test]
+    fn rect_cover_is_exact_and_disjoint() {
+        let mut b = Bitmap::new(16, 16);
+        b.fill_rect(1, 1, 6, 3);
+        b.fill_rect(4, 3, 9, 8); // overlapping L-shape
+        b.set(12, 12, true);
+        let rects = bitmap_to_rects(&b);
+        // Reconstruct and compare.
+        let mut rebuilt = Bitmap::new(16, 16);
+        let mut area = 0;
+        for (x0, y0, x1, y1) in rects {
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    assert!(!rebuilt.get(x, y), "rectangles overlap at {x},{y}");
+                    rebuilt.set(x, y, true);
+                    area += 1;
+                }
+            }
+        }
+        assert_eq!(rebuilt, b);
+        assert_eq!(area, b.count());
+    }
+
+    #[test]
+    fn full_rect_is_one_rectangle() {
+        let mut b = Bitmap::new(5, 7);
+        b.fill_rect(0, 0, 4, 6);
+        assert_eq!(bitmap_to_rects(&b), vec![(0, 0, 4, 6)]);
+    }
+
+    #[test]
+    fn export_contains_all_masks() {
+        let sim = CutSimulator::new(DesignRules::node_10nm());
+        let d = sim.run(&[
+            ColoredPattern::new(0, Color::Core, vec![TrackRect::new(0, 0, 5, 0)]),
+            ColoredPattern::new(1, Color::Second, vec![TrackRect::new(0, 2, 5, 2)]),
+        ]);
+        let text = export_masks(&d);
+        assert!(text.lines().any(|l| l.starts_with("core ")));
+        assert!(text.lines().any(|l| l.starts_with("spacer ")));
+        assert!(text.lines().any(|l| l.starts_with("cut ")));
+        // Line format is five tokens.
+        for line in text.lines() {
+            assert_eq!(line.split_whitespace().count(), 5, "{line}");
+        }
+    }
+}

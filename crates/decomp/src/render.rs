@@ -1,0 +1,179 @@
+//! ASCII and SVG rendering of decompositions (the Fig. 21 / Fig. 22 style
+//! partial-layout dumps).
+
+use crate::cutsim::Decomposition;
+use crate::layout::ColoredPattern;
+use sadp_scenario::Color;
+use std::fmt::Write as _;
+
+/// Renders a decomposition as ASCII art, one character per pixel:
+///
+/// * `C` — core-colored target metal,
+/// * `S` — second-colored target metal,
+/// * `a` — non-target core (assist cores and merge fill),
+/// * `.` — spacer,
+/// * `!` — overlay (cut-defined target boundary pixel, drawn over the
+///   target cell adjacent to it),
+/// * ` ` — field / cut regions.
+#[must_use]
+pub fn render_ascii(decomp: &Decomposition, patterns: &[ColoredPattern]) -> String {
+    let w = decomp.target.width();
+    let h = decomp.target.height();
+    let mut canvas = vec![vec![' '; w]; h];
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            let c = &mut canvas[y as usize][x as usize];
+            if decomp.target.get(x, y) {
+                let own = decomp.owner[y as usize * w + x as usize];
+                let color = if own == 0 {
+                    Color::Core
+                } else {
+                    patterns[own as usize - 1].color
+                };
+                *c = match color {
+                    Color::Core => 'C',
+                    Color::Second => 'S',
+                };
+            } else if decomp.core.get(x, y) {
+                *c = 'a';
+            } else if decomp.spacer.get(x, y) {
+                *c = '.';
+            }
+        }
+    }
+    // Mark overlay boundaries: target pixels adjacent to cut.
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            if !decomp.target.get(x, y) {
+                continue;
+            }
+            let exposed = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+                .iter()
+                .any(|&(dx, dy)| decomp.cut.get(x + dx, y + dy) && !decomp.target.get(x + dx, y + dy));
+            if exposed {
+                canvas[y as usize][x as usize] = '!';
+            }
+        }
+    }
+    let mut out = String::with_capacity((w + 1) * h);
+    for row in canvas.iter().rev() {
+        for &c in row {
+            out.push(c);
+        }
+        // Trim trailing blanks for compact dumps.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a decomposition as a standalone SVG document.
+///
+/// Layers (bottom to top): spacer (grey), non-target core (light orange),
+/// core targets (blue), second targets (green), overlay boundary pixels
+/// (red).
+#[must_use]
+pub fn render_svg(decomp: &Decomposition, patterns: &[ColoredPattern]) -> String {
+    let w = decomp.target.width();
+    let h = decomp.target.height();
+    let scale = 4;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+        w * scale,
+        h * scale,
+        w,
+        h
+    );
+    let _ = writeln!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    let mut rect = |x: i64, y: i64, color: &str| {
+        // Flip y so the origin is bottom-left, as in the track space.
+        let _ = writeln!(
+            svg,
+            r#"<rect x="{x}" y="{}" width="1" height="1" fill="{color}"/>"#,
+            h as i64 - 1 - y
+        );
+    };
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            if decomp.target.get(x, y) {
+                let own = decomp.owner[y as usize * w + x as usize];
+                let color = if own == 0 {
+                    Color::Core
+                } else {
+                    patterns[own as usize - 1].color
+                };
+                let exposed = [(1, 0), (-1, 0), (0, 1), (0, -1)].iter().any(|&(dx, dy)| {
+                    decomp.cut.get(x + dx, y + dy) && !decomp.target.get(x + dx, y + dy)
+                });
+                if exposed {
+                    rect(x, y, "#d62728");
+                } else {
+                    match color {
+                        Color::Core => rect(x, y, "#1f77b4"),
+                        Color::Second => rect(x, y, "#2ca02c"),
+                    }
+                }
+            } else if decomp.core.get(x, y) {
+                rect(x, y, "#ffbb78");
+            } else if decomp.spacer.get(x, y) {
+                rect(x, y, "#d9d9d9");
+            }
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutsim::CutSimulator;
+    use sadp_geom::{DesignRules, TrackRect};
+
+    fn setup() -> (Decomposition, Vec<ColoredPattern>) {
+        let patterns = vec![
+            ColoredPattern::new(0, Color::Core, vec![TrackRect::new(0, 0, 5, 0)]),
+            ColoredPattern::new(1, Color::Second, vec![TrackRect::new(0, 2, 5, 2)]),
+        ];
+        let sim = CutSimulator::new(DesignRules::node_10nm());
+        let d = sim.run(&patterns);
+        (d, patterns)
+    }
+
+    #[test]
+    fn ascii_contains_all_roles() {
+        let (d, p) = setup();
+        let s = render_ascii(&d, &p);
+        assert!(s.contains('C'), "core target");
+        assert!(s.contains('S'), "second target");
+        assert!(s.contains('a'), "assist core");
+        assert!(s.contains('.'), "spacer");
+    }
+
+    #[test]
+    fn ascii_marks_overlays() {
+        // 1-a violated: both core -> overlay markers appear.
+        let patterns = vec![
+            ColoredPattern::new(0, Color::Core, vec![TrackRect::new(0, 0, 5, 0)]),
+            ColoredPattern::new(1, Color::Core, vec![TrackRect::new(0, 1, 5, 1)]),
+        ];
+        let sim = CutSimulator::new(DesignRules::node_10nm());
+        let d = sim.run(&patterns);
+        let s = render_ascii(&d, &patterns);
+        assert!(s.contains('!'), "overlay markers:\n{s}");
+    }
+
+    #[test]
+    fn svg_is_wellformed() {
+        let (d, p) = setup();
+        let s = render_svg(&d, &p);
+        assert!(s.starts_with("<svg"));
+        assert!(s.ends_with("</svg>\n"));
+        assert!(s.contains("#1f77b4"));
+        assert!(s.contains("#2ca02c"));
+    }
+}

@@ -1,0 +1,139 @@
+//! The SADP trim-process decomposition simulator (Fig. 1(c)).
+//!
+//! In the trim process the final layout is the region **not covered by a
+//! spacer but covered by the trim mask**. Core-colored patterns print from
+//! the core mask and are spacer-wrapped; trim-colored (second) patterns
+//! are defined by the trim mask, so every one of their boundary sections
+//! not protected by a neighbouring core's spacer is trim-defined — an
+//! overlay. The no-assist baselines (\[10\], \[11\]) operate exactly in this
+//! regime, which is where their large overlay lengths come from.
+
+use crate::cutsim::{CutSimulator, Decomposition};
+use crate::layout::ColoredPattern;
+use sadp_geom::DesignRules;
+
+/// Trim-process mask synthesis and measurement.
+///
+/// Shares the pixel pipeline of [`CutSimulator`] with assist-core
+/// generation disabled; the `cut` bitmap of the result is reinterpreted as
+/// the *trim-defined boundary region* and the `cut_conflicts` counter as
+/// **trim line-end conflicts** (two parallel trim-defined boundary
+/// sections of one pattern within the trim spacing — the parallel-line-end
+/// violations of \[2\] and \[10\]).
+///
+/// # Example
+///
+/// ```
+/// use sadp_decomp::{ColoredPattern, TrimSimulator};
+/// use sadp_geom::{DesignRules, TrackRect};
+/// use sadp_scenario::Color;
+///
+/// // An isolated trim-colored wire has no spacer anywhere: both sides are
+/// // trim-defined overlay.
+/// let wire = ColoredPattern::new(0, Color::Second, vec![TrackRect::new(2, 2, 9, 2)]);
+/// let sim = TrimSimulator::new(DesignRules::node_10nm());
+/// let d = sim.run(&[wire]);
+/// assert!(d.report.side_overlay_units() >= 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrimSimulator {
+    inner: CutSimulator,
+}
+
+impl TrimSimulator {
+    /// Creates a trim-process simulator for the given rule set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rule dimension is not a multiple of the 10 nm pixel
+    /// size.
+    #[must_use]
+    pub fn new(rules: DesignRules) -> TrimSimulator {
+        TrimSimulator {
+            inner: CutSimulator::new(rules),
+        }
+    }
+
+    /// Runs the trim-process pipeline (no assist cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` is empty.
+    #[must_use]
+    pub fn run(&self, patterns: &[ColoredPattern]) -> Decomposition {
+        self.inner.run_with_options(patterns, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sadp_geom::TrackRect;
+    use sadp_scenario::Color;
+
+    fn sim() -> TrimSimulator {
+        TrimSimulator::new(DesignRules::node_10nm())
+    }
+
+    fn wire(net: u32, color: Color, r: TrackRect) -> ColoredPattern {
+        ColoredPattern::new(net, color, vec![r])
+    }
+
+    #[test]
+    fn core_pattern_is_fully_protected() {
+        let d = sim().run(&[wire(0, Color::Core, TrackRect::new(2, 2, 9, 2))]);
+        assert_eq!(d.report.side_overlay_px, 0);
+        assert_eq!(d.report.spacer_violations, 0);
+    }
+
+    #[test]
+    fn isolated_trim_pattern_is_exposed() {
+        let d = sim().run(&[wire(0, Color::Second, TrackRect::new(2, 2, 9, 2))]);
+        // Both long sides are trim-defined: an 8-cell wire spans
+        // 7*pitch + w_line = 30 px, so 60 px of side overlay.
+        assert_eq!(d.report.side_overlay_px, 60);
+        assert!(d.report.hard_overlay_runs >= 2, "long runs are hard");
+    }
+
+    #[test]
+    fn adjacent_core_spacer_protects_facing_side() {
+        let d = sim().run(&[
+            wire(0, Color::Second, TrackRect::new(0, 1, 9, 1)),
+            wire(1, Color::Core, TrackRect::new(0, 0, 9, 0)),
+        ]);
+        // Only the far side of the trim wire stays exposed: one 38 px run
+        // (10 cells span 9*pitch + w_line).
+        assert_eq!(d.report.side_overlay_px, 38);
+        assert_eq!(d.report.hard_overlay_runs, 1);
+    }
+
+    #[test]
+    fn cut_process_beats_trim_on_the_same_layout() {
+        // The motivating comparison: identical colored layout, the cut
+        // process protects the second pattern with assist cores, the trim
+        // process leaves it exposed.
+        let pats = vec![
+            wire(0, Color::Second, TrackRect::new(0, 3, 9, 3)),
+            wire(1, Color::Core, TrackRect::new(0, 0, 9, 0)),
+        ];
+        let trim = sim().run(&pats);
+        let cut = CutSimulator::new(DesignRules::node_10nm()).run(&pats);
+        assert!(cut.report.side_overlay_px < trim.report.side_overlay_px);
+        assert_eq!(cut.report.side_overlay_px, 0);
+    }
+
+    #[test]
+    fn line_end_conflict_detected() {
+        // Two trim-colored wires tip-to-tip at minimum spacing: the trim
+        // mask must end twice within w_line+2*gap < d_cut over the gap —
+        // the parallel-line-end violation. In pixel terms the separating
+        // region is trim-defined on both flanks of each tip.
+        let d = sim().run(&[
+            wire(0, Color::Second, TrackRect::new(0, 0, 4, 0)),
+            wire(1, Color::Second, TrackRect::new(5, 0, 9, 0)),
+        ]);
+        assert!(d.report.side_overlay_px > 0);
+        // Both wires fully exposed -> hard runs on all sides.
+        assert!(d.report.hard_overlay_runs >= 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Whole-layout decomposability verification: the independent oracle for
+//! the router's conflict-free claim.
+
+use crate::cutsim::CutSimulator;
+use crate::layout::ColoredPattern;
+use sadp_geom::{DesignRules, Layer, TrackRect};
+use sadp_scenario::Color;
+use std::fmt;
+
+/// Verification result for one routing layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerVerdict {
+    /// The layer.
+    pub layer: Layer,
+    /// Patterns decomposed on this layer.
+    pub patterns: usize,
+    /// Measured side overlay, in `w_line` units.
+    pub side_overlay_units: u64,
+    /// Side-overlay runs longer than `w_line`.
+    pub hard_overlay_runs: usize,
+    /// Type-B cut conflicts.
+    pub cut_conflicts: usize,
+    /// Spacer pixels destroying target patterns (must be 0).
+    pub spacer_violations: usize,
+}
+
+/// Aggregate verification verdict over all layers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Verdict {
+    /// Per-layer results.
+    pub layers: Vec<LayerVerdict>,
+}
+
+impl Verdict {
+    /// Whether every layer decomposed without destroying targets and
+    /// without cut conflicts.
+    #[must_use]
+    pub fn is_decomposable(&self) -> bool {
+        self.layers
+            .iter()
+            .all(|l| l.spacer_violations == 0 && l.cut_conflicts == 0)
+    }
+
+    /// Total side overlay across layers, in `w_line` units.
+    #[must_use]
+    pub fn total_overlay_units(&self) -> u64 {
+        self.layers.iter().map(|l| l.side_overlay_units).sum()
+    }
+
+    /// Total hard-overlay runs across layers.
+    #[must_use]
+    pub fn total_hard_runs(&self) -> usize {
+        self.layers.iter().map(|l| l.hard_overlay_runs).sum()
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for l in &self.layers {
+            writeln!(
+                f,
+                "{}: {} patterns, overlay {} units, {} hard runs, {} cut conflicts, {} spacer violations",
+                l.layer,
+                l.patterns,
+                l.side_overlay_units,
+                l.hard_overlay_runs,
+                l.cut_conflicts,
+                l.spacer_violations
+            )?;
+        }
+        write!(
+            f,
+            "verdict: {}",
+            if self.is_decomposable() {
+                "decomposable"
+            } else {
+                "NOT decomposable"
+            }
+        )
+    }
+}
+
+/// Verifies a multi-layer colored layout through the cut-process pixel
+/// simulator. Input format matches
+/// [`Router::patterns_on_layer`](../../sadp_core/struct.Router.html#method.patterns_on_layer):
+/// one `(net, color, fragment rects)` list per layer.
+///
+/// # Example
+///
+/// ```
+/// use sadp_decomp::verify_layers;
+/// use sadp_geom::{DesignRules, TrackRect};
+/// use sadp_scenario::Color;
+///
+/// let m1 = vec![
+///     (0, Color::Core, vec![TrackRect::new(0, 0, 9, 0)]),
+///     (1, Color::Second, vec![TrackRect::new(0, 1, 9, 1)]),
+/// ];
+/// let verdict = verify_layers(&[m1], &DesignRules::node_10nm());
+/// assert!(verdict.is_decomposable());
+/// assert_eq!(verdict.total_overlay_units(), 0);
+/// ```
+#[must_use]
+pub fn verify_layers(
+    layers: &[Vec<(u32, Color, Vec<TrackRect>)>],
+    rules: &DesignRules,
+) -> Verdict {
+    let sim = CutSimulator::new(*rules);
+    let mut verdict = Verdict::default();
+    for (i, layer_patterns) in layers.iter().enumerate() {
+        let layer = Layer(i as u8);
+        if layer_patterns.is_empty() {
+            verdict.layers.push(LayerVerdict {
+                layer,
+                patterns: 0,
+                side_overlay_units: 0,
+                hard_overlay_runs: 0,
+                cut_conflicts: 0,
+                spacer_violations: 0,
+            });
+            continue;
+        }
+        let patterns: Vec<ColoredPattern> = layer_patterns
+            .iter()
+            .map(|(net, color, rects)| ColoredPattern::new(*net, *color, rects.clone()))
+            .collect();
+        let d = sim.run(&patterns);
+        verdict.layers.push(LayerVerdict {
+            layer,
+            patterns: patterns.len(),
+            side_overlay_units: d.report.side_overlay_units(),
+            hard_overlay_runs: d.report.hard_overlay_runs,
+            cut_conflicts: d.report.cut_conflicts,
+            spacer_violations: d.report.spacer_violations,
+        });
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules() -> DesignRules {
+        DesignRules::node_10nm()
+    }
+
+    #[test]
+    fn clean_two_layer_layout() {
+        let m1 = vec![
+            (0, Color::Core, vec![TrackRect::new(0, 0, 9, 0)]),
+            (1, Color::Second, vec![TrackRect::new(0, 1, 9, 1)]),
+        ];
+        let m2 = vec![(2, Color::Core, vec![TrackRect::new(3, 0, 3, 9)])];
+        let v = verify_layers(&[m1, m2], &rules());
+        assert!(v.is_decomposable());
+        assert_eq!(v.layers.len(), 2);
+        assert_eq!(v.total_overlay_units(), 0);
+        assert_eq!(v.total_hard_runs(), 0);
+        assert!(v.to_string().contains("decomposable"));
+    }
+
+    #[test]
+    fn violated_layout_fails() {
+        // Same-color 1-a pair: hard overlay runs appear.
+        let m1 = vec![
+            (0, Color::Core, vec![TrackRect::new(0, 0, 9, 0)]),
+            (1, Color::Core, vec![TrackRect::new(0, 1, 9, 1)]),
+        ];
+        let v = verify_layers(&[m1], &rules());
+        assert!(v.total_hard_runs() > 0);
+    }
+
+    #[test]
+    fn empty_layers_are_fine() {
+        let v = verify_layers(&[vec![], vec![]], &rules());
+        assert!(v.is_decomposable());
+        assert_eq!(v.layers.len(), 2);
+        assert_eq!(v.layers[0].patterns, 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Replay of the 11 canonical scenario windows through the pixel simulator
+//! (regenerates the appendix Figs. 23–34 and cross-checks Table II).
+
+use crate::cutsim::{CutSimulator, DecompReport};
+use crate::layout::ColoredPattern;
+use sadp_geom::{DesignRules, TrackRect};
+use sadp_scenario::{classify, Assignment, ScenarioKind};
+
+/// The canonical two-rectangle window of a scenario kind, with the
+/// canonical "A" pattern first.
+#[must_use]
+pub fn canonical_window(kind: ScenarioKind) -> (TrackRect, TrackRect) {
+    match kind {
+        ScenarioKind::OneA => (TrackRect::new(0, 0, 5, 0), TrackRect::new(1, 1, 7, 1)),
+        ScenarioKind::OneB => (TrackRect::new(0, 0, 4, 0), TrackRect::new(5, 0, 9, 0)),
+        ScenarioKind::TwoA => (TrackRect::new(0, 0, 5, 0), TrackRect::new(0, 2, 5, 2)),
+        // Canonical A of the tip-to-side types is the tip pattern.
+        ScenarioKind::TwoB => (TrackRect::new(3, 1, 3, 5), TrackRect::new(0, 0, 6, 0)),
+        ScenarioKind::TwoC => (TrackRect::new(0, 0, 4, 0), TrackRect::new(6, 0, 10, 0)),
+        ScenarioKind::TwoD => (TrackRect::new(3, 2, 3, 6), TrackRect::new(0, 0, 6, 0)),
+        ScenarioKind::ThreeA => (TrackRect::new(0, 0, 4, 0), TrackRect::new(5, 1, 9, 1)),
+        ScenarioKind::ThreeB => (TrackRect::new(0, 0, 4, 0), TrackRect::new(5, 1, 5, 5)),
+        ScenarioKind::ThreeC => (TrackRect::new(0, 0, 4, 0), TrackRect::new(5, 2, 5, 7)),
+        ScenarioKind::ThreeD => (TrackRect::new(0, 0, 4, 0), TrackRect::new(6, 1, 10, 1)),
+        ScenarioKind::ThreeE => (TrackRect::new(0, 0, 4, 0), TrackRect::new(5, 2, 9, 2)),
+    }
+}
+
+/// The pixel-simulator measurement of one scenario window under all four
+/// color assignments.
+#[derive(Debug, Clone)]
+pub struct ScenarioReplay {
+    /// The scenario kind.
+    pub kind: ScenarioKind,
+    /// Measured reports in `[CC, CS, SC, SS]` order.
+    pub reports: [DecompReport; 4],
+}
+
+impl ScenarioReplay {
+    /// Side overlay in `w_line` units for one assignment.
+    #[must_use]
+    pub fn side_units(&self, asg: Assignment) -> u64 {
+        self.reports[asg.index()].side_overlay_units()
+    }
+
+    /// Whether the assignment measured a hard overlay.
+    #[must_use]
+    pub fn is_hard(&self, asg: Assignment) -> bool {
+        self.reports[asg.index()].hard_overlay_runs > 0
+    }
+}
+
+/// Replays one scenario window through the cut-process simulator under all
+/// four color assignments.
+///
+/// # Example
+///
+/// ```
+/// use sadp_decomp::replay_scenario;
+/// use sadp_geom::DesignRules;
+/// use sadp_scenario::{Assignment, ScenarioKind};
+///
+/// let r = replay_scenario(ScenarioKind::OneA, &DesignRules::node_10nm());
+/// assert!(r.is_hard(Assignment::CC));
+/// assert_eq!(r.side_units(Assignment::CS), 0);
+/// ```
+#[must_use]
+pub fn replay_scenario(kind: ScenarioKind, rules: &DesignRules) -> ScenarioReplay {
+    let (a, b) = canonical_window(kind);
+    // Sanity: the canonical window must classify as its own kind.
+    let s = classify(&a, &b, rules).expect("canonical window is dependent");
+    debug_assert_eq!(s.kind, kind);
+
+    let sim = CutSimulator::new(*rules);
+    let reports = Assignment::ALL.map(|asg| {
+        let pa = ColoredPattern::new(0, asg.color_a(), vec![a]);
+        let pb = ColoredPattern::new(1, asg.color_b(), vec![b]);
+        sim.run(&[pa, pb]).report
+    });
+    ScenarioReplay { kind, reports }
+}
+
+/// Replays all 11 scenarios.
+#[must_use]
+pub fn replay_all_scenarios(rules: &DesignRules) -> Vec<ScenarioReplay> {
+    ScenarioKind::ALL
+        .iter()
+        .map(|&k| replay_scenario(k, rules))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules() -> DesignRules {
+        DesignRules::node_10nm()
+    }
+
+    #[test]
+    fn canonical_windows_classify_as_themselves() {
+        for kind in ScenarioKind::ALL {
+            let (a, b) = canonical_window(kind);
+            let s = classify(&a, &b, &rules()).expect("dependent");
+            assert_eq!(s.kind, kind, "window for {kind}");
+            // Canonical A first: never swapped.
+            assert!(!s.swapped, "window for {kind} should be in canonical order");
+        }
+    }
+
+    #[test]
+    fn hard_scenarios_measure_hard_when_violated() {
+        let r = replay_scenario(ScenarioKind::OneA, &rules());
+        assert!(r.is_hard(Assignment::CC));
+        assert!(r.is_hard(Assignment::SS));
+        assert!(!r.is_hard(Assignment::CS));
+        assert!(!r.is_hard(Assignment::SC));
+    }
+
+    #[test]
+    fn optimal_assignments_measure_minimal_overlay() {
+        // For every scenario, the table-optimal assignments must measure no
+        // more side overlay than any other assignment.
+        for kind in ScenarioKind::ALL {
+            let r = replay_scenario(kind, &rules());
+            let best = kind
+                .optimal_assignments()
+                .iter()
+                .map(|&a| r.side_units(a))
+                .max()
+                .expect("non-empty");
+            let worst = Assignment::ALL
+                .iter()
+                .map(|&a| r.side_units(a))
+                .max()
+                .expect("non-empty");
+            assert!(
+                best <= worst,
+                "{kind}: optimal {best} vs worst {worst}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_constraining_scenarios_measure_clean_everywhere() {
+        for kind in [ScenarioKind::TwoC, ScenarioKind::TwoD, ScenarioKind::ThreeE] {
+            let r = replay_scenario(kind, &rules());
+            for asg in Assignment::ALL {
+                assert_eq!(
+                    r.side_units(asg),
+                    0,
+                    "{kind} {asg} should induce no side overlay"
+                );
+                assert!(!r.is_hard(asg), "{kind} {asg}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_b_same_color_is_clean() {
+        let r = replay_scenario(ScenarioKind::OneB, &rules());
+        assert_eq!(r.side_units(Assignment::CC), 0);
+        assert!(!r.is_hard(Assignment::CC));
+        assert_eq!(r.side_units(Assignment::SS), 0);
+    }
+
+    #[test]
+    fn two_b_has_unavoidable_overlay() {
+        let r = replay_scenario(ScenarioKind::TwoB, &rules());
+        // CC merges tip into side: exactly one friendly unit.
+        assert_eq!(r.side_units(Assignment::CC), 1);
+        assert!(!r.is_hard(Assignment::CC));
+    }
+
+    #[test]
+    fn replay_all_covers_eleven() {
+        let all = replay_all_scenarios(&rules());
+        assert_eq!(all.len(), 11);
+    }
+}
+
+#[cfg(test)]
+mod rule_parameterisation_tests {
+    use super::*;
+
+    /// The scenario semantics are a property of the rule *structure*, not
+    /// of the 10 nm numbers: the 14 nm-class rule set has the same
+    /// dependence table and must replay to the same qualitative verdicts.
+    #[test]
+    fn windows_replay_identically_under_node_14nm() {
+        let a = DesignRules::node_10nm();
+        let b = DesignRules::node_14nm();
+        for kind in ScenarioKind::ALL {
+            let ra = replay_scenario(kind, &a);
+            let rb = replay_scenario(kind, &b);
+            for asg in Assignment::ALL {
+                assert_eq!(
+                    ra.side_units(asg) == 0,
+                    rb.side_units(asg) == 0,
+                    "{kind} {asg}: zero/nonzero differs between rule sets"
+                );
+                assert_eq!(
+                    ra.is_hard(asg),
+                    rb.is_hard(asg),
+                    "{kind} {asg}: hardness differs between rule sets"
+                );
+            }
+        }
+    }
+}

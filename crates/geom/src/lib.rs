@@ -1,0 +1,37 @@
+//! Grid geometry primitives for SADP-aware detailed routing.
+//!
+//! This crate is the geometric substrate of the workspace. It defines:
+//!
+//! * track-space coordinates ([`GridPoint`], [`Layer`]) and physical
+//!   nanometre quantities ([`Nm`]),
+//! * axis-aligned track rectangles ([`TrackRect`]) with the gap/overlap
+//!   arithmetic the potential-overlay-scenario analysis is built on,
+//! * the SADP design-rule set ([`DesignRules`]) with the constraints of
+//!   eq. (1)–(3) of the paper,
+//! * a bucketed [`SpatialHash`] used by the router to find the dependent
+//!   neighbours of a freshly routed wire fragment.
+//!
+//! # Example
+//!
+//! ```
+//! use sadp_geom::{DesignRules, TrackRect};
+//!
+//! let rules = DesignRules::node_10nm();
+//! // Two horizontal wires on adjacent tracks, overlapping in x.
+//! let a = TrackRect::new(0, 0, 5, 0);
+//! let b = TrackRect::new(2, 1, 8, 1);
+//! assert_eq!(a.track_gap(&b), (0, 1));
+//! assert!(rules.are_dependent(&a, &b));
+//! ```
+
+pub mod nm;
+pub mod point;
+pub mod rect;
+pub mod rules;
+pub mod spatial;
+
+pub use nm::Nm;
+pub use point::{Dir, GridPoint, Layer, Orientation, Step};
+pub use rect::TrackRect;
+pub use rules::{DesignRules, RulesError};
+pub use spatial::SpatialHash;

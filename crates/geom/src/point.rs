@@ -1,0 +1,222 @@
+//! Track-space coordinates, layers, directions and orientations.
+
+use std::fmt;
+
+/// A routing layer index (metal layer), starting at 0.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Layer(pub u8);
+
+impl Layer {
+    /// Returns the layer index as a `usize`, convenient for indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0 + 1)
+    }
+}
+
+/// A point on the 3-D routing grid: a layer plus `(x, y)` track indices.
+///
+/// Track indices address grid *cells* (one cell is `w_line` wide with a
+/// `w_spacer` gap to the next cell, i.e. one routing track).
+///
+/// # Example
+///
+/// ```
+/// use sadp_geom::{GridPoint, Layer};
+/// let p = GridPoint::new(Layer(0), 3, 4);
+/// assert_eq!(p.manhattan(&GridPoint::new(Layer(0), 0, 0)), 7);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GridPoint {
+    /// Routing layer.
+    pub layer: Layer,
+    /// Track index in the x direction (column).
+    pub x: i32,
+    /// Track index in the y direction (row).
+    pub y: i32,
+}
+
+impl GridPoint {
+    /// Creates a grid point.
+    #[must_use]
+    pub fn new(layer: Layer, x: i32, y: i32) -> GridPoint {
+        GridPoint { layer, x, y }
+    }
+
+    /// In-plane Manhattan distance to `other`, ignoring the layer.
+    #[must_use]
+    pub fn manhattan(&self, other: &GridPoint) -> i32 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Total step distance: Manhattan distance plus layer difference.
+    #[must_use]
+    pub fn step_distance(&self, other: &GridPoint) -> i32 {
+        self.manhattan(other) + (self.layer.0 as i32 - other.layer.0 as i32).abs()
+    }
+
+    /// Returns the point moved one step in direction `step`.
+    #[must_use]
+    pub fn offset(&self, step: Step) -> GridPoint {
+        match step {
+            Step::East => GridPoint::new(self.layer, self.x + 1, self.y),
+            Step::West => GridPoint::new(self.layer, self.x - 1, self.y),
+            Step::North => GridPoint::new(self.layer, self.x, self.y + 1),
+            Step::South => GridPoint::new(self.layer, self.x, self.y - 1),
+            Step::Up => GridPoint::new(Layer(self.layer.0 + 1), self.x, self.y),
+            Step::Down => GridPoint::new(Layer(self.layer.0.wrapping_sub(1)), self.x, self.y),
+        }
+    }
+}
+
+impl fmt::Display for GridPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({},{})", self.layer, self.x, self.y)
+    }
+}
+
+/// One unit move on the routing grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// +x.
+    East,
+    /// -x.
+    West,
+    /// +y.
+    North,
+    /// -y.
+    South,
+    /// +layer (via up).
+    Up,
+    /// -layer (via down).
+    Down,
+}
+
+impl Step {
+    /// All six steps, planar moves first.
+    pub const ALL: [Step; 6] = [
+        Step::East,
+        Step::West,
+        Step::North,
+        Step::South,
+        Step::Up,
+        Step::Down,
+    ];
+
+    /// Whether this step stays in the plane (not a via).
+    #[must_use]
+    pub fn is_planar(self) -> bool {
+        !matches!(self, Step::Up | Step::Down)
+    }
+
+    /// The in-plane axis of a planar step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a via step.
+    #[must_use]
+    pub fn axis(self) -> Dir {
+        match self {
+            Step::East | Step::West => Dir::Horizontal,
+            Step::North | Step::South => Dir::Vertical,
+            _ => panic!("via step has no planar axis"),
+        }
+    }
+}
+
+/// An in-plane axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Along x.
+    Horizontal,
+    /// Along y.
+    Vertical,
+}
+
+impl Dir {
+    /// The perpendicular axis.
+    #[must_use]
+    pub fn perpendicular(self) -> Dir {
+        match self {
+            Dir::Horizontal => Dir::Vertical,
+            Dir::Vertical => Dir::Horizontal,
+        }
+    }
+}
+
+/// The orientation of a wire fragment rectangle.
+///
+/// A `1×1` fragment (an isolated via landing or a jog cell) has no intrinsic
+/// long axis and is reported as [`Orientation::Point`]; the scenario
+/// classifier resolves it against its partner (see `sadp-scenario`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Wider than tall: runs along x.
+    Horizontal,
+    /// Taller than wide: runs along y.
+    Vertical,
+    /// A single grid cell.
+    Point,
+}
+
+impl Orientation {
+    /// The wire axis, if the fragment has one.
+    #[must_use]
+    pub fn axis(self) -> Option<Dir> {
+        match self {
+            Orientation::Horizontal => Some(Dir::Horizontal),
+            Orientation::Vertical => Some(Dir::Vertical),
+            Orientation::Point => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_move_one_step() {
+        let p = GridPoint::new(Layer(1), 5, 5);
+        assert_eq!(p.offset(Step::East), GridPoint::new(Layer(1), 6, 5));
+        assert_eq!(p.offset(Step::West), GridPoint::new(Layer(1), 4, 5));
+        assert_eq!(p.offset(Step::North), GridPoint::new(Layer(1), 5, 6));
+        assert_eq!(p.offset(Step::South), GridPoint::new(Layer(1), 5, 4));
+        assert_eq!(p.offset(Step::Up).layer, Layer(2));
+        assert_eq!(p.offset(Step::Down).layer, Layer(0));
+    }
+
+    #[test]
+    fn distances() {
+        let a = GridPoint::new(Layer(0), 0, 0);
+        let b = GridPoint::new(Layer(2), 3, -4);
+        assert_eq!(a.manhattan(&b), 7);
+        assert_eq!(a.step_distance(&b), 9);
+    }
+
+    #[test]
+    fn step_properties() {
+        assert!(Step::East.is_planar());
+        assert!(!Step::Up.is_planar());
+        assert_eq!(Step::North.axis(), Dir::Vertical);
+        assert_eq!(Dir::Horizontal.perpendicular(), Dir::Vertical);
+    }
+
+    #[test]
+    fn orientation_axis() {
+        assert_eq!(Orientation::Horizontal.axis(), Some(Dir::Horizontal));
+        assert_eq!(Orientation::Point.axis(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Layer(0).to_string(), "M1");
+        assert_eq!(GridPoint::new(Layer(1), 2, 3).to_string(), "M2(2,3)");
+    }
+}

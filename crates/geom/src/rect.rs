@@ -1,0 +1,262 @@
+//! Axis-aligned rectangles in track coordinates.
+
+use crate::point::Orientation;
+use std::fmt;
+
+/// An axis-aligned rectangle of grid cells, with *inclusive* bounds.
+///
+/// `TrackRect::new(x0, y0, x1, y1)` covers every cell `(x, y)` with
+/// `x0 <= x <= x1` and `y0 <= y <= y1`. Wire fragments produced by the
+/// router are always one track wide (`1×k` or `k×1`), but the type supports
+/// arbitrary extents for obstacles and window queries.
+///
+/// # Example
+///
+/// ```
+/// use sadp_geom::TrackRect;
+/// let wire = TrackRect::new(2, 5, 9, 5);
+/// assert_eq!(wire.len_cells(), 8);
+/// assert_eq!(wire.width_tracks(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrackRect {
+    /// Leftmost column (inclusive).
+    pub x0: i32,
+    /// Bottom row (inclusive).
+    pub y0: i32,
+    /// Rightmost column (inclusive).
+    pub x1: i32,
+    /// Top row (inclusive).
+    pub y1: i32,
+}
+
+impl TrackRect {
+    /// Creates a rectangle; coordinates are normalised so `x0 <= x1`,
+    /// `y0 <= y1`.
+    #[must_use]
+    pub fn new(x0: i32, y0: i32, x1: i32, y1: i32) -> TrackRect {
+        TrackRect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// A single-cell rectangle.
+    #[must_use]
+    pub fn cell(x: i32, y: i32) -> TrackRect {
+        TrackRect::new(x, y, x, y)
+    }
+
+    /// Number of cells covered.
+    #[must_use]
+    pub fn len_cells(&self) -> i64 {
+        (self.x1 - self.x0 + 1) as i64 * (self.y1 - self.y0 + 1) as i64
+    }
+
+    /// Extent along x, in tracks.
+    #[must_use]
+    pub fn width_x(&self) -> i32 {
+        self.x1 - self.x0 + 1
+    }
+
+    /// Extent along y, in tracks.
+    #[must_use]
+    pub fn width_y(&self) -> i32 {
+        self.y1 - self.y0 + 1
+    }
+
+    /// The narrow dimension (for a wire fragment this is 1).
+    #[must_use]
+    pub fn width_tracks(&self) -> i32 {
+        self.width_x().min(self.width_y())
+    }
+
+    /// The long dimension.
+    #[must_use]
+    pub fn length_tracks(&self) -> i32 {
+        self.width_x().max(self.width_y())
+    }
+
+    /// Orientation of the fragment: horizontal, vertical, or a point.
+    #[must_use]
+    pub fn orientation(&self) -> Orientation {
+        use std::cmp::Ordering;
+        match self.width_x().cmp(&self.width_y()) {
+            Ordering::Greater => Orientation::Horizontal,
+            Ordering::Less => Orientation::Vertical,
+            Ordering::Equal => {
+                if self.width_x() == 1 {
+                    Orientation::Point
+                } else {
+                    // A square larger than one cell has no wire axis either;
+                    // treat it like a point for classification purposes.
+                    Orientation::Point
+                }
+            }
+        }
+    }
+
+    /// Whether the cell `(x, y)` lies inside the rectangle.
+    #[must_use]
+    pub fn contains_cell(&self, x: i32, y: i32) -> bool {
+        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    }
+
+    /// Whether the two rectangles share at least one cell.
+    #[must_use]
+    pub fn intersects(&self, other: &TrackRect) -> bool {
+        self.x0 <= other.x1 && other.x0 <= self.x1 && self.y0 <= other.y1 && other.y0 <= self.y1
+    }
+
+    /// The intersection of two rectangles, if non-empty.
+    #[must_use]
+    pub fn intersection(&self, other: &TrackRect) -> Option<TrackRect> {
+        if self.intersects(other) {
+            Some(TrackRect {
+                x0: self.x0.max(other.x0),
+                y0: self.y0.max(other.y0),
+                x1: self.x1.min(other.x1),
+                y1: self.y1.min(other.y1),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The smallest rectangle containing both.
+    #[must_use]
+    pub fn union_bbox(&self, other: &TrackRect) -> TrackRect {
+        TrackRect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// The rectangle grown by `d` tracks on every side.
+    #[must_use]
+    pub fn expanded(&self, d: i32) -> TrackRect {
+        TrackRect::new(self.x0 - d, self.y0 - d, self.x1 + d, self.y1 + d)
+    }
+
+    /// Minimum *track difference* between the two rectangles along each axis.
+    ///
+    /// This is the `(X_min, Y_min)` pair of the paper: 0 if the projections
+    /// onto the axis overlap (or abut by sharing a track index), otherwise
+    /// the number of track pitches separating the facing boundaries. Two
+    /// rectangles on adjacent tracks have a difference of 1 (physical gap
+    /// `w_spacer`).
+    #[must_use]
+    pub fn track_gap(&self, other: &TrackRect) -> (i32, i32) {
+        let dx = (self.x0.max(other.x0) - self.x1.min(other.x1)).max(0);
+        let dy = (self.y0.max(other.y0) - self.y1.min(other.y1)).max(0);
+        (dx, dy)
+    }
+
+    /// Length (in cells) of the overlap of the projections onto the x axis.
+    #[must_use]
+    pub fn overlap_x(&self, other: &TrackRect) -> i32 {
+        (self.x1.min(other.x1) - self.x0.max(other.x0) + 1).max(0)
+    }
+
+    /// Length (in cells) of the overlap of the projections onto the y axis.
+    #[must_use]
+    pub fn overlap_y(&self, other: &TrackRect) -> i32 {
+        (self.y1.min(other.y1) - self.y0.max(other.y0) + 1).max(0)
+    }
+
+    /// Iterates over all cells of the rectangle, row-major.
+    pub fn cells(&self) -> impl Iterator<Item = (i32, i32)> + '_ {
+        let r = *self;
+        (r.y0..=r.y1).flat_map(move |y| (r.x0..=r.x1).map(move |x| (x, y)))
+    }
+}
+
+impl fmt::Display for TrackRect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{}..{},{}]", self.x0, self.y0, self.x1, self.y1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        let r = TrackRect::new(5, 7, 2, 3);
+        assert_eq!(r, TrackRect::new(2, 3, 5, 7));
+    }
+
+    #[test]
+    fn sizes_and_orientation() {
+        let h = TrackRect::new(0, 0, 4, 0);
+        assert_eq!(h.orientation(), Orientation::Horizontal);
+        assert_eq!(h.len_cells(), 5);
+        assert_eq!(h.width_tracks(), 1);
+        assert_eq!(h.length_tracks(), 5);
+
+        let v = TrackRect::new(3, 1, 3, 9);
+        assert_eq!(v.orientation(), Orientation::Vertical);
+
+        assert_eq!(TrackRect::cell(0, 0).orientation(), Orientation::Point);
+    }
+
+    #[test]
+    fn track_gap_side_by_side() {
+        // Horizontal wires on adjacent tracks, overlapping in x.
+        let a = TrackRect::new(0, 0, 5, 0);
+        let b = TrackRect::new(2, 1, 8, 1);
+        assert_eq!(a.track_gap(&b), (0, 1));
+        assert_eq!(a.overlap_x(&b), 4);
+    }
+
+    #[test]
+    fn track_gap_tip_to_tip() {
+        // Collinear horizontal wires one pitch apart.
+        let a = TrackRect::new(0, 0, 4, 0);
+        let b = TrackRect::new(6, 0, 9, 0);
+        assert_eq!(a.track_gap(&b), (2, 0));
+        let b = TrackRect::new(5, 0, 9, 0);
+        // Abutting cells: x-projections touch at indices 4 and 5 -> gap 1.
+        assert_eq!(a.track_gap(&b), (1, 0));
+    }
+
+    #[test]
+    fn track_gap_diagonal() {
+        let a = TrackRect::new(0, 0, 4, 0);
+        let b = TrackRect::new(5, 1, 5, 6);
+        assert_eq!(a.track_gap(&b), (1, 1));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = TrackRect::new(0, 0, 5, 5);
+        let b = TrackRect::new(3, 3, 8, 8);
+        assert_eq!(a.intersection(&b), Some(TrackRect::new(3, 3, 5, 5)));
+        assert_eq!(a.union_bbox(&b), TrackRect::new(0, 0, 8, 8));
+        let c = TrackRect::new(7, 0, 9, 2);
+        assert_eq!(a.intersection(&c), None);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn expand_and_contains() {
+        let r = TrackRect::cell(3, 3).expanded(2);
+        assert_eq!(r, TrackRect::new(1, 1, 5, 5));
+        assert!(r.contains_cell(1, 5));
+        assert!(!r.contains_cell(0, 3));
+    }
+
+    #[test]
+    fn cells_iterator_covers_all() {
+        let r = TrackRect::new(1, 1, 2, 3);
+        let cells: Vec<_> = r.cells().collect();
+        assert_eq!(cells.len(), 6);
+        assert!(cells.contains(&(2, 3)));
+        assert!(cells.contains(&(1, 1)));
+    }
+}

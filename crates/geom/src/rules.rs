@@ -1,0 +1,311 @@
+//! The SADP cut-process design-rule set.
+
+use crate::nm::Nm;
+use crate::rect::TrackRect;
+use std::error::Error;
+use std::fmt;
+
+/// The design rules of Section II-B of the paper.
+///
+/// The constructor enforces the practical constraints of eq. (1)–(3):
+///
+/// 1. `w_line == w_spacer`,
+/// 2. `w_cut == w_core  <  d_cut == d_core`,
+/// 3. `d_core < w_line + 2·w_spacer − 2·d_overlap`.
+///
+/// # Example
+///
+/// ```
+/// use sadp_geom::DesignRules;
+/// let rules = DesignRules::node_10nm();
+/// assert_eq!(rules.pitch().0, 40);
+/// // d_indep^2 = 2 * (w_line + 2 w_spacer)^2 = 7200 nm^2
+/// assert_eq!(rules.d_indep_squared(), 7200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignRules {
+    w_line: Nm,
+    w_spacer: Nm,
+    w_cut: Nm,
+    w_core: Nm,
+    d_cut: Nm,
+    d_core: Nm,
+    d_overlap: Nm,
+}
+
+/// Error returned when a rule set violates the constraints of eq. (1)–(3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RulesError {
+    message: String,
+}
+
+impl fmt::Display for RulesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid design rules: {}", self.message)
+    }
+}
+
+impl Error for RulesError {}
+
+impl DesignRules {
+    /// Builds a rule set, validating the constraints of eq. (1)–(3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RulesError`] if any of the three constraints is violated or
+    /// a dimension is non-positive.
+    pub fn new(
+        w_line: Nm,
+        w_spacer: Nm,
+        w_cut: Nm,
+        w_core: Nm,
+        d_cut: Nm,
+        d_core: Nm,
+        d_overlap: Nm,
+    ) -> Result<DesignRules, RulesError> {
+        let err = |m: &str| {
+            Err(RulesError {
+                message: m.to_owned(),
+            })
+        };
+        if w_line <= Nm::ZERO || w_spacer <= Nm::ZERO || w_cut <= Nm::ZERO || w_core <= Nm::ZERO {
+            return err("all widths must be positive");
+        }
+        if d_overlap < Nm::ZERO {
+            return err("d_overlap must be non-negative");
+        }
+        if w_line != w_spacer {
+            return err("eq. (1) requires w_line == w_spacer");
+        }
+        if w_cut != w_core || w_cut >= d_cut || d_cut != d_core {
+            return err("eq. (2) requires w_cut == w_core < d_cut == d_core");
+        }
+        if d_core >= w_line + w_spacer * 2 - d_overlap * 2 {
+            return err("eq. (3) requires d_core < w_line + 2*w_spacer - 2*d_overlap");
+        }
+        Ok(DesignRules {
+            w_line,
+            w_spacer,
+            w_cut,
+            w_core,
+            d_cut,
+            d_core,
+            d_overlap,
+        })
+    }
+
+    /// The rule set used throughout the paper's experiments (10 nm node):
+    /// `w_line = w_spacer = w_cut = w_core = 20 nm`,
+    /// `d_cut = d_core = 30 nm`, `d_overlap = 5 nm`.
+    #[must_use]
+    pub fn node_10nm() -> DesignRules {
+        DesignRules::new(Nm(20), Nm(20), Nm(20), Nm(20), Nm(30), Nm(30), Nm(5))
+            .expect("the 10nm node rule set satisfies eq. (1)-(3)")
+    }
+
+    /// A coarser rule set at a 14 nm-class pitch (30 nm lines/spacers,
+    /// 40 nm cut/core spacing), useful for testing rule parameterisation.
+    /// The dependence structure (Theorem 1) is identical to the 10 nm
+    /// node: the same seven track-difference tuples are dependent.
+    #[must_use]
+    pub fn node_14nm() -> DesignRules {
+        DesignRules::new(Nm(30), Nm(30), Nm(30), Nm(30), Nm(40), Nm(40), Nm(10))
+            .expect("the 14nm-class rule set satisfies eq. (1)-(3)")
+    }
+
+    /// Minimum metal line width.
+    #[must_use]
+    pub fn w_line(&self) -> Nm {
+        self.w_line
+    }
+
+    /// Spacer width (equals minimum metal spacing on the grid).
+    #[must_use]
+    pub fn w_spacer(&self) -> Nm {
+        self.w_spacer
+    }
+
+    /// Minimum cut-pattern width.
+    #[must_use]
+    pub fn w_cut(&self) -> Nm {
+        self.w_cut
+    }
+
+    /// Minimum core-pattern width.
+    #[must_use]
+    pub fn w_core(&self) -> Nm {
+        self.w_core
+    }
+
+    /// Minimum distance between two cut patterns.
+    #[must_use]
+    pub fn d_cut(&self) -> Nm {
+        self.d_cut
+    }
+
+    /// Minimum distance between two core patterns.
+    #[must_use]
+    pub fn d_core(&self) -> Nm {
+        self.d_core
+    }
+
+    /// Length by which a cut pattern may overlap a spacer.
+    #[must_use]
+    pub fn d_overlap(&self) -> Nm {
+        self.d_overlap
+    }
+
+    /// Routing-track pitch: `w_line + w_spacer`.
+    #[must_use]
+    pub fn pitch(&self) -> Nm {
+        self.w_line + self.w_spacer
+    }
+
+    /// Physical edge-to-edge gap of two patterns `d` tracks apart
+    /// (`d·pitch − w_line` for `d > 0`, zero otherwise).
+    #[must_use]
+    pub fn gap_nm(&self, tracks: i32) -> Nm {
+        if tracks <= 0 {
+            Nm::ZERO
+        } else {
+            self.pitch() * i64::from(tracks) - self.w_line
+        }
+    }
+
+    /// The squared independence distance of Theorem 1:
+    /// `d_indep² = 2·(w_line + 2·w_spacer)²`.
+    #[must_use]
+    pub fn d_indep_squared(&self) -> i64 {
+        let s = self.w_line + self.w_spacer * 2;
+        s.squared() * 2
+    }
+
+    /// Theorem 1 dependence test for a pair of track-difference values.
+    ///
+    /// Two patterns are *dependent* (they can induce an overlay for some
+    /// color assignment) iff their Euclidean edge-to-edge distance is
+    /// strictly smaller than `d_indep`. Patterns whose projections overlap
+    /// on both axes (`(0, 0)`) touch or cross and are handled by the caller
+    /// (same net or a short violation), so they are reported dependent.
+    #[must_use]
+    pub fn gap_is_dependent(&self, dx_tracks: i32, dy_tracks: i32) -> bool {
+        let gx = self.gap_nm(dx_tracks);
+        let gy = self.gap_nm(dy_tracks);
+        gx.squared() + gy.squared() < self.d_indep_squared()
+    }
+
+    /// Theorem 1 dependence test for two rectangles.
+    #[must_use]
+    pub fn are_dependent(&self, a: &TrackRect, b: &TrackRect) -> bool {
+        let (dx, dy) = a.track_gap(b);
+        self.gap_is_dependent(dx, dy)
+    }
+
+    /// The window radius, in tracks, within which dependent neighbours can
+    /// lie: the largest track difference that is still dependent along a
+    /// single axis (2 for the 10 nm rules).
+    #[must_use]
+    pub fn dependence_radius_tracks(&self) -> i32 {
+        let mut r = 0;
+        while self.gap_is_dependent(r + 1, 0) {
+            r += 1;
+        }
+        r
+    }
+}
+
+impl Default for DesignRules {
+    fn default() -> DesignRules {
+        DesignRules::node_10nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_10nm_values() {
+        let r = DesignRules::node_10nm();
+        assert_eq!(r.w_line(), Nm(20));
+        assert_eq!(r.d_core(), Nm(30));
+        assert_eq!(r.pitch(), Nm(40));
+        assert_eq!(r.gap_nm(1), Nm(20));
+        assert_eq!(r.gap_nm(2), Nm(60));
+        assert_eq!(r.gap_nm(3), Nm(100));
+        assert_eq!(r.gap_nm(0), Nm(0));
+    }
+
+    #[test]
+    fn eq1_violation_rejected() {
+        let e = DesignRules::new(Nm(20), Nm(25), Nm(20), Nm(20), Nm(30), Nm(30), Nm(5));
+        assert!(e.is_err());
+        assert!(e.unwrap_err().to_string().contains("eq. (1)"));
+    }
+
+    #[test]
+    fn eq2_violation_rejected() {
+        assert!(DesignRules::new(Nm(20), Nm(20), Nm(20), Nm(25), Nm(30), Nm(30), Nm(5)).is_err());
+        assert!(DesignRules::new(Nm(20), Nm(20), Nm(30), Nm(30), Nm(30), Nm(30), Nm(5)).is_err());
+        assert!(DesignRules::new(Nm(20), Nm(20), Nm(20), Nm(20), Nm(30), Nm(35), Nm(5)).is_err());
+    }
+
+    #[test]
+    fn eq3_violation_rejected() {
+        // d_core = 50 >= 20 + 40 - 10 = 50 -> rejected.
+        assert!(DesignRules::new(Nm(20), Nm(20), Nm(20), Nm(20), Nm(50), Nm(50), Nm(5)).is_err());
+    }
+
+    #[test]
+    fn non_positive_rejected() {
+        assert!(DesignRules::new(Nm(0), Nm(0), Nm(20), Nm(20), Nm(30), Nm(30), Nm(5)).is_err());
+        assert!(DesignRules::new(Nm(20), Nm(20), Nm(20), Nm(20), Nm(30), Nm(30), Nm(-1)).is_err());
+    }
+
+    #[test]
+    fn theorem1_dependence_table() {
+        // Matches the enumeration in the proof of Theorem 2.
+        let r = DesignRules::node_10nm();
+        let dependent = [(0, 1), (0, 2), (1, 0), (2, 0), (1, 1), (1, 2), (2, 1)];
+        let independent = [(0, 3), (3, 0), (2, 2), (1, 3), (3, 1), (2, 3)];
+        for (dx, dy) in dependent {
+            assert!(r.gap_is_dependent(dx, dy), "({dx},{dy}) should be dependent");
+        }
+        for (dx, dy) in independent {
+            assert!(
+                !r.gap_is_dependent(dx, dy),
+                "({dx},{dy}) should be independent"
+            );
+        }
+    }
+
+    #[test]
+    fn dependence_radius() {
+        assert_eq!(DesignRules::node_10nm().dependence_radius_tracks(), 2);
+        assert_eq!(DesignRules::node_14nm().dependence_radius_tracks(), 2);
+    }
+
+    #[test]
+    fn node_14nm_has_same_dependence_structure() {
+        let a = DesignRules::node_10nm();
+        let b = DesignRules::node_14nm();
+        for dx in 0..4 {
+            for dy in 0..4 {
+                assert_eq!(
+                    a.gap_is_dependent(dx, dy),
+                    b.gap_is_dependent(dx, dy),
+                    "({dx},{dy})"
+                );
+            }
+        }
+        assert_eq!(b.pitch(), Nm(60));
+    }
+
+    #[test]
+    fn are_dependent_on_rects() {
+        let r = DesignRules::node_10nm();
+        let a = TrackRect::new(0, 0, 5, 0);
+        assert!(r.are_dependent(&a, &TrackRect::new(0, 2, 5, 2)));
+        assert!(!r.are_dependent(&a, &TrackRect::new(0, 3, 5, 3)));
+    }
+}

@@ -1,0 +1,566 @@
+//! The linear-time color flipping algorithm (Section III-C, Theorem 4).
+//!
+//! For each connected component of the overlay constraint graph:
+//!
+//! 1. quotient the component by its hard constraints into *super vertices*
+//!    (each member net has a parity relative to the super-vertex root),
+//! 2. extract a **maximum spanning tree** over the super vertices, with the
+//!    cost of each nonhard edge set to the side-overlay stake of the
+//!    potential overlay scenarios it aggregates,
+//! 3. build the *flipping graph* — each super vertex split into a C-state
+//!    and an S-state — and run the dynamic program of eq. (4) from the
+//!    leaves to the root,
+//! 4. backtrace the minimum-cost root state and assign colors.
+//!
+//! The result is optimal whenever the (reduced) constraint graph is a tree;
+//! edges outside the spanning tree are ignored during the DP, exactly as in
+//! Fig. 14. As an engineering safeguard the new coloring is kept only if it
+//! does not evaluate worse than the old one on the *full* component
+//! (including non-tree edges).
+
+use crate::graph::OverlayGraph;
+use sadp_scenario::{Assignment, Color};
+use std::collections::HashMap;
+
+/// Result of a color flipping pass.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FlipOutcome {
+    /// Number of connected components processed.
+    pub components: usize,
+    /// Total edge weight (overlay units + penalties) before flipping.
+    pub weight_before: u64,
+    /// Total edge weight after flipping.
+    pub weight_after: u64,
+}
+
+impl FlipOutcome {
+    /// Weight saved by the pass.
+    #[must_use]
+    pub fn improvement(&self) -> u64 {
+        self.weight_before.saturating_sub(self.weight_after)
+    }
+}
+
+/// A 2×2 weight table between two super vertices, indexed by root colors.
+type SuperTable = [[u64; 2]; 2];
+
+fn table_stake(t: &SuperTable) -> u64 {
+    let flat = [t[0][0], t[0][1], t[1][0], t[1][1]];
+    flat.iter().max().unwrap() - flat.iter().min().unwrap()
+}
+
+/// Runs color flipping on the component containing `seed`
+/// (`ColorFlipping(G, n_i, M)`, Fig. 19 line 13).
+pub fn flip_component(graph: &mut OverlayGraph, seed: u32) -> FlipOutcome {
+    let members = graph.component_of(seed);
+    if members.is_empty() {
+        return FlipOutcome::default();
+    }
+    flip_members(graph, &members);
+    FlipOutcome {
+        components: 1,
+        weight_before: 0,
+        weight_after: 0,
+    }
+}
+
+/// Runs color flipping on every component of the graph (Fig. 19 line 16).
+pub fn flip_all(graph: &mut OverlayGraph) -> FlipOutcome {
+    let mut outcome = FlipOutcome {
+        weight_before: total_weight(graph),
+        ..FlipOutcome::default()
+    };
+    let mut visited: HashMap<u32, bool> = HashMap::new();
+    let mut verts: Vec<u32> = graph.vertices().collect();
+    verts.sort_unstable();
+    for v in verts {
+        if visited.contains_key(&v) {
+            continue;
+        }
+        let members = graph.component_of(v);
+        for &m in &members {
+            visited.insert(m, true);
+        }
+        flip_members(graph, &members);
+        outcome.components += 1;
+    }
+    outcome.weight_after = total_weight(graph);
+    outcome
+}
+
+fn total_weight(graph: &OverlayGraph) -> u64 {
+    graph
+        .edges()
+        .map(|(a, b, d)| {
+            let asg = Assignment::from_colors(graph.color(a), graph.color(b));
+            d.table.entry(asg).weight()
+        })
+        .sum()
+}
+
+fn component_weight(graph: &OverlayGraph, members: &[u32]) -> u64 {
+    let mut w = 0;
+    for &a in members {
+        for &b in graph.neighbors(a) {
+            if a < b {
+                if let Some(d) = graph.edge(a, b) {
+                    let asg = Assignment::from_colors(graph.color(a), graph.color(b));
+                    w += d.table.entry(asg).weight();
+                }
+            }
+        }
+    }
+    w
+}
+
+fn flip_members(graph: &mut OverlayGraph, members: &[u32]) {
+    // 1. Quotient by hard constraints.
+    let mut parity_of: HashMap<u32, (u32, bool)> = HashMap::new();
+    for &m in members {
+        let (root, parity) = graph.hard_root(m);
+        parity_of.insert(m, (root, parity));
+    }
+    let mut roots: Vec<u32> = parity_of.values().map(|&(r, _)| r).collect();
+    roots.sort_unstable();
+    roots.dedup();
+    let root_index: HashMap<u32, usize> = roots.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+    let n = roots.len();
+
+    // 2. Aggregate edge tables onto super vertices: self weights for
+    //    intra-super edges, 2x2 tables for inter-super edges.
+    let mut self_weight = vec![[0u64; 2]; n];
+    let mut super_edges: HashMap<(usize, usize), SuperTable> = HashMap::new();
+    for &a in members {
+        for &b in graph.neighbors(a) {
+            if a >= b {
+                continue;
+            }
+            let Some(data) = graph.edge(a, b) else {
+                continue;
+            };
+            let (ra, pa) = parity_of[&a];
+            let (rb, pb) = parity_of[&b];
+            let (ia, ib) = (root_index[&ra], root_index[&rb]);
+            if ia == ib {
+                // Colors of a and b are both determined by the root color.
+                for (ci, root_color) in Color::ALL.iter().enumerate() {
+                    let ca = apply_parity(*root_color, pa);
+                    let cb = apply_parity(*root_color, pb);
+                    self_weight[ia][ci] +=
+                        data.table.entry(Assignment::from_colors(ca, cb)).weight();
+                }
+            } else {
+                let key = (ia.min(ib), ia.max(ib));
+                let entry = super_edges.entry(key).or_insert([[0; 2]; 2]);
+                for (ci, cu) in Color::ALL.iter().enumerate() {
+                    for (cj, cv) in Color::ALL.iter().enumerate() {
+                        // entry[x][y]: x = color of key.0's root, y = key.1's.
+                        let (ca, cb) = if key.0 == ia {
+                            (apply_parity(*cu, pa), apply_parity(*cv, pb))
+                        } else {
+                            (apply_parity(*cv, pa), apply_parity(*cu, pb))
+                        };
+                        let w = data.table.entry(Assignment::from_colors(ca, cb)).weight();
+                        let (x, y) = if key.0 == ia { (ci, cj) } else { (cj, ci) };
+                        entry[x][y] += w;
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Maximum spanning tree over the super vertices (Kruskal).
+    let mut edge_list: Vec<((usize, usize), SuperTable)> = super_edges.into_iter().collect();
+    edge_list.sort_by(|a, b| table_stake(&b.1).cmp(&table_stake(&a.1)).then(a.0.cmp(&b.0)));
+    let mut tree_adj: Vec<Vec<(usize, SuperTable)>> = vec![Vec::new(); n];
+    let mut dsu: Vec<usize> = (0..n).collect();
+    fn find(dsu: &mut Vec<usize>, x: usize) -> usize {
+        if dsu[x] != x {
+            let r = find(dsu, dsu[x]);
+            dsu[x] = r;
+            r
+        } else {
+            x
+        }
+    }
+    for ((u, v), table) in edge_list {
+        let (ru, rv) = (find(&mut dsu, u), find(&mut dsu, v));
+        if ru != rv {
+            dsu[ru] = rv;
+            tree_adj[u].push((v, table));
+            let mut swapped = table;
+            swapped[0][1] = table[1][0];
+            swapped[1][0] = table[0][1];
+            tree_adj[v].push((u, swapped));
+        }
+    }
+
+    // Snapshot for the keep-if-better safeguard.
+    let before: Vec<(u32, Color)> = members.iter().map(|&m| (m, graph.color(m))).collect();
+    let weight_before = component_weight(graph, members);
+
+    // 4. DP of eq. (4) over each tree of the super-vertex forest.
+    let mut super_color = vec![Color::Core; n];
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        dp_tree(start, &tree_adj, &self_weight, &mut super_color, &mut seen);
+    }
+
+    // 5. Push colors down to the nets (color = root color ^ parity).
+    for &m in members {
+        let (root, parity) = parity_of[&m];
+        let c = apply_parity(super_color[root_index[&root]], parity);
+        graph.set_color(m, c);
+    }
+
+    // Keep-if-better on the full component (non-tree edges included).
+    if component_weight(graph, members) > weight_before {
+        for (m, c) in before {
+            graph.set_color(m, c);
+        }
+    }
+}
+
+fn apply_parity(color: Color, parity: bool) -> Color {
+    if parity {
+        color.flipped()
+    } else {
+        color
+    }
+}
+
+/// Iterative post-order DP over one tree of the super-vertex forest:
+/// `Cost(v, q) = Σ_children min_p { Cost(child, p) + w(v=q, child=p) }`.
+fn dp_tree(
+    root: usize,
+    adj: &[Vec<(usize, SuperTable)>],
+    self_weight: &[[u64; 2]],
+    colors: &mut [Color],
+    seen: &mut [bool],
+) {
+    // Build a parent-order traversal.
+    let mut order = vec![root];
+    let mut parent: HashMap<usize, usize> = HashMap::new();
+    seen[root] = true;
+    let mut i = 0;
+    while i < order.len() {
+        let v = order[i];
+        i += 1;
+        for &(u, _) in &adj[v] {
+            if !seen[u] {
+                seen[u] = true;
+                parent.insert(u, v);
+                order.push(u);
+            }
+        }
+    }
+
+    // cost[v][q], choice[v][q][child-slot] -> best child color index.
+    let mut cost: HashMap<usize, [u64; 2]> = HashMap::new();
+    let mut choice: HashMap<(usize, usize, usize), usize> = HashMap::new();
+    for &v in order.iter().rev() {
+        let mut c = self_weight[v];
+        for (slot, &(u, table)) in adj[v].iter().enumerate() {
+            if parent.get(&u) != Some(&v) {
+                continue; // u is v's parent
+            }
+            let cu = cost[&u];
+            for (q, cq) in c.iter_mut().enumerate() {
+                // table[q][p]: v has color index q, child u has p.
+                let (p_best, w_best) = (0..2)
+                    .map(|p| (p, cu[p] + table[q][p]))
+                    .min_by_key(|&(_, w)| w)
+                    .expect("two states");
+                *cq += w_best;
+                choice.insert((v, q, slot), p_best);
+            }
+        }
+        cost.insert(v, c);
+    }
+
+    // Backtrace from the cheaper root state.
+    let root_cost = cost[&root];
+    let mut state: HashMap<usize, usize> = HashMap::new();
+    state.insert(root, usize::from(root_cost[1] < root_cost[0]));
+    for &v in &order {
+        let q = state[&v];
+        colors[v] = Color::ALL[q];
+        for (slot, &(u, _)) in adj[v].iter().enumerate() {
+            if parent.get(&u) == Some(&v) {
+                state.insert(u, choice[&(v, q, slot)]);
+            }
+        }
+    }
+}
+
+/// Hill-climbing refinement: repeatedly flips whole hard-constraint
+/// super-vertices whose flip strictly lowers the total edge weight, until
+/// a fixpoint (or `max_passes`). Complements the tree DP by cleaning up
+/// the non-tree edges the DP cannot see; hard constraints are preserved
+/// because members of a super vertex flip together.
+///
+/// Returns the total weight improvement.
+pub fn greedy_refine(graph: &mut OverlayGraph, max_passes: usize) -> u64 {
+    let before = total_weight(graph);
+    let mut verts: Vec<u32> = graph.vertices().collect();
+    verts.sort_unstable();
+    for _ in 0..max_passes {
+        let mut improved = false;
+        // Group members by hard-component root (sorted for determinism).
+        let mut groups: std::collections::BTreeMap<u32, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for &v in &verts {
+            if graph.contains(v) {
+                let (root, _) = graph.hard_root(v);
+                groups.entry(root).or_default().push(v);
+            }
+        }
+        for members in groups.values() {
+            // Weight of edges incident to the group, before and after a
+            // group flip. Edges inside the group keep their relative
+            // parity, so only boundary edges change.
+            let member_set: std::collections::HashSet<u32> = members.iter().copied().collect();
+            let delta = group_flip_delta(graph, members, &member_set);
+            if delta < 0 {
+                for &m in members {
+                    let c = graph.color(m);
+                    graph.set_color(m, c.flipped());
+                }
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    before.saturating_sub(total_weight(graph))
+}
+
+fn group_flip_delta(
+    graph: &OverlayGraph,
+    members: &[u32],
+    member_set: &std::collections::HashSet<u32>,
+) -> i128 {
+    let mut delta: i128 = 0;
+    for &m in members {
+        for &n in graph.neighbors(m) {
+            if member_set.contains(&n) {
+                if m < n {
+                    // Internal edge: both endpoints flip, and every edge
+                    // table of a hard component is parity-symmetric only
+                    // for its hard part; nonhard costs can change.
+                    let d = graph.edge(m, n).expect("edge exists");
+                    let old = d.table.entry(Assignment::from_colors(
+                        graph.color(m),
+                        graph.color(n),
+                    ));
+                    let new = d.table.entry(Assignment::from_colors(
+                        graph.color(m).flipped(),
+                        graph.color(n).flipped(),
+                    ));
+                    delta += new.weight() as i128 - old.weight() as i128;
+                }
+            } else {
+                let d = graph.edge(m, n).expect("edge exists");
+                let (a, b) = if m < n { (m, n) } else { (n, m) };
+                let color = |v: u32| {
+                    if v == m {
+                        graph.color(v).flipped()
+                    } else {
+                        graph.color(v)
+                    }
+                };
+                let old = d
+                    .table
+                    .entry(Assignment::from_colors(graph.color(a), graph.color(b)));
+                let new = d.table.entry(Assignment::from_colors(color(a), color(b)));
+                delta += new.weight() as i128 - old.weight() as i128;
+            }
+        }
+    }
+    delta
+}
+
+/// Exhaustively finds an optimal coloring of the given nets by enumerating
+/// all `2^n` assignments. Intended for tests and small components only.
+///
+/// Returns the best coloring and its total edge weight (only edges with
+/// both endpoints in `nets` are counted).
+///
+/// # Panics
+///
+/// Panics if more than 24 nets are given.
+#[must_use]
+pub fn brute_force_color(graph: &OverlayGraph, nets: &[u32]) -> (HashMap<u32, Color>, u64) {
+    assert!(nets.len() <= 24, "brute force limited to 24 nets");
+    let mut best: Option<(u64, u32)> = None;
+    for mask in 0..(1u32 << nets.len()) {
+        let color = |net: u32| -> Color {
+            let i = nets.iter().position(|&n| n == net).expect("net in set");
+            if mask >> i & 1 == 1 {
+                Color::Second
+            } else {
+                Color::Core
+            }
+        };
+        let mut w = 0u64;
+        for &a in nets {
+            for &b in graph.neighbors(a) {
+                if a < b && nets.contains(&b) {
+                    if let Some(d) = graph.edge(a, b) {
+                        let asg = Assignment::from_colors(color(a), color(b));
+                        w = w.saturating_add(d.table.entry(asg).weight());
+                    }
+                }
+            }
+        }
+        if best.is_none_or(|(bw, _)| w < bw) {
+            best = Some((w, mask));
+        }
+    }
+    let (w, mask) = best.expect("at least one assignment");
+    let mut out = HashMap::new();
+    for (i, &n) in nets.iter().enumerate() {
+        out.insert(
+            n,
+            if mask >> i & 1 == 1 {
+                Color::Second
+            } else {
+                Color::Core
+            },
+        );
+    }
+    (out, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sadp_scenario::ScenarioKind;
+
+    #[test]
+    fn flip_resolves_paper_fig13() {
+        // Fig. 13: nets A (second) and B (core) routed; C between them must
+        // differ from both adjacent wires (1-a). Flipping B allows C.
+        let mut g = OverlayGraph::new();
+        g.add_scenario(0, 2, ScenarioKind::OneA.table()).unwrap(); // A-C
+        g.add_scenario(1, 2, ScenarioKind::OneA.table()).unwrap(); // B-C
+        g.set_color(0, Color::Second);
+        g.set_color(1, Color::Core);
+        g.set_color(2, Color::Core); // violates both
+        let out = flip_all(&mut g);
+        let e = g.evaluate();
+        assert_eq!(e.hard_violations, 0);
+        assert_ne!(g.color(2), g.color(0));
+        assert_ne!(g.color(2), g.color(1));
+        assert!(out.improvement() > 0);
+    }
+
+    #[test]
+    fn flip_tree_matches_brute_force() {
+        // A path of nonhard scenarios: DP must be optimal (Theorem 4).
+        let mut g = OverlayGraph::new();
+        let kinds = [
+            ScenarioKind::ThreeA,
+            ScenarioKind::TwoA,
+            ScenarioKind::ThreeB,
+            ScenarioKind::TwoB,
+            ScenarioKind::ThreeC,
+        ];
+        for (i, k) in kinds.iter().enumerate() {
+            g.add_scenario(i as u32, i as u32 + 1, k.table()).unwrap();
+        }
+        flip_all(&mut g);
+        let nets: Vec<u32> = (0..=kinds.len() as u32).collect();
+        let (_, best_w) = brute_force_color(&g, &nets);
+        let got: u64 = total_weight(&g);
+        assert_eq!(got, best_w);
+    }
+
+    #[test]
+    fn flip_handles_super_vertices() {
+        // 0 =1-b= 1 (same color), 1 =1-a= 2 (diff), and a nonhard 3-a
+        // between 0 and 3.
+        let mut g = OverlayGraph::new();
+        g.add_scenario(0, 1, ScenarioKind::OneB.table()).unwrap();
+        g.add_scenario(1, 2, ScenarioKind::OneA.table()).unwrap();
+        g.add_scenario(0, 3, ScenarioKind::ThreeA.table()).unwrap();
+        flip_all(&mut g);
+        assert_eq!(g.color(0), g.color(1));
+        assert_ne!(g.color(1), g.color(2));
+        let e = g.evaluate();
+        assert_eq!(e.hard_violations, 0);
+        assert_eq!(e.overlay_units, 0);
+    }
+
+    #[test]
+    fn flip_cycle_like_fig14() {
+        // Fig. 14: a cycle of nonhard edges; the weakest edge is dropped by
+        // the maximum spanning tree and the DP still reaches the optimum of
+        // the full graph here.
+        let mut g = OverlayGraph::new();
+        g.add_scenario(0, 1, ScenarioKind::TwoA.table()).unwrap(); // B-C prefer same
+        g.add_scenario(1, 2, ScenarioKind::ThreeA.table()).unwrap(); // C-E prefer diff
+        g.add_scenario(0, 2, ScenarioKind::ThreeA.table()).unwrap(); // B-E prefer diff
+        flip_all(&mut g);
+        let e = g.evaluate();
+        // Optimum: B=C same, E different from both -> 0 units.
+        assert_eq!(e.overlay_units, 0);
+    }
+
+    #[test]
+    fn flip_component_only_touches_component() {
+        let mut g = OverlayGraph::new();
+        g.add_scenario(0, 1, ScenarioKind::OneA.table()).unwrap();
+        g.ensure_vertex(9);
+        g.set_color(9, Color::Second);
+        g.set_color(0, Color::Core);
+        g.set_color(1, Color::Core);
+        flip_component(&mut g, 0);
+        assert_ne!(g.color(0), g.color(1));
+        assert_eq!(g.color(9), Color::Second);
+    }
+
+    #[test]
+    fn keep_if_better_never_regresses() {
+        // Dense cycle where the MST heuristic could regress; the safeguard
+        // must keep the evaluation from getting worse.
+        let mut g = OverlayGraph::new();
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)] {
+            g.add_scenario(a, b, ScenarioKind::ThreeB.table()).unwrap();
+        }
+        // Start from the global optimum: everything second.
+        for v in 0..4 {
+            g.set_color(v, Color::Second);
+        }
+        let before = g.evaluate();
+        flip_all(&mut g);
+        let after = g.evaluate();
+        assert!(after.overlay_units <= before.overlay_units);
+        assert_eq!(after.overlay_units, 0);
+    }
+
+    #[test]
+    fn brute_force_small() {
+        let mut g = OverlayGraph::new();
+        g.add_scenario(0, 1, ScenarioKind::ThreeB.table()).unwrap();
+        let (colors, w) = brute_force_color(&g, &[0, 1]);
+        assert_eq!(w, 0);
+        assert_eq!(colors[&0], Color::Second);
+        assert_eq!(colors[&1], Color::Second);
+    }
+
+    #[test]
+    fn flip_empty_and_singleton() {
+        let mut g = OverlayGraph::new();
+        let out = flip_all(&mut g);
+        assert_eq!(out.components, 0);
+        g.ensure_vertex(5);
+        let out = flip_all(&mut g);
+        assert_eq!(out.components, 1);
+        assert_eq!(flip_component(&mut g, 77).components, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the constraint graph and coloring algorithms.
+
+use proptest::prelude::*;
+use sadp_graph::{brute_force_color, flip_all, greedy_refine, OverlayGraph, ScenarioKind};
+use sadp_scenario::{Assignment, Color};
+
+const NONHARD: [ScenarioKind; 6] = [
+    ScenarioKind::TwoA,
+    ScenarioKind::TwoB,
+    ScenarioKind::ThreeA,
+    ScenarioKind::ThreeB,
+    ScenarioKind::ThreeC,
+    ScenarioKind::ThreeD,
+];
+
+fn total_weight(g: &OverlayGraph) -> u64 {
+    g.edges()
+        .map(|(a, b, d)| {
+            d.table
+                .entry(Assignment::from_colors(g.color(a), g.color(b)))
+                .weight()
+        })
+        .sum()
+}
+
+proptest! {
+    /// flip_all never worsens the coloring (keep-if-better safeguard) and
+    /// greedy refinement on top never worsens it either — on arbitrary
+    /// graphs, not just trees.
+    #[test]
+    fn flipping_never_regresses(
+        edges in prop::collection::vec((0u32..10, 0u32..10, 0usize..6), 0..30),
+        seeds in prop::collection::vec(prop::bool::ANY, 10),
+    ) {
+        let mut g = OverlayGraph::new();
+        for &(a, b, k) in &edges {
+            if a != b {
+                // Nonhard edges always insert successfully.
+                g.add_scenario(a, b, NONHARD[k].table()).expect("nonhard");
+            }
+        }
+        for (i, &second) in seeds.iter().enumerate() {
+            if g.contains(i as u32) {
+                g.set_color(i as u32, if second { Color::Second } else { Color::Core });
+            }
+        }
+        let before = total_weight(&g);
+        flip_all(&mut g);
+        let mid = total_weight(&g);
+        prop_assert!(mid <= before, "flip_all regressed {before} -> {mid}");
+        greedy_refine(&mut g, 3);
+        let after = total_weight(&g);
+        prop_assert!(after <= mid, "greedy_refine regressed {mid} -> {after}");
+    }
+
+    /// With hard edges mixed in, flipping always produces a coloring that
+    /// satisfies every hard constraint (when one exists, which is
+    /// guaranteed because rejected edges are never inserted).
+    #[test]
+    fn flipping_respects_hard_constraints(
+        hard in prop::collection::vec((0u32..10, 0u32..10, prop::bool::ANY), 0..12),
+        soft in prop::collection::vec((0u32..10, 0u32..10, 0usize..6), 0..12),
+    ) {
+        let mut g = OverlayGraph::new();
+        for &(a, b, diff) in &hard {
+            if a != b {
+                let kind = if diff { ScenarioKind::OneA } else { ScenarioKind::OneB };
+                let _ = g.add_scenario(a, b, kind.table()); // odd cycles rejected
+            }
+        }
+        for &(a, b, k) in &soft {
+            if a != b {
+                let _ = g.add_scenario(a, b, NONHARD[k].table());
+            }
+        }
+        flip_all(&mut g);
+        for (a, b, d) in g.edges() {
+            let asg = Assignment::from_colors(g.color(a), g.color(b));
+            prop_assert!(
+                !d.table.entry(asg).is_forbidden(),
+                "hard constraint between {} and {} violated", a, b
+            );
+        }
+    }
+
+    /// On small graphs, flip_all + refinement lands within the brute-force
+    /// optimum plus the documented heuristic slack on cycles (never below
+    /// the optimum, trivially).
+    #[test]
+    fn flipping_bounded_by_brute_force(
+        edges in prop::collection::vec((0u32..7, 0u32..7, 0usize..6), 1..16),
+    ) {
+        let mut g = OverlayGraph::new();
+        for &(a, b, k) in &edges {
+            if a != b {
+                g.add_scenario(a, b, NONHARD[k].table()).expect("nonhard");
+            }
+        }
+        let nets: Vec<u32> = {
+            let mut v: Vec<u32> = g.vertices().collect();
+            v.sort_unstable();
+            v
+        };
+        if nets.is_empty() {
+            return Ok(());
+        }
+        flip_all(&mut g);
+        greedy_refine(&mut g, 4);
+        let got = total_weight(&g);
+        let (_, best) = brute_force_color(&g, &nets);
+        prop_assert!(got >= best, "better than the optimum is impossible");
+        // Heuristic quality bound: within 3x + small constant of optimal
+        // on these tiny instances.
+        prop_assert!(
+            got <= best * 3 + 6,
+            "flip quality too poor: {got} vs optimum {best}"
+        );
+    }
+
+    /// remove_net really removes everything it touched.
+    #[test]
+    fn remove_net_is_complete(
+        edges in prop::collection::vec((0u32..8, 0u32..8, 0usize..6), 0..20),
+        victim in 0u32..8,
+    ) {
+        let mut g = OverlayGraph::new();
+        for &(a, b, k) in &edges {
+            if a != b {
+                g.add_scenario(a, b, NONHARD[k].table()).expect("nonhard");
+            }
+        }
+        g.remove_net(victim);
+        prop_assert!(!g.contains(victim));
+        for (a, b, _) in g.edges() {
+            prop_assert!(a != victim && b != victim);
+        }
+        for v in g.vertices() {
+            prop_assert!(!g.neighbors(v).contains(&victim));
+        }
+    }
+}

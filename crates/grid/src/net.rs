@@ -1,0 +1,228 @@
+//! Two-pin nets with optional multiple pin candidate locations.
+
+use sadp_geom::GridPoint;
+use std::fmt;
+
+/// A net identifier (index into the [`crate::Netlist`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The id as a `usize` for indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net#{}", self.0)
+    }
+}
+
+/// A pin with one or more candidate locations.
+///
+/// The paper's second benchmark family (Table IV, following baseline \[10\])
+/// gives every pin multiple candidate locations; the router may connect any
+/// one candidate of the source to any one candidate of the target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pin {
+    candidates: Vec<GridPoint>,
+}
+
+impl Pin {
+    /// A pin with a single fixed location.
+    #[must_use]
+    pub fn fixed(at: GridPoint) -> Pin {
+        Pin {
+            candidates: vec![at],
+        }
+    }
+
+    /// A pin with multiple candidate locations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    #[must_use]
+    pub fn with_candidates(candidates: Vec<GridPoint>) -> Pin {
+        assert!(!candidates.is_empty(), "a pin needs at least one candidate");
+        Pin { candidates }
+    }
+
+    /// The candidate locations.
+    #[must_use]
+    pub fn candidates(&self) -> &[GridPoint] {
+        &self.candidates
+    }
+
+    /// The primary (first) candidate.
+    #[must_use]
+    pub fn primary(&self) -> GridPoint {
+        self.candidates[0]
+    }
+
+    /// Whether the pin has more than one candidate.
+    #[must_use]
+    pub fn is_multi(&self) -> bool {
+        self.candidates.len() > 1
+    }
+}
+
+/// A signal net: two pins (the paper's formulation), plus optional extra
+/// pins routed as branches off the existing wire (a practical extension
+/// for multi-terminal signals).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// The net id.
+    pub id: NetId,
+    /// Human-readable name.
+    pub name: String,
+    /// Source pin.
+    pub source: Pin,
+    /// Target pin.
+    pub target: Pin,
+    /// Additional terminals beyond the source/target pair, each connected
+    /// to the already-routed trunk of the net.
+    pub extra: Vec<Pin>,
+}
+
+impl Net {
+    /// Creates a two-pin net.
+    #[must_use]
+    pub fn new(id: NetId, name: impl Into<String>, source: Pin, target: Pin) -> Net {
+        Net {
+            id,
+            name: name.into(),
+            source,
+            target,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Creates a multi-terminal net from at least two pins; the first two
+    /// become the trunk, the rest are branch terminals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two pins are given.
+    #[must_use]
+    pub fn multi(id: NetId, name: impl Into<String>, mut pins: Vec<Pin>) -> Net {
+        assert!(pins.len() >= 2, "a net needs at least two pins");
+        let rest = pins.split_off(2);
+        let target = pins.pop().expect("two pins");
+        let source = pins.pop().expect("two pins");
+        Net {
+            id,
+            name: name.into(),
+            source,
+            target,
+            extra: rest,
+        }
+    }
+
+    /// All pins of the net: source, target, then the extra terminals.
+    pub fn pins(&self) -> impl Iterator<Item = &Pin> {
+        std::iter::once(&self.source)
+            .chain(std::iter::once(&self.target))
+            .chain(self.extra.iter())
+    }
+
+    /// Number of terminals.
+    #[must_use]
+    pub fn pin_count(&self) -> usize {
+        2 + self.extra.len()
+    }
+
+    /// Half-perimeter wirelength of the primary pin locations, a
+    /// routing-order heuristic.
+    #[must_use]
+    pub fn hpwl(&self) -> i32 {
+        let pts: Vec<_> = self.pins().map(|p| p.primary()).collect();
+        let xs = pts.iter().map(|p| p.x);
+        let ys = pts.iter().map(|p| p.y);
+        let w = xs.clone().max().unwrap_or(0) - xs.min().unwrap_or(0);
+        let h = ys.clone().max().unwrap_or(0) - ys.min().unwrap_or(0);
+        w + h
+    }
+}
+
+impl fmt::Display for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}): {} -> {}",
+            self.name,
+            self.id,
+            self.source.primary(),
+            self.target.primary()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sadp_geom::Layer;
+
+    #[test]
+    fn fixed_pin() {
+        let p = Pin::fixed(GridPoint::new(Layer(0), 1, 2));
+        assert_eq!(p.candidates().len(), 1);
+        assert!(!p.is_multi());
+        assert_eq!(p.primary(), GridPoint::new(Layer(0), 1, 2));
+    }
+
+    #[test]
+    fn multi_pin() {
+        let p = Pin::with_candidates(vec![
+            GridPoint::new(Layer(0), 1, 2),
+            GridPoint::new(Layer(0), 3, 2),
+        ]);
+        assert!(p.is_multi());
+        assert_eq!(p.primary(), GridPoint::new(Layer(0), 1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_pin_panics() {
+        let _ = Pin::with_candidates(vec![]);
+    }
+
+    #[test]
+    fn multi_pin_nets() {
+        let pins = vec![
+            Pin::fixed(GridPoint::new(Layer(0), 0, 0)),
+            Pin::fixed(GridPoint::new(Layer(0), 10, 0)),
+            Pin::fixed(GridPoint::new(Layer(0), 5, 8)),
+        ];
+        let n = Net::multi(NetId(1), "m", pins);
+        assert_eq!(n.pin_count(), 3);
+        assert_eq!(n.extra.len(), 1);
+        assert_eq!(n.pins().count(), 3);
+        // HPWL covers all three pins: width 10 + height 8.
+        assert_eq!(n.hpwl(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "two pins")]
+    fn multi_needs_two_pins() {
+        let _ = Net::multi(NetId(0), "x", vec![Pin::fixed(GridPoint::new(Layer(0), 0, 0))]);
+    }
+
+    #[test]
+    fn net_hpwl_and_display() {
+        let n = Net::new(
+            NetId(7),
+            "clk",
+            Pin::fixed(GridPoint::new(Layer(0), 0, 0)),
+            Pin::fixed(GridPoint::new(Layer(1), 3, 4)),
+        );
+        // HPWL is the half-perimeter of the pin bounding box (layers are
+        // not part of the estimate).
+        assert_eq!(n.hpwl(), 7);
+        let s = n.to_string();
+        assert!(s.contains("clk") && s.contains("net#7"));
+    }
+}

@@ -1,0 +1,168 @@
+//! A collection of two-pin nets.
+
+use crate::net::{Net, NetId, Pin};
+use sadp_geom::GridPoint;
+
+/// An ordered collection of [`Net`]s.
+///
+/// # Example
+///
+/// ```
+/// use sadp_grid::Netlist;
+/// use sadp_geom::{GridPoint, Layer};
+///
+/// let mut nl = Netlist::new();
+/// let id = nl.add_two_pin(
+///     "a",
+///     GridPoint::new(Layer(0), 0, 0),
+///     GridPoint::new(Layer(0), 5, 5),
+/// );
+/// assert_eq!(nl.net(id).name, "a");
+/// assert_eq!(nl.len(), 1);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    nets: Vec<Net>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    #[must_use]
+    pub fn new() -> Netlist {
+        Netlist { nets: Vec::new() }
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Whether the netlist is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// Adds a two-pin net with fixed pin locations, returning its id.
+    pub fn add_two_pin(
+        &mut self,
+        name: impl Into<String>,
+        source: GridPoint,
+        target: GridPoint,
+    ) -> NetId {
+        self.add_net(name, Pin::fixed(source), Pin::fixed(target))
+    }
+
+    /// Adds a two-pin net with arbitrary pins, returning its id.
+    pub fn add_net(&mut self, name: impl Into<String>, source: Pin, target: Pin) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net::new(id, name, source, target));
+        id
+    }
+
+    /// Adds a multi-terminal net (two trunk pins plus branch terminals),
+    /// returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two pins are given.
+    pub fn add_multi_pin(&mut self, name: impl Into<String>, pins: Vec<Pin>) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net::multi(id, name, pins));
+        id
+    }
+
+    /// The net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Iterates over all nets in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Net> {
+        self.nets.iter()
+    }
+
+    /// Net ids sorted by ascending half-perimeter wirelength, the routing
+    /// order used by the sequential router (short nets first).
+    #[must_use]
+    pub fn ids_by_hpwl(&self) -> Vec<NetId> {
+        let mut ids: Vec<NetId> = self.nets.iter().map(|n| n.id).collect();
+        ids.sort_by_key(|id| (self.net(*id).hpwl(), id.0));
+        ids
+    }
+}
+
+impl<'a> IntoIterator for &'a Netlist {
+    type Item = &'a Net;
+    type IntoIter = std::slice::Iter<'a, Net>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.nets.iter()
+    }
+}
+
+impl FromIterator<Net> for Netlist {
+    fn from_iter<T: IntoIterator<Item = Net>>(iter: T) -> Netlist {
+        let mut nl = Netlist::new();
+        for (i, mut net) in iter.into_iter().enumerate() {
+            net.id = NetId(i as u32);
+            nl.nets.push(net);
+        }
+        nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sadp_geom::Layer;
+
+    fn p(x: i32, y: i32) -> GridPoint {
+        GridPoint::new(Layer(0), x, y)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut nl = Netlist::new();
+        let a = nl.add_two_pin("a", p(0, 0), p(9, 0));
+        let b = nl.add_two_pin("b", p(0, 1), p(2, 1));
+        assert_eq!(nl.len(), 2);
+        assert_eq!(nl.net(a).name, "a");
+        assert_eq!(nl.net(b).id, NetId(1));
+        assert!(!nl.is_empty());
+    }
+
+    #[test]
+    fn hpwl_order_short_first() {
+        let mut nl = Netlist::new();
+        nl.add_two_pin("long", p(0, 0), p(20, 0));
+        nl.add_two_pin("short", p(0, 1), p(2, 1));
+        let order = nl.ids_by_hpwl();
+        assert_eq!(order, vec![NetId(1), NetId(0)]);
+    }
+
+    #[test]
+    fn from_iterator_reassigns_ids() {
+        let nets = vec![
+            Net::new(NetId(99), "x", Pin::fixed(p(0, 0)), Pin::fixed(p(1, 0))),
+            Net::new(NetId(42), "y", Pin::fixed(p(0, 2)), Pin::fixed(p(1, 2))),
+        ];
+        let nl: Netlist = nets.into_iter().collect();
+        assert_eq!(nl.net(NetId(0)).name, "x");
+        assert_eq!(nl.net(NetId(1)).name, "y");
+    }
+
+    #[test]
+    fn iteration() {
+        let mut nl = Netlist::new();
+        nl.add_two_pin("a", p(0, 0), p(1, 0));
+        let names: Vec<_> = (&nl).into_iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["a"]);
+        assert_eq!(nl.iter().count(), 1);
+    }
+}

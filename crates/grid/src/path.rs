@@ -1,0 +1,286 @@
+//! Routed paths and their fragmentation into wire rectangles.
+
+use sadp_geom::{GridPoint, Layer, TrackRect};
+use std::error::Error;
+use std::fmt;
+
+/// A validated, contiguous routed path on the grid.
+///
+/// Consecutive points differ by exactly one planar step or one via step.
+/// The path fragments into maximal straight wire rectangles per layer —
+/// the rectangle decomposition of Theorem 3 that feeds the scenario
+/// classifier.
+///
+/// # Example
+///
+/// ```
+/// use sadp_grid::RoutePath;
+/// use sadp_geom::{GridPoint, Layer, TrackRect};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pts = vec![
+///     GridPoint::new(Layer(0), 0, 0),
+///     GridPoint::new(Layer(0), 1, 0),
+///     GridPoint::new(Layer(0), 2, 0),
+///     GridPoint::new(Layer(0), 2, 1),
+/// ];
+/// let path = RoutePath::new(pts)?;
+/// assert_eq!(path.wirelength(), 3);
+/// assert_eq!(path.via_count(), 0);
+/// let frags = path.fragments();
+/// assert_eq!(frags, vec![
+///     (Layer(0), TrackRect::new(0, 0, 2, 0)),
+///     (Layer(0), TrackRect::new(2, 0, 2, 1)),
+/// ]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutePath {
+    points: Vec<GridPoint>,
+}
+
+/// Error returned for a non-contiguous or empty point sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidPath {
+    reason: String,
+}
+
+impl fmt::Display for InvalidPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid route path: {}", self.reason)
+    }
+}
+
+impl Error for InvalidPath {}
+
+impl RoutePath {
+    /// Builds a path from an ordered point sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPath`] if the sequence is empty, repeats a point
+    /// consecutively, or jumps more than one step.
+    pub fn new(points: Vec<GridPoint>) -> Result<RoutePath, InvalidPath> {
+        if points.is_empty() {
+            return Err(InvalidPath {
+                reason: "empty point sequence".into(),
+            });
+        }
+        for w in points.windows(2) {
+            if w[0].step_distance(&w[1]) != 1 {
+                return Err(InvalidPath {
+                    reason: format!("{} -> {} is not a unit step", w[0], w[1]),
+                });
+            }
+        }
+        Ok(RoutePath { points })
+    }
+
+    /// The points of the path, in order.
+    #[must_use]
+    pub fn points(&self) -> &[GridPoint] {
+        &self.points
+    }
+
+    /// Number of planar (in-layer) unit steps.
+    #[must_use]
+    pub fn wirelength(&self) -> u64 {
+        self.points
+            .windows(2)
+            .filter(|w| w[0].layer == w[1].layer)
+            .count() as u64
+    }
+
+    /// Number of via transitions.
+    #[must_use]
+    pub fn via_count(&self) -> u64 {
+        self.points
+            .windows(2)
+            .filter(|w| w[0].layer != w[1].layer)
+            .count() as u64
+    }
+
+    /// Source point.
+    #[must_use]
+    pub fn source(&self) -> GridPoint {
+        self.points[0]
+    }
+
+    /// Target point.
+    #[must_use]
+    pub fn target(&self) -> GridPoint {
+        *self.points.last().expect("non-empty")
+    }
+
+    /// Fragments the path into maximal straight wire rectangles per layer.
+    ///
+    /// Turn cells belong to both adjacent fragments (they overlap by one
+    /// cell), matching the rectilinear-polygon fragmentation of Theorem 3;
+    /// via landings that carry no planar run on a layer become `1×1`
+    /// fragments.
+    #[must_use]
+    pub fn fragments(&self) -> Vec<(Layer, TrackRect)> {
+        let mut out = Vec::new();
+        let pts = &self.points;
+        let mut run_start = 0usize;
+        let mut i = 0usize;
+        while i < pts.len() {
+            // Find the end of the same-layer run starting at run_start.
+            if i + 1 < pts.len() && pts[i + 1].layer == pts[run_start].layer {
+                i += 1;
+                continue;
+            }
+            // Run is pts[run_start..=i] on a single layer.
+            emit_layer_run(&pts[run_start..=i], &mut out);
+            i += 1;
+            run_start = i;
+        }
+        out
+    }
+}
+
+fn emit_layer_run(run: &[GridPoint], out: &mut Vec<(Layer, TrackRect)>) {
+    let layer = run[0].layer;
+    if run.len() == 1 {
+        out.push((layer, TrackRect::cell(run[0].x, run[0].y)));
+        return;
+    }
+    let mut seg_start = 0usize;
+    for i in 1..run.len() {
+        let prev_dir = direction(run[i - 1], run[i]);
+        let next_same = i + 1 < run.len() && direction(run[i], run[i + 1]) == prev_dir;
+        if !next_same {
+            // Maximal straight segment run[seg_start..=i].
+            let a = run[seg_start];
+            let b = run[i];
+            out.push((layer, TrackRect::new(a.x, a.y, b.x, b.y)));
+            seg_start = i;
+        }
+    }
+}
+
+fn direction(a: GridPoint, b: GridPoint) -> (i32, i32) {
+    ((b.x - a.x).signum(), (b.y - a.y).signum())
+}
+
+impl fmt::Display for RoutePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "path {} -> {} ({} segs, {} vias)",
+            self.source(),
+            self.target(),
+            self.wirelength(),
+            self.via_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(l: u8, x: i32, y: i32) -> GridPoint {
+        GridPoint::new(Layer(l), x, y)
+    }
+
+    #[test]
+    fn rejects_bad_sequences() {
+        assert!(RoutePath::new(vec![]).is_err());
+        assert!(RoutePath::new(vec![p(0, 0, 0), p(0, 2, 0)]).is_err());
+        assert!(RoutePath::new(vec![p(0, 0, 0), p(0, 0, 0)]).is_err());
+        assert!(RoutePath::new(vec![p(0, 0, 0), p(2, 0, 0)]).is_err());
+    }
+
+    #[test]
+    fn single_point_path() {
+        let path = RoutePath::new(vec![p(0, 3, 3)]).unwrap();
+        assert_eq!(path.wirelength(), 0);
+        assert_eq!(path.fragments(), vec![(Layer(0), TrackRect::cell(3, 3))]);
+    }
+
+    #[test]
+    fn l_shape_fragments_share_corner() {
+        let path = RoutePath::new(vec![
+            p(0, 0, 0),
+            p(0, 1, 0),
+            p(0, 2, 0),
+            p(0, 2, 1),
+            p(0, 2, 2),
+        ])
+        .unwrap();
+        assert_eq!(
+            path.fragments(),
+            vec![
+                (Layer(0), TrackRect::new(0, 0, 2, 0)),
+                (Layer(0), TrackRect::new(2, 0, 2, 2)),
+            ]
+        );
+        assert_eq!(path.wirelength(), 4);
+    }
+
+    #[test]
+    fn via_splits_runs() {
+        let path = RoutePath::new(vec![
+            p(0, 0, 0),
+            p(0, 1, 0),
+            p(1, 1, 0), // via up
+            p(1, 1, 1),
+            p(1, 1, 2),
+        ])
+        .unwrap();
+        assert_eq!(path.via_count(), 1);
+        assert_eq!(path.wirelength(), 3);
+        assert_eq!(
+            path.fragments(),
+            vec![
+                (Layer(0), TrackRect::new(0, 0, 1, 0)),
+                (Layer(1), TrackRect::new(1, 0, 1, 2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn via_landing_without_run_is_point_fragment() {
+        // Up and immediately onwards on layer 2: layer 1 sees nothing;
+        // a stacked via path 0 -> 1 -> 2 leaves 1x1 fragments on layer 1.
+        let path = RoutePath::new(vec![p(0, 5, 5), p(1, 5, 5), p(2, 5, 5), p(2, 6, 5)]).unwrap();
+        let frags = path.fragments();
+        assert_eq!(
+            frags,
+            vec![
+                (Layer(0), TrackRect::cell(5, 5)),
+                (Layer(1), TrackRect::cell(5, 5)),
+                (Layer(2), TrackRect::new(5, 5, 6, 5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn zigzag_fragments() {
+        let path = RoutePath::new(vec![
+            p(0, 0, 0),
+            p(0, 1, 0),
+            p(0, 1, 1),
+            p(0, 2, 1),
+            p(0, 2, 2),
+        ])
+        .unwrap();
+        assert_eq!(
+            path.fragments(),
+            vec![
+                (Layer(0), TrackRect::new(0, 0, 1, 0)),
+                (Layer(0), TrackRect::new(1, 0, 1, 1)),
+                (Layer(0), TrackRect::new(1, 1, 2, 1)),
+                (Layer(0), TrackRect::new(2, 1, 2, 2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn display() {
+        let path = RoutePath::new(vec![p(0, 0, 0), p(0, 1, 0)]).unwrap();
+        assert!(path.to_string().contains("->"));
+    }
+}

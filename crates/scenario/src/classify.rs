@@ -1,0 +1,369 @@
+//! Geometric classification of dependent rectangle pairs into the 11
+//! potential overlay scenarios.
+
+use crate::cost::CostTable;
+use crate::kind::ScenarioKind;
+use sadp_geom::{DesignRules, Dir, Orientation, TrackRect};
+use std::fmt;
+
+/// A classified potential overlay scenario between two rectangles.
+///
+/// The [`CostTable`] is oriented for the argument order of [`classify`]:
+/// `table.entry(Assignment::CS)` is the cost of coloring the *first*
+/// argument core and the *second* argument second, regardless of which of
+/// the two is the canonical "A" pattern of the scenario definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Which of the 11 scenarios the pair forms.
+    pub kind: ScenarioKind,
+    /// Per-assignment side-overlay cost, oriented for the caller's order.
+    pub table: CostTable,
+    /// Facing-overlap length in cells (1 for tip/diagonal scenarios).
+    pub overlap_cells: i32,
+    /// Whether the canonical "A" pattern is the caller's *second* argument.
+    pub swapped: bool,
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.kind, self.table)
+    }
+}
+
+/// The facing-boundary kind of one rectangle in an axis-aligned pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Facing {
+    /// The long edge faces the partner.
+    Side,
+    /// The short (line-end) edge faces the partner.
+    Tip,
+}
+
+fn facing(rect: &TrackRect, gap_axis: Dir) -> Facing {
+    match rect.orientation().axis() {
+        Some(axis) if axis == gap_axis => Facing::Tip,
+        Some(_) => Facing::Side,
+        // A 1×1 fragment's facing edge has length w_line: a tip.
+        None => Facing::Tip,
+    }
+}
+
+/// Resolves the wire axis of a fragment, falling back to the partner's axis
+/// for `1×1` fragments (and to horizontal if both are points).
+fn resolved_axes(a: &TrackRect, b: &TrackRect) -> (Dir, Dir) {
+    match (a.orientation(), b.orientation()) {
+        (Orientation::Point, Orientation::Point) => (Dir::Horizontal, Dir::Horizontal),
+        (Orientation::Point, o) => {
+            let d = o.axis().expect("non-point");
+            (d, d)
+        }
+        (o, Orientation::Point) => {
+            let d = o.axis().expect("non-point");
+            (d, d)
+        }
+        (oa, ob) => (oa.axis().expect("non-point"), ob.axis().expect("non-point")),
+    }
+}
+
+/// Classifies a pair of wire-fragment rectangles into a potential overlay
+/// scenario (Theorems 2–3).
+///
+/// Returns `None` when the pair is *independent* (distance ≥ `d_indep`,
+/// Theorem 1) or when the rectangles touch or overlap — touching fragments
+/// belong to the same rectilinear polygon, which induces no overlay between
+/// its own fragments (Theorem 3), so the caller is expected to filter
+/// same-net pairs; touching fragments of *different* nets are a spacing
+/// violation the router never produces.
+///
+/// # Example
+///
+/// ```
+/// use sadp_geom::{DesignRules, TrackRect};
+/// use sadp_scenario::{classify, ScenarioKind};
+///
+/// let rules = DesignRules::node_10nm();
+/// // Collinear tip-to-tip wires one pitch apart: type 1-b (merge-and-cut).
+/// let a = TrackRect::new(0, 0, 4, 0);
+/// let b = TrackRect::new(6, 0, 9, 0);
+/// let s = classify(&a, &b, &rules).unwrap();
+/// assert_eq!(s.kind, ScenarioKind::TwoC); // gap 2: no constraint
+/// let b = TrackRect::new(5, 0, 9, 0);
+/// assert_eq!(classify(&a, &b, &rules).unwrap().kind, ScenarioKind::OneB);
+/// ```
+#[must_use]
+pub fn classify(a: &TrackRect, b: &TrackRect, rules: &DesignRules) -> Option<Scenario> {
+    let (dx, dy) = a.track_gap(b);
+    if dx == 0 && dy == 0 {
+        return None; // touching or overlapping: same polygon (Theorem 3)
+    }
+    if !rules.gap_is_dependent(dx, dy) {
+        return None; // independent (Theorem 1)
+    }
+
+    if dx == 0 || dy == 0 {
+        classify_axis_aligned(a, b, dx, dy)
+    } else {
+        classify_diagonal(a, b, dx, dy)
+    }
+}
+
+fn classify_axis_aligned(a: &TrackRect, b: &TrackRect, dx: i32, dy: i32) -> Option<Scenario> {
+    let gap_axis = if dx > 0 { Dir::Horizontal } else { Dir::Vertical };
+    let d = dx + dy; // 1 or 2 by the dependence table
+    debug_assert!((1..=2).contains(&d));
+    let fa = facing(a, gap_axis);
+    let fb = facing(b, gap_axis);
+    let overlap = match gap_axis {
+        Dir::Horizontal => a.overlap_y(b),
+        Dir::Vertical => a.overlap_x(b),
+    };
+
+    let (kind, swapped) = match (fa, fb, d) {
+        (Facing::Side, Facing::Side, 1) => (ScenarioKind::OneA, false),
+        (Facing::Side, Facing::Side, _) => (ScenarioKind::TwoA, false),
+        (Facing::Tip, Facing::Tip, 1) => (ScenarioKind::OneB, false),
+        (Facing::Tip, Facing::Tip, _) => (ScenarioKind::TwoC, false),
+        // Mixed: the canonical "A" of types 2-b/2-d is the tip pattern.
+        (Facing::Tip, Facing::Side, 1) => (ScenarioKind::TwoB, false),
+        (Facing::Side, Facing::Tip, 1) => (ScenarioKind::TwoB, true),
+        (Facing::Tip, Facing::Side, _) => (ScenarioKind::TwoD, false),
+        (Facing::Side, Facing::Tip, _) => (ScenarioKind::TwoD, true),
+    };
+    Some(oriented(kind, overlap, swapped))
+}
+
+fn classify_diagonal(a: &TrackRect, b: &TrackRect, dx: i32, dy: i32) -> Option<Scenario> {
+    debug_assert!(dx > 0 && dy > 0);
+    let (axis_a, axis_b) = resolved_axes(a, b);
+
+    if axis_a == axis_b {
+        // Parallel diagonal / echelon.
+        if dx == 1 && dy == 1 {
+            return Some(oriented(ScenarioKind::ThreeA, 1, false));
+        }
+        let axial = match axis_a {
+            Dir::Horizontal => dx,
+            Dir::Vertical => dy,
+        };
+        let kind = if axial >= 2 {
+            ScenarioKind::ThreeD
+        } else {
+            ScenarioKind::ThreeE
+        };
+        Some(oriented(kind, 1, false))
+    } else {
+        // Orthogonal diagonal.
+        if dx == 1 && dy == 1 {
+            return Some(oriented(ScenarioKind::ThreeB, 1, false));
+        }
+        // Offsets are {1, 2}: the canonical "A" of type 3-c is the pattern
+        // whose gap along its own wire axis is 1 (its tip faces the
+        // partner's side).
+        let axial_a = match axis_a {
+            Dir::Horizontal => dx,
+            Dir::Vertical => dy,
+        };
+        let swapped = axial_a != 1;
+        Some(oriented(ScenarioKind::ThreeC, 1, swapped))
+    }
+}
+
+fn oriented(kind: ScenarioKind, overlap: i32, swapped: bool) -> Scenario {
+    let canonical = kind.table_with_overlap(overlap);
+    Scenario {
+        kind,
+        table: if swapped {
+            canonical.swapped()
+        } else {
+            canonical
+        },
+        overlap_cells: overlap,
+        swapped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Assignment;
+    use sadp_geom::DesignRules;
+
+    fn rules() -> DesignRules {
+        DesignRules::node_10nm()
+    }
+
+    fn kind_of(a: TrackRect, b: TrackRect) -> Option<ScenarioKind> {
+        classify(&a, &b, &rules()).map(|s| s.kind)
+    }
+
+    #[test]
+    fn independent_and_touching_pairs() {
+        let a = TrackRect::new(0, 0, 5, 0);
+        // Same track, overlapping: touching.
+        assert_eq!(kind_of(a, TrackRect::new(3, 0, 9, 0)), None);
+        // Three tracks away: independent.
+        assert_eq!(kind_of(a, TrackRect::new(0, 3, 5, 3)), None);
+        // Diagonal (2,2): independent (distance exactly d_indep).
+        assert_eq!(kind_of(a, TrackRect::new(7, 2, 7, 8)), None);
+    }
+
+    #[test]
+    fn type_1a_side_by_side() {
+        let a = TrackRect::new(0, 0, 5, 0);
+        let b = TrackRect::new(1, 1, 7, 1);
+        let s = classify(&a, &b, &rules()).unwrap();
+        assert_eq!(s.kind, ScenarioKind::OneA);
+        assert_eq!(s.overlap_cells, 5);
+        assert_eq!(s.table.hard_parity(), Some(true));
+        // Vertical variant.
+        let a = TrackRect::new(0, 0, 0, 5);
+        let b = TrackRect::new(1, 2, 1, 9);
+        assert_eq!(kind_of(a, b), Some(ScenarioKind::OneA));
+    }
+
+    #[test]
+    fn type_1a_single_cell_overlap_is_nonhard() {
+        let a = TrackRect::new(0, 0, 5, 0);
+        let b = TrackRect::new(5, 1, 9, 1);
+        let s = classify(&a, &b, &rules()).unwrap();
+        assert_eq!(s.kind, ScenarioKind::OneA);
+        assert_eq!(s.overlap_cells, 1);
+        assert_eq!(s.table.hard_parity(), None);
+    }
+
+    #[test]
+    fn type_1b_tip_to_tip() {
+        let a = TrackRect::new(0, 0, 4, 0);
+        let b = TrackRect::new(5, 0, 9, 0);
+        let s = classify(&a, &b, &rules()).unwrap();
+        assert_eq!(s.kind, ScenarioKind::OneB);
+        assert_eq!(s.table.hard_parity(), Some(false));
+        // Vertical stacked.
+        let a = TrackRect::new(2, 0, 2, 3);
+        let b = TrackRect::new(2, 4, 2, 8);
+        assert_eq!(kind_of(a, b), Some(ScenarioKind::OneB));
+    }
+
+    #[test]
+    fn type_2a_2c_gap_two() {
+        let a = TrackRect::new(0, 0, 5, 0);
+        assert_eq!(kind_of(a, TrackRect::new(0, 2, 5, 2)), Some(ScenarioKind::TwoA));
+        assert_eq!(kind_of(a, TrackRect::new(7, 0, 11, 0)), Some(ScenarioKind::TwoC));
+    }
+
+    #[test]
+    fn type_2b_tip_to_side_orientation() {
+        // Vertical wire whose bottom tip faces a horizontal wire's side.
+        let h = TrackRect::new(0, 0, 6, 0);
+        let v = TrackRect::new(3, 1, 3, 6);
+        let s = classify(&h, &v, &rules()).unwrap();
+        assert_eq!(s.kind, ScenarioKind::TwoB);
+        // Canonical A is the tip pattern (the vertical wire) = caller's b.
+        assert!(s.swapped);
+        // Cut risk sits on (tip=core, side=second) = caller's SC.
+        assert!(s.table.entry(Assignment::SC).has_cut_risk());
+        assert!(!s.table.entry(Assignment::CS).has_cut_risk());
+
+        let s2 = classify(&v, &h, &rules()).unwrap();
+        assert_eq!(s2.kind, ScenarioKind::TwoB);
+        assert!(!s2.swapped);
+        assert!(s2.table.entry(Assignment::CS).has_cut_risk());
+    }
+
+    #[test]
+    fn type_2d_tip_to_side_gap_two() {
+        let h = TrackRect::new(0, 0, 6, 0);
+        let v = TrackRect::new(3, 2, 3, 6);
+        assert_eq!(kind_of(h, v), Some(ScenarioKind::TwoD));
+    }
+
+    #[test]
+    fn type_3a_parallel_diagonal() {
+        let a = TrackRect::new(0, 0, 4, 0);
+        let b = TrackRect::new(5, 1, 9, 1);
+        assert_eq!(kind_of(a, b), Some(ScenarioKind::ThreeA));
+    }
+
+    #[test]
+    fn type_3b_orthogonal_diagonal() {
+        let h = TrackRect::new(0, 0, 4, 0);
+        let v = TrackRect::new(5, 1, 5, 5);
+        assert_eq!(kind_of(h, v), Some(ScenarioKind::ThreeB));
+    }
+
+    #[test]
+    fn type_3c_orientation() {
+        // Horizontal wire, axial (x) gap 1; vertical wire, axial (y) gap 2:
+        // the horizontal wire's tip faces the vertical wire's side.
+        let h = TrackRect::new(0, 0, 4, 0);
+        let v = TrackRect::new(5, 2, 5, 7);
+        let s = classify(&h, &v, &rules()).unwrap();
+        assert_eq!(s.kind, ScenarioKind::ThreeC);
+        assert!(!s.swapped);
+        // CS (tip core, side second) is the penalised assignment.
+        assert_eq!(s.table.entry(Assignment::CS).overlay_units(), Some(1));
+        assert_eq!(s.table.entry(Assignment::SC).overlay_units(), Some(0));
+
+        let s2 = classify(&v, &h, &rules()).unwrap();
+        assert_eq!(s2.kind, ScenarioKind::ThreeC);
+        assert!(s2.swapped);
+        assert_eq!(s2.table.entry(Assignment::SC).overlay_units(), Some(1));
+    }
+
+    #[test]
+    fn type_3d_3e_echelon() {
+        // Horizontal wires: axial (x) gap 2, perpendicular gap 1 -> 3-d.
+        let a = TrackRect::new(0, 0, 4, 0);
+        let b = TrackRect::new(6, 1, 10, 1);
+        assert_eq!(kind_of(a, b), Some(ScenarioKind::ThreeD));
+        // Axial gap 1, perpendicular gap 2 -> 3-e.
+        let b = TrackRect::new(5, 2, 9, 2);
+        assert_eq!(kind_of(a, b), Some(ScenarioKind::ThreeE));
+        // Vertical wires mirror the rule.
+        let a = TrackRect::new(0, 0, 0, 4);
+        let b = TrackRect::new(1, 6, 1, 10);
+        assert_eq!(kind_of(a, b), Some(ScenarioKind::ThreeD));
+    }
+
+    #[test]
+    fn point_fragments_resolve_against_partner() {
+        // A 1x1 via landing tip-to-side against a horizontal wire.
+        let h = TrackRect::new(0, 0, 6, 0);
+        let p = TrackRect::cell(3, 1);
+        let s = classify(&h, &p, &rules()).unwrap();
+        assert_eq!(s.kind, ScenarioKind::TwoB);
+        // Two point fragments tip-to-tip.
+        let a = TrackRect::cell(0, 0);
+        let b = TrackRect::cell(1, 0);
+        assert_eq!(kind_of(a, b), Some(ScenarioKind::OneB));
+        // Point diagonal to a wire: parallel diagonal (3-a).
+        let b = TrackRect::new(1, 1, 5, 1);
+        assert_eq!(kind_of(a, b), Some(ScenarioKind::ThreeA));
+    }
+
+    #[test]
+    fn classification_is_symmetric_in_kind() {
+        // Classifying (a,b) and (b,a) yields the same kind, and tables that
+        // are swaps of each other.
+        let pairs = [
+            (TrackRect::new(0, 0, 5, 0), TrackRect::new(1, 1, 7, 1)),
+            (TrackRect::new(0, 0, 4, 0), TrackRect::new(5, 0, 9, 0)),
+            (TrackRect::new(0, 0, 6, 0), TrackRect::new(3, 1, 3, 6)),
+            (TrackRect::new(0, 0, 4, 0), TrackRect::new(5, 2, 5, 7)),
+        ];
+        for (a, b) in pairs {
+            let s1 = classify(&a, &b, &rules()).unwrap();
+            let s2 = classify(&b, &a, &rules()).unwrap();
+            assert_eq!(s1.kind, s2.kind);
+            assert_eq!(s1.table.swapped(), s2.table);
+        }
+    }
+
+    #[test]
+    fn display_shows_kind_and_table() {
+        let a = TrackRect::new(0, 0, 5, 0);
+        let b = TrackRect::new(1, 1, 7, 1);
+        let s = classify(&a, &b, &rules()).unwrap();
+        assert!(s.to_string().contains("type 1-a"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Mask colors and pair color assignments (Table I of the paper).
+
+use std::fmt;
+use std::ops::Not;
+
+/// The mask color of a pattern in the SADP cut process.
+///
+/// A *core* pattern is printed directly by the core mask; a *second*
+/// pattern is formed by the spacer-bounded gap and trimmed by the cut mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Color {
+    /// Main core pattern (directly defined by the core mask).
+    Core,
+    /// Second pattern (defined by spacers and the cut mask).
+    Second,
+}
+
+impl Color {
+    /// Both colors, in `[Core, Second]` order.
+    pub const ALL: [Color; 2] = [Color::Core, Color::Second];
+
+    /// The single-letter notation used by the paper (`C`/`S`).
+    #[must_use]
+    pub fn letter(self) -> char {
+        match self {
+            Color::Core => 'C',
+            Color::Second => 'S',
+        }
+    }
+
+    /// The opposite color (the "flip" of the color flipping algorithm).
+    #[must_use]
+    pub fn flipped(self) -> Color {
+        match self {
+            Color::Core => Color::Second,
+            Color::Second => Color::Core,
+        }
+    }
+
+    /// Index (0 for core, 1 for second), used for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Color::Core => 0,
+            Color::Second => 1,
+        }
+    }
+}
+
+impl Not for Color {
+    type Output = Color;
+    fn not(self) -> Color {
+        self.flipped()
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Color::Core => write!(f, "core"),
+            Color::Second => write!(f, "second"),
+        }
+    }
+}
+
+/// A color assignment of an *ordered* pattern pair `(A, B)`.
+///
+/// Follows the paper's notation: `CS` means A is a core pattern and B a
+/// second pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Assignment {
+    /// A core, B core.
+    CC,
+    /// A core, B second.
+    CS,
+    /// A second, B core.
+    SC,
+    /// A second, B second.
+    SS,
+}
+
+impl Assignment {
+    /// All four assignments, in `[CC, CS, SC, SS]` order.
+    pub const ALL: [Assignment; 4] = [
+        Assignment::CC,
+        Assignment::CS,
+        Assignment::SC,
+        Assignment::SS,
+    ];
+
+    /// Builds the assignment from the colors of A and B.
+    #[must_use]
+    pub fn from_colors(a: Color, b: Color) -> Assignment {
+        match (a, b) {
+            (Color::Core, Color::Core) => Assignment::CC,
+            (Color::Core, Color::Second) => Assignment::CS,
+            (Color::Second, Color::Core) => Assignment::SC,
+            (Color::Second, Color::Second) => Assignment::SS,
+        }
+    }
+
+    /// The color of pattern A.
+    #[must_use]
+    pub fn color_a(self) -> Color {
+        match self {
+            Assignment::CC | Assignment::CS => Color::Core,
+            Assignment::SC | Assignment::SS => Color::Second,
+        }
+    }
+
+    /// The color of pattern B.
+    #[must_use]
+    pub fn color_b(self) -> Color {
+        match self {
+            Assignment::CC | Assignment::SC => Color::Core,
+            Assignment::CS | Assignment::SS => Color::Second,
+        }
+    }
+
+    /// The assignment with the roles of A and B exchanged (`CS` ↔ `SC`).
+    #[must_use]
+    pub fn swapped(self) -> Assignment {
+        match self {
+            Assignment::CS => Assignment::SC,
+            Assignment::SC => Assignment::CS,
+            other => other,
+        }
+    }
+
+    /// Whether both patterns have the same color.
+    #[must_use]
+    pub fn is_same_color(self) -> bool {
+        matches!(self, Assignment::CC | Assignment::SS)
+    }
+
+    /// Lookup index in `[CC, CS, SC, SS]` order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Assignment::CC => 0,
+            Assignment::CS => 1,
+            Assignment::SC => 2,
+            Assignment::SS => 3,
+        }
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.color_a().letter(), self.color_b().letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involution() {
+        for c in Color::ALL {
+            assert_eq!(c.flipped().flipped(), c);
+            assert_eq!(!c, c.flipped());
+        }
+    }
+
+    #[test]
+    fn assignment_round_trips_colors() {
+        for a in Color::ALL {
+            for b in Color::ALL {
+                let asg = Assignment::from_colors(a, b);
+                assert_eq!(asg.color_a(), a);
+                assert_eq!(asg.color_b(), b);
+            }
+        }
+    }
+
+    #[test]
+    fn swapped_exchanges_roles() {
+        assert_eq!(Assignment::CS.swapped(), Assignment::SC);
+        assert_eq!(Assignment::CC.swapped(), Assignment::CC);
+        for asg in Assignment::ALL {
+            assert_eq!(asg.swapped().swapped(), asg);
+            assert_eq!(asg.swapped().color_a(), asg.color_b());
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Assignment::CC.to_string(), "CC");
+        assert_eq!(Assignment::CS.to_string(), "CS");
+        assert_eq!(Assignment::SC.to_string(), "SC");
+        assert_eq!(Assignment::SS.to_string(), "SS");
+        assert_eq!(Color::Core.to_string(), "core");
+    }
+
+    #[test]
+    fn indices_are_consistent() {
+        for (i, asg) in Assignment::ALL.iter().enumerate() {
+            assert_eq!(asg.index(), i);
+        }
+        assert_eq!(Color::Core.index(), 0);
+        assert_eq!(Color::Second.index(), 1);
+    }
+
+    #[test]
+    fn same_color_predicate() {
+        assert!(Assignment::CC.is_same_color());
+        assert!(Assignment::SS.is_same_color());
+        assert!(!Assignment::CS.is_same_color());
+    }
+}

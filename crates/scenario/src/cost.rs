@@ -1,0 +1,344 @@
+//! Side-overlay cost tables for scenario color assignments.
+
+use crate::color::Assignment;
+use std::fmt;
+
+/// The consequence of one color assignment of a scenario pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cost {
+    /// The assignment induces `units` units of (nonhard) side overlay; one
+    /// unit is `w_line` of overlay length. If `cut_risk` is set, the
+    /// assignment additionally produces a pair of cut-defined boundaries
+    /// within `d_cut` — a type-A cut conflict — and must be avoided by a
+    /// conflict-free router.
+    Units {
+        /// Total side-overlay length in `w_line` units.
+        units: u32,
+        /// Whether the assignment risks a type-A cut conflict.
+        cut_risk: bool,
+    },
+    /// The assignment induces a *hard overlay* (side overlay longer than
+    /// `w_line`) and is strictly forbidden.
+    HardOverlay,
+}
+
+impl Cost {
+    /// A plain overlay cost with no cut risk.
+    #[must_use]
+    pub fn units(units: u32) -> Cost {
+        Cost::Units {
+            units,
+            cut_risk: false,
+        }
+    }
+
+    /// An overlay cost that additionally risks a type-A cut conflict.
+    #[must_use]
+    pub fn units_with_cut_risk(units: u32) -> Cost {
+        Cost::Units {
+            units,
+            cut_risk: true,
+        }
+    }
+
+    /// Whether the assignment is strictly forbidden (hard overlay).
+    #[must_use]
+    pub fn is_forbidden(self) -> bool {
+        matches!(self, Cost::HardOverlay)
+    }
+
+    /// Whether the assignment risks a type-A cut conflict.
+    #[must_use]
+    pub fn has_cut_risk(self) -> bool {
+        matches!(self, Cost::Units { cut_risk: true, .. })
+    }
+
+    /// The finite overlay units, if the assignment is allowed.
+    #[must_use]
+    pub fn overlay_units(self) -> Option<u32> {
+        match self {
+            Cost::Units { units, .. } => Some(units),
+            Cost::HardOverlay => None,
+        }
+    }
+
+    /// A single scalar used by coloring optimisation: overlay units, with a
+    /// large penalty for cut risks and a prohibitive one for hard overlays.
+    ///
+    /// The penalties keep the dynamic program total-ordered while ensuring a
+    /// solution avoiding every conflict is always preferred when one exists.
+    #[must_use]
+    pub fn weight(self) -> u64 {
+        match self {
+            Cost::Units { units, cut_risk } => {
+                u64::from(units) + if cut_risk { Cost::CUT_PENALTY } else { 0 }
+            }
+            Cost::HardOverlay => Cost::HARD_PENALTY,
+        }
+    }
+
+    /// Penalty weight of a cut-risk assignment.
+    pub const CUT_PENALTY: u64 = 100_000;
+    /// Penalty weight of a hard-overlay assignment.
+    pub const HARD_PENALTY: u64 = 10_000_000_000;
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cost::Units {
+                units,
+                cut_risk: false,
+            } => write!(f, "{units}"),
+            Cost::Units {
+                units,
+                cut_risk: true,
+            } => write!(f, "{units}+cut"),
+            Cost::HardOverlay => write!(f, "hard"),
+        }
+    }
+}
+
+/// The cost of all four color assignments of an ordered pair `(A, B)`.
+///
+/// Indexed in `[CC, CS, SC, SS]` order (see [`Assignment::index`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostTable {
+    entries: [Cost; 4],
+}
+
+impl CostTable {
+    /// Builds a table from `[CC, CS, SC, SS]` entries.
+    #[must_use]
+    pub fn new(entries: [Cost; 4]) -> CostTable {
+        CostTable { entries }
+    }
+
+    /// A table with no overlay for any assignment.
+    #[must_use]
+    pub fn zero() -> CostTable {
+        CostTable::new([Cost::units(0); 4])
+    }
+
+    /// The cost of one assignment.
+    #[must_use]
+    pub fn entry(&self, asg: Assignment) -> Cost {
+        self.entries[asg.index()]
+    }
+
+    /// The table with the roles of A and B exchanged.
+    #[must_use]
+    pub fn swapped(&self) -> CostTable {
+        CostTable::new([
+            self.entries[Assignment::CC.index()],
+            self.entries[Assignment::SC.index()],
+            self.entries[Assignment::CS.index()],
+            self.entries[Assignment::SS.index()],
+        ])
+    }
+
+    /// Entry-wise sum of two tables: forbidden beats everything, cut risks
+    /// propagate, units add. Used when a pattern pair induces more than one
+    /// potential overlay scenario (parallel edges, Fig. 10(b)).
+    #[must_use]
+    pub fn merged(&self, other: &CostTable) -> CostTable {
+        let mut out = [Cost::units(0); 4];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = match (self.entries[i], other.entries[i]) {
+                (Cost::HardOverlay, _) | (_, Cost::HardOverlay) => Cost::HardOverlay,
+                (
+                    Cost::Units {
+                        units: u1,
+                        cut_risk: r1,
+                    },
+                    Cost::Units {
+                        units: u2,
+                        cut_risk: r2,
+                    },
+                ) => Cost::Units {
+                    units: u1 + u2,
+                    cut_risk: r1 || r2,
+                },
+            };
+        }
+        CostTable::new(out)
+    }
+
+    /// Minimum overlay units over the allowed assignments ("min SO" of
+    /// Table II). `None` if every assignment is forbidden.
+    #[must_use]
+    pub fn min_so(&self) -> Option<u32> {
+        self.entries.iter().filter_map(|c| c.overlay_units()).min()
+    }
+
+    /// Maximum overlay units over the allowed assignments ("max SO" of
+    /// Table II).
+    #[must_use]
+    pub fn max_so(&self) -> Option<u32> {
+        self.entries.iter().filter_map(|c| c.overlay_units()).max()
+    }
+
+    /// The "stake" of the scenario: how much overlay a bad coloring can add
+    /// versus the optimal one. Used as the maximum-spanning-tree edge
+    /// weight in the color flipping algorithm; hard/cut entries weigh in
+    /// through [`Cost::weight`].
+    #[must_use]
+    pub fn stake(&self) -> u64 {
+        let max = self.entries.iter().map(|c| c.weight()).max().unwrap_or(0);
+        let min = self.entries.iter().map(|c| c.weight()).min().unwrap_or(0);
+        max - min
+    }
+
+    /// Whether at least one assignment is strictly forbidden.
+    #[must_use]
+    pub fn has_forbidden(&self) -> bool {
+        self.entries.iter().any(|c| c.is_forbidden())
+    }
+
+    /// Whether the table constrains the coloring at all (some assignment is
+    /// worse than another).
+    #[must_use]
+    pub fn is_constraining(&self) -> bool {
+        self.stake() > 0
+    }
+
+    /// The parity constraint encoded by the forbidden entries, if the table
+    /// is a *hard* same/different constraint:
+    ///
+    /// * `Some(true)` — the patterns must have **different** colors (CC and
+    ///   SS forbidden; type 1-a),
+    /// * `Some(false)` — the patterns must have the **same** color (CS and
+    ///   SC forbidden; type 1-b),
+    /// * `None` — no full parity constraint.
+    #[must_use]
+    pub fn hard_parity(&self) -> Option<bool> {
+        let f = |a: Assignment| self.entry(a).is_forbidden();
+        if f(Assignment::CC) && f(Assignment::SS) && !f(Assignment::CS) && !f(Assignment::SC) {
+            Some(true)
+        } else if f(Assignment::CS) && f(Assignment::SC) && !f(Assignment::CC) && !f(Assignment::SS)
+        {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for CostTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CC={} CS={} SC={} SS={}",
+            self.entries[0], self.entries[1], self.entries[2], self.entries[3]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CostTable {
+        CostTable::new([
+            Cost::HardOverlay,
+            Cost::units(0),
+            Cost::units_with_cut_risk(2),
+            Cost::units(1),
+        ])
+    }
+
+    #[test]
+    fn entry_lookup() {
+        let t = sample();
+        assert!(t.entry(Assignment::CC).is_forbidden());
+        assert_eq!(t.entry(Assignment::CS).overlay_units(), Some(0));
+        assert!(t.entry(Assignment::SC).has_cut_risk());
+        assert_eq!(t.entry(Assignment::SS).overlay_units(), Some(1));
+    }
+
+    #[test]
+    fn swap_exchanges_cs_sc() {
+        let t = sample().swapped();
+        assert!(t.entry(Assignment::CS).has_cut_risk());
+        assert_eq!(t.entry(Assignment::SC).overlay_units(), Some(0));
+        assert_eq!(sample().swapped().swapped(), sample());
+    }
+
+    #[test]
+    fn merge_adds_units_and_propagates_flags() {
+        let a = CostTable::new([
+            Cost::units(1),
+            Cost::units(0),
+            Cost::units(2),
+            Cost::units(0),
+        ]);
+        let b = CostTable::new([
+            Cost::units(1),
+            Cost::HardOverlay,
+            Cost::units_with_cut_risk(1),
+            Cost::units(0),
+        ]);
+        let m = a.merged(&b);
+        assert_eq!(m.entry(Assignment::CC).overlay_units(), Some(2));
+        assert!(m.entry(Assignment::CS).is_forbidden());
+        assert!(m.entry(Assignment::SC).has_cut_risk());
+        assert_eq!(m.entry(Assignment::SC).overlay_units(), Some(3));
+    }
+
+    #[test]
+    fn min_max_so_ignore_forbidden() {
+        let t = sample();
+        assert_eq!(t.min_so(), Some(0));
+        assert_eq!(t.max_so(), Some(2));
+        let all_hard = CostTable::new([Cost::HardOverlay; 4]);
+        assert_eq!(all_hard.min_so(), None);
+    }
+
+    #[test]
+    fn parity_detection() {
+        let diff = CostTable::new([
+            Cost::HardOverlay,
+            Cost::units(0),
+            Cost::units(0),
+            Cost::HardOverlay,
+        ]);
+        assert_eq!(diff.hard_parity(), Some(true));
+        let same = CostTable::new([
+            Cost::units(0),
+            Cost::HardOverlay,
+            Cost::HardOverlay,
+            Cost::units(0),
+        ]);
+        assert_eq!(same.hard_parity(), Some(false));
+        assert_eq!(sample().hard_parity(), None);
+        assert_eq!(CostTable::zero().hard_parity(), None);
+    }
+
+    #[test]
+    fn stake_and_constraining() {
+        assert!(!CostTable::zero().is_constraining());
+        let t = CostTable::new([
+            Cost::units(1),
+            Cost::units(0),
+            Cost::units(0),
+            Cost::units(0),
+        ]);
+        assert_eq!(t.stake(), 1);
+        assert!(t.is_constraining());
+        assert!(sample().stake() >= Cost::HARD_PENALTY - Cost::CUT_PENALTY);
+    }
+
+    #[test]
+    fn weight_ordering() {
+        assert!(Cost::units(3).weight() < Cost::units_with_cut_risk(0).weight());
+        assert!(Cost::units_with_cut_risk(100).weight() < Cost::HardOverlay.weight());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cost::units(2).to_string(), "2");
+        assert_eq!(Cost::units_with_cut_risk(1).to_string(), "1+cut");
+        assert_eq!(Cost::HardOverlay.to_string(), "hard");
+        assert!(sample().to_string().starts_with("CC=hard"));
+    }
+}

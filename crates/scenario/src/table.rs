@@ -1,0 +1,104 @@
+//! Programmatic regeneration of Table II of the paper.
+
+use crate::kind::ScenarioKind;
+use std::fmt;
+
+/// One row of Table II: the color rule and side-overlay bounds of a
+/// potential overlay scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioSummary {
+    /// The scenario.
+    pub kind: ScenarioKind,
+    /// The optimal color rule.
+    pub color_rule: &'static str,
+    /// Side overlay (in `w_line` units) when the color rule is followed.
+    pub min_so: Option<u32>,
+    /// Maximum side overlay over all allowed assignments.
+    pub max_so: Option<u32>,
+    /// Whether some assignment induces a hard overlay.
+    pub has_hard: bool,
+    /// Whether some assignment risks a type-A cut conflict.
+    pub has_cut_risk: bool,
+}
+
+impl fmt::Display for ScenarioSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:5} | {:24} | {:6} | {:6} | {}",
+            self.kind.name(),
+            self.color_rule,
+            self.min_so.map_or("-".into(), |v| v.to_string()),
+            self.max_so.map_or("-".into(), |v| v.to_string()),
+            if self.has_hard {
+                "hard if violated"
+            } else if self.has_cut_risk {
+                "cut risk"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// Regenerates the rows of Table II for all 11 scenarios.
+///
+/// # Example
+///
+/// ```
+/// use sadp_scenario::scenario_summary;
+/// let rows = scenario_summary();
+/// assert_eq!(rows.len(), 11);
+/// // Type 2-b is the only scenario with unavoidable side overlay.
+/// assert_eq!(rows.iter().filter(|r| r.min_so == Some(1)).count(), 1);
+/// ```
+#[must_use]
+pub fn scenario_summary() -> Vec<ScenarioSummary> {
+    ScenarioKind::ALL
+        .iter()
+        .map(|&kind| {
+            let t = kind.table();
+            ScenarioSummary {
+                kind,
+                color_rule: kind.color_rule(),
+                min_so: t.min_so(),
+                max_so: t.max_so(),
+                has_hard: t.has_forbidden(),
+                has_cut_risk: crate::color::Assignment::ALL
+                    .iter()
+                    .any(|&a| t.entry(a).has_cut_risk()),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_rows() {
+        let rows = scenario_summary();
+        assert_eq!(rows.len(), 11);
+        let hard: Vec<_> = rows.iter().filter(|r| r.has_hard).map(|r| r.kind).collect();
+        assert_eq!(hard, vec![ScenarioKind::OneA, ScenarioKind::OneB]);
+    }
+
+    #[test]
+    fn unconstrained_rows_have_zero_so() {
+        for row in scenario_summary() {
+            if !row.kind.is_constraining() {
+                assert_eq!(row.min_so, Some(0));
+                assert_eq!(row.max_so, Some(0));
+            }
+        }
+    }
+
+    #[test]
+    fn rows_render() {
+        for row in scenario_summary() {
+            let s = row.to_string();
+            assert!(s.contains(row.kind.name()));
+        }
+    }
+}

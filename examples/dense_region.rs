@@ -1,0 +1,43 @@
+//! Routes a congested region with our overlay-aware router and with the
+//! cut-process baseline \[16\], and compares overlay, conflicts and
+//! routability — the Fig. 21-vs-Fig. 22 comparison at block scale.
+//!
+//! Run with: `cargo run --release --example dense_region`
+
+use sadp::baselines::{BaselineKind, BaselineRouter};
+use sadp::prelude::*;
+use sadp_grid::BenchmarkSpec;
+
+fn main() {
+    // A dense synthetic block: Test1 density at 1/20 the area.
+    let spec = BenchmarkSpec::paper_fixed_suite().remove(0).scaled(0.05);
+
+    let (mut plane, netlist) = spec.generate();
+    let mut ours = Router::new(RouterConfig::paper_defaults());
+    let ours_report = ours.route_all(&mut plane, &netlist);
+
+    let (mut plane, netlist) = spec.generate();
+    let mut baseline = BaselineRouter::new(BaselineKind::CutNoMerge);
+    let baseline_report = baseline.route_all(&mut plane, &netlist);
+
+    println!("router                  | Rout.  | overlay | #C");
+    println!(
+        "ours (overlay-aware)    | {:5.1}% | {:7} | {}",
+        ours_report.routability(),
+        ours_report.overlay_units,
+        ours_report.cut_conflicts
+    );
+    println!(
+        "cut w/o merge [16]      | {:5.1}% | {:7} | {}",
+        baseline_report.routability(),
+        baseline_report.overlay_units,
+        baseline_report.cut_conflicts
+    );
+
+    assert_eq!(ours_report.cut_conflicts, 0, "ours is conflict-free");
+    assert_eq!(ours_report.hard_overlay_violations, 0);
+    assert!(
+        ours_report.routability() >= baseline_report.routability(),
+        "the merge technique gives the router more freedom"
+    );
+}

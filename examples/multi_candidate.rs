@@ -1,0 +1,45 @@
+//! Multiple pin candidate locations (the Table IV benchmark style of
+//! baseline \[10\]): the router connects whichever tap pair of the two pin
+//! shapes routes cheapest.
+//!
+//! Run with: `cargo run --example multi_candidate`
+
+use sadp::grid::Pin;
+use sadp::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut plane = RoutingPlane::new(3, 48, 48, DesignRules::node_10nm())?;
+    let p = |x, y| GridPoint::new(Layer(0), x, y);
+
+    // A wall of blockage with a gap near the top: the lower tap pair is
+    // blocked, the upper pair routes straight through the gap.
+    for layer in 0..3 {
+        plane.add_blockage(Layer(layer), TrackRect::new(24, 0, 24, 40));
+    }
+
+    let mut netlist = Netlist::new();
+    let id = netlist.add_net(
+        "flex",
+        Pin::with_candidates(vec![p(10, 10), p(10, 44)]),
+        Pin::with_candidates(vec![p(40, 10), p(40, 44)]),
+    );
+    netlist.add_two_pin("fixed", p(4, 20), p(20, 20));
+
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    let report = router.route_all(&mut plane, &netlist);
+    println!("{report}");
+    assert_eq!(report.routed_nets, 2);
+
+    let routed = &router.routed()[&id];
+    println!(
+        "net 'flex' chose taps {} -> {} ({} tracks, {} vias)",
+        routed.path.source(),
+        routed.path.target(),
+        routed.path.wirelength(),
+        routed.path.via_count()
+    );
+    // The chosen taps are the unblocked pair above the wall.
+    assert_eq!(routed.path.source().y, 44);
+    assert_eq!(routed.path.target().y, 44);
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! `sadp` — command-line front end for the overlay-aware SADP router.
+//!
+//! ```text
+//! sadp route <layout.txt> [--svg DIR] [--masks FILE]   route + verify a layout file
+//! sadp verify <layout.txt>                             route, then pixel-verify only
+//! sadp bench [--scale X] [--seed N]                    route a Test1-family instance
+//! sadp table2                                          print the scenario table
+//! ```
+//!
+//! Layout files use the `sadp_grid::io` text format (see its module docs).
+
+use sadp::core::ScenarioCensus;
+use sadp::decomp::{export_masks, render_svg, verify_layers, ColoredPattern, CutSimulator};
+use sadp::grid::read_layout;
+use sadp::prelude::*;
+use sadp_grid::BenchmarkSpec;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str);
+    let result = match cmd {
+        Some("route") => cmd_route(&args[1..], false),
+        Some("verify") => cmd_route(&args[1..], true),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("table2") => {
+            for row in sadp::scenario::scenario_summary() {
+                println!("{row}");
+            }
+            Ok(())
+        }
+        _ => {
+            eprintln!("usage: sadp <route|verify|bench|table2> [args]");
+            eprintln!("  route <layout.txt> [--svg DIR] [--masks FILE]");
+            eprintln!("  verify <layout.txt>");
+            eprintln!("  bench [--scale X] [--seed N]");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_route(args: &[String], verify_only: bool) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("missing layout file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let (mut plane, netlist) = read_layout(&text).map_err(|e| e.to_string())?;
+
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    let report = router.route_all(&mut plane, &netlist);
+    println!("{report}\n");
+
+    let layers: Vec<_> = (0..plane.layers())
+        .map(|l| router.patterns_on_layer(Layer(l)))
+        .collect();
+    let verdict = verify_layers(&layers, plane.rules());
+    println!("{verdict}");
+
+    if verify_only {
+        if verdict.is_decomposable() && report.cut_conflicts == 0 {
+            return Ok(());
+        }
+        return Err("layout did not verify".into());
+    }
+
+    println!("\n{}", ScenarioCensus::of(&router));
+
+    if let Some(dir) = flag_value(args, "--svg") {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        let sim = CutSimulator::new(*plane.rules());
+        for (l, layer_patterns) in layers.iter().enumerate() {
+            if layer_patterns.is_empty() {
+                continue;
+            }
+            let pats: Vec<ColoredPattern> = layer_patterns
+                .iter()
+                .map(|(n, c, r)| ColoredPattern::new(*n, *c, r.clone()))
+                .collect();
+            let d = sim.run(&pats);
+            let file = format!("{dir}/m{}.svg", l + 1);
+            std::fs::write(&file, render_svg(&d, &pats)).map_err(|e| e.to_string())?;
+            println!("wrote {file}");
+        }
+    }
+    if let Some(file) = flag_value(args, "--masks") {
+        let sim = CutSimulator::new(*plane.rules());
+        let mut out = String::new();
+        for (l, layer_patterns) in layers.iter().enumerate() {
+            if layer_patterns.is_empty() {
+                continue;
+            }
+            let pats: Vec<ColoredPattern> = layer_patterns
+                .iter()
+                .map(|(n, c, r)| ColoredPattern::new(*n, *c, r.clone()))
+                .collect();
+            out.push_str(&format!("# layer M{}\n", l + 1));
+            out.push_str(&export_masks(&sim.run(&pats)));
+        }
+        std::fs::write(file, out).map_err(|e| e.to_string())?;
+        println!("wrote {file}");
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let scale: f64 = flag_value(args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.1);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(101);
+    let spec = BenchmarkSpec::paper_fixed_suite()
+        .remove(0)
+        .scaled(scale)
+        .with_seed(seed);
+    println!(
+        "benchmark {}: {} nets on {}x{}x{} tracks",
+        spec.name, spec.net_count, spec.width_tracks, spec.height_tracks, spec.layers
+    );
+    let (mut plane, netlist) = spec.generate();
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    let report = router.route_all(&mut plane, &netlist);
+    println!("{report}");
+    if report.cut_conflicts != 0 {
+        return Err("cut conflicts remained (this should be impossible)".into());
+    }
+    Ok(())
+}

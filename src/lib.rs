@@ -1,0 +1,47 @@
+//! # sadp — overlay-aware detailed routing for SADP lithography (cut process)
+//!
+//! Facade crate re-exporting the public API of the workspace: a from-scratch
+//! reproduction of Liu, Fang & Chang, *"Overlay-Aware Detailed Routing for
+//! Self-Aligned Double Patterning Lithography Using the Cut Process"*
+//! (DAC 2014 / TCAD 2016).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sadp::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A tiny 3-layer plane with two nets.
+//! let rules = DesignRules::node_10nm();
+//! let mut plane = RoutingPlane::new(3, 32, 32, rules)?;
+//! let mut netlist = Netlist::new();
+//! netlist.add_two_pin("n0", GridPoint::new(Layer(0), 2, 2), GridPoint::new(Layer(0), 20, 9));
+//! netlist.add_two_pin("n1", GridPoint::new(Layer(0), 2, 4), GridPoint::new(Layer(0), 20, 4));
+//!
+//! let mut router = Router::new(RouterConfig::paper_defaults());
+//! let report = router.route_all(&mut plane, &netlist);
+//! assert_eq!(report.hard_overlay_violations, 0);
+//! assert_eq!(report.cut_conflicts, 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the crate-level docs of the member crates for details:
+//! [`sadp_geom`], [`sadp_grid`], [`sadp_scenario`], [`sadp_graph`],
+//! [`sadp_decomp`], [`sadp_core`], [`sadp_baselines`].
+
+pub use sadp_baselines as baselines;
+pub use sadp_core as core;
+pub use sadp_decomp as decomp;
+pub use sadp_geom as geom;
+pub use sadp_graph as graph;
+pub use sadp_grid as grid;
+pub use sadp_scenario as scenario;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use sadp_core::{Router, RouterConfig, RoutingReport};
+    pub use sadp_geom::{DesignRules, GridPoint, Layer, Nm, TrackRect};
+    pub use sadp_grid::{Net, NetId, Netlist, RoutingPlane};
+    pub use sadp_scenario::{Assignment, Color, ScenarioKind};
+}

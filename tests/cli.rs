@@ -1,0 +1,75 @@
+//! Smoke tests for the `sadp` command-line binary.
+
+use std::process::Command;
+
+fn sadp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sadp"))
+}
+
+#[test]
+fn verify_accepts_a_good_fixture() {
+    let out = sadp()
+        .args(["verify", "fixtures/odd_cycle.layout"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains("verdict: decomposable"), "{stdout}");
+    assert!(stdout.contains("0 cut conflicts"));
+}
+
+#[test]
+fn route_writes_svg_and_masks() {
+    let dir = std::env::temp_dir().join("sadp_cli_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let svg_dir = dir.join("svg");
+    let masks = dir.join("masks.txt");
+    let out = sadp()
+        .args([
+            "route",
+            "fixtures/clock_tree.layout",
+            "--svg",
+            svg_dir.to_str().unwrap(),
+            "--masks",
+            masks.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let svg = std::fs::read_to_string(svg_dir.join("m1.svg")).expect("m1.svg written");
+    assert!(svg.starts_with("<svg"));
+    let mask_text = std::fs::read_to_string(&masks).expect("masks written");
+    assert!(mask_text.lines().any(|l| l.starts_with("core ")));
+    assert!(mask_text.lines().any(|l| l.starts_with("cut ")));
+}
+
+#[test]
+fn bench_subcommand_reports_conflict_free() {
+    let out = sadp()
+        .args(["bench", "--scale", "0.04"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("0 cut conflicts"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_fails_with_code_2() {
+    let out = sadp().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = sadp()
+        .args(["route", "/nonexistent.layout"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"));
+}

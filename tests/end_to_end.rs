@@ -1,0 +1,132 @@
+//! End-to-end integration tests: benchmark generation → routing →
+//! constraint-graph evaluation → decomposability.
+
+use sadp::prelude::*;
+use sadp_grid::BenchmarkSpec;
+
+fn route_spec(spec: &BenchmarkSpec) -> (Router, RoutingReport) {
+    let (mut plane, netlist) = spec.generate();
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    let report = router.route_all(&mut plane, &netlist);
+    (router, report)
+}
+
+#[test]
+fn scaled_test1_routes_conflict_free() {
+    let spec = BenchmarkSpec::paper_fixed_suite().remove(0).scaled(0.08);
+    let (_, report) = route_spec(&spec);
+    assert!(
+        report.routability() >= 85.0,
+        "routability {:.1}% too low",
+        report.routability()
+    );
+    assert_eq!(report.hard_overlay_violations, 0);
+    assert_eq!(report.cut_conflicts, 0);
+    assert!(report.overlay_units > 0, "dense layouts have some overlay");
+}
+
+#[test]
+fn multi_candidate_suite_routes() {
+    let spec = BenchmarkSpec::paper_multi_suite().remove(0).scaled(0.08);
+    let (_, report) = route_spec(&spec);
+    assert!(report.routability() >= 85.0);
+    assert_eq!(report.cut_conflicts, 0);
+}
+
+#[test]
+fn routing_is_deterministic() {
+    let spec = BenchmarkSpec::paper_fixed_suite().remove(0).scaled(0.05);
+    let (_, a) = route_spec(&spec);
+    let (_, b) = route_spec(&spec);
+    assert_eq!(a.routed_nets, b.routed_nets);
+    assert_eq!(a.overlay_units, b.overlay_units);
+    assert_eq!(a.wirelength, b.wirelength);
+}
+
+#[test]
+fn routed_paths_connect_their_pins() {
+    let spec = BenchmarkSpec::paper_fixed_suite().remove(0).scaled(0.05);
+    let (mut plane, netlist) = spec.generate();
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    router.route_all(&mut plane, &netlist);
+    for (id, routed) in router.routed() {
+        let net = netlist.net(*id);
+        assert!(
+            net.source.candidates().contains(&routed.path.source()),
+            "source of {id} is a pin candidate"
+        );
+        assert!(
+            net.target.candidates().contains(&routed.path.target()),
+            "target of {id} is a pin candidate"
+        );
+        // Every path cell is occupied by the net on the plane.
+        for &p in routed.path.points() {
+            assert_eq!(plane.occupant(p), Some(*id), "cell {p} owned by {id}");
+        }
+    }
+}
+
+#[test]
+fn no_two_nets_share_a_cell() {
+    let spec = BenchmarkSpec::paper_fixed_suite().remove(0).scaled(0.05);
+    let (mut plane, netlist) = spec.generate();
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    router.route_all(&mut plane, &netlist);
+    let mut seen = std::collections::HashMap::new();
+    for (id, routed) in router.routed() {
+        for &p in routed.path.points() {
+            if let Some(prev) = seen.insert(p, *id) {
+                assert_eq!(prev, *id, "cell {p} shared by {prev} and {id}");
+            }
+        }
+    }
+}
+
+#[test]
+fn hard_constraints_are_satisfied_in_final_coloring() {
+    use sadp_scenario::Assignment;
+    let spec = BenchmarkSpec::paper_fixed_suite().remove(0).scaled(0.08);
+    let (router, _) = route_spec(&spec);
+    for graph in router.graphs() {
+        for (a, b, data) in graph.edges() {
+            let asg = Assignment::from_colors(graph.color(a), graph.color(b));
+            assert!(
+                !data.table.entry(asg).is_forbidden(),
+                "hard constraint violated between nets {a} and {b}"
+            );
+            assert!(
+                !data.table.entry(asg).has_cut_risk(),
+                "type-A cut risk realized between nets {a} and {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn report_totals_are_consistent() {
+    let spec = BenchmarkSpec::paper_fixed_suite().remove(0).scaled(0.05);
+    let (router, report) = route_spec(&spec);
+    assert_eq!(report.routed_nets, router.routed().len());
+    assert_eq!(
+        report.total_nets,
+        report.routed_nets + router.failed().len()
+    );
+    let wl: u64 = router.routed().values().map(|r| r.wirelength()).sum();
+    assert_eq!(report.wirelength, wl);
+}
+
+#[test]
+fn conflict_freedom_holds_across_seeds() {
+    // The zero-conflict guarantee is structural, not a property of one
+    // lucky instance.
+    for seed in [7, 42, 1234] {
+        let spec = BenchmarkSpec::paper_fixed_suite()
+            .remove(0)
+            .scaled(0.06)
+            .with_seed(seed);
+        let (_, report) = route_spec(&spec);
+        assert_eq!(report.hard_overlay_violations, 0, "seed {seed}");
+        assert_eq!(report.cut_conflicts, 0, "seed {seed}");
+        assert!(report.routability() > 80.0, "seed {seed}: {report}");
+    }
+}
