@@ -1,12 +1,12 @@
 //! The shared baseline routing engine with per-baseline decision policies.
 
 use crate::metrics::{cut_merge_exposure, trim_exposure, LayerPatterns};
-use sadp_core::astar::{astar_search, AstarRequest, DirMap};
+use sadp_core::astar::{astar_search_in, AstarRequest, DirMap, SearchScratch};
 use sadp_core::scan::{pack_frag_id, scan_fragments};
-use sadp_core::RouterConfig;
+use sadp_core::RoutingReport;
+use sadp_core::{GuardGrid, PenaltyGrid, RouterConfig, NO_GUARD};
 use sadp_geom::{GridPoint, Layer, SpatialHash, TrackRect};
 use sadp_grid::{Net, NetId, Netlist, RoutePath, RoutingPlane};
-use sadp_core::RoutingReport;
 use sadp_scenario::{Assignment, Color, CostTable, ScenarioKind};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -181,6 +181,15 @@ impl BaselineRouter {
             }
         }
 
+        // Shared search state: the baselines never place guards and the
+        // penalty grid is cleared (O(1)) before each net. The scratch is
+        // likewise reused across nets — allocating full-plane vectors per
+        // search would itself be superlinear in the netlist size.
+        let mut penalties = PenaltyGrid::new(plane, 0);
+        let guards = GuardGrid::new(plane, NO_GUARD);
+        let dir_map = DirMap::new(plane, None);
+        let mut scratch = SearchScratch::new(plane);
+
         for id in netlist.ids_by_hpwl() {
             if let Some(budget) = self.time_budget {
                 if start.elapsed() > budget {
@@ -189,11 +198,19 @@ impl BaselineRouter {
                 }
             }
             let net = netlist.net(id);
+            penalties.clear();
             let routed = match self.kind {
-                BaselineKind::DuTrim => self.route_du(plane, net),
-                BaselineKind::GaoPanTrim | BaselineKind::CutNoMerge => {
-                    self.route_sequential(plane, net)
+                BaselineKind::DuTrim => {
+                    self.route_du(plane, net, &penalties, &guards, &dir_map, &mut scratch)
                 }
+                BaselineKind::GaoPanTrim | BaselineKind::CutNoMerge => self.route_sequential(
+                    plane,
+                    net,
+                    &mut penalties,
+                    &guards,
+                    &dir_map,
+                    &mut scratch,
+                ),
             };
             if let Some(path) = routed {
                 self.commit(plane, net, path);
@@ -205,9 +222,15 @@ impl BaselineRouter {
 
     /// Gao-Pan \[11\] and \[16\]: one search (plus 1-b avoidance re-routes for
     /// the kinds that cannot tolerate tip-to-tip pairs).
-    fn route_sequential(&mut self, plane: &mut RoutingPlane, net: &Net) -> Option<RoutePath> {
-        let mut penalties: HashMap<GridPoint, u64> = HashMap::new();
-        let guards = HashMap::new();
+    fn route_sequential(
+        &mut self,
+        plane: &mut RoutingPlane,
+        net: &Net,
+        penalties: &mut PenaltyGrid,
+        guards: &GuardGrid,
+        dir_map: &DirMap,
+        scratch: &mut SearchScratch,
+    ) -> Option<RoutePath> {
         let attempts = match self.kind {
             BaselineKind::GaoPanTrim => 2,
             _ => self.config.max_ripup + 1,
@@ -217,10 +240,10 @@ impl BaselineRouter {
                 net: net.id,
                 sources: net.source.candidates(),
                 targets: net.target.candidates(),
-                penalties: &penalties,
-                guards: &guards,
+                penalties,
+                guards,
             };
-            let (path, stats) = astar_search(plane, &req, &DirMap::new(), &self.config);
+            let (path, stats) = astar_search_in(plane, &req, dir_map, &self.config, scratch);
             self.nodes_expanded += stats.expanded;
             let path = path?;
             // Both trim routers and \[16\] must avoid tip-to-tip pairs at
@@ -232,9 +255,10 @@ impl BaselineRouter {
             }
             for (layer, rect) in line_ends {
                 for (x, y) in rect.expanded(1).cells() {
-                    *penalties
-                        .entry(GridPoint::new(layer, x, y))
-                        .or_insert(0) += self.config.ripup_penalty_cost();
+                    let p = GridPoint::new(layer, x, y);
+                    if penalties.contains(p) {
+                        penalties.update(p, |v| v + self.config.ripup_penalty_cost());
+                    }
                 }
             }
             self.ripups += 1;
@@ -246,9 +270,15 @@ impl BaselineRouter {
     /// and keep the pair whose route adds the fewest conflicts, verified
     /// with a full-layout recheck per candidate — the faithful source of
     /// its runtime blow-up.
-    fn route_du(&mut self, plane: &mut RoutingPlane, net: &Net) -> Option<RoutePath> {
-        let penalties = HashMap::new();
-        let guards = HashMap::new();
+    fn route_du(
+        &mut self,
+        plane: &mut RoutingPlane,
+        net: &Net,
+        penalties: &PenaltyGrid,
+        guards: &GuardGrid,
+        dir_map: &DirMap,
+        scratch: &mut SearchScratch,
+    ) -> Option<RoutePath> {
         let mut best: Option<(u64, RoutePath)> = None;
         for &s in net.source.candidates() {
             for &t in net.target.candidates() {
@@ -256,10 +286,10 @@ impl BaselineRouter {
                     net: net.id,
                     sources: &[s],
                     targets: &[t],
-                    penalties: &penalties,
-                    guards: &guards,
+                    penalties,
+                    guards,
                 };
-                let (path, stats) = astar_search(plane, &req, &DirMap::new(), &self.config);
+                let (path, stats) = astar_search_in(plane, &req, dir_map, &self.config, scratch);
                 self.nodes_expanded += stats.expanded;
                 let Some(path) = path else { continue };
                 let line_ends = self.line_end_rects(plane, net.id.0, &path);
@@ -290,8 +320,13 @@ impl BaselineRouter {
     ) -> Vec<(Layer, TrackRect)> {
         let mut out = Vec::new();
         for (layer, frags) in per_layer(path) {
-            for f in scan_fragments(layer, net, &frags, &self.index[layer.index()], plane.rules())
-            {
+            for f in scan_fragments(
+                layer,
+                net,
+                &frags,
+                &self.index[layer.index()],
+                plane.rules(),
+            ) {
                 if f.scenario.kind == ScenarioKind::OneB {
                     out.push((layer, f.our_rect));
                 }
@@ -304,8 +339,13 @@ impl BaselineRouter {
     fn tentative_conflicts(&self, plane: &RoutingPlane, net: u32, path: &RoutePath) -> u64 {
         let mut conflicts = 0;
         for (layer, frags) in per_layer(path) {
-            for f in scan_fragments(layer, net, &frags, &self.index[layer.index()], plane.rules())
-            {
+            for f in scan_fragments(
+                layer,
+                net,
+                &frags,
+                &self.index[layer.index()],
+                plane.rules(),
+            ) {
                 if f.scenario.kind == ScenarioKind::OneA
                     && f.scenario.table.hard_parity() == Some(true)
                 {
@@ -340,15 +380,12 @@ impl BaselineRouter {
                         if other_net == id.0 {
                             continue;
                         }
-                        let Some(s) = sadp_scenario::classify(rect, &other, plane.rules())
-                        else {
+                        let Some(s) = sadp_scenario::classify(rect, &other, plane.rules()) else {
                             continue;
                         };
                         match s.kind {
                             ScenarioKind::OneB => conflicts += 1,
-                            ScenarioKind::OneA
-                                if colors.get(&id.0) == colors.get(&other_net) =>
-                            {
+                            ScenarioKind::OneA if colors.get(&id.0) == colors.get(&other_net) => {
                                 conflicts += 1
                             }
                             _ => {}
@@ -625,8 +662,7 @@ mod tests {
         for i in 0..20 {
             nl.add_two_pin(format!("n{i}"), p0(2, 2 + i), p0(40, 2 + i));
         }
-        let mut router =
-            BaselineRouter::new(BaselineKind::DuTrim).with_time_budget(Duration::ZERO);
+        let mut router = BaselineRouter::new(BaselineKind::DuTrim).with_time_budget(Duration::ZERO);
         let report = router.route_all(&mut plane, &nl);
         assert!(router.timed_out());
         assert!(report.routed_nets < 20);

@@ -1,60 +1,50 @@
-//! Criterion bench: overlay-aware A*-search (eq. (5)) on empty and
-//! congested planes.
+//! Micro-bench: overlay-aware A*-search (eq. (5)) on empty and congested
+//! planes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sadp_bench::timing::bench;
 use sadp_core::astar::{astar_search, AstarRequest, DirMap};
-use sadp_core::RouterConfig;
+use sadp_core::{GuardGrid, PenaltyGrid, RouterConfig, NO_GUARD};
 use sadp_geom::{DesignRules, GridPoint, Layer};
 use sadp_grid::{NetId, RoutingPlane};
-use std::collections::HashMap;
 
-fn bench_astar(c: &mut Criterion) {
-    let mut group = c.benchmark_group("astar");
+fn main() {
     let config = RouterConfig::paper_defaults();
-    let penalties = HashMap::new();
-    let guards = HashMap::new();
 
     let plane = RoutingPlane::new(3, 128, 128, DesignRules::node_10nm()).unwrap();
-    group.bench_function("empty_plane_40_tracks", |b| {
-        b.iter(|| {
-            let req = AstarRequest {
-                net: NetId(0),
-                sources: &[GridPoint::new(Layer(0), 10, 60)],
-                targets: &[GridPoint::new(Layer(0), 50, 70)],
-                penalties: &penalties,
-                guards: &guards,
-            };
-            let (p, _) = astar_search(&plane, &req, &DirMap::new(), &config);
-            std::hint::black_box(p)
-        })
+    let penalties = PenaltyGrid::new(&plane, 0);
+    let guards = GuardGrid::new(&plane, NO_GUARD);
+    bench("astar/empty_plane_40_tracks", 200, || {
+        let req = AstarRequest {
+            net: NetId(0),
+            sources: &[GridPoint::new(Layer(0), 10, 60)],
+            targets: &[GridPoint::new(Layer(0), 50, 70)],
+            penalties: &penalties,
+            guards: &guards,
+        };
+        let (p, _) = astar_search(&plane, &req, &DirMap::new(&plane, None), &config);
+        p
     });
 
     // Congested: a field of parallel blockers forcing detours.
     let mut congested = RoutingPlane::new(3, 128, 128, DesignRules::node_10nm()).unwrap();
-    let mut dir_map = DirMap::new();
+    let mut dir_map = DirMap::new(&congested, None);
     for i in 0..20 {
         let y = 10 + i * 5;
         for x in 15..110 {
             let p = GridPoint::new(Layer(0), x, y);
             congested.occupy(p, NetId(999)).unwrap();
-            dir_map.insert(p, sadp_geom::Dir::Horizontal);
+            dir_map.set(p, Some(sadp_geom::Dir::Horizontal));
         }
     }
-    group.bench_function("congested_plane_40_tracks", |b| {
-        b.iter(|| {
-            let req = AstarRequest {
-                net: NetId(0),
-                sources: &[GridPoint::new(Layer(0), 10, 60)],
-                targets: &[GridPoint::new(Layer(0), 50, 70)],
-                penalties: &penalties,
-                guards: &guards,
-            };
-            let (p, _) = astar_search(&congested, &req, &dir_map, &config);
-            std::hint::black_box(p)
-        })
+    bench("astar/congested_plane_40_tracks", 100, || {
+        let req = AstarRequest {
+            net: NetId(0),
+            sources: &[GridPoint::new(Layer(0), 10, 60)],
+            targets: &[GridPoint::new(Layer(0), 50, 70)],
+            penalties: &penalties,
+            guards: &guards,
+        };
+        let (p, _) = astar_search(&congested, &req, &dir_map, &config);
+        p
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_astar);
-criterion_main!(benches);

@@ -1,33 +1,34 @@
-//! Criterion bench: pixel decomposition simulator (scenario window and a
+//! Micro-bench: pixel decomposition simulator (scenario window and a
 //! medium multi-net layout).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sadp_bench::timing::bench;
 use sadp_decomp::{ColoredPattern, CutSimulator};
 use sadp_geom::{DesignRules, TrackRect};
 use sadp_scenario::Color;
 
-fn bench_decomp(c: &mut Criterion) {
+fn main() {
     let sim = CutSimulator::new(DesignRules::node_10nm());
 
     let window = vec![
         ColoredPattern::new(0, Color::Core, vec![TrackRect::new(0, 0, 5, 0)]),
         ColoredPattern::new(1, Color::Second, vec![TrackRect::new(1, 1, 7, 1)]),
     ];
-    c.bench_function("decomp_scenario_window", |b| {
-        b.iter(|| std::hint::black_box(sim.run(&window)))
-    });
+    bench("decomp_scenario_window", 500, || sim.run(&window));
 
     // A 32-wire comb layout with alternating colors.
     let comb: Vec<ColoredPattern> = (0..32)
         .map(|i| {
-            let color = if i % 2 == 0 { Color::Core } else { Color::Second };
-            ColoredPattern::new(i, color, vec![TrackRect::new(0, i as i32 * 2, 40, i as i32 * 2)])
+            let color = if i % 2 == 0 {
+                Color::Core
+            } else {
+                Color::Second
+            };
+            ColoredPattern::new(
+                i,
+                color,
+                vec![TrackRect::new(0, i as i32 * 2, 40, i as i32 * 2)],
+            )
         })
         .collect();
-    c.bench_function("decomp_comb_32_wires", |b| {
-        b.iter(|| std::hint::black_box(sim.run(&comb)))
-    });
+    bench("decomp_comb_32_wires", 20, || sim.run(&comb));
 }
-
-criterion_group!(benches, bench_decomp);
-criterion_main!(benches);

@@ -1,24 +1,17 @@
-//! Criterion bench: parity union-find (hard-constraint odd-cycle
-//! detection).
+//! Micro-bench: parity union-find (hard-constraint odd-cycle detection).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sadp_bench::timing::bench;
 use sadp_graph::ParityDsu;
 
-fn bench_dsu(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parity_dsu");
+fn main() {
     for &n in &[1_000u32, 100_000] {
-        group.bench_with_input(BenchmarkId::new("union_chain", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut dsu = ParityDsu::new(n as usize);
-                for i in 0..n - 1 {
-                    dsu.union(i, i + 1, i % 2 == 0).unwrap();
-                }
-                std::hint::black_box(dsu.relation(0, n - 1))
-            })
+        let iters = (1_000_000 / n).max(2);
+        bench(&format!("parity_dsu/union_chain/{n}"), iters, || {
+            let mut dsu = ParityDsu::new(n as usize);
+            for i in 0..n - 1 {
+                dsu.union(i, i + 1, i % 2 == 0).unwrap();
+            }
+            dsu.relation(0, n - 1)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dsu);
-criterion_main!(benches);

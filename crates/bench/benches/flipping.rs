@@ -1,7 +1,7 @@
-//! Criterion bench: the linear-time color flipping DP (Theorem 4) and the
-//! hill-climbing refinement, on chain and grid-shaped constraint graphs.
+//! Micro-bench: the linear-time color flipping DP (Theorem 4) and the
+//! hill-climbing refinement, on chain-shaped constraint graphs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sadp_bench::timing::bench;
 use sadp_graph::{flip, OverlayGraph, ScenarioKind};
 
 fn chain_graph(n: u32) -> OverlayGraph {
@@ -19,26 +19,21 @@ fn chain_graph(n: u32) -> OverlayGraph {
     g
 }
 
-fn bench_flipping(c: &mut Criterion) {
-    let mut group = c.benchmark_group("color_flipping");
+fn main() {
     for &n in &[100u32, 1000, 5000] {
-        group.bench_with_input(BenchmarkId::new("flip_all_chain", n), &n, |b, &n| {
-            let g = chain_graph(n);
-            b.iter(|| {
-                let mut g = g.clone();
-                std::hint::black_box(flip::flip_all(&mut g))
-            })
+        let g = chain_graph(n);
+        let iters = (200_000 / n).max(5);
+        bench(&format!("color_flipping/flip_all_chain/{n}"), iters, || {
+            let mut g = g.clone();
+            flip::flip_all(&mut g)
         });
-        group.bench_with_input(BenchmarkId::new("greedy_refine_chain", n), &n, |b, &n| {
-            let g = chain_graph(n);
-            b.iter(|| {
+        bench(
+            &format!("color_flipping/greedy_refine_chain/{n}"),
+            iters,
+            || {
                 let mut g = g.clone();
-                std::hint::black_box(flip::greedy_refine(&mut g, 2))
-            })
-        });
+                flip::greedy_refine(&mut g, 2)
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_flipping);
-criterion_main!(benches);

@@ -1,33 +1,27 @@
-//! Criterion bench: end-to-end routing of a small benchmark (ours vs the
+//! Micro-bench: end-to-end routing of a small benchmark (ours vs the
 //! baselines), the per-table micro version of Tables III/IV.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sadp_baselines::{BaselineKind, BaselineRouter};
+use sadp_bench::timing::bench;
 use sadp_core::{Router, RouterConfig};
 use sadp_grid::BenchmarkSpec;
 
-fn bench_router(c: &mut Criterion) {
+fn main() {
     let spec = BenchmarkSpec::paper_fixed_suite().remove(0).scaled(0.05);
-    let mut group = c.benchmark_group("route_75_nets");
-    group.sample_size(10);
-    group.bench_function("ours", |b| {
-        b.iter(|| {
-            let (mut plane, nl) = spec.generate();
-            let mut router = Router::new(RouterConfig::paper_defaults());
-            std::hint::black_box(router.route_all(&mut plane, &nl))
-        })
+    bench("route_75_nets/ours", 10, || {
+        let (mut plane, nl) = spec.generate();
+        let mut router = Router::new(RouterConfig::paper_defaults());
+        router.route_all(&mut plane, &nl)
     });
-    for kind in [BaselineKind::GaoPanTrim, BaselineKind::CutNoMerge, BaselineKind::DuTrim] {
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                let (mut plane, nl) = spec.generate();
-                let mut router = BaselineRouter::new(kind);
-                std::hint::black_box(router.route_all(&mut plane, &nl))
-            })
+    for kind in [
+        BaselineKind::GaoPanTrim,
+        BaselineKind::CutNoMerge,
+        BaselineKind::DuTrim,
+    ] {
+        bench(&format!("route_75_nets/{}", kind.name()), 10, || {
+            let (mut plane, nl) = spec.generate();
+            let mut router = BaselineRouter::new(kind);
+            router.route_all(&mut plane, &nl)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_router);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! Criterion bench: potential-overlay-scenario classification throughput.
+//! Micro-bench: potential-overlay-scenario classification throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sadp_bench::timing::bench;
 use sadp_geom::{DesignRules, TrackRect};
 use sadp_scenario::classify;
 
-fn bench_classify(c: &mut Criterion) {
+fn main() {
     let rules = DesignRules::node_10nm();
     let pairs: Vec<(TrackRect, TrackRect)> = (0..64)
         .map(|i| {
@@ -13,18 +13,13 @@ fn bench_classify(c: &mut Criterion) {
             (a, b)
         })
         .collect();
-    c.bench_function("classify_64_pairs", |b| {
-        b.iter(|| {
-            let mut hits = 0;
-            for (a, bb) in &pairs {
-                if classify(a, bb, &rules).is_some() {
-                    hits += 1;
-                }
+    bench("classify_64_pairs", 10_000, || {
+        let mut hits = 0;
+        for (a, bb) in &pairs {
+            if classify(a, bb, &rules).is_some() {
+                hits += 1;
             }
-            std::hint::black_box(hits)
-        })
+        }
+        hits
     });
 }
-
-criterion_group!(benches, bench_classify);
-criterion_main!(benches);

@@ -75,12 +75,12 @@ fn main() {
     let report = router.route_all(&mut plane, &nl);
     println!(
         "  routed {}/{} nets, overlay {} units, {} conflicts",
-        report.routed_nets,
-        report.total_nets,
-        report.overlay_units,
-        report.cut_conflicts
+        report.routed_nets, report.total_nets, report.overlay_units, report.cut_conflicts
     );
-    render(router.patterns_on_layer(Layer(0)), svg("fig21.svg").as_deref());
+    render(
+        router.patterns_on_layer(Layer(0)),
+        svg("fig21.svg").as_deref(),
+    );
 
     println!("Fig. 22: baseline [16] — no merge technique available");
     let (mut plane, nl) = netlist();
@@ -88,10 +88,10 @@ fn main() {
     let report = baseline.route_all(&mut plane, &nl);
     println!(
         "  routed {}/{} nets, overlay {} units, {} conflicts",
-        report.routed_nets,
-        report.total_nets,
-        report.overlay_units,
-        report.cut_conflicts
+        report.routed_nets, report.total_nets, report.overlay_units, report.cut_conflicts
     );
-    render(baseline.patterns_on_layer(Layer(0)), svg("fig22.svg").as_deref());
+    render(
+        baseline.patterns_on_layer(Layer(0)),
+        svg("fig22.svg").as_deref(),
+    );
 }

@@ -18,7 +18,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = {
         let s = scale_from_args(&args);
-        if s == 0.2 { 0.15 } else { s }
+        if s == 0.2 {
+            0.15
+        } else {
+            s
+        }
     };
     let spec = BenchmarkSpec::paper_fixed_suite().remove(0).scaled(scale);
     println!(

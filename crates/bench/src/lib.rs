@@ -19,6 +19,8 @@
 pub mod harness;
 pub mod lsq;
 pub mod paper;
+pub mod scaling;
+pub mod timing;
 
 pub use harness::{run_baseline, run_ours, scale_from_args, RunRow};
 pub use lsq::fit_power_law;

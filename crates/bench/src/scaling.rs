@@ -1,0 +1,88 @@
+//! Scaling regression gate for the Fig. 20 series.
+//!
+//! The paper reports ≈ n^1.42 runtime growth for the cut-process router
+//! (Fig. 20). A superlinear regression in the routing hot path shows up
+//! here as a fitted exponent well above that, so CI runs the fig20 binary
+//! with `--check` and fails when the exponent crosses [`MAX_EXPONENT`] or
+//! any circuit reports a cut conflict.
+
+use crate::fit_power_law;
+
+/// Largest acceptable fitted exponent for `T(n) = c * n^k` on the fig20
+/// series. The paper's reference is 1.42; we leave headroom for machine
+/// noise at small scales but reject anything approaching quadratic.
+pub const MAX_EXPONENT: f64 = 1.6;
+
+/// One circuit's contribution to the scaling fit.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    pub nets: usize,
+    pub seconds: f64,
+    pub cut_conflicts: u64,
+}
+
+/// Fits the power law and validates the exponent and cut-conflict counts.
+///
+/// Returns a human-readable summary on success and the failure reason
+/// otherwise. Requires at least three points so the fit is meaningful.
+pub fn check_scaling(points: &[ScalingPoint]) -> Result<String, String> {
+    if points.len() < 3 {
+        return Err(format!("need at least 3 points, got {}", points.len()));
+    }
+    for p in points {
+        if p.cut_conflicts != 0 {
+            return Err(format!(
+                "{} cut conflicts on the {}-net circuit (expected 0)",
+                p.cut_conflicts, p.nets
+            ));
+        }
+    }
+    let xy: Vec<(f64, f64)> = points.iter().map(|p| (p.nets as f64, p.seconds)).collect();
+    let (k, _) = fit_power_law(&xy);
+    if k > MAX_EXPONENT {
+        return Err(format!(
+            "fitted exponent n^{k:.2} exceeds the n^{MAX_EXPONENT} gate"
+        ));
+    }
+    Ok(format!(
+        "fitted exponent n^{k:.2} <= n^{MAX_EXPONENT}, no cut conflicts"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(k: f64) -> Vec<ScalingPoint> {
+        [300usize, 540, 1100, 2400, 5600]
+            .iter()
+            .map(|&n| ScalingPoint {
+                nets: n,
+                seconds: 1e-4 * (n as f64).powf(k),
+                cut_conflicts: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn accepts_paper_like_scaling() {
+        assert!(check_scaling(&series(1.42)).is_ok());
+    }
+
+    #[test]
+    fn rejects_quadratic_scaling() {
+        assert!(check_scaling(&series(2.3)).is_err());
+    }
+
+    #[test]
+    fn rejects_cut_conflicts() {
+        let mut pts = series(1.2);
+        pts[2].cut_conflicts = 1;
+        assert!(check_scaling(&pts).is_err());
+    }
+
+    #[test]
+    fn rejects_too_few_points() {
+        assert!(check_scaling(&series(1.2)[..2]).is_err());
+    }
+}

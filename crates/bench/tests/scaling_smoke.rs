@@ -1,0 +1,44 @@
+//! Sub-quadratic scaling smoke test on a reduced fig20 series.
+//!
+//! Wall-clock timing is too noisy for a debug-mode CI gate, so this fits
+//! the power law on `nodes_expanded` instead — the deterministic search
+//! effort that drove the superlinear runtime blow-up. A regression that
+//! reintroduces quadratic work in the hot path (per-net component-wide
+//! recoloring, degenerate spatial-hash queries, heap churn) shows up as
+//! an exponent well above the paper's ≈ n^1.42.
+
+use sadp_bench::fit_power_law;
+use sadp_bench::harness::run_ours;
+use sadp_grid::BenchmarkSpec;
+
+#[test]
+fn nodes_expanded_grows_subquadratically() {
+    let rows: Vec<_> = BenchmarkSpec::paper_fixed_suite()
+        .iter()
+        .map(|spec| run_ours(&spec.clone().scaled(0.1)))
+        .collect();
+    assert!(rows.len() >= 3, "need enough points for a meaningful fit");
+
+    for row in &rows {
+        assert_eq!(
+            row.report.cut_conflicts, 0,
+            "{}: cut conflicts must stay zero",
+            row.circuit
+        );
+        assert!(
+            row.report.nodes_expanded > 0,
+            "{}: nothing routed?",
+            row.circuit
+        );
+    }
+
+    let xy: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r.nets as f64, r.report.nodes_expanded as f64))
+        .collect();
+    let (k, _) = fit_power_law(&xy);
+    assert!(
+        k <= 1.5,
+        "nodes_expanded fitted exponent n^{k:.2} exceeds the sub-quadratic gate (points: {xy:?})"
+    );
+}

@@ -1,11 +1,21 @@
 //! The overlay-aware A\*-search (`OverlayAwareAStarSearch`, Fig. 19
 //! line 4).
+//!
+//! Hot-path layout: all per-cell search state (g-costs, came-from links,
+//! target membership) lives in generation-stamped dense vectors inside
+//! [`SearchScratch`], indexed by the plane's own cell linearisation, and
+//! the open list is a monotone [`BucketQueue`] — so one node expansion
+//! costs a handful of array reads instead of several hash lookups and a
+//! `O(log n)` heap operation. The heuristic is an `O(1)` bounding-box
+//! lower bound rather than a min over all target points (branch routing
+//! passes entire trunk paths as targets, which made the per-push
+//! heuristic itself `O(|path|)` and the whole search superlinear).
 
+use crate::bucket::BucketQueue;
 use crate::config::RouterConfig;
-use sadp_geom::{Dir, GridPoint, Step, TrackRect};
+use crate::grids::{DirGrid, GuardGrid, PenaltyGrid};
+use sadp_geom::{Dir, GridPoint, Layer, Step, TrackRect};
 use sadp_grid::{NetId, RoutePath, RoutingPlane};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// A single search request: multi-source, multi-target (pin candidate
 /// locations route to whichever pair is cheapest).
@@ -19,11 +29,11 @@ pub struct AstarRequest<'a> {
     pub targets: &'a [GridPoint],
     /// Extra per-cell penalties accumulated by rip-up iterations
     /// (scaled cost units).
-    pub penalties: &'a HashMap<GridPoint, u64>,
+    pub penalties: &'a PenaltyGrid,
     /// Soft keep-out halos around pins: `(owning net, scaled penalty)` per
     /// cell; charged to every net except the owner, so early nets leave
     /// later pins approachable.
-    pub guards: &'a HashMap<GridPoint, (NetId, u64)>,
+    pub guards: &'a GuardGrid,
 }
 
 /// Statistics of one search.
@@ -35,9 +45,133 @@ pub struct SearchStats {
     pub found: bool,
 }
 
+/// Came-from sentinel: the cell is a search source.
+const NO_PREV: u32 = u32::MAX;
+
+/// Reusable dense search state sized to one routing plane.
+///
+/// Construct once (or let [`astar_search`] build a throwaway one) and pass
+/// to [`astar_search_in`] for every net; clearing between searches is
+/// `O(1)` via generation stamps.
+#[derive(Debug)]
+pub struct SearchScratch {
+    width: i32,
+    height: i32,
+    layers: u8,
+    g: Vec<u64>,
+    came: Vec<u32>,
+    stamp: Vec<u32>,
+    target_stamp: Vec<u32>,
+    generation: u32,
+    queue: BucketQueue,
+}
+
+impl SearchScratch {
+    /// Builds scratch state shaped like `plane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane has `u32::MAX` cells or more (the open list
+    /// packs cell indices into 32 bits; such a plane would need tens of
+    /// gigabytes of search state anyway).
+    #[must_use]
+    pub fn new(plane: &RoutingPlane) -> Self {
+        let cells = plane.layers() as usize * plane.height() as usize * plane.width() as usize;
+        assert!(
+            cells < u32::MAX as usize,
+            "plane too large for packed search indices"
+        );
+        Self {
+            width: plane.width(),
+            height: plane.height(),
+            layers: plane.layers(),
+            g: vec![0; cells],
+            came: vec![0; cells],
+            stamp: vec![0; cells],
+            target_stamp: vec![0; cells],
+            generation: 0,
+            queue: BucketQueue::new(),
+        }
+    }
+
+    /// True if this scratch matches the plane's dimensions.
+    #[must_use]
+    pub fn fits(&self, plane: &RoutingPlane) -> bool {
+        self.width == plane.width()
+            && self.height == plane.height()
+            && self.layers == plane.layers()
+    }
+
+    /// Starts a fresh search: bumps the generation and empties the queue.
+    fn begin(&mut self) {
+        self.generation = match self.generation.checked_add(1) {
+            Some(g) => g,
+            None => {
+                self.stamp.fill(0);
+                self.target_stamp.fill(0);
+                1
+            }
+        };
+        self.queue.clear();
+    }
+
+    #[inline]
+    fn index(&self, p: GridPoint) -> u32 {
+        ((p.layer.index() * self.height as usize + p.y as usize) * self.width as usize
+            + p.x as usize) as u32
+    }
+
+    #[inline]
+    fn point(&self, i: u32) -> GridPoint {
+        let i = i as usize;
+        let w = self.width as usize;
+        let h = self.height as usize;
+        GridPoint::new(
+            Layer((i / (w * h)) as u8),
+            (i % w) as i32,
+            (i / w % h) as i32,
+        )
+    }
+
+    #[inline]
+    fn g_of(&self, i: u32) -> u64 {
+        if self.stamp[i as usize] == self.generation {
+            self.g[i as usize]
+        } else {
+            u64::MAX
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, i: u32, g: u64, prev: u32) {
+        let i = i as usize;
+        self.stamp[i] = self.generation;
+        self.g[i] = g;
+        self.came[i] = prev;
+    }
+
+    #[inline]
+    fn is_target(&self, i: u32) -> bool {
+        self.target_stamp[i as usize] == self.generation
+    }
+}
+
 /// Per-cell wire direction hints for the `T2b` term: the planar axis the
-/// occupying net runs along at that cell.
-pub type DirMap = HashMap<GridPoint, Dir>;
+/// occupying net runs along at that cell (`None` where nothing routed).
+pub type DirMap = DirGrid;
+
+/// Runs the overlay-aware A\*-search of eq. (5) with throwaway scratch
+/// state (convenience wrapper over [`astar_search_in`]).
+#[must_use]
+pub fn astar_search(
+    plane: &RoutingPlane,
+    req: &AstarRequest<'_>,
+    dir_map: &DirGrid,
+    config: &RouterConfig,
+) -> (Option<RoutePath>, SearchStats) {
+    let mut scratch = SearchScratch::new(plane);
+    astar_search_in(plane, req, dir_map, config, &mut scratch)
+}
 
 /// Runs the overlay-aware A\*-search of eq. (5).
 ///
@@ -47,19 +181,28 @@ pub type DirMap = HashMap<GridPoint, Dir>;
 /// routed net (a tip of the new wire one track from the side of a routed
 /// wire, or vice versa).
 ///
+/// The heuristic is `h(p) = planar_floor · bbox_dist(p) + β ·
+/// layer_range_dist(p)` against the target bounding box, where
+/// `planar_floor = min(α, wrong_way)` is the cheapest possible planar
+/// step. Every edge cost is at least the matching per-step floor, so `h`
+/// is consistent and the popped `f` keys are monotone — which is what
+/// allows the radix-heap open list.
+///
 /// Returns the cheapest path from any source to any target, or `None`.
 #[must_use]
-pub fn astar_search(
+pub fn astar_search_in(
     plane: &RoutingPlane,
     req: &AstarRequest<'_>,
-    dir_map: &DirMap,
+    dir_map: &DirGrid,
     config: &RouterConfig,
+    scratch: &mut SearchScratch,
 ) -> (Option<RoutePath>, SearchStats) {
     let mut stats = SearchStats::default();
-    let targets: HashSet<GridPoint> = req.targets.iter().copied().collect();
-    if targets.is_empty() || req.sources.is_empty() {
+    if req.targets.is_empty() || req.sources.is_empty() {
         return (None, stats);
     }
+    debug_assert!(scratch.fits(plane), "scratch sized for a different plane");
+    scratch.begin();
 
     // Bound the search window to the pin bounding box plus a margin.
     let window = search_window(req, config, plane);
@@ -68,70 +211,92 @@ pub fn astar_search(
     let beta = config.beta_cost();
     let gamma = config.gamma_cost();
     let wrong_way = config.wrong_way_cost();
+    let planar_floor = alpha.min(wrong_way);
 
+    // Target bounding box (planar + layer range) for the O(1) heuristic.
+    let mut bbox: Option<TrackRect> = None;
+    let (mut lmin, mut lmax) = (u8::MAX, 0u8);
+    for t in req.targets {
+        let cell = TrackRect::cell(t.x, t.y);
+        bbox = Some(match bbox {
+            Some(b) => b.union_bbox(&cell),
+            None => cell,
+        });
+        lmin = lmin.min(t.layer.0);
+        lmax = lmax.max(t.layer.0);
+        let ti = scratch.index(*t) as usize;
+        scratch.target_stamp[ti] = scratch.generation;
+    }
+    let bbox = bbox.expect("targets non-empty");
     let h = |p: GridPoint| -> u64 {
-        req.targets
-            .iter()
-            .map(|t| p.manhattan(t) as u64 * alpha + layer_delta(p, *t) * beta)
-            .min()
-            .expect("targets non-empty")
+        let dx = (bbox.x0 - p.x).max(p.x - bbox.x1).max(0) as u64;
+        let dy = (bbox.y0 - p.y).max(p.y - bbox.y1).max(0) as u64;
+        let dl = if p.layer.0 < lmin {
+            (lmin - p.layer.0) as u64
+        } else if p.layer.0 > lmax {
+            (p.layer.0 - lmax) as u64
+        } else {
+            0
+        };
+        (dx + dy) * planar_floor + dl * beta
     };
 
-    let mut open: BinaryHeap<Reverse<(u64, u64, GridPoint)>> = BinaryHeap::new();
-    let mut g: HashMap<GridPoint, u64> = HashMap::new();
-    let mut came: HashMap<GridPoint, GridPoint> = HashMap::new();
     for &s in req.sources {
         if passable(plane, s, req.net) {
-            g.insert(s, 0);
-            open.push(Reverse((h(s), 0, s)));
+            let i = scratch.index(s);
+            scratch.record(i, 0, NO_PREV);
+            scratch.queue.push(h(s), 0, i);
         }
     }
 
-    while let Some(Reverse((_, gc, p))) = open.pop() {
-        if g.get(&p).copied().unwrap_or(u64::MAX) < gc {
-            continue; // stale heap entry
+    while let Some((_, gc, ci)) = scratch.queue.pop() {
+        if scratch.g_of(ci) < gc {
+            continue; // stale queue entry
         }
         stats.expanded += 1;
-        if targets.contains(&p) {
+        if scratch.is_target(ci) {
             stats.found = true;
-            let mut pts = vec![p];
-            let mut cur = p;
-            while let Some(&prev) = came.get(&cur) {
-                pts.push(prev);
+            let mut pts = Vec::new();
+            let mut cur = ci;
+            loop {
+                pts.push(scratch.point(cur));
+                let prev = scratch.came[cur as usize];
+                if prev == NO_PREV {
+                    break;
+                }
                 cur = prev;
             }
             pts.reverse();
             let path = RoutePath::new(pts).expect("A* emits contiguous paths");
             return (Some(path), stats);
         }
+        let p = scratch.point(ci);
         for step in Step::ALL {
             let q = p.offset(step);
             if !in_window(q, &window, plane) || !passable(plane, q, req.net) {
                 continue;
             }
-            let mut cost = if step.is_planar() {
-                if step.axis() == preferred_dir(q.layer) {
-                    alpha
-                } else {
-                    wrong_way
+            let mut cost = match step.axis() {
+                Some(axis) => {
+                    let planar = if axis == preferred_dir(q.layer) {
+                        alpha
+                    } else {
+                        wrong_way
+                    };
+                    planar + gamma * t2b_count(plane, dir_map, req.net, q, axis)
                 }
-            } else {
-                beta
+                None => beta,
             };
-            if step.is_planar() {
-                cost += gamma * t2b_count(plane, dir_map, req.net, q, step.axis());
-            }
-            cost += req.penalties.get(&q).copied().unwrap_or(0);
-            if let Some(&(owner, guard)) = req.guards.get(&q) {
-                if owner != req.net {
-                    cost += guard;
-                }
+            cost += req.penalties.get(q);
+            let (owner, guard) = req.guards.get(q);
+            if owner != req.net {
+                cost += guard;
             }
             let ng = gc + cost;
-            if ng < g.get(&q).copied().unwrap_or(u64::MAX) {
-                g.insert(q, ng);
-                came.insert(q, p);
-                open.push(Reverse((ng + h(q), ng, q)));
+            let qi = scratch.index(q);
+            if ng < scratch.g_of(qi) {
+                scratch.record(qi, ng, ci);
+                scratch.queue.push(ng + h(q), ng, qi);
             }
         }
     }
@@ -149,19 +314,11 @@ pub fn preferred_dir(layer: sadp_geom::Layer) -> Dir {
     }
 }
 
-fn layer_delta(a: GridPoint, b: GridPoint) -> u64 {
-    (a.layer.0 as i32 - b.layer.0 as i32).unsigned_abs() as u64
-}
-
 fn passable(plane: &RoutingPlane, p: GridPoint, net: NetId) -> bool {
     plane.is_free(p) || plane.occupant(p) == Some(net)
 }
 
-fn search_window(
-    req: &AstarRequest<'_>,
-    config: &RouterConfig,
-    plane: &RoutingPlane,
-) -> TrackRect {
+fn search_window(req: &AstarRequest<'_>, config: &RouterConfig, plane: &RoutingPlane) -> TrackRect {
     let mut rect: Option<TrackRect> = None;
     for p in req.sources.iter().chain(req.targets) {
         let cell = TrackRect::cell(p.x, p.y);
@@ -188,13 +345,7 @@ fn in_window(p: GridPoint, window: &TrackRect, plane: &RoutingPlane) -> bool {
 ///   would face its side,
 /// * a routed wire one track to the *side* running perpendicular to us —
 ///   its tip would face our side.
-fn t2b_count(
-    plane: &RoutingPlane,
-    dir_map: &DirMap,
-    net: NetId,
-    q: GridPoint,
-    axis: Dir,
-) -> u64 {
+fn t2b_count(plane: &RoutingPlane, dir_map: &DirGrid, net: NetId, q: GridPoint, axis: Dir) -> u64 {
     let mut count = 0;
     let neighbors: [(i32, i32); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
     for (dx, dy) in neighbors {
@@ -205,11 +356,14 @@ fn t2b_count(
         if occ == net {
             continue;
         }
-        let neighbor_axis = match dir_map.get(&n) {
-            Some(&d) => d,
-            None => continue,
+        let Some(neighbor_axis) = dir_map.get(n) else {
+            continue;
         };
-        let approach = if dx != 0 { Dir::Horizontal } else { Dir::Vertical };
+        let approach = if dx != 0 {
+            Dir::Horizontal
+        } else {
+            Dir::Vertical
+        };
         if approach == axis {
             // The neighbour is ahead of or behind us along our axis: our
             // tip faces it. 2-b if it runs perpendicular to us.
@@ -241,8 +395,8 @@ mod tests {
         from: GridPoint,
         to: GridPoint,
     ) -> (Option<RoutePath>, SearchStats) {
-        let penalties = HashMap::new();
-        let guards = HashMap::new();
+        let penalties = PenaltyGrid::new(plane, 0);
+        let guards = GuardGrid::new(plane, crate::grids::NO_GUARD);
         let req = AstarRequest {
             net: NetId(0),
             sources: &[from],
@@ -250,7 +404,8 @@ mod tests {
             penalties: &penalties,
             guards: &guards,
         };
-        astar_search(plane, &req, &DirMap::new(), &RouterConfig::paper_defaults())
+        let dir_map = DirGrid::new(plane, None);
+        astar_search(plane, &req, &dir_map, &RouterConfig::paper_defaults())
     }
 
     #[test]
@@ -302,8 +457,8 @@ mod tests {
     #[test]
     fn multi_candidate_picks_cheapest_pair() {
         let p = plane(32, 32);
-        let penalties = HashMap::new();
-        let guards = HashMap::new();
+        let penalties = PenaltyGrid::new(&p, 0);
+        let guards = GuardGrid::new(&p, crate::grids::NO_GUARD);
         let req = AstarRequest {
             net: NetId(0),
             sources: &[
@@ -320,7 +475,7 @@ mod tests {
         let (path, _) = astar_search(
             &p,
             &req,
-            &DirMap::new(),
+            &DirGrid::new(&p, None),
             &RouterConfig::paper_defaults(),
         );
         let path = path.expect("path found");
@@ -332,12 +487,12 @@ mod tests {
     #[test]
     fn penalties_steer_the_route() {
         let p = plane(32, 32);
-        let mut penalties = HashMap::new();
+        let mut penalties = PenaltyGrid::new(&p, 0);
         // Penalise the straight row so the path must leave it.
         for x in 3..12 {
-            penalties.insert(GridPoint::new(Layer(0), x, 5), 50_000u64);
+            penalties.set(GridPoint::new(Layer(0), x, 5), 50_000u64);
         }
-        let guards = HashMap::new();
+        let guards = GuardGrid::new(&p, crate::grids::NO_GUARD);
         let req = AstarRequest {
             net: NetId(0),
             sources: &[GridPoint::new(Layer(0), 2, 5)],
@@ -348,7 +503,7 @@ mod tests {
         let (path, _) = astar_search(
             &p,
             &req,
-            &DirMap::new(),
+            &DirGrid::new(&p, None),
             &RouterConfig::paper_defaults(),
         );
         let path = path.expect("path found");
@@ -364,15 +519,15 @@ mod tests {
         // new net would take: with the gamma penalty the router prefers a
         // small detour over the 2-b scenario.
         let mut p = plane(32, 32);
-        let mut dir_map = DirMap::new();
+        let mut dir_map = DirGrid::new(&p, None);
         for y in 7..12 {
             let c = GridPoint::new(Layer(0), 7, y);
             p.occupy(c, NetId(9)).unwrap();
-            dir_map.insert(c, Dir::Vertical);
+            dir_map.set(c, Some(Dir::Vertical));
         }
         // Tip at (7,7); the straight row y=6 passes right under it.
-        let penalties = HashMap::new();
-        let guards = HashMap::new();
+        let penalties = PenaltyGrid::new(&p, 0);
+        let guards = GuardGrid::new(&p, crate::grids::NO_GUARD);
         let req = AstarRequest {
             net: NetId(0),
             sources: &[GridPoint::new(Layer(0), 2, 6)],
@@ -396,7 +551,10 @@ mod tests {
         // move eq. (5) charges for); a vertical entry forms a 1-b
         // (merge-and-cut) relation instead, which is free of side overlay.
         let pts = avoid.points();
-        if let Some(i) = pts.iter().position(|&p| p == GridPoint::new(Layer(0), 7, 6)) {
+        if let Some(i) = pts
+            .iter()
+            .position(|&p| p == GridPoint::new(Layer(0), 7, 6))
+        {
             assert!(i > 0);
             let prev = pts[i - 1];
             assert_eq!(prev.x, 7, "must not enter the 2-b cell sideways");
@@ -406,35 +564,104 @@ mod tests {
     #[test]
     fn t2b_count_direct() {
         let mut p = plane(16, 16);
-        let mut dm = DirMap::new();
+        let mut dm = DirGrid::new(&p, None);
         // Vertical wire tip just north of (5,5).
         for y in 6..9 {
             let c = GridPoint::new(Layer(0), 5, y);
             p.occupy(c, NetId(1)).unwrap();
-            dm.insert(c, Dir::Vertical);
+            dm.set(c, Some(Dir::Vertical));
         }
         // Moving horizontally through (5,5): its side faces the tip -> 1.
         assert_eq!(
-            t2b_count(&p, &dm, NetId(0), GridPoint::new(Layer(0), 5, 5), Dir::Horizontal),
+            t2b_count(
+                &p,
+                &dm,
+                NetId(0),
+                GridPoint::new(Layer(0), 5, 5),
+                Dir::Horizontal
+            ),
             1
         );
         // Moving vertically through (5,5): tip-to-tip (1-b), not 2-b -> 0.
         assert_eq!(
-            t2b_count(&p, &dm, NetId(0), GridPoint::new(Layer(0), 5, 5), Dir::Vertical),
+            t2b_count(
+                &p,
+                &dm,
+                NetId(0),
+                GridPoint::new(Layer(0), 5, 5),
+                Dir::Vertical
+            ),
             0
         );
         // A horizontal neighbour beside us while we move horizontally is
         // 1-a (side-side), not 2-b.
         let mut p2 = plane(16, 16);
-        let mut dm2 = DirMap::new();
+        let mut dm2 = DirGrid::new(&p2, None);
         for x in 3..8 {
             let c = GridPoint::new(Layer(0), x, 6);
             p2.occupy(c, NetId(1)).unwrap();
-            dm2.insert(c, Dir::Horizontal);
+            dm2.set(c, Some(Dir::Horizontal));
         }
         assert_eq!(
-            t2b_count(&p2, &dm2, NetId(0), GridPoint::new(Layer(0), 5, 5), Dir::Horizontal),
+            t2b_count(
+                &p2,
+                &dm2,
+                NetId(0),
+                GridPoint::new(Layer(0), 5, 5),
+                Dir::Horizontal
+            ),
             0
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_search() {
+        // The same scratch across several searches must give identical
+        // results to throwaway scratch (generation stamping correctness).
+        let mut p = plane(24, 24);
+        p.add_blockage(Layer(0), TrackRect::new(10, 0, 10, 20));
+        let penalties = PenaltyGrid::new(&p, 0);
+        let guards = GuardGrid::new(&p, crate::grids::NO_GUARD);
+        let dm = DirGrid::new(&p, None);
+        let cfg = RouterConfig::paper_defaults();
+        let mut scratch = SearchScratch::new(&p);
+        for i in 0..6 {
+            let from = GridPoint::new(Layer(0), 2, 2 + i);
+            let to = GridPoint::new(Layer(0), 20, 3 + i);
+            let req = AstarRequest {
+                net: NetId(i as u32),
+                sources: &[from],
+                targets: &[to],
+                penalties: &penalties,
+                guards: &guards,
+            };
+            let (fresh, fs) = astar_search(&p, &req, &dm, &cfg);
+            let (reused, rs) = astar_search_in(&p, &req, &dm, &cfg, &mut scratch);
+            let fresh = fresh.expect("found");
+            let reused = reused.expect("found");
+            assert_eq!(fresh.wirelength(), reused.wirelength());
+            assert_eq!(fresh.via_count(), reused.via_count());
+            assert_eq!(fs.expanded, rs.expanded);
+        }
+    }
+
+    #[test]
+    fn bbox_heuristic_expands_no_more_than_needed_on_open_grid() {
+        // On an empty grid the consistent heuristic should drive the
+        // search almost straight to the target: the expansion count must
+        // stay near the path length, not the window area.
+        let p = plane(64, 64);
+        let (path, stats) = search(
+            &p,
+            GridPoint::new(Layer(0), 2, 30),
+            GridPoint::new(Layer(0), 60, 30),
+        );
+        let path = path.expect("found");
+        assert_eq!(path.wirelength(), 58);
+        assert!(
+            stats.expanded <= 4 * 58 + 16,
+            "expanded {} nodes for a 58-step straight route",
+            stats.expanded
         );
     }
 }

@@ -174,7 +174,10 @@ mod tests {
         let layout = vec![
             (0, vec![TrackRect::new(0, 0, 6, 0)]),
             (1, vec![TrackRect::new(0, 1, 6, 1)]),
-            (2, vec![TrackRect::new(7, 0, 14, 0), TrackRect::new(7, 1, 7, 1)]),
+            (
+                2,
+                vec![TrackRect::new(7, 0, 14, 0), TrackRect::new(7, 1, 7, 1)],
+            ),
         ];
         // net 2 is tip-to-tip with net 0 (same color) and its stub at
         // (7,1) is tip-to-tip with net 1 (same color) -> 0 and 1 must
@@ -189,11 +192,14 @@ mod tests {
     fn multi_fragment_polygons_do_not_self_constrain() {
         // An L-shaped single net: its own fragments never constrain each
         // other (Theorem 3).
-        let layout = vec![(7, vec![
-            TrackRect::new(0, 0, 6, 0),
-            TrackRect::new(6, 0, 6, 6),
-            TrackRect::new(0, 2, 4, 2), // close to its own arm
-        ])];
+        let layout = vec![(
+            7,
+            vec![
+                TrackRect::new(0, 0, 6, 0),
+                TrackRect::new(6, 0, 6, 6),
+                TrackRect::new(0, 2, 4, 2), // close to its own arm
+            ],
+        )];
         let c = decompose_layout(&layout, &rules()).expect("decomposable");
         assert_eq!(c.edges, 0);
         assert_eq!(c.overlay_units, 0);

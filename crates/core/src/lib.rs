@@ -39,16 +39,20 @@
 //! ```
 
 pub mod astar;
+pub mod bucket;
 pub mod config;
 pub mod decompose;
+pub mod grids;
 pub mod report;
 pub mod router;
 pub mod scan;
 pub mod stats;
 
-pub use astar::{AstarRequest, SearchStats};
+pub use astar::{AstarRequest, SearchScratch, SearchStats};
+pub use bucket::BucketQueue;
 pub use config::{NetOrder, RouterConfig};
 pub use decompose::{decompose_layout, LayoutColoring, UndecomposableLayout};
+pub use grids::{DenseGrid, DirGrid, GuardGrid, PenaltyGrid, NO_GUARD};
 pub use report::RoutingReport;
 pub use router::{RoutedNet, Router};
 pub use scan::{scan_fragments, FoundScenario};

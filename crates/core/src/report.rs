@@ -38,6 +38,12 @@ pub struct RoutingReport {
     pub flips: u64,
     /// A\*-search nodes expanded.
     pub nodes_expanded: u64,
+    /// Routed `(net, layer)` pairs whose color lookup fell back to
+    /// [`Core`](sadp_scenario::Color::Core) because the net was missing
+    /// from that layer's constraint graph. Always 0 for a consistent
+    /// router state; a nonzero count means the decomposition input was
+    /// silently defaulted.
+    pub color_fallbacks: u64,
     /// Wall-clock routing time.
     pub cpu: Duration,
 }
@@ -85,6 +91,13 @@ impl fmt::Display for RoutingReport {
             "overlay {} units, {} hard violations, {} cut conflicts",
             self.overlay_units, self.hard_overlay_violations, self.cut_conflicts
         )?;
+        if self.color_fallbacks > 0 {
+            writeln!(
+                f,
+                "WARNING: {} color lookups fell back to Core",
+                self.color_fallbacks
+            )?;
+        }
         write!(f, "cpu {:.3}s", self.cpu.as_secs_f64())
     }
 }

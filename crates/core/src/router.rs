@@ -1,15 +1,24 @@
 //! The overall routing flow (Fig. 18 / Fig. 19).
 
-use crate::astar::{astar_search, AstarRequest, DirMap};
+use crate::astar::{astar_search_in, AstarRequest, SearchScratch};
 use crate::config::RouterConfig;
+use crate::grids::{DirGrid, GuardGrid, PenaltyGrid, NO_GUARD};
 use crate::report::RoutingReport;
 use crate::scan::{pack_frag_id, scan_fragments, FoundScenario};
-use sadp_geom::{Layer, Orientation, SpatialHash, TrackRect};
+use sadp_geom::{GridPoint, Layer, Orientation, SpatialHash, TrackRect};
 use sadp_graph::{flip, OverlayGraph};
 use sadp_grid::{Net, NetId, Netlist, RoutePath, RoutingPlane};
 use sadp_scenario::{Color, ScenarioKind};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Member cap for the per-net trial flips and the cleanup flips. On dense
+/// circuits the soft scenarios fuse nearly every net into one connected
+/// component, so an uncapped `flip_component` per routed net costs
+/// `O(n)` each — the dominant quadratic term of the old Fig. 20 series.
+/// The final [`Router::finalize`] pass still flips whole components once.
+const FLIP_NEIGHBORHOOD: usize = 256;
 
 /// A successfully routed net: its path(s) and per-layer wire fragments.
 #[derive(Debug, Clone)]
@@ -42,12 +51,47 @@ impl RoutedNet {
 
     /// Iterates over every grid point of the net (trunk then branches;
     /// branch tap points repeat their trunk cell).
-    pub fn all_points(&self) -> impl Iterator<Item = sadp_geom::GridPoint> + '_ {
-        self.path
-            .points()
-            .iter()
-            .copied()
-            .chain(self.branches.iter().flat_map(|b| b.points().iter().copied()))
+    pub fn all_points(&self) -> impl Iterator<Item = GridPoint> + '_ {
+        self.path.points().iter().copied().chain(
+            self.branches
+                .iter()
+                .flat_map(|b| b.points().iter().copied()),
+        )
+    }
+}
+
+/// Plane-sized dense working state, allocated once per [`Router::begin`]
+/// and reused for every net (clearing is `O(1)` via generation stamps).
+#[derive(Debug)]
+struct Workspace {
+    /// Per-cell wire direction of committed nets (the `T2b` hint map).
+    dir_map: DirGrid,
+    /// Soft pin keep-out halos: `(owner, penalty)` per cell.
+    guards: GuardGrid,
+    /// Rip-up penalties for the net currently being routed.
+    penalties: PenaltyGrid,
+    /// A\*-search state (g-costs, came-from, open list).
+    scratch: SearchScratch,
+}
+
+impl Workspace {
+    fn new(plane: &RoutingPlane) -> Workspace {
+        Workspace {
+            dir_map: DirGrid::new(plane, None),
+            guards: GuardGrid::new(plane, NO_GUARD),
+            penalties: PenaltyGrid::new(plane, 0),
+            scratch: SearchScratch::new(plane),
+        }
+    }
+
+    fn fits(&self, plane: &RoutingPlane) -> bool {
+        self.scratch.fits(plane)
+    }
+
+    fn clear(&mut self) {
+        self.dir_map.clear();
+        self.guards.clear();
+        self.penalties.clear();
     }
 }
 
@@ -61,8 +105,7 @@ pub struct Router {
     config: RouterConfig,
     graphs: Vec<OverlayGraph>,
     index: Vec<SpatialHash>,
-    dir_map: DirMap,
-    guards: HashMap<sadp_geom::GridPoint, (NetId, u64)>,
+    workspace: Option<Workspace>,
     routed: HashMap<NetId, RoutedNet>,
     failed: Vec<NetId>,
     frag_seq: u32,
@@ -75,6 +118,7 @@ pub struct Router {
     failed_cleanup: u64,
     flips: u64,
     nodes_expanded: u64,
+    color_fallbacks: Cell<u64>,
 }
 
 impl Router {
@@ -85,8 +129,7 @@ impl Router {
             config,
             graphs: Vec::new(),
             index: Vec::new(),
-            dir_map: DirMap::new(),
-            guards: HashMap::new(),
+            workspace: None,
             routed: HashMap::new(),
             failed: Vec::new(),
             frag_seq: 0,
@@ -99,6 +142,7 @@ impl Router {
             failed_cleanup: 0,
             flips: 0,
             nodes_expanded: 0,
+            color_fallbacks: Cell::new(0),
         }
     }
 
@@ -137,6 +181,11 @@ impl Router {
     /// The colored patterns of one layer, as
     /// `(net, color, fragment rects)` triples — the input format of the
     /// decomposition simulator.
+    ///
+    /// A routed net missing from the layer's constraint graph is reported
+    /// with [`Color::Core`]; that should never happen for a consistent
+    /// router state, so the fallback is counted
+    /// ([`RoutingReport::color_fallbacks`]) and asserts in dev builds.
     #[must_use]
     pub fn patterns_on_layer(&self, layer: Layer) -> Vec<(u32, Color, Vec<TrackRect>)> {
         let mut out = Vec::new();
@@ -150,7 +199,18 @@ impl Router {
                 .map(|(_, rect)| *rect)
                 .collect();
             if !rects.is_empty() {
-                let color = self.color_of(r.id, layer).unwrap_or(Color::Core);
+                let color = match self.color_of(r.id, layer) {
+                    Some(c) => c,
+                    None => {
+                        self.color_fallbacks.set(self.color_fallbacks.get() + 1);
+                        debug_assert!(
+                            false,
+                            "{} has fragments on {layer} but no color there; defaulting to Core",
+                            r.id
+                        );
+                        Color::Core
+                    }
+                };
                 out.push((r.id.0, color, rects));
             }
         }
@@ -161,7 +221,7 @@ impl Router {
     /// running the full flow of Fig. 19, and returns the aggregate report.
     pub fn route_all(&mut self, plane: &mut RoutingPlane, netlist: &Netlist) -> RoutingReport {
         let start = Instant::now();
-        self.begin(plane.layers());
+        self.begin_sized(plane, netlist.len());
 
         // Reserve every pin candidate cell up front so earlier nets cannot
         // route over the pins of later ones (the owner may still enter its
@@ -172,20 +232,46 @@ impl Router {
 
         for id in self.net_order(netlist) {
             let net = netlist.net(id);
-            if !self.route_net(plane, net, HashMap::new()) {
+            if !self.route_net(plane, net, &[]) {
                 self.failed.push(id);
             }
         }
-
         self.finalize(plane, netlist);
         self.build_report(netlist, start)
     }
 
-    /// Resets the router state for a plane with the given layer count.
-    /// Called automatically by [`Router::route_all`]; use directly for the
-    /// incremental API ([`Router::route_incremental`]).
-    pub fn begin(&mut self, layers: u8) {
-        self.reset(layers);
+    /// Resets the router state for the plane. Called automatically by
+    /// [`Router::route_all`]; use directly for the incremental API
+    /// ([`Router::route_incremental`]).
+    pub fn begin(&mut self, plane: &RoutingPlane) {
+        self.begin_sized(plane, 0);
+    }
+
+    /// Like [`Router::begin`], with a hint of how many nets will be routed
+    /// so the fragment spatial index can pick a density-matched tile size
+    /// (`0` = unknown, uses the coarsest tile).
+    pub fn begin_sized(&mut self, plane: &RoutingPlane, expected_nets: usize) {
+        self.graphs = (0..plane.layers()).map(|_| OverlayGraph::new()).collect();
+        self.index = (0..plane.layers())
+            .map(|_| SpatialHash::with_density(plane.width(), plane.height(), expected_nets))
+            .collect();
+        match self.workspace.as_mut() {
+            Some(ws) if ws.fits(plane) => ws.clear(),
+            _ => self.workspace = Some(Workspace::new(plane)),
+        }
+        self.routed.clear();
+        self.failed.clear();
+        self.frag_seq = 0;
+        self.ripups = 0;
+        self.ripups_type_b = 0;
+        self.ripups_graph = 0;
+        self.ripups_risk = 0;
+        self.failed_no_path = 0;
+        self.failed_exhausted = 0;
+        self.failed_cleanup = 0;
+        self.flips = 0;
+        self.nodes_expanded = 0;
+        self.color_fallbacks.set(0);
     }
 
     /// Routes one net incrementally against the already-routed layout,
@@ -206,22 +292,36 @@ impl Router {
             "call Router::begin before route_incremental"
         );
         self.reserve_pins(plane, net);
-        let ok = self.route_net(plane, net, HashMap::new());
+        let ok = self.route_net(plane, net, &[]);
         if !ok {
             self.failed.push(net.id);
         }
         ok
     }
 
-    /// Runs the final full-layout color flipping (Fig. 19 line 16), the
-    /// hill-climbing refinement, and the conflict cleanup that guarantees
-    /// a conflict-free result. `netlist` is used to re-route nets the
-    /// cleanup has to move.
+    /// Runs the final color flipping (Fig. 19 line 16) on every component
+    /// touched since the last finalize, the hill-climbing refinement, and
+    /// the conflict cleanup that guarantees a conflict-free result.
+    /// `netlist` is used to re-route nets the cleanup has to move.
+    ///
+    /// The flipping is scoped to *dirty* components — those containing a
+    /// vertex whose edges changed since the previous finalize — so
+    /// repeated incremental batches only re-color what moved instead of
+    /// re-walking the whole layout each time.
     pub fn finalize(&mut self, plane: &mut RoutingPlane, netlist: &Netlist) {
         if self.config.final_flip {
             for g in &mut self.graphs {
-                flip::flip_all(g);
-                flip::greedy_refine(g, 4);
+                let mut dirty = g.take_dirty();
+                dirty.sort_unstable();
+                let mut visited: std::collections::HashSet<u32> = std::collections::HashSet::new();
+                for v in dirty {
+                    if !g.contains(v) || visited.contains(&v) {
+                        continue;
+                    }
+                    visited.extend(g.component_of(v));
+                    flip::flip_component(g, v);
+                    flip::greedy_refine_component(g, v, 4);
+                }
             }
         }
         // Guarantee the conflict-free claim: any net whose coloring still
@@ -253,38 +353,24 @@ impl Router {
 
     fn reserve_pins(&mut self, plane: &mut RoutingPlane, net: &Net) {
         let guard = self.config.pin_guard_cost();
+        let ws = self.workspace.as_mut().expect("begin() sizes the router");
         for pin in net.pins() {
             for &c in pin.candidates() {
                 let _ = plane.occupy(c, net.id);
                 if guard > 0 {
                     for dx in -1..=1 {
                         for dy in -1..=1 {
-                            let g = sadp_geom::GridPoint::new(c.layer, c.x + dx, c.y + dy);
-                            self.guards.entry(g).or_insert((net.id, guard));
+                            let g = GridPoint::new(c.layer, c.x + dx, c.y + dy);
+                            // First reserver wins, as with the map's
+                            // entry().or_insert this replaced.
+                            if ws.guards.contains(g) && ws.guards.get(g) == NO_GUARD {
+                                ws.guards.set(g, (net.id, guard));
+                            }
                         }
                     }
                 }
             }
         }
-    }
-
-    fn reset(&mut self, layers: u8) {
-        self.graphs = (0..layers).map(|_| OverlayGraph::new()).collect();
-        self.index = (0..layers).map(|_| SpatialHash::new(16)).collect();
-        self.dir_map.clear();
-        self.guards.clear();
-        self.routed.clear();
-        self.failed.clear();
-        self.frag_seq = 0;
-        self.ripups = 0;
-        self.ripups_type_b = 0;
-        self.ripups_graph = 0;
-        self.ripups_risk = 0;
-        self.failed_no_path = 0;
-        self.failed_exhausted = 0;
-        self.failed_cleanup = 0;
-        self.flips = 0;
-        self.nodes_expanded = 0;
     }
 
     fn build_report(&self, netlist: &Netlist, start: Instant) -> RoutingReport {
@@ -313,28 +399,65 @@ impl Router {
             report.hard_overlay_violations += e.hard_violations;
             report.cut_conflicts += e.cut_risks;
         }
+        // Consistency sweep: every routed net must have a color on every
+        // layer it occupies (see `patterns_on_layer`).
+        let mut fallbacks = self.color_fallbacks.get();
+        for r in self.routed.values() {
+            let mut layers: Vec<Layer> = r.fragments.iter().map(|&(l, _)| l).collect();
+            layers.sort_unstable();
+            layers.dedup();
+            for l in layers {
+                if self.color_of(r.id, l).is_none() {
+                    fallbacks += 1;
+                    debug_assert!(false, "{} routed on {l} without a color", r.id);
+                }
+            }
+        }
+        report.color_fallbacks = fallbacks;
         report
     }
 
     /// Routes one net with up to `max_ripup` rip-up-and-re-route
-    /// iterations; returns whether the net was committed.
+    /// iterations; returns whether the net was committed. `seed_penalties`
+    /// pre-loads the penalty grid (used by the cleanup re-route to steer
+    /// the net away from its old corridor).
     fn route_net(
         &mut self,
         plane: &mut RoutingPlane,
         net: &Net,
-        mut penalties: HashMap<sadp_geom::GridPoint, u64>,
+        seed_penalties: &[(GridPoint, u64)],
+    ) -> bool {
+        let mut ws = self.workspace.take().expect("begin() sizes the router");
+        let ok = self.route_net_with(plane, net, seed_penalties, &mut ws);
+        self.workspace = Some(ws);
+        ok
+    }
+
+    fn route_net_with(
+        &mut self,
+        plane: &mut RoutingPlane,
+        net: &Net,
+        seed_penalties: &[(GridPoint, u64)],
+        ws: &mut Workspace,
     ) -> bool {
         let key = net.id.0;
+        ws.penalties.clear();
+        for &(p, v) in seed_penalties {
+            if ws.penalties.contains(p) {
+                ws.penalties.update(p, |old| old + v);
+            }
+        }
 
         for _attempt in 0..=self.config.max_ripup {
             let req = AstarRequest {
                 net: net.id,
                 sources: net.source.candidates(),
                 targets: net.target.candidates(),
-                penalties: &penalties,
-                guards: &self.guards,
+                penalties: &ws.penalties,
+                guards: &ws.guards,
             };
-            let (path, stats) = astar_search(plane, &req, &self.dir_map, &self.config);
+            let (path, stats) =
+                astar_search_in(plane, &req, &ws.dir_map, &self.config, &mut ws.scratch);
             self.nodes_expanded += stats.expanded;
             let Some(path) = path else {
                 self.failed_no_path += 1;
@@ -346,8 +469,7 @@ impl Router {
             let mut branches: Vec<RoutePath> = Vec::new();
             let mut branch_fail = false;
             for pin in &net.extra {
-                let mut targets: Vec<sadp_geom::GridPoint> =
-                    path.points().to_vec();
+                let mut targets: Vec<GridPoint> = path.points().to_vec();
                 for b in &branches {
                     targets.extend_from_slice(b.points());
                 }
@@ -355,10 +477,11 @@ impl Router {
                     net: net.id,
                     sources: pin.candidates(),
                     targets: &targets,
-                    penalties: &penalties,
-                    guards: &self.guards,
+                    penalties: &ws.penalties,
+                    guards: &ws.guards,
                 };
-                let (bpath, bstats) = astar_search(plane, &breq, &self.dir_map, &self.config);
+                let (bpath, bstats) =
+                    astar_search_in(plane, &breq, &ws.dir_map, &self.config, &mut ws.scratch);
                 self.nodes_expanded += bstats.expanded;
                 match bpath {
                     Some(bp) => branches.push(bp),
@@ -406,7 +529,7 @@ impl Router {
                     .map(|f| (f.layer, f.our_rect))
                     .collect();
                 if !merges.is_empty() {
-                    self.penalize(&mut penalties, &merges);
+                    self.penalize(&mut ws.penalties, &merges);
                     self.ripups += 1;
                     self.ripups_graph += 1;
                     continue;
@@ -420,22 +543,14 @@ impl Router {
                     .filter(|f| f.scenario.kind.is_constraining())
                     .map(|f| format!("{}:{}", f.scenario.kind.name(), f.other_net))
                     .collect();
-                let on_path: u64 = path
-                    .points()
-                    .iter()
-                    .filter_map(|pt| penalties.get(pt))
-                    .sum();
+                let on_path: u64 = path.points().iter().map(|&pt| ws.penalties.get(pt)).sum();
                 eprintln!(
-                    "net {} attempt {}: penalties={} cells, {} on path; {:?}",
-                    net.id,
-                    _attempt,
-                    penalties.len(),
-                    on_path,
-                    kinds
+                    "net {} attempt {}: {} penalty units on path; {:?}",
+                    net.id, _attempt, on_path, kinds
                 );
             }
             if let Some(bad) = type_b_conflict(&found, plane.rules()) {
-                self.penalize(&mut penalties, &bad);
+                self.penalize(&mut ws.penalties, &bad);
                 self.ripups += 1;
                 self.ripups_type_b += 1;
                 continue;
@@ -451,8 +566,13 @@ impl Router {
                     continue;
                 }
                 let g = &mut self.graphs[f.layer.index()];
-                if g.add_scenario_with_kind(key, f.other_net, Some(f.scenario.kind), f.scenario.table)
-                    .is_err()
+                if g.add_scenario_with_kind(
+                    key,
+                    f.other_net,
+                    Some(f.scenario.kind),
+                    f.scenario.table,
+                )
+                .is_err()
                 {
                     offender = Some((f.layer, f.other_net));
                     break;
@@ -467,9 +587,8 @@ impl Router {
                     .filter(|f| f.layer == layer && f.other_net == bad_net)
                     .map(|f| f.our_rect)
                     .collect();
-                let cells: Vec<(Layer, TrackRect)> =
-                    bad.into_iter().map(|r| (layer, r)).collect();
-                self.penalize(&mut penalties, &cells);
+                let cells: Vec<(Layer, TrackRect)> = bad.into_iter().map(|r| (layer, r)).collect();
+                self.penalize(&mut ws.penalties, &cells);
                 self.ripups += 1;
                 self.ripups_graph += 1;
                 continue;
@@ -491,7 +610,11 @@ impl Router {
             let mut flipped = false;
             if needs_flip || overlay > self.config.flip_threshold {
                 for layer in per_layer.keys() {
-                    flip::flip_component(&mut self.graphs[layer.index()], key);
+                    flip::flip_neighborhood(
+                        &mut self.graphs[layer.index()],
+                        key,
+                        FLIP_NEIGHBORHOOD,
+                    );
                 }
                 flipped = true;
             }
@@ -509,7 +632,7 @@ impl Router {
                 for (g, &mark) in self.graphs.iter_mut().zip(&marks) {
                     g.rollback_net(key, mark);
                 }
-                self.penalize(&mut penalties, &cells);
+                self.penalize(&mut ws.penalties, &cells);
                 self.ripups += 1;
                 self.ripups_risk += 1;
                 continue;
@@ -518,7 +641,7 @@ impl Router {
                 self.flips += 1;
             }
 
-            self.commit(plane, net, path, branches, fragments, &per_layer);
+            self.commit(plane, net, path, branches, fragments, ws);
             return true;
         }
         // Attempts exhausted; leave the graphs clean.
@@ -537,18 +660,20 @@ impl Router {
         false
     }
 
-    fn penalize(&self, penalties: &mut HashMap<sadp_geom::GridPoint, u64>, cells: &[(Layer, TrackRect)]) {
+    fn penalize(&self, penalties: &mut PenaltyGrid, cells: &[(Layer, TrackRect)]) {
         let p = self.config.ripup_penalty_cost();
         for (layer, rect) in cells {
             // Penalise the whole neighbourhood (dependence radius) so the
             // re-route leaves the conflicting corridor instead of shifting
             // by a single track into the same scenario.
             for (x, y) in rect.expanded(2).cells() {
+                let cell = GridPoint::new(*layer, x, y);
+                if !penalties.contains(cell) {
+                    continue;
+                }
                 let d = rect.track_gap(&TrackRect::cell(x, y));
                 let scale = 2 - (d.0.max(d.1)).min(2) as u64 + 1;
-                *penalties
-                    .entry(sadp_geom::GridPoint::new(*layer, x, y))
-                    .or_insert(0) += p * scale / 2;
+                penalties.update(cell, |v| v + p * scale / 2);
             }
         }
     }
@@ -560,10 +685,10 @@ impl Router {
         path: RoutePath,
         branches: Vec<RoutePath>,
         fragments: Vec<(Layer, TrackRect)>,
-        per_layer: &std::collections::BTreeMap<Layer, Vec<TrackRect>>,
+        ws: &mut Workspace,
     ) {
         let id = net.id;
-        let on_path = |c: &sadp_geom::GridPoint| {
+        let on_path = |c: &GridPoint| {
             path.points().contains(c) || branches.iter().any(|b| b.points().contains(c))
         };
         for &p in path.points() {
@@ -590,8 +715,7 @@ impl Router {
         for &(layer, rect) in &fragments {
             if let Some(axis) = rect.orientation().axis() {
                 for (x, y) in rect.cells() {
-                    self.dir_map
-                        .insert(sadp_geom::GridPoint::new(layer, x, y), axis);
+                    ws.dir_map.set(GridPoint::new(layer, x, y), Some(axis));
                 }
             }
             let fid = pack_frag_id(id.0, self.frag_seq);
@@ -602,7 +726,6 @@ impl Router {
 
         // Coloring already happened in the trial phase of route_net; the
         // graphs are left exactly as validated there.
-        let _ = per_layer;
         self.routed.insert(
             id,
             RoutedNet {
@@ -619,6 +742,7 @@ impl Router {
     /// still realizes a forbidden assignment or a type-A cut risk, and
     /// unroute the incorrigible ones so the final result is conflict-free.
     fn cleanup_risks(&mut self, plane: &mut RoutingPlane, netlist: &Netlist) {
+        let mut ws = self.workspace.take().expect("begin() sizes the router");
         for _ in 0..8 {
             let mut risky: Vec<u32> = Vec::new();
             for g in &self.graphs {
@@ -627,8 +751,13 @@ impl Router {
             risky.sort_unstable();
             risky.dedup();
             if risky.is_empty() {
-                return;
+                break;
             }
+            // One flip+refine per neighbourhood per pass: several risky
+            // nets usually share a region, and re-flipping it for each of
+            // them repeated `O(component)` work per net.
+            let mut flipped: Vec<std::collections::HashSet<u32>> =
+                vec![std::collections::HashSet::new(); self.graphs.len()];
             for net in risky {
                 let id = NetId(net);
                 let Some(routed) = self.routed.get(&id) else {
@@ -639,19 +768,24 @@ impl Router {
                     .filter(|&l| self.graphs[l].contains(net))
                     .collect();
                 for &l in &layers {
-                    flip::flip_component(&mut self.graphs[l], net);
-                    flip::greedy_refine(&mut self.graphs[l], 2);
+                    if flipped[l].contains(&net) {
+                        continue;
+                    }
+                    let members =
+                        flip::flip_neighborhood(&mut self.graphs[l], net, FLIP_NEIGHBORHOOD);
+                    flip::refine_members(&mut self.graphs[l], &members, 2);
+                    flipped[l].extend(members);
                 }
                 let still = layers.iter().any(|&l| self.graphs[l].net_has_risk(net));
                 if still {
                     // Re-route away from the old corridor; give the net up
                     // only if that fails too.
-                    self.unroute(plane, id);
-                    let mut penalties = HashMap::new();
+                    self.unroute(plane, id, &mut ws);
                     let p = self.config.ripup_penalty_cost() * 2;
+                    let mut seeds: Vec<(GridPoint, u64)> = Vec::new();
                     for (layer, rect) in &old_cells {
                         for (x, y) in rect.cells() {
-                            penalties.insert(sadp_geom::GridPoint::new(*layer, x, y), p);
+                            seeds.push((GridPoint::new(*layer, x, y), p));
                         }
                     }
                     // The pins were freed by the unroute; re-reserve them
@@ -662,12 +796,11 @@ impl Router {
                             let _ = plane.occupy(c, id);
                         }
                     }
-                    let ok = self.route_net(plane, net_ref, penalties);
-                    let risk_again = ok
-                        && (0..self.graphs.len())
-                            .any(|l| self.graphs[l].net_has_risk(net));
+                    let ok = self.route_net_with(plane, net_ref, &seeds, &mut ws);
+                    let risk_again =
+                        ok && (0..self.graphs.len()).any(|l| self.graphs[l].net_has_risk(net));
                     if risk_again {
-                        self.unroute(plane, id);
+                        self.unroute(plane, id, &mut ws);
                         self.failed.push(id);
                         self.failed_cleanup += 1;
                     } else if !ok {
@@ -691,15 +824,16 @@ impl Router {
             for net in risky {
                 let id = NetId(net);
                 if self.routed.contains_key(&id) {
-                    self.unroute(plane, id);
+                    self.unroute(plane, id, &mut ws);
                     self.failed.push(id);
                     self.failed_cleanup += 1;
                 }
             }
         }
+        self.workspace = Some(ws);
     }
 
-    fn unroute(&mut self, plane: &mut RoutingPlane, id: NetId) {
+    fn unroute(&mut self, plane: &mut RoutingPlane, id: NetId, ws: &mut Workspace) {
         let Some(r) = self.routed.remove(&id) else {
             return;
         };
@@ -710,8 +844,7 @@ impl Router {
         for ((layer, rect), fid) in r.fragments.iter().zip(&r.frag_ids) {
             self.index[layer.index()].remove(*fid, rect);
             for (x, y) in rect.cells() {
-                self.dir_map
-                    .remove(&sadp_geom::GridPoint::new(*layer, x, y));
+                ws.dir_map.remove(GridPoint::new(*layer, x, y));
             }
         }
         for g in &mut self.graphs {
@@ -799,7 +932,7 @@ fn opposite_ends(ours: &TrackRect, a: &TrackRect, b: &TrackRect) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sadp_geom::{DesignRules, GridPoint};
+    use sadp_geom::DesignRules;
 
     fn plane(w: i32, h: i32) -> RoutingPlane {
         RoutingPlane::new(3, w, h, DesignRules::node_10nm()).expect("valid")
@@ -819,6 +952,7 @@ mod tests {
         assert_eq!(report.routed_nets, 1);
         assert_eq!(report.wirelength, 19);
         assert_eq!(report.overlay_units, 0);
+        assert_eq!(report.color_fallbacks, 0);
         assert!(router.failed().is_empty());
     }
 
@@ -847,11 +981,7 @@ mod tests {
         let mut plane = plane(32, 32);
         let mut nl = Netlist::new();
         for i in 0..3 {
-            nl.add_two_pin(
-                format!("r{i}"),
-                p0(2, 5 + i),
-                p0(20, 5 + i),
-            );
+            nl.add_two_pin(format!("r{i}"), p0(2, 5 + i), p0(20, 5 + i));
         }
         let mut router = Router::new(RouterConfig::paper_defaults());
         let report = router.route_all(&mut plane, &nl);
@@ -918,5 +1048,23 @@ mod tests {
         assert_eq!(report.routed_nets, 0);
         assert_eq!(router.failed(), &[id]);
         assert!(report.routability() < 1.0);
+    }
+
+    #[test]
+    fn route_all_twice_reuses_workspace() {
+        // A second route_all on the same-shaped plane must behave exactly
+        // like a fresh router (workspace reuse + epoch clears).
+        let mut nl = Netlist::new();
+        nl.add_two_pin("a", p0(2, 2), p0(14, 9));
+        nl.add_two_pin("b", p0(2, 12), p0(18, 12));
+        let mut router = Router::new(RouterConfig::paper_defaults());
+        let mut plane_a = plane(32, 32);
+        let first = router.route_all(&mut plane_a, &nl);
+        let mut plane_b = plane(32, 32);
+        let second = router.route_all(&mut plane_b, &nl);
+        assert_eq!(first.routed_nets, second.routed_nets);
+        assert_eq!(first.wirelength, second.wirelength);
+        assert_eq!(first.overlay_units, second.overlay_units);
+        assert_eq!(first.nodes_expanded, second.nodes_expanded);
     }
 }

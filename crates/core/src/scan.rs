@@ -91,13 +91,7 @@ mod tests {
         let mut index = SpatialHash::new(8);
         index.insert(pack_frag_id(1, 0), TrackRect::new(0, 1, 7, 1));
         index.insert(pack_frag_id(2, 1), TrackRect::new(0, 8, 7, 8)); // far away
-        let found = scan_fragments(
-            Layer(0),
-            0,
-            &[TrackRect::new(0, 0, 5, 0)],
-            &index,
-            &rules(),
-        );
+        let found = scan_fragments(Layer(0), 0, &[TrackRect::new(0, 0, 5, 0)], &index, &rules());
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].other_net, 1);
         assert_eq!(found[0].scenario.kind, ScenarioKind::OneA);
@@ -107,13 +101,7 @@ mod tests {
     fn scan_skips_own_fragments() {
         let mut index = SpatialHash::new(8);
         index.insert(pack_frag_id(0, 0), TrackRect::new(0, 1, 7, 1));
-        let found = scan_fragments(
-            Layer(0),
-            0,
-            &[TrackRect::new(0, 0, 5, 0)],
-            &index,
-            &rules(),
-        );
+        let found = scan_fragments(Layer(0), 0, &[TrackRect::new(0, 0, 5, 0)], &index, &rules());
         assert!(found.is_empty());
     }
 
@@ -123,13 +111,7 @@ mod tests {
         let mut index = SpatialHash::new(8);
         index.insert(pack_frag_id(1, 0), TrackRect::new(0, 1, 4, 1));
         index.insert(pack_frag_id(1, 1), TrackRect::new(4, 1, 4, 5));
-        let found = scan_fragments(
-            Layer(0),
-            0,
-            &[TrackRect::new(0, 0, 6, 0)],
-            &index,
-            &rules(),
-        );
+        let found = scan_fragments(Layer(0), 0, &[TrackRect::new(0, 0, 6, 0)], &index, &rules());
         assert_eq!(found.len(), 2);
         assert!(found.iter().all(|f| f.other_net == 1));
     }

@@ -38,8 +38,7 @@ impl ScenarioCensus {
                 if let Some(units) = data.table.entry(asg).overlay_units() {
                     if units > 0 {
                         if let Some(kind) = data.kinds.first() {
-                            *census.realized_units.entry(*kind).or_default() +=
-                                u64::from(units);
+                            *census.realized_units.entry(*kind).or_default() += u64::from(units);
                         }
                     }
                 }
@@ -66,7 +65,10 @@ impl fmt::Display for ScenarioCensus {
         )?;
         for (kind, count) in &self.counts {
             let realized = self.realized_units.get(kind).copied().unwrap_or(0);
-            writeln!(f, "  {kind:10}: {count:6} occurrences, {realized:6} units realized")?;
+            writeln!(
+                f,
+                "  {kind:10}: {count:6} occurrences, {realized:6} units realized"
+            )?;
         }
         Ok(())
     }

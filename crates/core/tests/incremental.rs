@@ -28,7 +28,7 @@ fn incremental_matches_batch_in_hpwl_order() {
     let mut plane_b = RoutingPlane::new(3, 32, 32, DesignRules::node_10nm()).unwrap();
     let mut inc = Router::new(RouterConfig::paper_defaults());
     let start = Instant::now();
-    inc.begin(plane_b.layers());
+    inc.begin(&plane_b);
     for id in nl.ids_by_hpwl() {
         inc.route_incremental(&mut plane_b, nl.net(id));
     }
@@ -49,7 +49,7 @@ fn caller_controls_the_order() {
     let nl = netlist();
     let mut plane = RoutingPlane::new(3, 32, 32, DesignRules::node_10nm()).unwrap();
     let mut router = Router::new(RouterConfig::paper_defaults());
-    router.begin(plane.layers());
+    router.begin(&plane);
     let mut order: Vec<_> = nl.ids_by_hpwl();
     order.reverse();
     for id in order {

@@ -137,11 +137,7 @@ fn via_rich_route_counts_layers() {
     assert_eq!(report.routed_nets, 1);
     assert!(report.vias >= 2);
     let routed = router.routed().values().next().unwrap();
-    let layers: std::collections::HashSet<u8> = routed
-        .fragments
-        .iter()
-        .map(|(l, _)| l.0)
-        .collect();
+    let layers: std::collections::HashSet<u8> = routed.fragments.iter().map(|(l, _)| l.0).collect();
     assert!(layers.len() >= 2, "route uses multiple layers");
 }
 

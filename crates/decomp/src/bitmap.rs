@@ -240,7 +240,15 @@ impl fmt::Display for Bitmap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for y in (0..self.height).rev() {
             for x in 0..self.width {
-                write!(f, "{}", if self.bits[y * self.width + x] { '#' } else { '.' })?;
+                write!(
+                    f,
+                    "{}",
+                    if self.bits[y * self.width + x] {
+                        '#'
+                    } else {
+                        '.'
+                    }
+                )?;
             }
             writeln!(f)?;
         }

@@ -149,7 +149,10 @@ impl CutSimulator {
             rules.d_cut().0,
             rules.d_core().0,
         ] {
-            assert!(v % PX_NM == 0, "rule dimension {v}nm not a {PX_NM}nm multiple");
+            assert!(
+                v % PX_NM == 0,
+                "rule dimension {v}nm not a {PX_NM}nm multiple"
+            );
         }
         CutSimulator { rules }
     }
@@ -321,8 +324,9 @@ impl CutSimulator {
         let cut = spacer.complement().minus(&target);
 
         // 6. Measure.
-        let mut report =
-            self.measure(patterns, origin, &target, &spacer, &cut, &owner, width, height);
+        let mut report = self.measure(
+            patterns, origin, &target, &spacer, &cut, &owner, width, height,
+        );
         report.spacer_violations = spacer.intersect(&target).count();
 
         Decomposition {
@@ -433,8 +437,7 @@ impl CutSimulator {
                     if !cut.get(nx, ny) {
                         continue; // outside canvas bookkeeping
                     }
-                    let is_side =
-                        self.edge_is_side(patterns, origin, own, x, y, dx, dy, pitch);
+                    let is_side = self.edge_is_side(patterns, origin, own, x, y, dx, dy, pitch);
                     let (line, pos) = if dx != 0 { (x, y) } else { (y, x) };
                     edges
                         .entry((own, di as u8, line))

@@ -42,8 +42,8 @@
 
 pub mod bitmap;
 pub mod cutmask;
-pub mod export;
 pub mod cutsim;
+pub mod export;
 pub mod layout;
 pub mod render;
 pub mod trim;
@@ -53,8 +53,8 @@ pub mod window;
 
 pub use bitmap::Bitmap;
 pub use cutmask::{critical_cuts, CutPattern};
-pub use export::{bitmap_to_rects, export_masks, PxRect};
 pub use cutsim::{CutSimulator, DecompReport, Decomposition, MaskStats};
+pub use export::{bitmap_to_rects, export_masks, PxRect};
 pub use layout::ColoredPattern;
 pub use render::{render_ascii, render_svg};
 pub use trim::trim_conflicts;

@@ -47,9 +47,9 @@ pub fn render_ascii(decomp: &Decomposition, patterns: &[ColoredPattern]) -> Stri
             if !decomp.target.get(x, y) {
                 continue;
             }
-            let exposed = [(1, 0), (-1, 0), (0, 1), (0, -1)]
-                .iter()
-                .any(|&(dx, dy)| decomp.cut.get(x + dx, y + dy) && !decomp.target.get(x + dx, y + dy));
+            let exposed = [(1, 0), (-1, 0), (0, 1), (0, -1)].iter().any(|&(dx, dy)| {
+                decomp.cut.get(x + dx, y + dy) && !decomp.target.get(x + dx, y + dy)
+            });
             if exposed {
                 canvas[y as usize][x as usize] = '!';
             }

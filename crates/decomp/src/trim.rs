@@ -155,11 +155,7 @@ mod tests {
         // Two L-shaped patterns with several 1-a fragment adjacencies still
         // count as one conflicting pair.
         let pats = vec![
-            ColoredPattern::new(
-                0,
-                Color::Core,
-                vec![TrackRect::new(0, 0, 6, 0)],
-            ),
+            ColoredPattern::new(0, Color::Core, vec![TrackRect::new(0, 0, 6, 0)]),
             ColoredPattern::new(
                 1,
                 Color::Core,

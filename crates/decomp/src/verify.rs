@@ -101,10 +101,7 @@ impl fmt::Display for Verdict {
 /// assert_eq!(verdict.total_overlay_units(), 0);
 /// ```
 #[must_use]
-pub fn verify_layers(
-    layers: &[Vec<(u32, Color, Vec<TrackRect>)>],
-    rules: &DesignRules,
-) -> Verdict {
+pub fn verify_layers(layers: &[Vec<(u32, Color, Vec<TrackRect>)>], rules: &DesignRules) -> Verdict {
     let sim = CutSimulator::new(*rules);
     let mut verdict = Verdict::default();
     for (i, layer_patterns) in layers.iter().enumerate() {

@@ -134,10 +134,7 @@ mod tests {
                 .map(|&a| r.side_units(a))
                 .max()
                 .expect("non-empty");
-            assert!(
-                best <= worst,
-                "{kind}: optimal {best} vs worst {worst}"
-            );
+            assert!(best <= worst, "{kind}: optimal {best} vs worst {worst}");
         }
     }
 

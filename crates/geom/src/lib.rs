@@ -27,11 +27,13 @@
 pub mod nm;
 pub mod point;
 pub mod rect;
+pub mod rng;
 pub mod rules;
 pub mod spatial;
 
 pub use nm::Nm;
 pub use point::{Dir, GridPoint, Layer, Orientation, Step};
 pub use rect::TrackRect;
+pub use rng::Rng;
 pub use rules::{DesignRules, RulesError};
 pub use spatial::SpatialHash;

@@ -115,17 +115,18 @@ impl Step {
         !matches!(self, Step::Up | Step::Down)
     }
 
-    /// The in-plane axis of a planar step.
+    /// The in-plane axis of a planar step, or `None` for a via step.
     ///
-    /// # Panics
-    ///
-    /// Panics if called on a via step.
+    /// Mirrors [`Orientation::axis`]: callers match on the result instead
+    /// of guarding with [`Step::is_planar`] first (a via step used to
+    /// panic here, which turned a forgotten guard into a crash deep in
+    /// the search loop).
     #[must_use]
-    pub fn axis(self) -> Dir {
+    pub fn axis(self) -> Option<Dir> {
         match self {
-            Step::East | Step::West => Dir::Horizontal,
-            Step::North | Step::South => Dir::Vertical,
-            _ => panic!("via step has no planar axis"),
+            Step::East | Step::West => Some(Dir::Horizontal),
+            Step::North | Step::South => Some(Dir::Vertical),
+            Step::Up | Step::Down => None,
         }
     }
 }
@@ -204,7 +205,9 @@ mod tests {
     fn step_properties() {
         assert!(Step::East.is_planar());
         assert!(!Step::Up.is_planar());
-        assert_eq!(Step::North.axis(), Dir::Vertical);
+        assert_eq!(Step::North.axis(), Some(Dir::Vertical));
+        assert_eq!(Step::Up.axis(), None);
+        assert_eq!(Step::Down.axis(), None);
         assert_eq!(Dir::Horizontal.perpendicular(), Dir::Vertical);
     }
 

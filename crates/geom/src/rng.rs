@@ -1,0 +1,156 @@
+//! A small deterministic PRNG (SplitMix64) for benchmark generation and
+//! randomized tests.
+//!
+//! The repository builds in hermetic environments with no crate registry,
+//! so the benchmark generator and the randomized test suites cannot depend
+//! on external RNG crates. SplitMix64 passes BigCrush, needs only a `u64`
+//! of state, and — unlike `rand`'s `SmallRng` — is guaranteed stable across
+//! toolchain upgrades, which keeps the generated benchmark instances
+//! byte-identical forever.
+
+/// A deterministic SplitMix64 pseudo-random generator.
+///
+/// # Example
+///
+/// ```
+/// use sadp_geom::Rng;
+/// let mut a = Rng::seed_from_u64(7);
+/// let mut b = Rng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert!(a.range_i32(3..10) >= 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)` (Lemire-style rejection-free
+    /// widening multiply; bias is negligible for the bounds used here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0.
+    pub fn bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform `i32` in the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_i32(&mut self, range: std::ops::Range<i32>) -> i32 {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end as i64 - range.start as i64) as u64;
+        range.start + self.bounded(span) as i32
+    }
+
+    /// A uniform `i32` in the closed range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_i32_inclusive(&mut self, range: std::ops::RangeInclusive<i32>) -> i32 {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "empty range");
+        let span = (hi as i64 - lo as i64 + 1) as u64;
+        lo + self.bounded(span) as i32
+    }
+
+    /// A uniform `usize` in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.bounded(bound as u64) as usize
+    }
+
+    /// A biased coin: `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    /// A fair coin.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_splitmix_vector() {
+        // Reference values of SplitMix64 with seed 1234567 (from the
+        // published reference implementation).
+        let mut r = Rng::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.range_i32(-5..7);
+            assert!((-5..7).contains(&v));
+            let w = r.range_i32_inclusive(2..=4);
+            assert!((2..=4).contains(&w));
+            assert!(r.index(3) < 3);
+        }
+    }
+
+    #[test]
+    fn range_endpoints_reachable() {
+        let mut r = Rng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(r.range_i32_inclusive(0..=3));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::seed_from_u64(2);
+        assert!((0..50).all(|_| !r.chance(0.0)));
+        assert!((0..50).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = Rng::seed_from_u64(0);
+        let _ = r.range_i32(5..5);
+    }
+}

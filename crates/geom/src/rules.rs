@@ -269,7 +269,10 @@ mod tests {
         let dependent = [(0, 1), (0, 2), (1, 0), (2, 0), (1, 1), (1, 2), (2, 1)];
         let independent = [(0, 3), (3, 0), (2, 2), (1, 3), (3, 1), (2, 3)];
         for (dx, dy) in dependent {
-            assert!(r.gap_is_dependent(dx, dy), "({dx},{dy}) should be dependent");
+            assert!(
+                r.gap_is_dependent(dx, dy),
+                "({dx},{dy}) should be dependent"
+            );
         }
         for (dx, dy) in independent {
             assert!(

@@ -43,6 +43,24 @@ impl SpatialHash {
         }
     }
 
+    /// Creates an empty hash with a tile size chosen from the expected
+    /// item density: roughly two items per tile on average, clamped to
+    /// `4..=16` tracks. A fixed tile of 16 made every bucket hold `O(n)`
+    /// fragments on dense circuits, turning neighbourhood queries —
+    /// nominally `O(items in window)` — into linear scans.
+    #[must_use]
+    pub fn with_density(width: i32, height: i32, expected_items: usize) -> SpatialHash {
+        let area = (width.max(1) as f64) * (height.max(1) as f64);
+        let per_tile_area = area / (2.0 * expected_items.max(1) as f64);
+        SpatialHash::new((per_tile_area.sqrt() as i32).clamp(4, 16))
+    }
+
+    /// The tile size in tracks.
+    #[must_use]
+    pub fn tile(&self) -> i32 {
+        self.tile
+    }
+
     /// Number of stored rectangles.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -114,19 +132,28 @@ impl SpatialHash {
     ) -> impl Iterator<Item = (u64, TrackRect)> + 'a {
         let (tx0, ty0, tx1, ty1) = self.tile_range(window);
         let w = *window;
-        let mut seen: Vec<(u64, TrackRect)> = Vec::new();
+        let mut out: Vec<(u64, TrackRect)> = Vec::new();
         for ty in ty0..=ty1 {
             for tx in tx0..=tx1 {
                 if let Some(v) = self.buckets.get(&(tx, ty)) {
                     for &(id, r) in v {
-                        if r.intersects(&w) && !seen.contains(&(id, r)) {
-                            seen.push((id, r));
+                        if !r.intersects(&w) {
+                            continue;
+                        }
+                        // Deduplicate without a seen-set: of the tiles an
+                        // entry shares with the query window, exactly one
+                        // is the per-axis maximum of the two range starts;
+                        // report the entry only from that anchor tile.
+                        let ax = r.x0.div_euclid(self.tile).max(tx0);
+                        let ay = r.y0.div_euclid(self.tile).max(ty0);
+                        if (ax, ay) == (tx, ty) {
+                            out.push((id, r));
                         }
                     }
                 }
             }
         }
-        seen.into_iter()
+        out.into_iter()
     }
 }
 
@@ -175,5 +202,36 @@ mod tests {
     #[should_panic(expected = "tile size")]
     fn zero_tile_panics() {
         let _ = SpatialHash::new(0);
+    }
+
+    #[test]
+    fn density_tile_shrinks_with_item_count() {
+        // Few items on a big plane: coarse tiles (clamped high).
+        assert_eq!(SpatialHash::with_density(512, 512, 10).tile(), 16);
+        // Dense plane: fine tiles (clamped low).
+        assert_eq!(SpatialHash::with_density(64, 64, 10_000).tile(), 4);
+        // Mid density lands between the clamps.
+        let t = SpatialHash::with_density(256, 256, 500).tile();
+        assert!((4..=16).contains(&t), "tile {t}");
+        // Degenerate inputs must not panic.
+        assert!(SpatialHash::with_density(0, 0, 0).tile() >= 4);
+    }
+
+    #[test]
+    fn multi_tile_entries_dedup_in_partial_windows() {
+        let mut h = SpatialHash::new(4);
+        // Spans tiles x = 0..=3 on row 0.
+        let long = TrackRect::new(1, 1, 14, 1);
+        h.insert(9, long);
+        // Window starting mid-rectangle: anchor is clamped to the window.
+        for window in [
+            TrackRect::new(0, 0, 15, 3),
+            TrackRect::new(5, 0, 15, 3),
+            TrackRect::new(5, 0, 9, 3),
+            TrackRect::new(13, 1, 14, 1),
+        ] {
+            let hits: Vec<_> = h.query(&window).collect();
+            assert_eq!(hits, vec![9], "window {window:?}");
+        }
     }
 }

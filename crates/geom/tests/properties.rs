@@ -1,72 +1,102 @@
-//! Property-based tests for the geometry substrate.
+//! Randomized property tests for the geometry substrate, driven by the
+//! crate's own deterministic [`Rng`] (the workspace builds hermetically,
+//! with no external property-testing framework).
 
-use proptest::prelude::*;
-use sadp_geom::{DesignRules, SpatialHash, TrackRect};
+use sadp_geom::{DesignRules, Rng, SpatialHash, TrackRect};
 
-fn rect_strategy() -> impl Strategy<Value = TrackRect> {
-    (-20i32..20, -20i32..20, 0i32..10, 0i32..10)
-        .prop_map(|(x, y, w, h)| TrackRect::new(x, y, x + w, y + h))
+const CASES: usize = 512;
+
+fn random_rect(rng: &mut Rng) -> TrackRect {
+    let x = rng.range_i32(-20..20);
+    let y = rng.range_i32(-20..20);
+    let w = rng.range_i32(0..10);
+    let h = rng.range_i32(0..10);
+    TrackRect::new(x, y, x + w, y + h)
 }
 
-proptest! {
-    /// Gap and overlap arithmetic is symmetric.
-    #[test]
-    fn gap_and_overlap_are_symmetric(a in rect_strategy(), b in rect_strategy()) {
-        prop_assert_eq!(a.track_gap(&b), b.track_gap(&a));
-        prop_assert_eq!(a.overlap_x(&b), b.overlap_x(&a));
-        prop_assert_eq!(a.overlap_y(&b), b.overlap_y(&a));
-        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+/// Gap and overlap arithmetic is symmetric.
+#[test]
+fn gap_and_overlap_are_symmetric() {
+    let mut rng = Rng::seed_from_u64(0xA11CE);
+    for _ in 0..CASES {
+        let a = random_rect(&mut rng);
+        let b = random_rect(&mut rng);
+        assert_eq!(a.track_gap(&b), b.track_gap(&a));
+        assert_eq!(a.overlap_x(&b), b.overlap_x(&a));
+        assert_eq!(a.overlap_y(&b), b.overlap_y(&a));
+        assert_eq!(a.intersects(&b), b.intersects(&a));
     }
+}
 
-    /// The gap is zero on an axis iff the projections overlap there.
-    #[test]
-    fn gap_zero_iff_projection_overlap(a in rect_strategy(), b in rect_strategy()) {
+/// The gap is zero on an axis iff the projections overlap there.
+#[test]
+fn gap_zero_iff_projection_overlap() {
+    let mut rng = Rng::seed_from_u64(0xB0B);
+    for _ in 0..CASES {
+        let a = random_rect(&mut rng);
+        let b = random_rect(&mut rng);
         let (dx, dy) = a.track_gap(&b);
-        prop_assert_eq!(dx == 0, a.overlap_x(&b) > 0);
-        prop_assert_eq!(dy == 0, a.overlap_y(&b) > 0);
+        assert_eq!(dx == 0, a.overlap_x(&b) > 0);
+        assert_eq!(dy == 0, a.overlap_y(&b) > 0);
     }
+}
 
-    /// Intersection is contained in both rectangles; the union bbox
-    /// contains both.
-    #[test]
-    fn intersection_and_union_bounds(a in rect_strategy(), b in rect_strategy()) {
+/// Intersection is contained in both rectangles; the union bbox contains
+/// both.
+#[test]
+fn intersection_and_union_bounds() {
+    let mut rng = Rng::seed_from_u64(0xC0FFEE);
+    for _ in 0..CASES {
+        let a = random_rect(&mut rng);
+        let b = random_rect(&mut rng);
         if let Some(i) = a.intersection(&b) {
             for (x, y) in i.cells() {
-                prop_assert!(a.contains_cell(x, y) && b.contains_cell(x, y));
+                assert!(a.contains_cell(x, y) && b.contains_cell(x, y));
             }
         }
         let u = a.union_bbox(&b);
-        prop_assert!(u.contains_cell(a.x0, a.y0) && u.contains_cell(b.x1, b.y1));
+        assert!(u.contains_cell(a.x0, a.y0) && u.contains_cell(b.x1, b.y1));
     }
+}
 
-    /// Expansion keeps containment and grows cell count monotonically.
-    #[test]
-    fn expansion_is_monotone(a in rect_strategy(), d in 0i32..5) {
+/// Expansion keeps containment and grows cell count monotonically.
+#[test]
+fn expansion_is_monotone() {
+    let mut rng = Rng::seed_from_u64(0xDEED);
+    for _ in 0..CASES {
+        let a = random_rect(&mut rng);
+        let d = rng.range_i32(0..5);
         let e = a.expanded(d);
-        prop_assert!(e.len_cells() >= a.len_cells());
+        assert!(e.len_cells() >= a.len_cells());
         for (x, y) in a.cells().take(64) {
-            prop_assert!(e.contains_cell(x, y));
+            assert!(e.contains_cell(x, y));
         }
     }
+}
 
-    /// Dependence is symmetric and monotone in the track gaps.
-    #[test]
-    fn dependence_is_symmetric(dx in 0i32..5, dy in 0i32..5) {
-        let r = DesignRules::node_10nm();
-        prop_assert_eq!(r.gap_is_dependent(dx, dy), r.gap_is_dependent(dy, dx));
-        if !r.gap_is_dependent(dx, dy) {
-            // Growing any gap keeps the pair independent.
-            prop_assert!(!r.gap_is_dependent(dx + 1, dy));
-            prop_assert!(!r.gap_is_dependent(dx, dy + 1));
+/// Dependence is symmetric and monotone in the track gaps.
+#[test]
+fn dependence_is_symmetric() {
+    let r = DesignRules::node_10nm();
+    for dx in 0..5 {
+        for dy in 0..5 {
+            assert_eq!(r.gap_is_dependent(dx, dy), r.gap_is_dependent(dy, dx));
+            if !r.gap_is_dependent(dx, dy) {
+                // Growing any gap keeps the pair independent.
+                assert!(!r.gap_is_dependent(dx + 1, dy));
+                assert!(!r.gap_is_dependent(dx, dy + 1));
+            }
         }
     }
+}
 
-    /// The spatial hash agrees with brute-force filtering.
-    #[test]
-    fn spatial_hash_matches_brute_force(
-        rects in prop::collection::vec(rect_strategy(), 0..24),
-        window in rect_strategy(),
-    ) {
+/// The spatial hash agrees with brute-force filtering.
+#[test]
+fn spatial_hash_matches_brute_force() {
+    let mut rng = Rng::seed_from_u64(0x5EED);
+    for _ in 0..CASES {
+        let rects: Vec<TrackRect> = (0..rng.index(24)).map(|_| random_rect(&mut rng)).collect();
+        let window = random_rect(&mut rng);
         let mut hash = SpatialHash::new(6);
         for (i, r) in rects.iter().enumerate() {
             hash.insert(i as u64, *r);
@@ -81,24 +111,26 @@ proptest! {
             .map(|(i, _)| i as u64)
             .collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    /// Insert followed by remove restores the query results.
-    #[test]
-    fn spatial_hash_remove_undoes_insert(
-        base in prop::collection::vec(rect_strategy(), 0..12),
-        extra in rect_strategy(),
-        window in rect_strategy(),
-    ) {
+/// Insert followed by remove restores the query results.
+#[test]
+fn spatial_hash_remove_undoes_insert() {
+    let mut rng = Rng::seed_from_u64(0xFACADE);
+    for _ in 0..CASES {
+        let base: Vec<TrackRect> = (0..rng.index(12)).map(|_| random_rect(&mut rng)).collect();
+        let extra = random_rect(&mut rng);
+        let window = random_rect(&mut rng);
         let mut hash = SpatialHash::new(6);
         for (i, r) in base.iter().enumerate() {
             hash.insert(i as u64, *r);
         }
         let before: Vec<u64> = hash.query(&window).collect();
         hash.insert(999, extra);
-        prop_assert!(hash.remove(999, &extra));
+        assert!(hash.remove(999, &extra));
         let after: Vec<u64> = hash.query(&window).collect();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after);
     }
 }

@@ -143,9 +143,41 @@ impl ParityDsu {
     /// connected: `Some(true)` = must differ, `Some(false)` = must match,
     /// `None` = unconstrained.
     pub fn relation(&mut self, a: u32, b: u32) -> Option<bool> {
-        let (ra, pa) = self.find(a);
-        let (rb, pb) = self.find(b);
+        self.relation_ref(a, b)
+    }
+
+    /// Non-mutating relation query (see [`ParityDsu::relation`]).
+    #[must_use]
+    pub fn relation_ref(&self, a: u32, b: u32) -> Option<bool> {
+        let (ra, pa) = self.find_ref(a);
+        let (rb, pb) = self.find_ref(b);
         (ra == rb).then_some(pa ^ pb)
+    }
+
+    /// Detaches every element of `nodes` back into a singleton (parent =
+    /// self, parity false, rank 0), so a caller can re-union the surviving
+    /// edges of just one component instead of rebuilding the whole forest.
+    ///
+    /// The caller must pass a union-closed set: every element whose root
+    /// path runs through a reset element must itself be reset (resetting a
+    /// full component, as [`OverlayGraph::remove_net`] does, satisfies
+    /// this). Marks taken before the call are invalidated — only roll back
+    /// to marks taken afterwards.
+    ///
+    /// [`OverlayGraph::remove_net`]: crate::OverlayGraph::remove_net
+    pub fn reset_nodes(&mut self, nodes: &[u32]) {
+        for &x in nodes {
+            self.parent[x as usize] = x;
+            self.parity[x as usize] = false;
+            self.rank[x as usize] = 0;
+        }
+        debug_assert!(
+            (0..self.parent.len() as u32).all(|x| {
+                let p = self.parent[x as usize];
+                p == x || !nodes.contains(&p) || nodes.contains(&x)
+            }),
+            "reset set must be union-closed (a whole component)"
+        );
     }
 
     /// Adds a hard edge between `a` and `b` with the given parity
@@ -299,6 +331,22 @@ mod tests {
     fn rollback_into_future_panics() {
         let mut d = ParityDsu::new(2);
         d.rollback(1);
+    }
+
+    #[test]
+    fn reset_nodes_detaches_a_component() {
+        let mut d = ParityDsu::new(6);
+        d.union(0, 1, true).unwrap();
+        d.union(1, 2, false).unwrap();
+        d.union(4, 5, true).unwrap();
+        // Reset the {0,1,2} component and re-union a subset of its edges.
+        d.reset_nodes(&[0, 1, 2]);
+        assert_eq!(d.relation(0, 1), None);
+        assert_eq!(d.relation(1, 2), None);
+        assert_eq!(d.relation(4, 5), Some(true), "other components untouched");
+        d.union(1, 2, false).unwrap();
+        assert_eq!(d.relation(1, 2), Some(false));
+        assert_eq!(d.relation(0, 2), None);
     }
 
     #[test]

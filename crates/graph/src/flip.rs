@@ -20,7 +20,7 @@
 
 use crate::graph::OverlayGraph;
 use sadp_scenario::{Assignment, Color};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Result of a color flipping pass.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +64,64 @@ pub fn flip_component(graph: &mut OverlayGraph, seed: u32) -> FlipOutcome {
     }
 }
 
+/// Up to ≈ `max_members` vertices around `seed`, breadth-first, always
+/// closed under hard constraints: a hard edge is followed even past the
+/// cap, so hard-constraint groups are never split. Returns a sorted list
+/// (empty if `seed` is not in the graph).
+///
+/// The per-net trial flipping and the conflict cleanup optimize these
+/// bounded neighbourhoods instead of whole connected components: on dense
+/// circuits the soft scenarios fuse nearly all nets into one giant
+/// component, and an `O(component)` flip per routed net is exactly the
+/// quadratic blow-up the Fig. 20 series used to show.
+#[must_use]
+pub fn neighborhood_of(graph: &OverlayGraph, seed: u32, max_members: usize) -> Vec<u32> {
+    if !graph.contains(seed) {
+        return Vec::new();
+    }
+    let mut set: HashSet<u32> = HashSet::new();
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    set.insert(seed);
+    queue.push_back(seed);
+    let mut out = Vec::new();
+    while let Some(v) = queue.pop_front() {
+        out.push(v);
+        for &n in graph.neighbors(v) {
+            if set.contains(&n) {
+                continue;
+            }
+            let hard = graph
+                .edge(v, n)
+                .is_some_and(|d| d.table.hard_parity().is_some());
+            if hard || set.len() < max_members {
+                set.insert(n);
+                queue.push_back(n);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// [`flip_component`] restricted to the bounded neighbourhood of `seed`:
+/// the DP optimizes the neighbourhood's colors with every boundary
+/// neighbour's color held fixed (boundary hard edges carry the usual
+/// prohibitive weight, so they are respected).
+pub fn flip_neighborhood(graph: &mut OverlayGraph, seed: u32, max_members: usize) -> Vec<u32> {
+    let members = neighborhood_of(graph, seed, max_members);
+    if !members.is_empty() {
+        flip_members(graph, &members);
+    }
+    members
+}
+
+/// [`greedy_refine`] restricted to a member list produced by
+/// [`neighborhood_of`] (must be closed under hard constraints — groups
+/// flip whole).
+pub fn refine_members(graph: &mut OverlayGraph, members: &[u32], max_passes: usize) {
+    refine_verts(graph, members, max_passes);
+}
+
 /// Runs color flipping on every component of the graph (Fig. 19 line 16).
 pub fn flip_all(graph: &mut OverlayGraph) -> FlipOutcome {
     let mut outcome = FlipOutcome {
@@ -98,6 +156,25 @@ fn total_weight(graph: &OverlayGraph) -> u64 {
         .sum()
 }
 
+/// Total weight of the edges incident to `members`, boundary edges (one
+/// endpoint outside `set`) included once.
+fn member_weight(graph: &OverlayGraph, members: &[u32], set: &HashSet<u32>) -> u64 {
+    let mut w = 0;
+    for &a in members {
+        for &b in graph.neighbors(a) {
+            if set.contains(&b) && a >= b {
+                continue; // internal edge, counted from its low endpoint
+            }
+            if let Some(d) = graph.edge(a, b) {
+                let (x, y) = if a < b { (a, b) } else { (b, a) };
+                let asg = Assignment::from_colors(graph.color(x), graph.color(y));
+                w += d.table.entry(asg).weight();
+            }
+        }
+    }
+    w
+}
+
 fn component_weight(graph: &OverlayGraph, members: &[u32]) -> u64 {
     let mut w = 0;
     for &a in members {
@@ -113,7 +190,12 @@ fn component_weight(graph: &OverlayGraph, members: &[u32]) -> u64 {
     w
 }
 
+/// Runs the flipping DP on `members`, which must be closed under hard
+/// constraints (a whole connected component, or a [`neighborhood_of`]
+/// set). Edges to vertices outside the set contribute with the outside
+/// color held fixed.
 fn flip_members(graph: &mut OverlayGraph, members: &[u32]) {
+    let member_set: HashSet<u32> = members.iter().copied().collect();
     // 1. Quotient by hard constraints.
     let mut parity_of: HashMap<u32, (u32, bool)> = HashMap::new();
     for &m in members {
@@ -127,18 +209,36 @@ fn flip_members(graph: &mut OverlayGraph, members: &[u32]) {
     let n = roots.len();
 
     // 2. Aggregate edge tables onto super vertices: self weights for
-    //    intra-super edges, 2x2 tables for inter-super edges.
+    //    intra-super and boundary edges, 2x2 tables for inter-super edges.
     let mut self_weight = vec![[0u64; 2]; n];
     let mut super_edges: HashMap<(usize, usize), SuperTable> = HashMap::new();
     for &a in members {
         for &b in graph.neighbors(a) {
-            if a >= b {
+            let inside = member_set.contains(&b);
+            if inside && a >= b {
                 continue;
             }
             let Some(data) = graph.edge(a, b) else {
                 continue;
             };
             let (ra, pa) = parity_of[&a];
+            if !inside {
+                // Boundary edge: b keeps its current color; the edge cost
+                // folds into a's super-vertex self weight. Tables are
+                // oriented low-id first.
+                let cb = graph.color(b);
+                let ia = root_index[&ra];
+                for (ci, root_color) in Color::ALL.iter().enumerate() {
+                    let ca = apply_parity(*root_color, pa);
+                    let asg = if a < b {
+                        Assignment::from_colors(ca, cb)
+                    } else {
+                        Assignment::from_colors(cb, ca)
+                    };
+                    self_weight[ia][ci] += data.table.entry(asg).weight();
+                }
+                continue;
+            }
             let (rb, pb) = parity_of[&b];
             let (ia, ib) = (root_index[&ra], root_index[&rb]);
             if ia == ib {
@@ -171,7 +271,11 @@ fn flip_members(graph: &mut OverlayGraph, members: &[u32]) {
 
     // 3. Maximum spanning tree over the super vertices (Kruskal).
     let mut edge_list: Vec<((usize, usize), SuperTable)> = super_edges.into_iter().collect();
-    edge_list.sort_by(|a, b| table_stake(&b.1).cmp(&table_stake(&a.1)).then(a.0.cmp(&b.0)));
+    edge_list.sort_by(|a, b| {
+        table_stake(&b.1)
+            .cmp(&table_stake(&a.1))
+            .then(a.0.cmp(&b.0))
+    });
     let mut tree_adj: Vec<Vec<(usize, SuperTable)>> = vec![Vec::new(); n];
     let mut dsu: Vec<usize> = (0..n).collect();
     fn find(dsu: &mut Vec<usize>, x: usize) -> usize {
@@ -197,7 +301,7 @@ fn flip_members(graph: &mut OverlayGraph, members: &[u32]) {
 
     // Snapshot for the keep-if-better safeguard.
     let before: Vec<(u32, Color)> = members.iter().map(|&m| (m, graph.color(m))).collect();
-    let weight_before = component_weight(graph, members);
+    let weight_before = member_weight(graph, members, &member_set);
 
     // 4. DP of eq. (4) over each tree of the super-vertex forest.
     let mut super_color = vec![Color::Core; n];
@@ -216,8 +320,9 @@ fn flip_members(graph: &mut OverlayGraph, members: &[u32]) {
         graph.set_color(m, c);
     }
 
-    // Keep-if-better on the full component (non-tree edges included).
-    if component_weight(graph, members) > weight_before {
+    // Keep-if-better on all incident edges (non-tree and boundary edges
+    // included).
+    if member_weight(graph, members, &member_set) > weight_before {
         for (m, c) in before {
             graph.set_color(m, c);
         }
@@ -307,12 +412,32 @@ pub fn greedy_refine(graph: &mut OverlayGraph, max_passes: usize) -> u64 {
     let before = total_weight(graph);
     let mut verts: Vec<u32> = graph.vertices().collect();
     verts.sort_unstable();
+    refine_verts(graph, &verts, max_passes);
+    before.saturating_sub(total_weight(graph))
+}
+
+/// [`greedy_refine`] scoped to the connected component containing `seed`.
+/// Components share no edges, so refining each touched component
+/// separately reaches the same fixpoint as a global pass — without
+/// re-walking the untouched rest of the graph.
+pub fn greedy_refine_component(graph: &mut OverlayGraph, seed: u32, max_passes: usize) -> u64 {
+    let mut members = graph.component_of(seed);
+    if members.is_empty() {
+        return 0;
+    }
+    members.sort_unstable();
+    let before = component_weight(graph, &members);
+    refine_verts(graph, &members, max_passes);
+    before.saturating_sub(component_weight(graph, &members))
+}
+
+fn refine_verts(graph: &mut OverlayGraph, verts: &[u32], max_passes: usize) {
     for _ in 0..max_passes {
         let mut improved = false;
         // Group members by hard-component root (sorted for determinism).
         let mut groups: std::collections::BTreeMap<u32, Vec<u32>> =
             std::collections::BTreeMap::new();
-        for &v in &verts {
+        for &v in verts {
             if graph.contains(v) {
                 let (root, _) = graph.hard_root(v);
                 groups.entry(root).or_default().push(v);
@@ -336,7 +461,6 @@ pub fn greedy_refine(graph: &mut OverlayGraph, max_passes: usize) -> u64 {
             break;
         }
     }
-    before.saturating_sub(total_weight(graph))
 }
 
 fn group_flip_delta(
@@ -353,10 +477,9 @@ fn group_flip_delta(
                     // table of a hard component is parity-symmetric only
                     // for its hard part; nonhard costs can change.
                     let d = graph.edge(m, n).expect("edge exists");
-                    let old = d.table.entry(Assignment::from_colors(
-                        graph.color(m),
-                        graph.color(n),
-                    ));
+                    let old = d
+                        .table
+                        .entry(Assignment::from_colors(graph.color(m), graph.color(n)));
                     let new = d.table.entry(Assignment::from_colors(
                         graph.color(m).flipped(),
                         graph.color(n).flipped(),
@@ -551,6 +674,47 @@ mod tests {
         assert_eq!(w, 0);
         assert_eq!(colors[&0], Color::Second);
         assert_eq!(colors[&1], Color::Second);
+    }
+
+    #[test]
+    fn neighborhood_caps_but_closes_hard_groups() {
+        // A soft chain 0-1-2-3-4 with a hard 1-b pair hanging off vertex 1.
+        let mut g = OverlayGraph::new();
+        for i in 0..4 {
+            g.add_scenario(i, i + 1, ScenarioKind::ThreeA.table())
+                .unwrap();
+        }
+        g.add_scenario(1, 10, ScenarioKind::OneB.table()).unwrap();
+        let n = neighborhood_of(&g, 0, 2);
+        // Cap 2 stops the soft BFS quickly, but once 1 is in, its hard
+        // partner 10 must come along.
+        assert!(n.contains(&0) && n.contains(&1) && n.contains(&10), "{n:?}");
+        assert!(n.len() < 6, "cap ignored: {n:?}");
+        assert!(neighborhood_of(&g, 99, 8).is_empty());
+    }
+
+    #[test]
+    fn neighborhood_flip_respects_fixed_boundary() {
+        // Chain of hard 1-a edges: 0-1-2. Flip only {0}'s neighbourhood
+        // with cap 1: hard closure pulls the whole chain in anyway, so
+        // colors stay legal. Then a soft case: 0 =3-a= 1 =3-a= 2 with 2
+        // outside the flipped set; 1 must pick a color compatible with
+        // the *fixed* color of 2.
+        let mut g = OverlayGraph::new();
+        g.add_scenario(0, 1, ScenarioKind::ThreeA.table()).unwrap(); // prefer diff
+        g.add_scenario(1, 2, ScenarioKind::ThreeA.table()).unwrap(); // prefer diff
+        g.set_color(0, Color::Core);
+        g.set_color(1, Color::Core);
+        g.set_color(2, Color::Second);
+        // Neighbourhood of 0 with cap 2 = {0, 1}; 2 stays fixed Second.
+        let members = flip_neighborhood(&mut g, 0, 2);
+        assert_eq!(members, vec![0, 1]);
+        assert_eq!(g.color(2), Color::Second, "boundary vertex must not move");
+        let e = g.evaluate();
+        assert_eq!(
+            e.overlay_units, 0,
+            "both 3-a edges satisfiable: 0=S,1=C,2=S or equiv"
+        );
     }
 
     #[test]

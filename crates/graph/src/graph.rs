@@ -2,7 +2,7 @@
 
 use crate::dsu::ParityDsu;
 use sadp_scenario::{Assignment, Color, CostTable, ScenarioKind};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
@@ -44,7 +44,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::HardOddCycle { a, b } => {
-                write!(f, "hard-constraint odd cycle closed between nets {a} and {b}")
+                write!(
+                    f,
+                    "hard-constraint odd cycle closed between nets {a} and {b}"
+                )
             }
             GraphError::Infeasible { a, b } => {
                 write!(f, "no legal color assignment for nets {a} and {b}")
@@ -94,7 +97,10 @@ pub struct OverlayGraph {
     slot: HashMap<u32, u32>,
     next_slot: u32,
     dsu: ParityDsu,
-    dsu_dirty: bool,
+    /// Vertices whose constraint edges changed since the last
+    /// [`OverlayGraph::take_dirty`] (used to scope the final recoloring to
+    /// the components actually touched).
+    dirty: HashSet<u32>,
 }
 
 impl OverlayGraph {
@@ -108,7 +114,7 @@ impl OverlayGraph {
             slot: HashMap::new(),
             next_slot: 0,
             dsu: ParityDsu::new(0),
-            dsu_dirty: false,
+            dirty: HashSet::new(),
         }
     }
 
@@ -133,6 +139,7 @@ impl OverlayGraph {
             self.next_slot += 1;
             self.slot.insert(net, s);
             self.dsu.grow(self.next_slot as usize);
+            self.dirty.insert(net);
         }
     }
 
@@ -180,44 +187,19 @@ impl OverlayGraph {
         self.edges.iter().map(|(&(a, b), d)| (a, b, d))
     }
 
-    fn rebuild_dsu(&mut self) {
-        let mut dsu = ParityDsu::new(self.next_slot as usize);
-        // Deterministic union order: the root identities feed tie-breaking
-        // in the flipping algorithm's spanning tree.
-        let mut hard: Vec<(u32, u32, bool)> = self
-            .edges
-            .iter()
-            .filter_map(|(&(a, b), data)| data.table.hard_parity().map(|p| (a, b, p)))
-            .collect();
-        hard.sort_unstable();
-        for (a, b, parity) in hard {
-            let sa = self.slot[&a];
-            let sb = self.slot[&b];
-            dsu.union(sa, sb, parity)
-                .expect("existing graph is hard-consistent");
-        }
-        self.dsu = dsu;
-        self.dsu_dirty = false;
-    }
-
     /// The forced hard color relation between two nets, if any
     /// (`Some(true)` = must differ, `Some(false)` = must match).
-    pub fn hard_relation(&mut self, a: u32, b: u32) -> Option<bool> {
-        if self.dsu_dirty {
-            self.rebuild_dsu();
-        }
+    #[must_use]
+    pub fn hard_relation(&self, a: u32, b: u32) -> Option<bool> {
         let sa = *self.slot.get(&a)?;
         let sb = *self.slot.get(&b)?;
-        self.dsu.relation(sa, sb)
+        self.dsu.relation_ref(sa, sb)
     }
 
     /// The hard-component root and parity of `net`, used by the flipping
     /// algorithm to form super vertices.
-    pub(crate) fn hard_root(&mut self, net: u32) -> (u32, bool) {
-        if self.dsu_dirty {
-            self.rebuild_dsu();
-        }
-        self.dsu.find(self.slot[&net])
+    pub(crate) fn hard_root(&self, net: u32) -> (u32, bool) {
+        self.dsu.find_ref(self.slot[&net])
     }
 
     /// Adds one potential overlay scenario between `a` and `b`, with
@@ -240,9 +222,6 @@ impl OverlayGraph {
         assert_ne!(a, b, "a net cannot constrain itself");
         self.ensure_vertex(a);
         self.ensure_vertex(b);
-        if self.dsu_dirty {
-            self.rebuild_dsu();
-        }
         let key = ordered(a, b);
         let oriented = if key.0 == a { table } else { table.swapped() };
 
@@ -277,6 +256,8 @@ impl OverlayGraph {
         if let Some(k) = kind {
             entry.kinds.push(k);
         }
+        self.dirty.insert(a);
+        self.dirty.insert(b);
         Ok(())
     }
 
@@ -291,12 +272,10 @@ impl OverlayGraph {
 
     /// A checkpoint for [`OverlayGraph::rollback_net`]: call before
     /// inserting a net's scenarios, roll back with it if the net must be
-    /// ripped up. Avoids the `O(E)` union–find rebuild of
+    /// ripped up. Avoids even the component-scoped union–find repair of
     /// [`OverlayGraph::remove_net`] on the hot rip-up path.
-    pub fn mark(&mut self) -> usize {
-        if self.dsu_dirty {
-            self.rebuild_dsu();
-        }
+    #[must_use]
+    pub fn mark(&self) -> usize {
         self.dsu.mark()
     }
 
@@ -314,32 +293,100 @@ impl OverlayGraph {
                 if let Some(v) = self.adj.get_mut(&n) {
                     v.retain(|&x| x != net);
                 }
+                self.dirty.insert(n);
             }
         }
         self.slot.remove(&net);
-        if !self.dsu_dirty {
-            self.dsu.rollback(mark);
-        }
+        self.dirty.remove(&net);
+        self.dsu.rollback(mark);
     }
 
     /// Removes `net` and every incident edge (rip-up). The hard-constraint
-    /// union–find is rebuilt lazily on the next query.
+    /// union–find is repaired eagerly, scoped to the hard-connected
+    /// component of `net`: its members are detached and the surviving hard
+    /// edges among them re-unioned, so a removal costs `O(component)`
+    /// instead of the `O(E)` full rebuild it used to schedule.
     pub fn remove_net(&mut self, net: u32) {
-        if self.colors.remove(&net).is_none() {
+        if !self.colors.contains_key(&net) {
             return;
         }
+        // The hard-connected component of `net` (over graph hard edges) is
+        // a superset of its union–find component: every committed union
+        // corresponds to an edge whose merged table is hard, and merging
+        // never un-hardens a table. Resetting the whole component is
+        // therefore union-closed, as `ParityDsu::reset_nodes` requires.
+        let members = self.hard_members(net);
+        let member_slots: Vec<u32> = members.iter().map(|m| self.slot[m]).collect();
+
+        self.colors.remove(&net);
         if let Some(nbrs) = self.adj.remove(&net) {
             for n in nbrs {
                 self.edges.remove(&ordered(net, n));
                 if let Some(v) = self.adj.get_mut(&n) {
                     v.retain(|&x| x != net);
                 }
+                self.dirty.insert(n);
             }
         }
         // The slot is dropped with the vertex; a re-inserted net gets a
-        // fresh slot, and the DSU is rebuilt over live edges only.
+        // fresh slot.
         self.slot.remove(&net);
-        self.dsu_dirty = true;
+        self.dirty.remove(&net);
+
+        self.dsu.reset_nodes(&member_slots);
+        // Deterministic union order, as in a from-scratch rebuild: the
+        // root identities feed tie-breaking in the flipping algorithm.
+        let mut hard: Vec<(u32, u32, bool)> = Vec::new();
+        for &m in &members {
+            if m == net {
+                continue;
+            }
+            for &n in self.adj.get(&m).map_or(&[][..], Vec::as_slice) {
+                if n <= m {
+                    continue;
+                }
+                if let Some(p) = self.edges[&ordered(m, n)].table.hard_parity() {
+                    hard.push((m, n, p));
+                }
+            }
+        }
+        hard.sort_unstable();
+        for (a, b, parity) in hard {
+            self.dsu
+                .union(self.slot[&a], self.slot[&b], parity)
+                .expect("surviving graph is hard-consistent");
+        }
+    }
+
+    /// The hard-connected component of `net`: every vertex reachable from
+    /// it over edges whose merged table carries a hard constraint
+    /// (including `net` itself).
+    fn hard_members(&self, net: u32) -> Vec<u32> {
+        let mut seen: HashSet<u32> = HashSet::new();
+        seen.insert(net);
+        let mut out = vec![net];
+        let mut stack = vec![net];
+        while let Some(v) = stack.pop() {
+            for &n in self.adj.get(&v).map_or(&[][..], Vec::as_slice) {
+                if seen.contains(&n) {
+                    continue;
+                }
+                if self.edges[&ordered(v, n)].table.hard_parity().is_some() {
+                    seen.insert(n);
+                    out.push(n);
+                    stack.push(n);
+                }
+            }
+        }
+        out
+    }
+
+    /// Drains the set of vertices whose constraint edges changed since the
+    /// last call (insertions, new or merged scenarios, and neighbours of
+    /// removed nets; plain recoloring does not count). Used to scope the
+    /// final flipping passes to the components actually touched.
+    pub fn take_dirty(&mut self) -> Vec<u32> {
+        self.dirty.drain().collect()
     }
 
     /// Evaluates the current coloring (Table III/IV "overlay length" in
@@ -536,7 +583,9 @@ mod tests {
         let mut g = OverlayGraph::new();
         g.add_scenario(0, 1, ScenarioKind::OneA.table()).unwrap();
         g.add_scenario(1, 2, ScenarioKind::OneA.table()).unwrap();
-        let err = g.add_scenario(0, 2, ScenarioKind::OneA.table()).unwrap_err();
+        let err = g
+            .add_scenario(0, 2, ScenarioKind::OneA.table())
+            .unwrap_err();
         assert!(matches!(err, GraphError::HardOddCycle { .. }));
         // The offending edge was not committed.
         assert!(g.edge(0, 2).is_none());
@@ -547,7 +596,9 @@ mod tests {
     fn contradictory_hard_pair_is_infeasible() {
         let mut g = OverlayGraph::new();
         g.add_scenario(0, 1, ScenarioKind::OneA.table()).unwrap();
-        let err = g.add_scenario(0, 1, ScenarioKind::OneB.table()).unwrap_err();
+        let err = g
+            .add_scenario(0, 1, ScenarioKind::OneB.table())
+            .unwrap_err();
         assert!(matches!(err, GraphError::Infeasible { .. }));
         // Edge still holds only the 1-a table.
         assert_eq!(g.edge(0, 1).unwrap().table.hard_parity(), Some(true));
@@ -556,8 +607,13 @@ mod tests {
     #[test]
     fn parallel_edges_merge() {
         let mut g = OverlayGraph::new();
-        g.add_scenario_with_kind(0, 1, Some(ScenarioKind::ThreeA), ScenarioKind::ThreeA.table())
-            .unwrap();
+        g.add_scenario_with_kind(
+            0,
+            1,
+            Some(ScenarioKind::ThreeA),
+            ScenarioKind::ThreeA.table(),
+        )
+        .unwrap();
         g.add_scenario_with_kind(0, 1, Some(ScenarioKind::TwoB), ScenarioKind::TwoB.table())
             .unwrap();
         let e = g.edge(0, 1).unwrap();

@@ -35,7 +35,10 @@ pub mod flip;
 pub mod graph;
 
 pub use dsu::ParityDsu;
-pub use flip::{brute_force_color, flip_all, flip_component, greedy_refine, FlipOutcome};
+pub use flip::{
+    brute_force_color, flip_all, flip_component, flip_neighborhood, greedy_refine,
+    greedy_refine_component, neighborhood_of, refine_members, FlipOutcome,
+};
 pub use graph::{EdgeData, EvalStats, GraphError, OverlayGraph};
 
 pub use sadp_scenario::{Assignment, Color, Cost, CostTable, ScenarioKind};

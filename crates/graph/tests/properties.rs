@@ -1,7 +1,10 @@
-//! Property-based tests for the constraint graph and coloring algorithms.
+//! Randomized property tests for the constraint graph and coloring
+//! algorithms, driven by the deterministic [`Rng`] from `sadp-geom`.
 
-use proptest::prelude::*;
-use sadp_graph::{brute_force_color, flip_all, greedy_refine, OverlayGraph, ScenarioKind};
+use sadp_geom::Rng;
+use sadp_graph::{
+    brute_force_color, flip_all, greedy_refine, OverlayGraph, ParityDsu, ScenarioKind,
+};
 use sadp_scenario::{Assignment, Color};
 
 const NONHARD: [ScenarioKind; 6] = [
@@ -23,15 +26,27 @@ fn total_weight(g: &OverlayGraph) -> u64 {
         .sum()
 }
 
-proptest! {
-    /// flip_all never worsens the coloring (keep-if-better safeguard) and
-    /// greedy refinement on top never worsens it either — on arbitrary
-    /// graphs, not just trees.
-    #[test]
-    fn flipping_never_regresses(
-        edges in prop::collection::vec((0u32..10, 0u32..10, 0usize..6), 0..30),
-        seeds in prop::collection::vec(prop::bool::ANY, 10),
-    ) {
+/// Random nonhard edge list `(a, b, kind-index)` over `verts` vertices.
+fn random_edges(rng: &mut Rng, verts: u32, max_edges: usize) -> Vec<(u32, u32, usize)> {
+    (0..rng.index(max_edges))
+        .map(|_| {
+            (
+                rng.bounded(u64::from(verts)) as u32,
+                rng.bounded(u64::from(verts)) as u32,
+                rng.index(NONHARD.len()),
+            )
+        })
+        .collect()
+}
+
+/// flip_all never worsens the coloring (keep-if-better safeguard) and
+/// greedy refinement on top never worsens it either — on arbitrary
+/// graphs, not just trees.
+#[test]
+fn flipping_never_regresses() {
+    let mut rng = Rng::seed_from_u64(0xF11);
+    for _ in 0..256 {
+        let edges = random_edges(&mut rng, 10, 31);
         let mut g = OverlayGraph::new();
         for &(a, b, k) in &edges {
             if a != b {
@@ -39,36 +54,43 @@ proptest! {
                 g.add_scenario(a, b, NONHARD[k].table()).expect("nonhard");
             }
         }
-        for (i, &second) in seeds.iter().enumerate() {
-            if g.contains(i as u32) {
-                g.set_color(i as u32, if second { Color::Second } else { Color::Core });
+        for i in 0..10u32 {
+            let second = rng.flip();
+            if g.contains(i) {
+                g.set_color(i, if second { Color::Second } else { Color::Core });
             }
         }
         let before = total_weight(&g);
         flip_all(&mut g);
         let mid = total_weight(&g);
-        prop_assert!(mid <= before, "flip_all regressed {before} -> {mid}");
+        assert!(mid <= before, "flip_all regressed {before} -> {mid}");
         greedy_refine(&mut g, 3);
         let after = total_weight(&g);
-        prop_assert!(after <= mid, "greedy_refine regressed {mid} -> {after}");
+        assert!(after <= mid, "greedy_refine regressed {mid} -> {after}");
     }
+}
 
-    /// With hard edges mixed in, flipping always produces a coloring that
-    /// satisfies every hard constraint (when one exists, which is
-    /// guaranteed because rejected edges are never inserted).
-    #[test]
-    fn flipping_respects_hard_constraints(
-        hard in prop::collection::vec((0u32..10, 0u32..10, prop::bool::ANY), 0..12),
-        soft in prop::collection::vec((0u32..10, 0u32..10, 0usize..6), 0..12),
-    ) {
+/// With hard edges mixed in, flipping always produces a coloring that
+/// satisfies every hard constraint (when one exists, which is
+/// guaranteed because rejected edges are never inserted).
+#[test]
+fn flipping_respects_hard_constraints() {
+    let mut rng = Rng::seed_from_u64(0xF22);
+    for _ in 0..256 {
         let mut g = OverlayGraph::new();
-        for &(a, b, diff) in &hard {
+        for _ in 0..rng.index(13) {
+            let a = rng.bounded(10) as u32;
+            let b = rng.bounded(10) as u32;
             if a != b {
-                let kind = if diff { ScenarioKind::OneA } else { ScenarioKind::OneB };
+                let kind = if rng.flip() {
+                    ScenarioKind::OneA
+                } else {
+                    ScenarioKind::OneB
+                };
                 let _ = g.add_scenario(a, b, kind.table()); // odd cycles rejected
             }
         }
-        for &(a, b, k) in &soft {
+        for (a, b, k) in random_edges(&mut rng, 10, 13) {
             if a != b {
                 let _ = g.add_scenario(a, b, NONHARD[k].table());
             }
@@ -76,24 +98,29 @@ proptest! {
         flip_all(&mut g);
         for (a, b, d) in g.edges() {
             let asg = Assignment::from_colors(g.color(a), g.color(b));
-            prop_assert!(
+            assert!(
                 !d.table.entry(asg).is_forbidden(),
-                "hard constraint between {} and {} violated", a, b
+                "hard constraint between {a} and {b} violated"
             );
         }
     }
+}
 
-    /// On small graphs, flip_all + refinement lands within the brute-force
-    /// optimum plus the documented heuristic slack on cycles (never below
-    /// the optimum, trivially).
-    #[test]
-    fn flipping_bounded_by_brute_force(
-        edges in prop::collection::vec((0u32..7, 0u32..7, 0usize..6), 1..16),
-    ) {
+/// On small graphs, flip_all + refinement lands within the brute-force
+/// optimum plus the documented heuristic slack on cycles (never below
+/// the optimum, trivially).
+#[test]
+fn flipping_bounded_by_brute_force() {
+    let mut rng = Rng::seed_from_u64(0xF33);
+    for _ in 0..200 {
+        let count = 1 + rng.index(15);
         let mut g = OverlayGraph::new();
-        for &(a, b, k) in &edges {
+        for _ in 0..count {
+            let a = rng.bounded(7) as u32;
+            let b = rng.bounded(7) as u32;
             if a != b {
-                g.add_scenario(a, b, NONHARD[k].table()).expect("nonhard");
+                g.add_scenario(a, b, NONHARD[rng.index(NONHARD.len())].table())
+                    .expect("nonhard");
             }
         }
         let nets: Vec<u32> = {
@@ -102,27 +129,81 @@ proptest! {
             v
         };
         if nets.is_empty() {
-            return Ok(());
+            continue;
         }
         flip_all(&mut g);
         greedy_refine(&mut g, 4);
         let got = total_weight(&g);
         let (_, best) = brute_force_color(&g, &nets);
-        prop_assert!(got >= best, "better than the optimum is impossible");
+        assert!(got >= best, "better than the optimum is impossible");
         // Heuristic quality bound: within 3x + small constant of optimal
         // on these tiny instances.
-        prop_assert!(
+        assert!(
             got <= best * 3 + 6,
             "flip quality too poor: {got} vs optimum {best}"
         );
     }
+}
 
-    /// remove_net really removes everything it touched.
-    #[test]
-    fn remove_net_is_complete(
-        edges in prop::collection::vec((0u32..8, 0u32..8, 0usize..6), 0..20),
-        victim in 0u32..8,
-    ) {
+/// `ParityDsu::rollback` under randomized union/rollback interleavings:
+/// after any rollback the live relations must match a fresh forest
+/// rebuilt from the unions still committed — this exercises the
+/// rank-bump undo on arbitrary merge shapes, not just the hand-written
+/// case in the unit tests.
+#[test]
+fn dsu_randomized_union_rollback_interleaving() {
+    const N: u64 = 24;
+    let mut rng = Rng::seed_from_u64(0xD50);
+    for _case in 0..64 {
+        let mut dsu = ParityDsu::new(N as usize);
+        // Unions still committed, and (mark, committed-length) checkpoints.
+        let mut committed: Vec<(u32, u32, bool)> = Vec::new();
+        let mut marks: Vec<(usize, usize)> = Vec::new();
+        for _op in 0..200 {
+            match rng.index(8) {
+                0 => marks.push((dsu.mark(), committed.len())),
+                1 => {
+                    if let Some((mark, len)) = marks.pop() {
+                        dsu.rollback(mark);
+                        committed.truncate(len);
+                        let mut reference = ParityDsu::new(N as usize);
+                        for &(a, b, p) in &committed {
+                            assert_eq!(reference.union(a, b, p), Ok(true), "replay diverged");
+                        }
+                        for a in 0..N as u32 {
+                            for b in a + 1..N as u32 {
+                                assert_eq!(
+                                    dsu.relation_ref(a, b),
+                                    reference.relation_ref(a, b),
+                                    "relation {a}-{b} after rollback"
+                                );
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let a = rng.bounded(N) as u32;
+                    let b = rng.bounded(N) as u32;
+                    if a == b {
+                        continue;
+                    }
+                    let parity = rng.flip();
+                    if dsu.union(a, b, parity) == Ok(true) {
+                        committed.push((a, b, parity));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// remove_net really removes everything it touched.
+#[test]
+fn remove_net_is_complete() {
+    let mut rng = Rng::seed_from_u64(0xF44);
+    for _ in 0..256 {
+        let edges = random_edges(&mut rng, 8, 21);
+        let victim = rng.bounded(8) as u32;
         let mut g = OverlayGraph::new();
         for &(a, b, k) in &edges {
             if a != b {
@@ -130,12 +211,12 @@ proptest! {
             }
         }
         g.remove_net(victim);
-        prop_assert!(!g.contains(victim));
+        assert!(!g.contains(victim));
         for (a, b, _) in g.edges() {
-            prop_assert!(a != victim && b != victim);
+            assert!(a != victim && b != victim);
         }
         for v in g.vertices() {
-            prop_assert!(!g.neighbors(v).contains(&victim));
+            assert!(!g.neighbors(v).contains(&victim));
         }
     }
 }

@@ -10,9 +10,7 @@
 use crate::net::Pin;
 use crate::netlist::Netlist;
 use crate::plane::RoutingPlane;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use sadp_geom::{DesignRules, GridPoint, Layer, TrackRect};
+use sadp_geom::{DesignRules, GridPoint, Layer, Rng, TrackRect};
 
 /// Parameters of one synthetic benchmark.
 ///
@@ -153,7 +151,7 @@ impl BenchmarkSpec {
     /// to place the requested pins.
     #[must_use]
     pub fn generate(&self) -> (RoutingPlane, Netlist) {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut plane = RoutingPlane::new(
             self.layers,
             self.width_tracks,
@@ -164,17 +162,18 @@ impl BenchmarkSpec {
 
         // Blockages first, so pins land on free cells.
         for _ in 0..self.blockage_count {
-            let layer = Layer(rng.gen_range(0..self.layers));
-            let w = rng.gen_range(2..=8);
-            let h = rng.gen_range(2..=8);
-            let x = rng.gen_range(0..(self.width_tracks - w).max(1));
-            let y = rng.gen_range(0..(self.height_tracks - h).max(1));
+            let layer = Layer(rng.index(self.layers as usize) as u8);
+            let w = rng.range_i32_inclusive(2..=8);
+            let h = rng.range_i32_inclusive(2..=8);
+            let x = rng.range_i32(0..(self.width_tracks - w).max(1));
+            let y = rng.range_i32(0..(self.height_tracks - h).max(1));
             plane.add_blockage(layer, TrackRect::new(x, y, x + w - 1, y + h - 1));
         }
 
         // Pin cells used so far, keyed by owning net index: a candidate
         // must keep one track of clearance from every *other* net's pins.
-        let mut used: std::collections::HashMap<(i32, i32), usize> = std::collections::HashMap::new();
+        let mut used: std::collections::HashMap<(i32, i32), usize> =
+            std::collections::HashMap::new();
         let mut netlist = Netlist::new();
         let mut placed = 0usize;
         let mut attempts = 0usize;
@@ -187,8 +186,8 @@ impl BenchmarkSpec {
                 self.name
             );
             let pitch = self.pin_pitch.max(1);
-            let sx = rng.gen_range(0..self.width_tracks / pitch) * pitch;
-            let sy = rng.gen_range(0..self.height_tracks / pitch) * pitch;
+            let sx = rng.range_i32(0..self.width_tracks / pitch) * pitch;
+            let sy = rng.range_i32(0..self.height_tracks / pitch) * pitch;
             let (dx, dy) = self.sample_span(&mut rng);
             // Spans stay in tracks; the target snaps back to the pin grid.
             let snap = |v: i32| v / pitch * pitch;
@@ -215,21 +214,21 @@ impl BenchmarkSpec {
         (plane, netlist)
     }
 
-    fn sample_span(&self, rng: &mut SmallRng) -> (i32, i32) {
+    fn sample_span(&self, rng: &mut Rng) -> (i32, i32) {
         let m = self.span_mean.max(2);
-        let mag = |rng: &mut SmallRng| -> i32 {
+        let mag = |rng: &mut Rng| -> i32 {
             // Sum of two uniforms: triangular around the mean.
-            let a = rng.gen_range(1..=m);
-            let b = rng.gen_range(0..=m);
+            let a = rng.range_i32_inclusive(1..=m);
+            let b = rng.range_i32_inclusive(0..=m);
             a + b
         };
-        let sign = |rng: &mut SmallRng| if rng.gen_bool(0.5) { 1 } else { -1 };
+        let sign = |rng: &mut Rng| if rng.flip() { 1 } else { -1 };
         let mut dx = mag(rng) * sign(rng);
         let mut dy = mag(rng) * sign(rng);
         // A share of mostly-straight nets keeps the instance realistic.
-        match rng.gen_range(0..10) {
-            0..=1 => dx = rng.gen_range(-2..=2),
-            2..=3 => dy = rng.gen_range(-2..=2),
+        match rng.index(10) {
+            0 | 1 => dx = rng.range_i32_inclusive(-2..=2),
+            2 | 3 => dy = rng.range_i32_inclusive(-2..=2),
             _ => {}
         }
         (dx, dy)
@@ -237,7 +236,7 @@ impl BenchmarkSpec {
 
     fn make_pin(
         &self,
-        rng: &mut SmallRng,
+        rng: &mut Rng,
         plane: &RoutingPlane,
         used: &mut std::collections::HashMap<(i32, i32), usize>,
         x: i32,
@@ -251,9 +250,7 @@ impl BenchmarkSpec {
             plane.is_free(GridPoint::new(Layer(0), x, y))
                 && !used.contains_key(&(x, y))
                 && !(-1..=1).any(|dx| {
-                    (-1..=1).any(|dy| {
-                        used.get(&(x + dx, y + dy)).is_some_and(|&n| n != net_index)
-                    })
+                    (-1..=1).any(|dy| used.get(&(x + dx, y + dy)).is_some_and(|&n| n != net_index))
                 })
         };
         if !free(used, x, y) {
@@ -267,7 +264,7 @@ impl BenchmarkSpec {
         // cells the router may tap anywhere (the benchmark style of \[10\]).
         // Strips only need exact-cell clearance — the unused taps are
         // released once the net is routed.
-        let horizontal = rng.gen_bool(0.5);
+        let horizontal = rng.flip();
         let k = self.candidates_per_pin as i32;
         let cell_ok = |used: &std::collections::HashMap<(i32, i32), usize>, cx: i32, cy: i32| {
             cx >= 0
@@ -323,7 +320,9 @@ mod tests {
 
     #[test]
     fn multi_candidate_generation() {
-        let spec = BenchmarkSpec::new("t", 25, 64, 64).with_seed(5).with_candidates(2);
+        let spec = BenchmarkSpec::new("t", 25, 64, 64)
+            .with_seed(5)
+            .with_candidates(2);
         let (_, nl) = spec.generate();
         let multi = nl.iter().filter(|n| n.source.is_multi()).count();
         assert!(multi > 20, "most pins should get multiple candidates");

@@ -71,7 +71,8 @@ pub fn write_layout(plane: &RoutingPlane, netlist: &Netlist) -> String {
                 if plane.cell(p) == crate::plane::CellState::Blocked {
                     let x0 = x;
                     while x < plane.width()
-                        && plane.cell(GridPoint::new(layer, x, y)) == crate::plane::CellState::Blocked
+                        && plane.cell(GridPoint::new(layer, x, y))
+                            == crate::plane::CellState::Blocked
                     {
                         x += 1;
                     }
@@ -147,7 +148,9 @@ pub fn read_layout(text: &str) -> Result<(RoutingPlane, Netlist), ParseLayoutErr
                 if plane.is_none() {
                     return Err(err(lineno, "net before plane header"));
                 }
-                let name = parts.next().ok_or_else(|| err(lineno, "net needs a name"))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "net needs a name"))?;
                 let pins: Vec<Pin> = parts
                     .map(|tok| parse_pin(tok, lineno))
                     .collect::<Result<_, _>>()?;
@@ -235,12 +238,18 @@ net data 0:4,5|0:4,6 2:28,8
         let e = read_layout("plane 3 32 32\nnet broken 0:2 0:3,4\n").unwrap_err();
         assert_eq!(e.to_string(), "line 2: bad pin `0:2` (want layer:x,y)");
         assert!(read_layout("").is_err());
-        assert!(read_layout("net a 0:1,1 0:2,2\n").is_err(), "net before plane");
+        assert!(
+            read_layout("net a 0:1,1 0:2,2\n").is_err(),
+            "net before plane"
+        );
         assert!(read_layout("plane 3 32 32\nplane 3 32 32\n").is_err());
         assert!(read_layout("plane 3 32 32\nfrobnicate\n").is_err());
         assert!(read_layout("plane 3 32\n").is_err());
         assert!(read_layout("plane 3 32 32\nblockage 0 1 2\n").is_err());
-        assert!(read_layout("plane 3 32 32\nnet a 0:1,1\n").is_err(), "one pin");
+        assert!(
+            read_layout("plane 3 32 32\nnet a 0:1,1\n").is_err(),
+            "one pin"
+        );
     }
 
     #[test]

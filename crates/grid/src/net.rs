@@ -208,7 +208,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "two pins")]
     fn multi_needs_two_pins() {
-        let _ = Net::multi(NetId(0), "x", vec![Pin::fixed(GridPoint::new(Layer(0), 0, 0))]);
+        let _ = Net::multi(
+            NetId(0),
+            "x",
+            vec![Pin::fixed(GridPoint::new(Layer(0), 0, 0))],
+        );
     }
 
     #[test]

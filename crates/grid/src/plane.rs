@@ -157,8 +157,7 @@ impl RoutingPlane {
 
     fn index(&self, p: GridPoint) -> usize {
         debug_assert!(self.in_bounds(p));
-        (p.layer.index() * self.height as usize + p.y as usize) * self.width as usize
-            + p.x as usize
+        (p.layer.index() * self.height as usize + p.y as usize) * self.width as usize + p.x as usize
     }
 
     /// The state of the cell at `p`.
@@ -363,6 +362,8 @@ mod tests {
         let mut p = plane();
         let q = GridPoint::new(Layer(0), 99, 0);
         assert_eq!(p.occupy(q, NetId(0)), Err(PlaneError::OutOfBounds(q)));
-        assert!(PlaneError::OutOfBounds(q).to_string().contains("out of bounds"));
+        assert!(PlaneError::OutOfBounds(q)
+            .to_string()
+            .contains("out of bounds"));
     }
 }

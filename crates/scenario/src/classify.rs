@@ -108,7 +108,11 @@ pub fn classify(a: &TrackRect, b: &TrackRect, rules: &DesignRules) -> Option<Sce
 }
 
 fn classify_axis_aligned(a: &TrackRect, b: &TrackRect, dx: i32, dy: i32) -> Option<Scenario> {
-    let gap_axis = if dx > 0 { Dir::Horizontal } else { Dir::Vertical };
+    let gap_axis = if dx > 0 {
+        Dir::Horizontal
+    } else {
+        Dir::Vertical
+    };
     let d = dx + dy; // 1 or 2 by the dependence table
     debug_assert!((1..=2).contains(&d));
     let fa = facing(a, gap_axis);
@@ -247,8 +251,14 @@ mod tests {
     #[test]
     fn type_2a_2c_gap_two() {
         let a = TrackRect::new(0, 0, 5, 0);
-        assert_eq!(kind_of(a, TrackRect::new(0, 2, 5, 2)), Some(ScenarioKind::TwoA));
-        assert_eq!(kind_of(a, TrackRect::new(7, 0, 11, 0)), Some(ScenarioKind::TwoC));
+        assert_eq!(
+            kind_of(a, TrackRect::new(0, 2, 5, 2)),
+            Some(ScenarioKind::TwoA)
+        );
+        assert_eq!(
+            kind_of(a, TrackRect::new(7, 0, 11, 0)),
+            Some(ScenarioKind::TwoC)
+        );
     }
 
     #[test]

@@ -115,9 +115,7 @@ impl ScenarioKind {
             ScenarioKind::TwoA => CostTable::new([u(0), u(2), u(2), u(0)]),
             ScenarioKind::TwoB => CostTable::new([u(1), uc(2), u(2), u(1)]),
             ScenarioKind::TwoC | ScenarioKind::TwoD | ScenarioKind::ThreeE => CostTable::zero(),
-            ScenarioKind::ThreeA | ScenarioKind::ThreeD => {
-                CostTable::new([u(1), u(0), u(0), u(0)])
-            }
+            ScenarioKind::ThreeA | ScenarioKind::ThreeD => CostTable::new([u(1), u(0), u(0), u(0)]),
             ScenarioKind::ThreeB => CostTable::new([u(1), u(1), u(1), u(0)]),
             ScenarioKind::ThreeC => CostTable::new([u(0), u(1), u(0), u(0)]),
         }

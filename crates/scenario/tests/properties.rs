@@ -1,110 +1,141 @@
-//! Property-based tests for the scenario classification layer.
+//! Randomized property tests for the scenario classification layer,
+//! driven by the deterministic [`Rng`] from `sadp-geom`.
 
-use proptest::prelude::*;
-use sadp_geom::{DesignRules, TrackRect};
+use sadp_geom::{DesignRules, Rng, TrackRect};
 use sadp_scenario::{classify, Assignment, Cost, CostTable, ScenarioKind};
 
-fn wire() -> impl Strategy<Value = TrackRect> {
-    (0i32..14, 0i32..14, 0i32..9, prop::bool::ANY).prop_map(|(x, y, len, horizontal)| {
-        if horizontal {
-            TrackRect::new(x, y, x + len, y)
-        } else {
-            TrackRect::new(x, y, x, y + len)
-        }
-    })
+const CASES: usize = 512;
+
+fn wire(rng: &mut Rng) -> TrackRect {
+    let x = rng.range_i32(0..14);
+    let y = rng.range_i32(0..14);
+    let len = rng.range_i32(0..9);
+    if rng.flip() {
+        TrackRect::new(x, y, x + len, y)
+    } else {
+        TrackRect::new(x, y, x, y + len)
+    }
 }
 
-fn cost() -> impl Strategy<Value = Cost> {
-    prop_oneof![
-        (0u32..4).prop_map(Cost::units),
-        (0u32..4).prop_map(Cost::units_with_cut_risk),
-        Just(Cost::HardOverlay),
-    ]
+fn cost(rng: &mut Rng) -> Cost {
+    match rng.index(3) {
+        0 => Cost::units(rng.bounded(4) as u32),
+        1 => Cost::units_with_cut_risk(rng.bounded(4) as u32),
+        _ => Cost::HardOverlay,
+    }
 }
 
-fn table() -> impl Strategy<Value = CostTable> {
-    [cost(), cost(), cost(), cost()].prop_map(CostTable::new)
+fn table(rng: &mut Rng) -> CostTable {
+    CostTable::new([cost(rng), cost(rng), cost(rng), cost(rng)])
 }
 
-proptest! {
-    /// Translation invariance: shifting both rectangles never changes the
-    /// classification.
-    #[test]
-    fn classification_is_translation_invariant(
-        a in wire(), b in wire(), dx in -30i32..30, dy in -30i32..30,
-    ) {
-        let rules = DesignRules::node_10nm();
+/// Translation invariance: shifting both rectangles never changes the
+/// classification.
+#[test]
+fn classification_is_translation_invariant() {
+    let mut rng = Rng::seed_from_u64(0x51);
+    let rules = DesignRules::node_10nm();
+    for _ in 0..CASES {
+        let a = wire(&mut rng);
+        let b = wire(&mut rng);
+        let dx = rng.range_i32(-30..30);
+        let dy = rng.range_i32(-30..30);
         let shift = |r: &TrackRect| TrackRect::new(r.x0 + dx, r.y0 + dy, r.x1 + dx, r.y1 + dy);
         let s1 = classify(&a, &b, &rules);
         let s2 = classify(&shift(&a), &shift(&b), &rules);
         match (s1, s2) {
             (Some(x), Some(y)) => {
-                prop_assert_eq!(x.kind, y.kind);
-                prop_assert_eq!(x.table, y.table);
+                assert_eq!(x.kind, y.kind);
+                assert_eq!(x.table, y.table);
             }
             (None, None) => {}
-            _ => prop_assert!(false, "translation changed classification"),
+            _ => panic!("translation changed classification"),
         }
     }
+}
 
-    /// 90° rotation maps scenarios to scenarios (the canonical kinds are
-    /// rotation classes).
-    #[test]
-    fn classification_is_rotation_invariant(a in wire(), b in wire()) {
-        let rules = DesignRules::node_10nm();
+/// 90° rotation maps scenarios to scenarios (the canonical kinds are
+/// rotation classes).
+#[test]
+fn classification_is_rotation_invariant() {
+    let mut rng = Rng::seed_from_u64(0x52);
+    let rules = DesignRules::node_10nm();
+    for _ in 0..CASES {
+        let a = wire(&mut rng);
+        let b = wire(&mut rng);
         let rot = |r: &TrackRect| TrackRect::new(-r.y1, r.x0, -r.y0, r.x1);
         let s1 = classify(&a, &b, &rules).map(|s| s.kind);
         let s2 = classify(&rot(&a), &rot(&b), &rules).map(|s| s.kind);
-        prop_assert_eq!(s1, s2);
+        assert_eq!(s1, s2);
     }
+}
 
-    /// Hard parity appears only for types 1-a and 1-b.
-    #[test]
-    fn hard_parity_only_on_type_one(a in wire(), b in wire()) {
-        let rules = DesignRules::node_10nm();
+/// Hard parity appears only for types 1-a and 1-b.
+#[test]
+fn hard_parity_only_on_type_one() {
+    let mut rng = Rng::seed_from_u64(0x53);
+    let rules = DesignRules::node_10nm();
+    for _ in 0..CASES {
+        let a = wire(&mut rng);
+        let b = wire(&mut rng);
         if let Some(s) = classify(&a, &b, &rules) {
             match s.table.hard_parity() {
-                Some(true) => prop_assert_eq!(s.kind, ScenarioKind::OneA),
-                Some(false) => prop_assert_eq!(s.kind, ScenarioKind::OneB),
-                None => prop_assert!(
+                Some(true) => assert_eq!(s.kind, ScenarioKind::OneA),
+                Some(false) => assert_eq!(s.kind, ScenarioKind::OneB),
+                None => assert!(
                     !matches!(s.kind, ScenarioKind::OneB),
                     "1-b is always a hard same-color constraint"
                 ),
             }
         }
     }
+}
 
-    /// Table merging is commutative, associative on the weights, and the
-    /// zero table is the identity.
-    #[test]
-    fn table_merge_laws(a in table(), b in table(), c in table()) {
-        prop_assert_eq!(a.merged(&b), b.merged(&a));
+/// Table merging is commutative, associative on the weights, and the
+/// zero table is the identity.
+#[test]
+fn table_merge_laws() {
+    let mut rng = Rng::seed_from_u64(0x54);
+    for _ in 0..CASES {
+        let a = table(&mut rng);
+        let b = table(&mut rng);
+        let c = table(&mut rng);
+        assert_eq!(a.merged(&b), b.merged(&a));
         let ab_c = a.merged(&b).merged(&c);
         let a_bc = a.merged(&b.merged(&c));
-        prop_assert_eq!(ab_c, a_bc);
-        prop_assert_eq!(a.merged(&CostTable::zero()), a);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(a.merged(&CostTable::zero()), a);
     }
+}
 
-    /// Swapping a table twice is the identity, and swapping commutes with
-    /// merging.
-    #[test]
-    fn table_swap_laws(a in table(), b in table()) {
-        prop_assert_eq!(a.swapped().swapped(), a);
-        prop_assert_eq!(a.merged(&b).swapped(), a.swapped().merged(&b.swapped()));
+/// Swapping a table twice is the identity, and swapping commutes with
+/// merging.
+#[test]
+fn table_swap_laws() {
+    let mut rng = Rng::seed_from_u64(0x55);
+    for _ in 0..CASES {
+        let a = table(&mut rng);
+        let b = table(&mut rng);
+        assert_eq!(a.swapped().swapped(), a);
+        assert_eq!(a.merged(&b).swapped(), a.swapped().merged(&b.swapped()));
     }
+}
 
-    /// min_so/max_so bound every allowed entry of the table.
-    #[test]
-    fn min_max_bound_entries(t in table()) {
+/// min_so/max_so bound every allowed entry of the table.
+#[test]
+fn min_max_bound_entries() {
+    let mut rng = Rng::seed_from_u64(0x56);
+    for _ in 0..CASES {
+        let t = table(&mut rng);
         if let (Some(lo), Some(hi)) = (t.min_so(), t.max_so()) {
             for asg in Assignment::ALL {
                 if let Some(u) = t.entry(asg).overlay_units() {
-                    prop_assert!(u >= lo && u <= hi);
+                    assert!(u >= lo && u <= hi);
                 }
             }
         } else {
             for asg in Assignment::ALL {
-                prop_assert!(t.entry(asg).is_forbidden());
+                assert!(t.entry(asg).is_forbidden());
             }
         }
     }

@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "trim process on the same layout: {} line-end conflicts, {} coloring conflicts",
         trim.line_end, trim.coloring
     );
-    assert!(trim.line_end > 0, "the trim process cannot print this layout");
+    assert!(
+        trim.line_end > 0,
+        "the trim process cannot print this layout"
+    );
     assert_eq!(decomposition.report.cut_conflicts, 0);
     Ok(())
 }

@@ -33,7 +33,8 @@ fn small_benchmark_decomposes_without_destroying_targets() {
         // The spacer must never overlap a target pattern: every routed
         // wire prints.
         assert_eq!(
-            d.report.spacer_violations, 0,
+            d.report.spacer_violations,
+            0,
             "layer M{} destroys targets",
             layer + 1
         );

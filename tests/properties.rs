@@ -1,82 +1,95 @@
-//! Property-based tests (proptest) on the core invariants.
+//! Randomized tests on the core invariants, driven by the deterministic
+//! [`Rng`] from `sadp-geom` (the workspace builds hermetically, with no
+//! external property-testing framework).
 
-use proptest::prelude::*;
 use sadp::decomp::Bitmap;
-use sadp::geom::{DesignRules, GridPoint, Layer, TrackRect};
+use sadp::geom::{DesignRules, GridPoint, Layer, Rng, TrackRect};
 use sadp::graph::{brute_force_color, flip_all, OverlayGraph, ParityDsu};
 use sadp::scenario::{classify, Assignment, ScenarioKind};
 use sadp_grid::RoutePath;
+
+const CASES: usize = 384;
 
 fn rules() -> DesignRules {
     DesignRules::node_10nm()
 }
 
 /// A random 1-track-wide wire fragment near the origin.
-fn wire_strategy() -> impl Strategy<Value = TrackRect> {
-    (0i32..12, 0i32..12, 0i32..8, prop::bool::ANY).prop_map(|(x, y, len, horizontal)| {
-        if horizontal {
-            TrackRect::new(x, y, x + len, y)
-        } else {
-            TrackRect::new(x, y, x, y + len)
-        }
-    })
+fn wire(rng: &mut Rng) -> TrackRect {
+    let x = rng.range_i32(0..12);
+    let y = rng.range_i32(0..12);
+    let len = rng.range_i32(0..8);
+    if rng.flip() {
+        TrackRect::new(x, y, x + len, y)
+    } else {
+        TrackRect::new(x, y, x, y + len)
+    }
 }
 
-proptest! {
-    /// Theorem 2: every dependent, non-touching pair classifies into one
-    /// of the 11 scenarios; independent or touching pairs never do.
-    #[test]
-    fn classifier_is_total_on_dependent_pairs(a in wire_strategy(), b in wire_strategy()) {
-        let r = rules();
+/// Theorem 2: every dependent, non-touching pair classifies into one
+/// of the 11 scenarios; independent or touching pairs never do.
+#[test]
+fn classifier_is_total_on_dependent_pairs() {
+    let mut rng = Rng::seed_from_u64(0x61);
+    let r = rules();
+    for _ in 0..CASES {
+        let a = wire(&mut rng);
+        let b = wire(&mut rng);
         let (dx, dy) = a.track_gap(&b);
         let classified = classify(&a, &b, &r);
         if dx == 0 && dy == 0 {
-            prop_assert!(classified.is_none());
+            assert!(classified.is_none());
         } else if r.gap_is_dependent(dx, dy) {
-            prop_assert!(classified.is_some(), "dependent pair unclassified: {a} {b}");
+            assert!(classified.is_some(), "dependent pair unclassified: {a} {b}");
         } else {
-            prop_assert!(classified.is_none(), "independent pair classified: {a} {b}");
+            assert!(classified.is_none(), "independent pair classified: {a} {b}");
         }
     }
+}
 
-    /// Classification is symmetric: the kind is order-independent and the
-    /// cost tables of the two orders are swaps of each other.
-    #[test]
-    fn classifier_is_symmetric(a in wire_strategy(), b in wire_strategy()) {
-        let r = rules();
+/// Classification is symmetric: the kind is order-independent and the
+/// cost tables of the two orders are swaps of each other.
+#[test]
+fn classifier_is_symmetric() {
+    let mut rng = Rng::seed_from_u64(0x62);
+    let r = rules();
+    for _ in 0..CASES {
+        let a = wire(&mut rng);
+        let b = wire(&mut rng);
         match (classify(&a, &b, &r), classify(&b, &a, &r)) {
             (Some(s1), Some(s2)) => {
-                prop_assert_eq!(s1.kind, s2.kind);
-                prop_assert_eq!(s1.table.swapped(), s2.table);
+                assert_eq!(s1.kind, s2.kind);
+                assert_eq!(s1.table.swapped(), s2.table);
             }
             (None, None) => {}
-            _ => prop_assert!(false, "asymmetric classification for {} / {}", a, b),
+            _ => panic!("asymmetric classification for {a} / {b}"),
         }
     }
+}
 
-    /// Theorem 4: on trees of nonhard constraints, the flipping DP matches
-    /// exhaustive enumeration.
-    #[test]
-    fn flipping_dp_is_optimal_on_trees(
-        kinds in prop::collection::vec(0usize..6, 1..10),
-        parents in prop::collection::vec(0usize..9, 1..10),
-    ) {
-        let nonhard = [
-            ScenarioKind::TwoA,
-            ScenarioKind::TwoB,
-            ScenarioKind::ThreeA,
-            ScenarioKind::ThreeB,
-            ScenarioKind::ThreeC,
-            ScenarioKind::ThreeD,
-        ];
-        let n = kinds.len().min(parents.len());
+/// Theorem 4: on trees of nonhard constraints, the flipping DP matches
+/// exhaustive enumeration.
+#[test]
+fn flipping_dp_is_optimal_on_trees() {
+    let nonhard = [
+        ScenarioKind::TwoA,
+        ScenarioKind::TwoB,
+        ScenarioKind::ThreeA,
+        ScenarioKind::ThreeB,
+        ScenarioKind::ThreeC,
+        ScenarioKind::ThreeD,
+    ];
+    let mut rng = Rng::seed_from_u64(0x63);
+    for _ in 0..CASES {
+        let n = 1 + rng.index(9);
         let mut g = OverlayGraph::new();
         g.ensure_vertex(0);
         for i in 0..n {
             // Parent strictly smaller: a random tree.
-            let parent = (parents[i] % (i + 1)) as u32;
-            let kind = nonhard[kinds[i] % nonhard.len()];
-            g.add_scenario(parent, i as u32 + 1, kind.table()).expect("nonhard edges never fail");
+            let parent = rng.index(i + 1) as u32;
+            let kind = nonhard[rng.index(nonhard.len())];
+            g.add_scenario(parent, i as u32 + 1, kind.table())
+                .expect("nonhard edges never fail");
         }
         flip_all(&mut g);
         let nets: Vec<u32> = (0..=n as u32).collect();
@@ -84,21 +97,27 @@ proptest! {
         let got: u64 = g
             .edges()
             .map(|(a, b, d)| {
-                d.table.entry(Assignment::from_colors(g.color(a), g.color(b))).weight()
+                d.table
+                    .entry(Assignment::from_colors(g.color(a), g.color(b)))
+                    .weight()
             })
             .sum();
-        prop_assert_eq!(got, best, "DP not optimal on a tree");
+        assert_eq!(got, best, "DP not optimal on a tree");
     }
+}
 
-    /// The parity union-find accepts a hard-edge set iff it is
-    /// parity-2-colorable (brute force over all colorings).
-    #[test]
-    fn parity_dsu_matches_brute_force(
-        edges in prop::collection::vec((0u32..8, 0u32..8, prop::bool::ANY), 0..16),
-    ) {
+/// The parity union-find accepts a hard-edge set iff it is
+/// parity-2-colorable (brute force over all colorings).
+#[test]
+fn parity_dsu_matches_brute_force() {
+    let mut rng = Rng::seed_from_u64(0x64);
+    for _ in 0..CASES {
         let mut dsu = ParityDsu::new(8);
         let mut accepted = Vec::new();
-        for &(a, b, parity) in &edges {
+        for _ in 0..rng.index(17) {
+            let a = rng.bounded(8) as u32;
+            let b = rng.bounded(8) as u32;
+            let parity = rng.flip();
             if a == b {
                 continue;
             }
@@ -109,21 +128,24 @@ proptest! {
                 // set: no 2-coloring satisfies accepted + this edge.
                 let mut all = accepted.clone();
                 all.push((a, b, parity));
-                prop_assert!(!two_colorable(&all), "DSU rejected a satisfiable edge");
+                assert!(!two_colorable(&all), "DSU rejected a satisfiable edge");
             }
         }
         // The accepted set is always satisfiable.
-        prop_assert!(two_colorable(&accepted));
+        assert!(two_colorable(&accepted));
     }
+}
 
-    /// Path fragments cover exactly the path cells of each layer and
-    /// bookkeeping adds up.
-    #[test]
-    fn path_fragments_cover_path(steps in prop::collection::vec(0u8..6, 1..30)) {
+/// Path fragments cover exactly the path cells of each layer and
+/// bookkeeping adds up.
+#[test]
+fn path_fragments_cover_path() {
+    let mut rng = Rng::seed_from_u64(0x65);
+    for _ in 0..CASES {
         let mut pts = vec![GridPoint::new(Layer(1), 50, 50)];
-        for s in steps {
+        for _ in 0..1 + rng.index(29) {
             let p = *pts.last().unwrap();
-            let q = match s {
+            let q = match rng.index(6) as u8 {
                 0 => GridPoint::new(p.layer, p.x + 1, p.y),
                 1 => GridPoint::new(p.layer, p.x - 1, p.y),
                 2 => GridPoint::new(p.layer, p.x, p.y + 1),
@@ -137,40 +159,47 @@ proptest! {
             }
         }
         let path = RoutePath::new(pts.clone()).expect("constructed stepwise");
-        prop_assert_eq!(path.wirelength() + path.via_count(), pts.len() as u64 - 1);
+        assert_eq!(path.wirelength() + path.via_count(), pts.len() as u64 - 1);
         // Every point is covered by a fragment on its layer.
         let frags = path.fragments();
         for p in &pts {
-            prop_assert!(
-                frags.iter().any(|(l, r)| *l == p.layer && r.contains_cell(p.x, p.y)),
-                "point {} not covered", p
+            assert!(
+                frags
+                    .iter()
+                    .any(|(l, r)| *l == p.layer && r.contains_cell(p.x, p.y)),
+                "point {p} not covered"
             );
         }
         // Every fragment cell is on the path.
         for (l, r) in &frags {
             for (x, y) in r.cells() {
-                prop_assert!(pts.contains(&GridPoint::new(*l, x, y)));
+                assert!(pts.contains(&GridPoint::new(*l, x, y)));
             }
         }
     }
+}
 
-    /// Morphology: dilation is extensive and monotone, closing never
-    /// removes original pixels.
-    #[test]
-    fn bitmap_morphology_laws(
-        rects in prop::collection::vec((0i64..20, 0i64..20, 0i64..6, 0i64..6), 1..6),
-        r in 1usize..3,
-    ) {
+/// Morphology: dilation is extensive and monotone, closing never
+/// removes original pixels.
+#[test]
+fn bitmap_morphology_laws() {
+    let mut rng = Rng::seed_from_u64(0x66);
+    for _ in 0..CASES {
         let mut b = Bitmap::new(28, 28);
-        for (x, y, w, h) in rects {
+        for _ in 0..1 + rng.index(5) {
+            let x = i64::from(rng.range_i32(0..20));
+            let y = i64::from(rng.range_i32(0..20));
+            let w = i64::from(rng.range_i32(0..6));
+            let h = i64::from(rng.range_i32(0..6));
             b.fill_rect(x, y, x + w, y + h);
         }
+        let r = 1 + rng.index(2);
         let d = b.dilated(r);
-        prop_assert!(b.minus(&d).is_empty(), "dilation is extensive");
+        assert!(b.minus(&d).is_empty(), "dilation is extensive");
         let e = b.eroded(r);
-        prop_assert!(e.minus(&b).is_empty(), "erosion is anti-extensive");
+        assert!(e.minus(&b).is_empty(), "erosion is anti-extensive");
         let c = b.closed(r);
-        prop_assert!(b.minus(&c).is_empty(), "closing keeps original pixels");
+        assert!(b.minus(&c).is_empty(), "closing keeps original pixels");
     }
 }
 
@@ -188,24 +217,20 @@ fn two_colorable(edges: &[(u32, u32, bool)]) -> bool {
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 8, // each case routes a full netlist
-        ..ProptestConfig::default()
-    })]
-
-    /// End-to-end invariant fuzzing: any random small netlist routes to a
-    /// conflict-free, hard-overlay-free layout with exclusive cell
-    /// ownership and pin-connected paths.
-    #[test]
-    fn router_invariants_on_random_netlists(
-        pins in prop::collection::vec(((2i32..30, 2i32..30), (2i32..30, 2i32..30)), 1..14),
-    ) {
-        use sadp::prelude::*;
+/// End-to-end invariant fuzzing: any random small netlist routes to a
+/// conflict-free, hard-overlay-free layout with exclusive cell
+/// ownership and pin-connected paths.
+#[test]
+fn router_invariants_on_random_netlists() {
+    use sadp::prelude::*;
+    let mut rng = Rng::seed_from_u64(0x67);
+    for _ in 0..8 {
         let mut plane = RoutingPlane::new(3, 32, 32, DesignRules::node_10nm()).unwrap();
         let mut netlist = Netlist::new();
         let mut used = std::collections::HashSet::new();
-        for (i, ((sx, sy), (tx, ty))) in pins.into_iter().enumerate() {
+        for i in 0..1 + rng.index(13) {
+            let (sx, sy) = (rng.range_i32(2..30), rng.range_i32(2..30));
+            let (tx, ty) = (rng.range_i32(2..30), rng.range_i32(2..30));
             // Distinct pin cells only; skip colliding samples.
             if (sx, sy) == (tx, ty) || !used.insert((sx, sy)) || !used.insert((tx, ty)) {
                 continue;
@@ -217,27 +242,27 @@ proptest! {
             );
         }
         if netlist.is_empty() {
-            return Ok(());
+            continue;
         }
         let mut router = Router::new(RouterConfig::paper_defaults());
         let report = router.route_all(&mut plane, &netlist);
-        prop_assert_eq!(report.hard_overlay_violations, 0);
-        prop_assert_eq!(report.cut_conflicts, 0);
+        assert_eq!(report.hard_overlay_violations, 0);
+        assert_eq!(report.cut_conflicts, 0);
         // Exclusive cell ownership + pin connectivity.
         let mut seen = std::collections::HashMap::new();
         for (id, routed) in router.routed() {
             let net = netlist.net(*id);
-            prop_assert!(net.source.candidates().contains(&routed.path.source()));
-            prop_assert!(net.target.candidates().contains(&routed.path.target()));
+            assert!(net.source.candidates().contains(&routed.path.source()));
+            assert!(net.target.candidates().contains(&routed.path.target()));
             for p in routed.all_points() {
                 if let Some(prev) = seen.insert(p, *id) {
-                    prop_assert_eq!(prev, *id, "cell {} double-owned", p);
+                    assert_eq!(prev, *id, "cell {p} double-owned");
                 }
             }
         }
         // Final coloring satisfies every hard constraint.
         for g in router.graphs() {
-            prop_assert_eq!(g.evaluate().hard_violations, 0);
+            assert_eq!(g.evaluate().hard_violations, 0);
         }
     }
 }
