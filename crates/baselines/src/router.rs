@@ -1,10 +1,9 @@
 //! The shared baseline routing engine with per-baseline decision policies.
 
 use crate::metrics::{cut_merge_exposure, trim_exposure, LayerPatterns};
-use sadp_core::astar::{astar_search_in, AstarRequest, DirMap, SearchScratch};
+use sadp_core::astar::{DirMap, SearchScratch};
 use sadp_core::scan::{pack_frag_id, scan_fragments};
-use sadp_core::RoutingReport;
-use sadp_core::{GuardGrid, PenaltyGrid, RouterConfig, NO_GUARD};
+use sadp_core::{GuardGrid, PenaltyGrid, RouterConfig, RoutingReport, SearchStage, NO_GUARD};
 use sadp_geom::{GridPoint, Layer, SpatialHash, TrackRect};
 use sadp_grid::{Net, NetId, Netlist, RoutePath, RoutingPlane};
 use sadp_scenario::{Assignment, Color, CostTable, ScenarioKind};
@@ -236,14 +235,19 @@ impl BaselineRouter {
             _ => self.config.max_ripup + 1,
         };
         for _ in 0..attempts {
-            let req = AstarRequest {
-                net: net.id,
-                sources: net.source.candidates(),
-                targets: net.target.candidates(),
-                penalties,
+            let (path, stats) = SearchStage {
+                plane,
+                dir_map,
                 guards,
-            };
-            let (path, stats) = astar_search_in(plane, &req, dir_map, &self.config, scratch);
+                config: &self.config,
+            }
+            .search(
+                net.id,
+                net.source.candidates(),
+                net.target.candidates(),
+                penalties,
+                scratch,
+            );
             self.nodes_expanded += stats.expanded;
             let path = path?;
             // Both trim routers and \[16\] must avoid tip-to-tip pairs at
@@ -282,14 +286,13 @@ impl BaselineRouter {
         let mut best: Option<(u64, RoutePath)> = None;
         for &s in net.source.candidates() {
             for &t in net.target.candidates() {
-                let req = AstarRequest {
-                    net: net.id,
-                    sources: &[s],
-                    targets: &[t],
-                    penalties,
+                let (path, stats) = SearchStage {
+                    plane,
+                    dir_map,
                     guards,
-                };
-                let (path, stats) = astar_search_in(plane, &req, dir_map, &self.config, scratch);
+                    config: &self.config,
+                }
+                .search(net.id, &[s], &[t], penalties, scratch);
                 self.nodes_expanded += stats.expanded;
                 let Some(path) = path else { continue };
                 let line_ends = self.line_end_rects(plane, net.id.0, &path);

@@ -1,0 +1,84 @@
+//! Serial vs region-sharded wall-clock on the largest fixture of the
+//! paper suite (Test5), plus the byte-identity check that makes the
+//! speedup trustworthy: both runs must produce the same report (modulo
+//! CPU time), the same per-net colors and the same patterns.
+//!
+//! Usage: `shard [--scale X | --full] [--threads N]` (threads default:
+//! available parallelism, at least 2).
+
+use sadp_core::{Router, RouterConfig};
+use sadp_geom::Layer;
+use sadp_grid::BenchmarkSpec;
+use std::time::Instant;
+
+fn routed(spec: &BenchmarkSpec, threads: usize) -> (sadp_core::RoutingReport, Router, f64) {
+    let (mut plane, netlist) = spec.generate();
+    let mut config = RouterConfig::paper_defaults();
+    config.threads = threads;
+    let mut router = Router::new(config);
+    let start = Instant::now();
+    let report = router.route_all(&mut plane, &netlist);
+    (report, router, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = sadp_bench::scale_from_args(&args);
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2)
+                .max(2)
+        });
+
+    let spec = BenchmarkSpec::paper_fixed_suite()
+        .pop()
+        .expect("suite is non-empty")
+        .scaled(scale);
+    println!(
+        "shard bench: {} at scale {scale} — {} nets on {}x{}x{} tracks",
+        spec.name, spec.net_count, spec.width_tracks, spec.height_tracks, spec.layers
+    );
+
+    let (mut serial_report, serial_router, serial_secs) = routed(&spec, 1);
+    let (mut sharded_report, sharded_router, sharded_secs) = routed(&spec, threads);
+
+    // Identity check: everything except the measured CPU time must match.
+    serial_report.cpu = std::time::Duration::ZERO;
+    sharded_report.cpu = std::time::Duration::ZERO;
+    assert_eq!(
+        serial_report, sharded_report,
+        "sharded report diverged from serial"
+    );
+    let layers = spec.layers;
+    for l in 0..layers {
+        assert_eq!(
+            serial_router.patterns_on_layer(Layer(l)),
+            sharded_router.patterns_on_layer(Layer(l)),
+            "sharded patterns diverged on layer {l}"
+        );
+    }
+    assert_eq!(serial_router.failed(), sharded_router.failed());
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!(
+        "serial  (threads=1): {serial_secs:8.3}s  routed {} / {}",
+        serial_report.routed_nets, serial_report.total_nets
+    );
+    println!("sharded (threads={threads}): {sharded_secs:8.3}s  identical result");
+    println!(
+        "speedup: {:.2}x on {cores} core(s)",
+        serial_secs / sharded_secs.max(1e-9)
+    );
+    if cores < 2 {
+        println!("note: single-core host — the identity check is meaningful, the speedup is not");
+    }
+}

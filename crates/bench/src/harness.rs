@@ -44,11 +44,25 @@ impl RunRow {
     }
 }
 
+/// Worker threads for the bench binaries, from the `SADP_THREADS`
+/// environment variable (default: serial). The routed result is identical
+/// for any value; only the wall-clock changes.
+#[must_use]
+pub fn threads_from_env() -> usize {
+    std::env::var("SADP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 /// Routes one benchmark with our router and returns the row.
 #[must_use]
 pub fn run_ours(spec: &BenchmarkSpec) -> RunRow {
     let (mut plane, netlist) = spec.generate();
-    let mut router = Router::new(RouterConfig::paper_defaults());
+    let mut config = RouterConfig::paper_defaults();
+    config.threads = threads_from_env();
+    let mut router = Router::new(config);
     let report = router.route_all(&mut plane, &netlist);
     RunRow {
         circuit: spec.name.clone(),

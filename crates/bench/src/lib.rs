@@ -11,6 +11,7 @@
 //! | `fig20` | Fig. 20 — runtime vs net count, least-squares exponent |
 //! | `fig21` | Figs. 21/22 — partial routing result, ours vs \[16\] |
 //! | `fig_appendix` | Figs. 23–34 — all scenario color assignments |
+//! | `shard` | serial vs region-sharded wall-clock + identity check |
 //!
 //! Table binaries accept a scale factor (`SADP_SCALE` env var or `--scale
 //! 0.2`); the default 0.2 finishes in seconds, `--full` runs the paper's
@@ -22,6 +23,6 @@ pub mod paper;
 pub mod scaling;
 pub mod timing;
 
-pub use harness::{run_baseline, run_ours, scale_from_args, RunRow};
+pub use harness::{run_baseline, run_ours, scale_from_args, threads_from_env, RunRow};
 pub use lsq::fit_power_law;
 pub use paper::{PaperRow, TABLE3_BASELINES, TABLE4_DU, TABLE4_OURS};

@@ -64,6 +64,11 @@ pub struct RouterConfig {
     pub allow_merge: bool,
     /// Net processing order for `route_all`.
     pub net_order: NetOrder,
+    /// Worker threads for the region-sharded schedule (minimum 1). The
+    /// band partition and the commit order depend only on the plane
+    /// geometry, never on this value, so results are byte-identical for
+    /// any thread count.
+    pub threads: usize,
 }
 
 impl RouterConfig {
@@ -83,6 +88,7 @@ impl RouterConfig {
             final_flip: true,
             allow_merge: true,
             net_order: NetOrder::HpwlAscending,
+            threads: 1,
         }
     }
 

@@ -1,0 +1,515 @@
+//! The staged routing driver (Fig. 18 / Fig. 19 as a pipeline).
+//!
+//! Per net, [`route_net`] runs the stages in order: pure **search**
+//! ([`SearchStage`](crate::search::SearchStage)), scenario **scan**
+//! ([`scan_fragments`]), the type-B cut-conflict check, then the
+//! **propose → trial-color → commit/abort** protocol of the
+//! [`CommitLedger`].
+//!
+//! [`route_schedule`] drives the whole netlist. On planes wide enough for
+//! more than one column band (see [`BandPlan`]) it becomes the
+//! region-sharded driver: nets whose influence region (pin bounding box +
+//! search margin + scenario halo) fits one band are routed by per-band
+//! workers on `std::thread::scope` against fully private state (a plane
+//! clone, a fresh ledger and grids; the pin guards are shared read-only —
+//! they never change after the reservation pre-pass). Band results are
+//! merged in ascending band order, then boundary-straddling nets route
+//! serially against the merged state.
+//!
+//! The schedule — band count, net classification, per-band net order,
+//! merge order — depends only on the plane geometry and the netlist,
+//! never on the worker count, so any `threads` value produces
+//! byte-identical results. Workers only change how many bands are *in
+//! flight* at once.
+
+use crate::astar::SearchScratch;
+use crate::config::RouterConfig;
+use crate::grids::{DirGrid, GuardGrid, PenaltyGrid, NO_GUARD};
+use crate::ledger::CommitLedger;
+use crate::router::Workspace;
+use crate::scan::{scan_fragments, FoundScenario};
+use crate::search::SearchStage;
+use sadp_geom::{GridPoint, Layer, Orientation, TrackRect};
+use sadp_grid::{BandPlan, Net, NetId, Netlist, RoutingPlane};
+use sadp_scenario::ScenarioKind;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Mutable context of one routing stream (the global one, or one band
+/// worker's private one).
+pub(crate) struct RouteCtx<'a> {
+    pub config: &'a RouterConfig,
+    pub ledger: &'a mut CommitLedger,
+    pub dir_map: &'a mut DirGrid,
+    pub guards: &'a GuardGrid,
+    pub penalties: &'a mut PenaltyGrid,
+    pub scratch: &'a mut SearchScratch,
+}
+
+/// Occupies every pin candidate cell of `net` up front so earlier nets
+/// cannot route over the pins of later ones (the owner may still enter
+/// its own reserved cells), and claims the soft guard halo around each
+/// candidate (first reserver wins).
+pub(crate) fn reserve_pins(
+    config: &RouterConfig,
+    guards: &mut GuardGrid,
+    plane: &mut RoutingPlane,
+    net: &Net,
+) {
+    let guard = config.pin_guard_cost();
+    for pin in net.pins() {
+        for &c in pin.candidates() {
+            let _ = plane.occupy(c, net.id);
+            if guard > 0 {
+                for dx in -1..=1 {
+                    for dy in -1..=1 {
+                        let g = GridPoint::new(c.layer, c.x + dx, c.y + dy);
+                        // First reserver wins, as with the map's
+                        // entry().or_insert this replaced.
+                        if guards.contains(g) && guards.get(g) == NO_GUARD {
+                            guards.set(g, (net.id, guard));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Routes one net through the full stage pipeline with up to `max_ripup`
+/// rip-up-and-re-route iterations; returns whether the net was committed.
+/// `seed_penalties` pre-loads the penalty grid (used by the cleanup
+/// re-route to steer the net away from its old corridor).
+pub(crate) fn route_net(
+    ctx: &mut RouteCtx<'_>,
+    plane: &mut RoutingPlane,
+    net: &Net,
+    seed_penalties: &[(GridPoint, u64)],
+) -> bool {
+    let key = net.id.0;
+    ctx.penalties.clear();
+    for &(p, v) in seed_penalties {
+        if ctx.penalties.contains(p) {
+            ctx.penalties.update(p, |old| old + v);
+        }
+    }
+
+    for _attempt in 0..=ctx.config.max_ripup {
+        // Stage 1: pure search over read-only views.
+        let stage = SearchStage {
+            plane: &*plane,
+            dir_map: &*ctx.dir_map,
+            guards: ctx.guards,
+            config: ctx.config,
+        };
+        let outcome = stage.search_net(net, ctx.penalties, ctx.scratch);
+        ctx.ledger.counters.nodes_expanded += outcome.expanded;
+        let Some(candidate) = outcome.candidate else {
+            ctx.ledger.counters.failed_no_path += 1;
+            return false;
+        };
+
+        // Stage 2: classify the tentative route against the routed layout
+        // (BTreeMap: layer order must be deterministic).
+        let mut found: Vec<FoundScenario> = Vec::new();
+        let mut per_layer: BTreeMap<Layer, Vec<TrackRect>> = BTreeMap::new();
+        for &(layer, rect) in &candidate.fragments {
+            per_layer.entry(layer).or_default().push(rect);
+        }
+        for (layer, frags) in &per_layer {
+            found.extend(scan_fragments(
+                *layer,
+                key,
+                frags,
+                ctx.ledger.frag_index(*layer),
+                plane.rules(),
+            ));
+        }
+
+        // Ablation: without the merge technique every tip-to-tip pair is
+        // undecomposable (the \[16\] behaviour) and must be routed away
+        // from.
+        if !ctx.config.allow_merge {
+            let merges: Vec<(Layer, TrackRect)> = found
+                .iter()
+                .filter(|f| f.scenario.kind == ScenarioKind::OneB)
+                .map(|f| (f.layer, f.our_rect))
+                .collect();
+            if !merges.is_empty() {
+                penalize(ctx.config, ctx.penalties, &merges);
+                ctx.ledger.counters.ripups += 1;
+                ctx.ledger.counters.ripups_graph += 1;
+                continue;
+            }
+        }
+
+        // Cut conflict check (type B, Fig. 16).
+        if std::env::var_os("SADP_DEBUG_FAIL").is_some() && _attempt > 0 {
+            let kinds: Vec<String> = found
+                .iter()
+                .filter(|f| f.scenario.kind.is_constraining())
+                .map(|f| format!("{}:{}", f.scenario.kind.name(), f.other_net))
+                .collect();
+            let on_path: u64 = candidate
+                .path
+                .points()
+                .iter()
+                .map(|&pt| ctx.penalties.get(pt))
+                .sum();
+            eprintln!(
+                "net {} attempt {}: {} penalty units on path; {:?}",
+                net.id, _attempt, on_path, kinds
+            );
+        }
+        if let Some(bad) = type_b_conflict(&found, plane.rules()) {
+            penalize(ctx.config, ctx.penalties, &bad);
+            ctx.ledger.counters.ripups += 1;
+            ctx.ledger.counters.ripups_type_b += 1;
+            continue;
+        }
+
+        // Stage 3: propose — stage the scenario edges in the ledger; odd
+        // cycles or infeasible pairs abort the proposal and trigger rip-up
+        // (Fig. 19 lines 6-9). The union-find checkpoints inside the
+        // proposal make the abort O(net) instead of O(E).
+        let proposal = ctx.ledger.propose(net.id);
+        let mut offender: Option<(Layer, u32)> = None;
+        for f in &found {
+            if !f.scenario.kind.is_constraining() {
+                continue;
+            }
+            if ctx
+                .ledger
+                .add_scenario(
+                    &proposal,
+                    f.layer,
+                    f.other_net,
+                    f.scenario.kind,
+                    f.scenario.table,
+                )
+                .is_err()
+            {
+                offender = Some((f.layer, f.other_net));
+                break;
+            }
+        }
+        if let Some((layer, bad_net)) = offender {
+            ctx.ledger.abort(proposal);
+            let cells: Vec<(Layer, TrackRect)> = found
+                .iter()
+                .filter(|f| f.layer == layer && f.other_net == bad_net)
+                .map(|f| (layer, f.our_rect))
+                .collect();
+            penalize(ctx.config, ctx.penalties, &cells);
+            ctx.ledger.counters.ripups += 1;
+            ctx.ledger.counters.ripups_graph += 1;
+            continue;
+        }
+
+        // Stage 4: trial coloring — pseudo-color, flip on demand, and
+        // verify no hard overlay or type-A cut risk remains realized. A
+        // risk the coloring cannot avoid is a cut conflict in the making —
+        // abort and steer away (Fig. 19 lines 6-9).
+        let layers: Vec<Layer> = per_layer.keys().copied().collect();
+        let (overlay, needs_flip) = ctx.ledger.trial_color(&proposal, &layers);
+        let mut flipped = false;
+        if needs_flip || overlay > ctx.config.flip_threshold {
+            ctx.ledger.flip_trial(&proposal, &layers);
+            flipped = true;
+        }
+        let risky_layers = ctx.ledger.risky_layers(&proposal, &layers);
+        if !risky_layers.is_empty() {
+            let cells: Vec<(Layer, TrackRect)> = found
+                .iter()
+                .filter(|f| risky_layers.contains(&f.layer))
+                .map(|f| (f.layer, f.our_rect))
+                .collect();
+            ctx.ledger.abort(proposal);
+            penalize(ctx.config, ctx.penalties, &cells);
+            ctx.ledger.counters.ripups += 1;
+            ctx.ledger.counters.ripups_risk += 1;
+            continue;
+        }
+        if flipped {
+            ctx.ledger.counters.flips += 1;
+        }
+
+        // Stage 5: commit.
+        ctx.ledger
+            .commit(proposal, plane, ctx.dir_map, net, candidate);
+        return true;
+    }
+    // Attempts exhausted; leave the graphs clean.
+    if std::env::var_os("SADP_DEBUG_FAIL").is_some() {
+        eprintln!(
+            "net {} exhausted: src={:?} dst={:?}",
+            net.id,
+            net.source.primary(),
+            net.target.primary()
+        );
+    }
+    ctx.ledger.counters.failed_exhausted += 1;
+    ctx.ledger.forget(net.id);
+    false
+}
+
+/// Routes one net against the global state, building the context from the
+/// router's workspace. `seed_penalties` as in [`route_net`].
+pub(crate) fn route_one(
+    config: &RouterConfig,
+    ledger: &mut CommitLedger,
+    ws: &mut Workspace,
+    plane: &mut RoutingPlane,
+    net: &Net,
+    seed_penalties: &[(GridPoint, u64)],
+) -> bool {
+    let mut ctx = RouteCtx {
+        config,
+        ledger,
+        dir_map: &mut ws.dir_map,
+        guards: &ws.guards,
+        penalties: &mut ws.penalties,
+        scratch: &mut ws.scratch,
+    };
+    route_net(&mut ctx, plane, net, seed_penalties)
+}
+
+/// Adds rip-up penalties around the given cells so the re-route leaves
+/// the conflicting corridor instead of shifting by a single track into
+/// the same scenario (the whole dependence-radius neighbourhood is
+/// penalised, decaying with distance).
+pub(crate) fn penalize(
+    config: &RouterConfig,
+    penalties: &mut PenaltyGrid,
+    cells: &[(Layer, TrackRect)],
+) {
+    let p = config.ripup_penalty_cost();
+    for (layer, rect) in cells {
+        for (x, y) in rect.expanded(2).cells() {
+            let cell = GridPoint::new(*layer, x, y);
+            if !penalties.contains(cell) {
+                continue;
+            }
+            let d = rect.track_gap(&TrackRect::cell(x, y));
+            let scale = 2 - (d.0.max(d.1)).min(2) as u64 + 1;
+            penalties.update(cell, |v| v + p * scale / 2);
+        }
+    }
+}
+
+/// The horizontal influence region of a net: the column range of its pin
+/// candidates grown by the worst-case search window. The A\* window of
+/// the trunk is the pin bounding box expanded by `search_margin`; each
+/// branch search may extend the window by another margin (its targets are
+/// points of the previous windows), so `1 + extra.len()` margins bound
+/// every search of the net.
+fn net_extent(net: &Net, config: &RouterConfig) -> (i32, i32) {
+    let mut x0 = i32::MAX;
+    let mut x1 = i32::MIN;
+    for pin in net.pins() {
+        for c in pin.candidates() {
+            x0 = x0.min(c.x);
+            x1 = x1.max(c.x);
+        }
+    }
+    let margin = config.search_margin * (1 + net.extra.len() as i32);
+    (x0 - margin, x1 + margin)
+}
+
+/// The result of one band worker.
+struct BandOutcome {
+    ledger: CommitLedger,
+    failed: Vec<NetId>,
+}
+
+/// Routes `order` on the plane: serially when the plane holds a single
+/// band, else via the region-sharded band schedule (see the module docs).
+/// Failed nets are appended to `failed` in schedule order (band nets in
+/// ascending band order, then boundary nets in net order).
+pub(crate) fn route_schedule(
+    config: &RouterConfig,
+    ledger: &mut CommitLedger,
+    ws: &mut Workspace,
+    plane: &mut RoutingPlane,
+    netlist: &Netlist,
+    order: &[NetId],
+    failed: &mut Vec<NetId>,
+) {
+    let halo = sadp_scenario::interaction_radius_tracks(plane.rules());
+    let plan = BandPlan::for_plane(plane.width(), halo);
+    if plan.len() <= 1 {
+        for &id in order {
+            if !route_one(config, ledger, ws, plane, netlist.net(id), &[]) {
+                failed.push(id);
+            }
+        }
+        return;
+    }
+
+    // Classify: a net is band-local when its influence region, grown by
+    // the scenario halo, fits one band's columns — then its searches,
+    // scans and commits provably cannot interact with any other band.
+    let mut band_nets: Vec<Vec<NetId>> = vec![Vec::new(); plan.len()];
+    let mut boundary: Vec<NetId> = Vec::new();
+    for &id in order {
+        let (x0, x1) = net_extent(netlist.net(id), config);
+        match plan.band_of_span(x0, x1) {
+            Some(j) => band_nets[j].push(id),
+            None => boundary.push(id),
+        }
+    }
+
+    // Band phase: each band routes on fully private state. The ledger
+    // tile size uses the global net count so the fragment index behaves
+    // exactly like the serial one.
+    let expected = netlist.len();
+    let bands = plan.len();
+    let workers = config.threads.clamp(1, bands);
+    let plane_ref: &RoutingPlane = plane;
+    let guards: &GuardGrid = &ws.guards;
+    let band_nets_ref = &band_nets;
+    let run_band = move |j: usize| -> BandOutcome {
+        let mut band_plane = plane_ref.clone();
+        let mut band_ledger = CommitLedger::new(plane_ref, expected);
+        let mut dir_map = DirGrid::new(plane_ref, None);
+        let mut penalties = PenaltyGrid::new(plane_ref, 0);
+        let mut scratch = SearchScratch::new(plane_ref);
+        let mut band_failed = Vec::new();
+        for &id in &band_nets_ref[j] {
+            let mut ctx = RouteCtx {
+                config,
+                ledger: &mut band_ledger,
+                dir_map: &mut dir_map,
+                guards,
+                penalties: &mut penalties,
+                scratch: &mut scratch,
+            };
+            if !route_net(&mut ctx, &mut band_plane, netlist.net(id), &[]) {
+                band_failed.push(id);
+            }
+        }
+        BandOutcome {
+            ledger: band_ledger,
+            failed: band_failed,
+        }
+    };
+
+    let mut results: Vec<(usize, BandOutcome)> = if workers <= 1 {
+        (0..bands).map(|j| (j, run_band(j))).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let run = &run_band;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let j = next.fetch_add(1, Ordering::Relaxed);
+                            if j >= bands {
+                                break;
+                            }
+                            out.push((j, run(j)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("band worker panicked"))
+                .collect()
+        })
+    };
+    // Deterministic fold regardless of which worker finished which band.
+    results.sort_by_key(|&(j, _)| j);
+    for (_, outcome) in results {
+        ledger.merge_band(outcome.ledger, plane, &mut ws.dir_map);
+        failed.extend(outcome.failed);
+    }
+
+    // Boundary phase: nets straddling a band edge route serially against
+    // the merged state, exactly like the single-band path.
+    for &id in &boundary {
+        if !route_one(config, ledger, ws, plane, netlist.net(id), &[]) {
+            failed.push(id);
+        }
+    }
+}
+
+/// Detects unavoidable type-B cut conflicts in the tentative route's
+/// scenarios: two cut-defined boundary sections of the same fragment
+/// within `d_cut` of each other. Returns the offending fragments.
+fn type_b_conflict(
+    found: &[FoundScenario],
+    rules: &sadp_geom::DesignRules,
+) -> Option<Vec<(Layer, TrackRect)>> {
+    // Tips of routed nets pointing at a side of one of our fragments, from
+    // which direction, and at which axial position.
+    struct TipHit {
+        layer: Layer,
+        our: TrackRect,
+        pos: i32,
+        positive_side: bool,
+    }
+    let mut hits: Vec<TipHit> = Vec::new();
+    for f in found {
+        match f.scenario.kind {
+            ScenarioKind::TwoB if f.scenario.swapped => {
+                // Canonical A (the tip) is the other net; we are the side.
+                let (pos, positive_side) = match f.our_rect.orientation() {
+                    Orientation::Horizontal | Orientation::Point => {
+                        (f.other_rect.x0, f.other_rect.y0 > f.our_rect.y1)
+                    }
+                    Orientation::Vertical => (f.other_rect.y0, f.other_rect.x0 > f.our_rect.x1),
+                };
+                hits.push(TipHit {
+                    layer: f.layer,
+                    our: f.our_rect,
+                    pos,
+                    positive_side,
+                });
+            }
+            // A one-cell fragment tip-to-tip with routed nets on both ends:
+            // the two separating cuts are only w_line apart (< d_cut).
+            ScenarioKind::OneB if f.our_rect.len_cells() == 1 => {
+                let twin = found.iter().any(|g| {
+                    g.scenario.kind == ScenarioKind::OneB
+                        && g.layer == f.layer
+                        && g.our_rect == f.our_rect
+                        && g.other_rect != f.other_rect
+                        && opposite_ends(&f.our_rect, &f.other_rect, &g.other_rect)
+                });
+                if twin {
+                    return Some(vec![(f.layer, f.our_rect)]);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Two tips on opposite sides of the same fragment within d_cut.
+    let d_tracks = (rules.d_cut().0 / rules.pitch().0 + 1) as i32;
+    for (i, a) in hits.iter().enumerate() {
+        for b in hits.iter().skip(i + 1) {
+            if a.layer == b.layer
+                && a.our == b.our
+                && a.positive_side != b.positive_side
+                && (a.pos - b.pos).abs() < d_tracks
+            {
+                return Some(vec![(a.layer, a.our)]);
+            }
+        }
+    }
+    None
+}
+
+fn opposite_ends(ours: &TrackRect, a: &TrackRect, b: &TrackRect) -> bool {
+    // For a single-cell fragment, tips approach along one axis from both
+    // directions.
+    let (ax, ay) = (a.x0.max(a.x1.min(ours.x0)), a.y0.max(a.y1.min(ours.y0)));
+    let (bx, by) = (b.x0.max(b.x1.min(ours.x0)), b.y0.max(b.y1.min(ours.y0)));
+    let da = ((ax - ours.x0).signum(), (ay - ours.y0).signum());
+    let db = ((bx - ours.x0).signum(), (by - ours.y0).signum());
+    da.0 == -db.0 && da.1 == -db.1 && (da != (0, 0))
+}

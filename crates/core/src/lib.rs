@@ -42,10 +42,13 @@ pub mod astar;
 pub mod bucket;
 pub mod config;
 pub mod decompose;
+mod driver;
 pub mod grids;
+pub mod ledger;
 pub mod report;
 pub mod router;
 pub mod scan;
+pub mod search;
 pub mod stats;
 
 pub use astar::{AstarRequest, SearchScratch, SearchStats};
@@ -53,7 +56,9 @@ pub use bucket::BucketQueue;
 pub use config::{NetOrder, RouterConfig};
 pub use decompose::{decompose_layout, LayoutColoring, UndecomposableLayout};
 pub use grids::{DenseGrid, DirGrid, GuardGrid, PenaltyGrid, NO_GUARD};
+pub use ledger::{CommitLedger, CommitRecord, LedgerCounters, Proposal, RoutedNet};
 pub use report::RoutingReport;
-pub use router::{RoutedNet, Router};
+pub use router::{Router, RouterError};
 pub use scan::{scan_fragments, FoundScenario};
+pub use search::{RouteCandidate, SearchOutcome, SearchStage};
 pub use stats::ScenarioCensus;

@@ -1,77 +1,63 @@
-//! The overall routing flow (Fig. 18 / Fig. 19).
+//! The routing façade over the staged pipeline (Fig. 18 / Fig. 19).
+//!
+//! [`Router`] owns the [`CommitLedger`] (all shared routing state) and a
+//! `Workspace` (plane-sized dense working grids) and orchestrates the
+//! stages in [`crate::search`] and the internal driver module: pin
+//! reservation, the (possibly region-sharded) routing schedule, the final
+//! flipping passes and the conflict cleanup. See DESIGN.md, "Pipeline
+//! architecture".
 
-use crate::astar::{astar_search_in, AstarRequest, SearchScratch};
 use crate::config::RouterConfig;
+use crate::driver;
 use crate::grids::{DirGrid, GuardGrid, PenaltyGrid, NO_GUARD};
+use crate::ledger::{CommitLedger, FLIP_NEIGHBORHOOD};
 use crate::report::RoutingReport;
-use crate::scan::{pack_frag_id, scan_fragments, FoundScenario};
-use sadp_geom::{GridPoint, Layer, Orientation, SpatialHash, TrackRect};
+use sadp_geom::{GridPoint, Layer, TrackRect};
 use sadp_graph::{flip, OverlayGraph};
-use sadp_grid::{Net, NetId, Netlist, RoutePath, RoutingPlane};
-use sadp_scenario::{Color, ScenarioKind};
+use sadp_grid::{Net, NetId, Netlist, RoutingPlane};
+use sadp_scenario::Color;
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
 use std::time::Instant;
 
-/// Member cap for the per-net trial flips and the cleanup flips. On dense
-/// circuits the soft scenarios fuse nearly every net into one connected
-/// component, so an uncapped `flip_component` per routed net costs
-/// `O(n)` each — the dominant quadratic term of the old Fig. 20 series.
-/// The final [`Router::finalize`] pass still flips whole components once.
-const FLIP_NEIGHBORHOOD: usize = 256;
+pub use crate::ledger::RoutedNet;
 
-/// A successfully routed net: its path(s) and per-layer wire fragments.
-#[derive(Debug, Clone)]
-pub struct RoutedNet {
-    /// The net.
-    pub id: NetId,
-    /// The trunk path (source pin to target pin).
-    pub path: RoutePath,
-    /// Branch paths connecting the extra terminals of a multi-pin net to
-    /// the trunk (empty for two-pin nets).
-    pub branches: Vec<RoutePath>,
-    /// Maximal wire-fragment rectangles per layer, over all paths.
-    pub fragments: Vec<(Layer, TrackRect)>,
-    /// Spatial-index ids of the fragments (parallel to `fragments`).
-    frag_ids: Vec<u64>,
+use crate::astar::SearchScratch;
+
+/// Errors of the incremental routing API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterError {
+    /// [`Router::route_incremental`] was called before [`Router::begin`]
+    /// (or a prior [`Router::route_all`]) sized the router for a plane.
+    NotBegun,
 }
 
-impl RoutedNet {
-    /// Total planar wirelength over trunk and branches.
-    #[must_use]
-    pub fn wirelength(&self) -> u64 {
-        self.path.wirelength() + self.branches.iter().map(RoutePath::wirelength).sum::<u64>()
-    }
-
-    /// Total via count over trunk and branches.
-    #[must_use]
-    pub fn via_count(&self) -> u64 {
-        self.path.via_count() + self.branches.iter().map(RoutePath::via_count).sum::<u64>()
-    }
-
-    /// Iterates over every grid point of the net (trunk then branches;
-    /// branch tap points repeat their trunk cell).
-    pub fn all_points(&self) -> impl Iterator<Item = GridPoint> + '_ {
-        self.path.points().iter().copied().chain(
-            self.branches
-                .iter()
-                .flat_map(|b| b.points().iter().copied()),
-        )
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterError::NotBegun => {
+                write!(f, "call Router::begin before route_incremental")
+            }
+        }
     }
 }
+
+impl Error for RouterError {}
 
 /// Plane-sized dense working state, allocated once per [`Router::begin`]
 /// and reused for every net (clearing is `O(1)` via generation stamps).
 #[derive(Debug)]
-struct Workspace {
+pub(crate) struct Workspace {
     /// Per-cell wire direction of committed nets (the `T2b` hint map).
-    dir_map: DirGrid,
+    pub(crate) dir_map: DirGrid,
     /// Soft pin keep-out halos: `(owner, penalty)` per cell.
-    guards: GuardGrid,
+    pub(crate) guards: GuardGrid,
     /// Rip-up penalties for the net currently being routed.
-    penalties: PenaltyGrid,
+    pub(crate) penalties: PenaltyGrid,
     /// A\*-search state (g-costs, came-from, open list).
-    scratch: SearchScratch,
+    pub(crate) scratch: SearchScratch,
 }
 
 impl Workspace {
@@ -97,27 +83,16 @@ impl Workspace {
 
 /// The overlay-aware detailed router.
 ///
-/// One instance routes one netlist; per-layer overlay constraint graphs,
-/// the fragment spatial index and the routed-net store live here and can
-/// be inspected after routing (e.g. to feed the decomposition simulator).
+/// One instance routes one netlist; the per-layer overlay constraint
+/// graphs, the fragment spatial index and the routed-net store live in
+/// its [`CommitLedger`] and can be inspected after routing (e.g. to feed
+/// the decomposition simulator).
 #[derive(Debug)]
 pub struct Router {
     config: RouterConfig,
-    graphs: Vec<OverlayGraph>,
-    index: Vec<SpatialHash>,
+    ledger: CommitLedger,
     workspace: Option<Workspace>,
-    routed: HashMap<NetId, RoutedNet>,
     failed: Vec<NetId>,
-    frag_seq: u32,
-    ripups: u64,
-    ripups_type_b: u64,
-    ripups_graph: u64,
-    ripups_risk: u64,
-    failed_no_path: u64,
-    failed_exhausted: u64,
-    failed_cleanup: u64,
-    flips: u64,
-    nodes_expanded: u64,
     color_fallbacks: Cell<u64>,
 }
 
@@ -127,21 +102,9 @@ impl Router {
     pub fn new(config: RouterConfig) -> Router {
         Router {
             config,
-            graphs: Vec::new(),
-            index: Vec::new(),
+            ledger: CommitLedger::empty(),
             workspace: None,
-            routed: HashMap::new(),
             failed: Vec::new(),
-            frag_seq: 0,
-            ripups: 0,
-            ripups_type_b: 0,
-            ripups_graph: 0,
-            ripups_risk: 0,
-            failed_no_path: 0,
-            failed_exhausted: 0,
-            failed_cleanup: 0,
-            flips: 0,
-            nodes_expanded: 0,
             color_fallbacks: Cell::new(0),
         }
     }
@@ -152,17 +115,24 @@ impl Router {
         &self.config
     }
 
+    /// The commit ledger: all shared routing state, including the commit
+    /// journal (valid after [`Router::route_all`]).
+    #[must_use]
+    pub fn ledger(&self) -> &CommitLedger {
+        &self.ledger
+    }
+
     /// The per-layer overlay constraint graphs (valid after
     /// [`Router::route_all`]).
     #[must_use]
     pub fn graphs(&self) -> &[OverlayGraph] {
-        &self.graphs
+        self.ledger.graphs()
     }
 
-    /// The routed nets.
+    /// The routed nets, ordered by [`NetId`].
     #[must_use]
-    pub fn routed(&self) -> &HashMap<NetId, RoutedNet> {
-        &self.routed
+    pub fn routed(&self) -> &BTreeMap<NetId, RoutedNet> {
+        self.ledger.routed()
     }
 
     /// Nets that could not be routed without violations.
@@ -174,7 +144,7 @@ impl Router {
     /// The mask color assigned to `net` on `layer`, if it is routed there.
     #[must_use]
     pub fn color_of(&self, net: NetId, layer: Layer) -> Option<Color> {
-        let g = self.graphs.get(layer.index())?;
+        let g = self.ledger.graphs().get(layer.index())?;
         g.contains(net.0).then(|| g.color(net.0))
     }
 
@@ -189,9 +159,8 @@ impl Router {
     #[must_use]
     pub fn patterns_on_layer(&self, layer: Layer) -> Vec<(u32, Color, Vec<TrackRect>)> {
         let mut out = Vec::new();
-        let mut ids: Vec<&RoutedNet> = self.routed.values().collect();
-        ids.sort_by_key(|r| r.id);
-        for r in ids {
+        // The ledger store is a BTreeMap: iteration is NetId-ordered.
+        for r in self.ledger.routed().values() {
             let rects: Vec<TrackRect> = r
                 .fragments
                 .iter()
@@ -218,23 +187,30 @@ impl Router {
     }
 
     /// Routes every net of the netlist (shortest first) on the plane,
-    /// running the full flow of Fig. 19, and returns the aggregate report.
+    /// running the full flow of Fig. 19 — region-sharded across
+    /// [`RouterConfig::threads`] workers when the plane is wide enough —
+    /// and returns the aggregate report. The result is identical for any
+    /// thread count.
     pub fn route_all(&mut self, plane: &mut RoutingPlane, netlist: &Netlist) -> RoutingReport {
         let start = Instant::now();
         self.begin_sized(plane, netlist.len());
-
-        // Reserve every pin candidate cell up front so earlier nets cannot
-        // route over the pins of later ones (the owner may still enter its
-        // own reserved cells).
-        for net in netlist {
-            self.reserve_pins(plane, net);
-        }
-
-        for id in self.net_order(netlist) {
-            let net = netlist.net(id);
-            if !self.route_net(plane, net, &[]) {
-                self.failed.push(id);
+        let order = self.net_order(netlist);
+        {
+            let Router {
+                config,
+                ledger,
+                workspace,
+                failed,
+                ..
+            } = self;
+            let ws = workspace.as_mut().expect("begin_sized sets the workspace");
+            // Reserve every pin candidate cell up front so earlier nets
+            // cannot route over the pins of later ones (the owner may
+            // still enter its own reserved cells).
+            for net in netlist {
+                driver::reserve_pins(config, &mut ws.guards, plane, net);
             }
+            driver::route_schedule(config, ledger, ws, plane, netlist, &order, failed);
         }
         self.finalize(plane, netlist);
         self.build_report(netlist, start)
@@ -251,26 +227,12 @@ impl Router {
     /// so the fragment spatial index can pick a density-matched tile size
     /// (`0` = unknown, uses the coarsest tile).
     pub fn begin_sized(&mut self, plane: &RoutingPlane, expected_nets: usize) {
-        self.graphs = (0..plane.layers()).map(|_| OverlayGraph::new()).collect();
-        self.index = (0..plane.layers())
-            .map(|_| SpatialHash::with_density(plane.width(), plane.height(), expected_nets))
-            .collect();
+        self.ledger = CommitLedger::new(plane, expected_nets);
         match self.workspace.as_mut() {
             Some(ws) if ws.fits(plane) => ws.clear(),
             _ => self.workspace = Some(Workspace::new(plane)),
         }
-        self.routed.clear();
         self.failed.clear();
-        self.frag_seq = 0;
-        self.ripups = 0;
-        self.ripups_type_b = 0;
-        self.ripups_graph = 0;
-        self.ripups_risk = 0;
-        self.failed_no_path = 0;
-        self.failed_exhausted = 0;
-        self.failed_cleanup = 0;
-        self.flips = 0;
-        self.nodes_expanded = 0;
         self.color_fallbacks.set(0);
     }
 
@@ -282,21 +244,32 @@ impl Router {
     /// no final flipping/cleanup runs — call [`Router::finalize`] when the
     /// batch is complete.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if [`Router::begin`] (or a prior `route_all`) has not sized
-    /// the router for the plane.
-    pub fn route_incremental(&mut self, plane: &mut RoutingPlane, net: &Net) -> bool {
-        assert!(
-            !self.graphs.is_empty(),
-            "call Router::begin before route_incremental"
-        );
-        self.reserve_pins(plane, net);
-        let ok = self.route_net(plane, net, &[]);
-        if !ok {
-            self.failed.push(net.id);
+    /// Returns [`RouterError::NotBegun`] if [`Router::begin`] (or a prior
+    /// `route_all`) has not sized the router for the plane.
+    pub fn route_incremental(
+        &mut self,
+        plane: &mut RoutingPlane,
+        net: &Net,
+    ) -> Result<bool, RouterError> {
+        let Router {
+            config,
+            ledger,
+            workspace,
+            failed,
+            ..
+        } = self;
+        if ledger.layer_count() == 0 {
+            return Err(RouterError::NotBegun);
         }
-        ok
+        let ws = workspace.as_mut().ok_or(RouterError::NotBegun)?;
+        driver::reserve_pins(config, &mut ws.guards, plane, net);
+        let ok = driver::route_one(config, ledger, ws, plane, net, &[]);
+        if !ok {
+            failed.push(net.id);
+        }
+        Ok(ok)
     }
 
     /// Runs the final color flipping (Fig. 19 line 16) on every component
@@ -307,10 +280,11 @@ impl Router {
     /// The flipping is scoped to *dirty* components — those containing a
     /// vertex whose edges changed since the previous finalize — so
     /// repeated incremental batches only re-color what moved instead of
-    /// re-walking the whole layout each time.
+    /// re-walking the whole layout each time. A no-op before
+    /// [`Router::begin`].
     pub fn finalize(&mut self, plane: &mut RoutingPlane, netlist: &Netlist) {
         if self.config.final_flip {
-            for g in &mut self.graphs {
+            for g in self.ledger.graphs_mut() {
                 let mut dirty = g.take_dirty();
                 dirty.sort_unstable();
                 let mut visited: std::collections::HashSet<u32> = std::collections::HashSet::new();
@@ -351,49 +325,28 @@ impl Router {
         }
     }
 
-    fn reserve_pins(&mut self, plane: &mut RoutingPlane, net: &Net) {
-        let guard = self.config.pin_guard_cost();
-        let ws = self.workspace.as_mut().expect("begin() sizes the router");
-        for pin in net.pins() {
-            for &c in pin.candidates() {
-                let _ = plane.occupy(c, net.id);
-                if guard > 0 {
-                    for dx in -1..=1 {
-                        for dy in -1..=1 {
-                            let g = GridPoint::new(c.layer, c.x + dx, c.y + dy);
-                            // First reserver wins, as with the map's
-                            // entry().or_insert this replaced.
-                            if ws.guards.contains(g) && ws.guards.get(g) == NO_GUARD {
-                                ws.guards.set(g, (net.id, guard));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-
     fn build_report(&self, netlist: &Netlist, start: Instant) -> RoutingReport {
+        let c = &self.ledger.counters;
         let mut report = RoutingReport {
             total_nets: netlist.len(),
-            routed_nets: self.routed.len(),
-            ripups: self.ripups,
-            ripups_type_b: self.ripups_type_b,
-            ripups_graph: self.ripups_graph,
-            ripups_risk: self.ripups_risk,
-            failed_no_path: self.failed_no_path,
-            failed_exhausted: self.failed_exhausted,
-            failed_cleanup: self.failed_cleanup,
-            flips: self.flips,
-            nodes_expanded: self.nodes_expanded,
+            routed_nets: self.ledger.routed().len(),
+            ripups: c.ripups,
+            ripups_type_b: c.ripups_type_b,
+            ripups_graph: c.ripups_graph,
+            ripups_risk: c.ripups_risk,
+            failed_no_path: c.failed_no_path,
+            failed_exhausted: c.failed_exhausted,
+            failed_cleanup: c.failed_cleanup,
+            flips: c.flips,
+            nodes_expanded: c.nodes_expanded,
             cpu: start.elapsed(),
             ..RoutingReport::default()
         };
-        for r in self.routed.values() {
+        for r in self.ledger.routed().values() {
             report.wirelength += r.wirelength();
             report.vias += r.via_count();
         }
-        for g in &self.graphs {
+        for g in self.ledger.graphs() {
             let e = g.evaluate();
             report.overlay_units += e.overlay_units;
             report.hard_overlay_violations += e.hard_violations;
@@ -402,7 +355,7 @@ impl Router {
         // Consistency sweep: every routed net must have a color on every
         // layer it occupies (see `patterns_on_layer`).
         let mut fallbacks = self.color_fallbacks.get();
-        for r in self.routed.values() {
+        for r in self.ledger.routed().values() {
             let mut layers: Vec<Layer> = r.fragments.iter().map(|&(l, _)| l).collect();
             layers.sort_unstable();
             layers.dedup();
@@ -417,335 +370,24 @@ impl Router {
         report
     }
 
-    /// Routes one net with up to `max_ripup` rip-up-and-re-route
-    /// iterations; returns whether the net was committed. `seed_penalties`
-    /// pre-loads the penalty grid (used by the cleanup re-route to steer
-    /// the net away from its old corridor).
-    fn route_net(
-        &mut self,
-        plane: &mut RoutingPlane,
-        net: &Net,
-        seed_penalties: &[(GridPoint, u64)],
-    ) -> bool {
-        let mut ws = self.workspace.take().expect("begin() sizes the router");
-        let ok = self.route_net_with(plane, net, seed_penalties, &mut ws);
-        self.workspace = Some(ws);
-        ok
-    }
-
-    fn route_net_with(
-        &mut self,
-        plane: &mut RoutingPlane,
-        net: &Net,
-        seed_penalties: &[(GridPoint, u64)],
-        ws: &mut Workspace,
-    ) -> bool {
-        let key = net.id.0;
-        ws.penalties.clear();
-        for &(p, v) in seed_penalties {
-            if ws.penalties.contains(p) {
-                ws.penalties.update(p, |old| old + v);
-            }
-        }
-
-        for _attempt in 0..=self.config.max_ripup {
-            let req = AstarRequest {
-                net: net.id,
-                sources: net.source.candidates(),
-                targets: net.target.candidates(),
-                penalties: &ws.penalties,
-                guards: &ws.guards,
-            };
-            let (path, stats) =
-                astar_search_in(plane, &req, &ws.dir_map, &self.config, &mut ws.scratch);
-            self.nodes_expanded += stats.expanded;
-            let Some(path) = path else {
-                self.failed_no_path += 1;
-                return false;
-            };
-
-            // Branch routing for multi-terminal nets: each extra pin
-            // connects to any already-routed point of the net.
-            let mut branches: Vec<RoutePath> = Vec::new();
-            let mut branch_fail = false;
-            for pin in &net.extra {
-                let mut targets: Vec<GridPoint> = path.points().to_vec();
-                for b in &branches {
-                    targets.extend_from_slice(b.points());
-                }
-                let breq = AstarRequest {
-                    net: net.id,
-                    sources: pin.candidates(),
-                    targets: &targets,
-                    penalties: &ws.penalties,
-                    guards: &ws.guards,
-                };
-                let (bpath, bstats) =
-                    astar_search_in(plane, &breq, &ws.dir_map, &self.config, &mut ws.scratch);
-                self.nodes_expanded += bstats.expanded;
-                match bpath {
-                    Some(bp) => branches.push(bp),
-                    None => {
-                        branch_fail = true;
-                        break;
-                    }
-                }
-            }
-            if branch_fail {
-                self.failed_no_path += 1;
-                return false;
-            }
-
-            let mut fragments = path.fragments();
-            for b in &branches {
-                fragments.extend(b.fragments());
-            }
-
-            // Classify the tentative route against the routed layout
-            // (BTreeMap: layer order must be deterministic).
-            let mut found = Vec::new();
-            let mut per_layer: std::collections::BTreeMap<Layer, Vec<TrackRect>> =
-                std::collections::BTreeMap::new();
-            for &(layer, rect) in &fragments {
-                per_layer.entry(layer).or_default().push(rect);
-            }
-            for (layer, frags) in &per_layer {
-                found.extend(scan_fragments(
-                    *layer,
-                    key,
-                    frags,
-                    &self.index[layer.index()],
-                    plane.rules(),
-                ));
-            }
-
-            // Ablation: without the merge technique every tip-to-tip pair
-            // is undecomposable (the \[16\] behaviour) and must be routed
-            // away from.
-            if !self.config.allow_merge {
-                let merges: Vec<(Layer, TrackRect)> = found
-                    .iter()
-                    .filter(|f| f.scenario.kind == ScenarioKind::OneB)
-                    .map(|f| (f.layer, f.our_rect))
-                    .collect();
-                if !merges.is_empty() {
-                    self.penalize(&mut ws.penalties, &merges);
-                    self.ripups += 1;
-                    self.ripups_graph += 1;
-                    continue;
-                }
-            }
-
-            // Cut conflict check (type B, Fig. 16).
-            if std::env::var_os("SADP_DEBUG_FAIL").is_some() && _attempt > 0 {
-                let kinds: Vec<String> = found
-                    .iter()
-                    .filter(|f| f.scenario.kind.is_constraining())
-                    .map(|f| format!("{}:{}", f.scenario.kind.name(), f.other_net))
-                    .collect();
-                let on_path: u64 = path.points().iter().map(|&pt| ws.penalties.get(pt)).sum();
-                eprintln!(
-                    "net {} attempt {}: {} penalty units on path; {:?}",
-                    net.id, _attempt, on_path, kinds
-                );
-            }
-            if let Some(bad) = type_b_conflict(&found, plane.rules()) {
-                self.penalize(&mut ws.penalties, &bad);
-                self.ripups += 1;
-                self.ripups_type_b += 1;
-                continue;
-            }
-
-            // Update the overlay constraint graphs; odd cycles or
-            // infeasible pairs trigger rip-up (Fig. 19 lines 6-9). The
-            // union-find checkpoints make rip-up O(net) instead of O(E).
-            let marks: Vec<usize> = self.graphs.iter_mut().map(|g| g.mark()).collect();
-            let mut offender: Option<(Layer, u32)> = None;
-            for f in &found {
-                if !f.scenario.kind.is_constraining() {
-                    continue;
-                }
-                let g = &mut self.graphs[f.layer.index()];
-                if g.add_scenario_with_kind(
-                    key,
-                    f.other_net,
-                    Some(f.scenario.kind),
-                    f.scenario.table,
-                )
-                .is_err()
-                {
-                    offender = Some((f.layer, f.other_net));
-                    break;
-                }
-            }
-            if let Some((layer, bad_net)) = offender {
-                for (g, &mark) in self.graphs.iter_mut().zip(&marks) {
-                    g.rollback_net(key, mark);
-                }
-                let bad: Vec<TrackRect> = found
-                    .iter()
-                    .filter(|f| f.layer == layer && f.other_net == bad_net)
-                    .map(|f| f.our_rect)
-                    .collect();
-                let cells: Vec<(Layer, TrackRect)> = bad.into_iter().map(|r| (layer, r)).collect();
-                self.penalize(&mut ws.penalties, &cells);
-                self.ripups += 1;
-                self.ripups_graph += 1;
-                continue;
-            }
-
-            // Trial coloring: pseudo-color, flip on demand, and verify no
-            // hard overlay or type-A cut risk remains realized. A risk the
-            // coloring cannot avoid is a cut conflict in the making —
-            // rip up and steer away (Fig. 19 lines 6-9).
-            let mut overlay = 0u64;
-            let mut needs_flip = false;
-            for layer in per_layer.keys() {
-                let g = &mut self.graphs[layer.index()];
-                g.ensure_vertex(key);
-                g.pseudo_color(key);
-                overlay += g.net_overlay_units(key);
-                needs_flip |= g.net_has_risk(key);
-            }
-            let mut flipped = false;
-            if needs_flip || overlay > self.config.flip_threshold {
-                for layer in per_layer.keys() {
-                    flip::flip_neighborhood(
-                        &mut self.graphs[layer.index()],
-                        key,
-                        FLIP_NEIGHBORHOOD,
-                    );
-                }
-                flipped = true;
-            }
-            let risky_layers: Vec<Layer> = per_layer
-                .keys()
-                .copied()
-                .filter(|l| self.graphs[l.index()].net_has_risk(key))
-                .collect();
-            if !risky_layers.is_empty() {
-                let cells: Vec<(Layer, TrackRect)> = found
-                    .iter()
-                    .filter(|f| risky_layers.contains(&f.layer))
-                    .map(|f| (f.layer, f.our_rect))
-                    .collect();
-                for (g, &mark) in self.graphs.iter_mut().zip(&marks) {
-                    g.rollback_net(key, mark);
-                }
-                self.penalize(&mut ws.penalties, &cells);
-                self.ripups += 1;
-                self.ripups_risk += 1;
-                continue;
-            }
-            if flipped {
-                self.flips += 1;
-            }
-
-            self.commit(plane, net, path, branches, fragments, ws);
-            return true;
-        }
-        // Attempts exhausted; leave the graphs clean.
-        if std::env::var_os("SADP_DEBUG_FAIL").is_some() {
-            eprintln!(
-                "net {} exhausted: src={:?} dst={:?}",
-                net.id,
-                net.source.primary(),
-                net.target.primary()
-            );
-        }
-        self.failed_exhausted += 1;
-        for g in &mut self.graphs {
-            g.remove_net(key);
-        }
-        false
-    }
-
-    fn penalize(&self, penalties: &mut PenaltyGrid, cells: &[(Layer, TrackRect)]) {
-        let p = self.config.ripup_penalty_cost();
-        for (layer, rect) in cells {
-            // Penalise the whole neighbourhood (dependence radius) so the
-            // re-route leaves the conflicting corridor instead of shifting
-            // by a single track into the same scenario.
-            for (x, y) in rect.expanded(2).cells() {
-                let cell = GridPoint::new(*layer, x, y);
-                if !penalties.contains(cell) {
-                    continue;
-                }
-                let d = rect.track_gap(&TrackRect::cell(x, y));
-                let scale = 2 - (d.0.max(d.1)).min(2) as u64 + 1;
-                penalties.update(cell, |v| v + p * scale / 2);
-            }
-        }
-    }
-
-    fn commit(
-        &mut self,
-        plane: &mut RoutingPlane,
-        net: &Net,
-        path: RoutePath,
-        branches: Vec<RoutePath>,
-        fragments: Vec<(Layer, TrackRect)>,
-        ws: &mut Workspace,
-    ) {
-        let id = net.id;
-        let on_path = |c: &GridPoint| {
-            path.points().contains(c) || branches.iter().any(|b| b.points().contains(c))
-        };
-        for &p in path.points() {
-            plane
-                .occupy(p, id)
-                .expect("A* only walks free or own cells");
-        }
-        for b in &branches {
-            for &p in b.points() {
-                plane
-                    .occupy(p, id)
-                    .expect("branch A* only walks free or own cells");
-            }
-        }
-        // Release the unused pin candidate reservations.
-        for pin in net.pins() {
-            for &c in pin.candidates() {
-                if !on_path(&c) {
-                    plane.clear_path(&[c], id);
-                }
-            }
-        }
-        let mut frag_ids = Vec::with_capacity(fragments.len());
-        for &(layer, rect) in &fragments {
-            if let Some(axis) = rect.orientation().axis() {
-                for (x, y) in rect.cells() {
-                    ws.dir_map.set(GridPoint::new(layer, x, y), Some(axis));
-                }
-            }
-            let fid = pack_frag_id(id.0, self.frag_seq);
-            self.index[layer.index()].insert(fid, rect);
-            frag_ids.push(fid);
-            self.frag_seq += 1;
-        }
-
-        // Coloring already happened in the trial phase of route_net; the
-        // graphs are left exactly as validated there.
-        self.routed.insert(
-            id,
-            RoutedNet {
-                id,
-                path,
-                branches,
-                fragments,
-                frag_ids,
-            },
-        );
-    }
-
     /// Post-routing cleanup: re-flip components of nets whose coloring
     /// still realizes a forbidden assignment or a type-A cut risk, and
     /// unroute the incorrigible ones so the final result is conflict-free.
     fn cleanup_risks(&mut self, plane: &mut RoutingPlane, netlist: &Netlist) {
-        let mut ws = self.workspace.take().expect("begin() sizes the router");
+        let Router {
+            config,
+            ledger,
+            workspace,
+            failed,
+            ..
+        } = self;
+        let Some(ws) = workspace.as_mut() else {
+            // Never begun: nothing routed, nothing to clean.
+            return;
+        };
         for _ in 0..8 {
             let mut risky: Vec<u32> = Vec::new();
-            for g in &self.graphs {
+            for g in ledger.graphs() {
                 risky.extend(g.nets_with_realized_risk());
             }
             risky.sort_unstable();
@@ -757,31 +399,34 @@ impl Router {
             // nets usually share a region, and re-flipping it for each of
             // them repeated `O(component)` work per net.
             let mut flipped: Vec<std::collections::HashSet<u32>> =
-                vec![std::collections::HashSet::new(); self.graphs.len()];
+                vec![std::collections::HashSet::new(); ledger.layer_count()];
             for net in risky {
                 let id = NetId(net);
-                let Some(routed) = self.routed.get(&id) else {
+                let Some(routed) = ledger.routed().get(&id) else {
                     continue;
                 };
                 let old_cells: Vec<(Layer, TrackRect)> = routed.fragments.clone();
-                let layers: Vec<usize> = (0..self.graphs.len())
-                    .filter(|&l| self.graphs[l].contains(net))
+                let layers: Vec<usize> = (0..ledger.layer_count())
+                    .filter(|&l| ledger.graphs()[l].contains(net))
                     .collect();
                 for &l in &layers {
                     if flipped[l].contains(&net) {
                         continue;
                     }
-                    let members =
-                        flip::flip_neighborhood(&mut self.graphs[l], net, FLIP_NEIGHBORHOOD);
-                    flip::refine_members(&mut self.graphs[l], &members, 2);
+                    let members = flip::flip_neighborhood(
+                        &mut ledger.graphs_mut()[l],
+                        net,
+                        FLIP_NEIGHBORHOOD,
+                    );
+                    flip::refine_members(&mut ledger.graphs_mut()[l], &members, 2);
                     flipped[l].extend(members);
                 }
-                let still = layers.iter().any(|&l| self.graphs[l].net_has_risk(net));
+                let still = layers.iter().any(|&l| ledger.graphs()[l].net_has_risk(net));
                 if still {
                     // Re-route away from the old corridor; give the net up
                     // only if that fails too.
-                    self.unroute(plane, id, &mut ws);
-                    let p = self.config.ripup_penalty_cost() * 2;
+                    ledger.unroute(plane, &mut ws.dir_map, id);
+                    let p = config.ripup_penalty_cost() * 2;
                     let mut seeds: Vec<(GridPoint, u64)> = Vec::new();
                     for (layer, rect) in &old_cells {
                         for (x, y) in rect.cells() {
@@ -796,16 +441,16 @@ impl Router {
                             let _ = plane.occupy(c, id);
                         }
                     }
-                    let ok = self.route_net_with(plane, net_ref, &seeds, &mut ws);
-                    let risk_again =
-                        ok && (0..self.graphs.len()).any(|l| self.graphs[l].net_has_risk(net));
+                    let ok = driver::route_one(config, ledger, ws, plane, net_ref, &seeds);
+                    let risk_again = ok
+                        && (0..ledger.layer_count()).any(|l| ledger.graphs()[l].net_has_risk(net));
                     if risk_again {
-                        self.unroute(plane, id, &mut ws);
-                        self.failed.push(id);
-                        self.failed_cleanup += 1;
+                        ledger.unroute(plane, &mut ws.dir_map, id);
+                        failed.push(id);
+                        ledger.counters.failed_cleanup += 1;
                     } else if !ok {
-                        self.failed.push(id);
-                        self.failed_cleanup += 1;
+                        failed.push(id);
+                        ledger.counters.failed_cleanup += 1;
                     }
                 }
             }
@@ -813,7 +458,7 @@ impl Router {
         // Anything still risky after the passes is unrouted outright.
         loop {
             let mut risky: Vec<u32> = Vec::new();
-            for g in &self.graphs {
+            for g in ledger.graphs() {
                 risky.extend(g.nets_with_realized_risk());
             }
             risky.sort_unstable();
@@ -823,110 +468,14 @@ impl Router {
             }
             for net in risky {
                 let id = NetId(net);
-                if self.routed.contains_key(&id) {
-                    self.unroute(plane, id, &mut ws);
-                    self.failed.push(id);
-                    self.failed_cleanup += 1;
+                if ledger.routed().contains_key(&id) {
+                    ledger.unroute(plane, &mut ws.dir_map, id);
+                    failed.push(id);
+                    ledger.counters.failed_cleanup += 1;
                 }
             }
         }
-        self.workspace = Some(ws);
     }
-
-    fn unroute(&mut self, plane: &mut RoutingPlane, id: NetId, ws: &mut Workspace) {
-        let Some(r) = self.routed.remove(&id) else {
-            return;
-        };
-        plane.clear_path(r.path.points(), id);
-        for b in &r.branches {
-            plane.clear_path(b.points(), id);
-        }
-        for ((layer, rect), fid) in r.fragments.iter().zip(&r.frag_ids) {
-            self.index[layer.index()].remove(*fid, rect);
-            for (x, y) in rect.cells() {
-                ws.dir_map.remove(GridPoint::new(*layer, x, y));
-            }
-        }
-        for g in &mut self.graphs {
-            g.remove_net(id.0);
-        }
-    }
-}
-
-/// Detects unavoidable type-B cut conflicts in the tentative route's
-/// scenarios: two cut-defined boundary sections of the same fragment
-/// within `d_cut` of each other. Returns the offending fragments.
-fn type_b_conflict(
-    found: &[FoundScenario],
-    rules: &sadp_geom::DesignRules,
-) -> Option<Vec<(Layer, TrackRect)>> {
-    // Tips of routed nets pointing at a side of one of our fragments, from
-    // which direction, and at which axial position.
-    struct TipHit {
-        layer: Layer,
-        our: TrackRect,
-        pos: i32,
-        positive_side: bool,
-    }
-    let mut hits: Vec<TipHit> = Vec::new();
-    for f in found {
-        match f.scenario.kind {
-            ScenarioKind::TwoB if f.scenario.swapped => {
-                // Canonical A (the tip) is the other net; we are the side.
-                let (pos, positive_side) = match f.our_rect.orientation() {
-                    Orientation::Horizontal | Orientation::Point => {
-                        (f.other_rect.x0, f.other_rect.y0 > f.our_rect.y1)
-                    }
-                    Orientation::Vertical => (f.other_rect.y0, f.other_rect.x0 > f.our_rect.x1),
-                };
-                hits.push(TipHit {
-                    layer: f.layer,
-                    our: f.our_rect,
-                    pos,
-                    positive_side,
-                });
-            }
-            // A one-cell fragment tip-to-tip with routed nets on both ends:
-            // the two separating cuts are only w_line apart (< d_cut).
-            ScenarioKind::OneB if f.our_rect.len_cells() == 1 => {
-                let twin = found.iter().any(|g| {
-                    g.scenario.kind == ScenarioKind::OneB
-                        && g.layer == f.layer
-                        && g.our_rect == f.our_rect
-                        && g.other_rect != f.other_rect
-                        && opposite_ends(&f.our_rect, &f.other_rect, &g.other_rect)
-                });
-                if twin {
-                    return Some(vec![(f.layer, f.our_rect)]);
-                }
-            }
-            _ => {}
-        }
-    }
-    // Two tips on opposite sides of the same fragment within d_cut.
-    let d_tracks = (rules.d_cut().0 / rules.pitch().0 + 1) as i32;
-    for (i, a) in hits.iter().enumerate() {
-        for b in hits.iter().skip(i + 1) {
-            if a.layer == b.layer
-                && a.our == b.our
-                && a.positive_side != b.positive_side
-                && (a.pos - b.pos).abs() < d_tracks
-            {
-                return Some(vec![(a.layer, a.our)]);
-            }
-        }
-    }
-    None
-}
-
-fn opposite_ends(ours: &TrackRect, a: &TrackRect, b: &TrackRect) -> bool {
-    // For a single-cell fragment, tips approach along one axis from both
-    // directions.
-    let (ax, ay) = (a.x0.max(a.x1.min(ours.x0)), a.y0.max(a.y1.min(ours.y0)));
-    let (bx, by) = (b.x0.max(b.x1.min(ours.x0)), b.y0.max(b.y1.min(ours.y0)));
-    let da = ((ax - ours.x0).signum(), (ay - ours.y0).signum());
-    let db = ((bx - ours.x0).signum(), (by - ours.y0).signum());
-    da.0 == -db.0 && da.1 == -db.1 && (da != (0, 0))
 }
 
 #[cfg(test)]
@@ -1066,5 +615,47 @@ mod tests {
         assert_eq!(first.wirelength, second.wirelength);
         assert_eq!(first.overlay_units, second.overlay_units);
         assert_eq!(first.nodes_expanded, second.nodes_expanded);
+    }
+
+    #[test]
+    fn incremental_before_begin_is_recoverable() {
+        let mut plane = plane(16, 16);
+        let mut nl = Netlist::new();
+        let id = nl.add_two_pin("a", p0(2, 2), p0(10, 2));
+        let mut router = Router::new(RouterConfig::paper_defaults());
+        // No begin(): a recoverable error, not a panic.
+        assert_eq!(
+            router.route_incremental(&mut plane, nl.net(id)),
+            Err(RouterError::NotBegun)
+        );
+        assert!(RouterError::NotBegun.to_string().contains("begin"));
+        // The same router recovers after begin().
+        router.begin(&plane);
+        assert_eq!(router.route_incremental(&mut plane, nl.net(id)), Ok(true));
+    }
+
+    #[test]
+    fn finalize_before_begin_is_a_noop() {
+        let mut plane = plane(16, 16);
+        let nl = Netlist::new();
+        let mut router = Router::new(RouterConfig::paper_defaults());
+        router.finalize(&mut plane, &nl);
+        assert!(router.routed().is_empty());
+    }
+
+    #[test]
+    fn commit_journal_covers_routed_nets() {
+        let mut plane = plane(32, 32);
+        let mut nl = Netlist::new();
+        nl.add_two_pin("a", p0(2, 2), p0(14, 9));
+        nl.add_two_pin("b", p0(2, 12), p0(18, 12));
+        let mut router = Router::new(RouterConfig::paper_defaults());
+        let report = router.route_all(&mut plane, &nl);
+        assert_eq!(report.routed_nets, 2);
+        let journal = router.ledger().records();
+        assert_eq!(journal.len(), 2);
+        for rec in journal {
+            assert!(router.routed().contains_key(&rec.net));
+        }
     }
 }

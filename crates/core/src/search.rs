@@ -1,0 +1,137 @@
+//! The pure search stage of the routing pipeline.
+//!
+//! [`SearchStage`] bundles the read-only views a per-net pathfinding call
+//! needs — the routing plane, the committed direction map, the pin guards
+//! and the configuration — and produces a [`RouteCandidate`] without
+//! touching any shared router state. The only thing it mutates is the
+//! caller-provided [`SearchScratch`] (per-search A\* working memory) and
+//! it never writes the plane, the spatial index or the constraint graphs:
+//! those mutations happen later, through the
+//! [`CommitLedger`](crate::ledger::CommitLedger).
+//!
+//! Because the stage is a pure function of its inputs, the sharded driver
+//! can run one instance per worker thread against clones/snapshots of the
+//! shared state with no coordination.
+
+use crate::astar::{astar_search_in, AstarRequest, SearchScratch, SearchStats};
+use crate::config::RouterConfig;
+use crate::grids::{DirGrid, GuardGrid, PenaltyGrid};
+use sadp_geom::{GridPoint, Layer, TrackRect};
+use sadp_grid::{Net, NetId, RoutePath, RoutingPlane};
+
+/// Read-only views for one pathfinding call.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchStage<'a> {
+    /// The routing plane (occupancy and blockages).
+    pub plane: &'a RoutingPlane,
+    /// Committed wire directions of already-routed nets (the `T2b` hints).
+    pub dir_map: &'a DirGrid,
+    /// Soft pin keep-out halos.
+    pub guards: &'a GuardGrid,
+    /// The router configuration (cost weights, search margin).
+    pub config: &'a RouterConfig,
+}
+
+/// A tentative route produced by the search stage: trunk, branches, and
+/// the maximal wire-fragment rectangles of all of them. Nothing about it
+/// is committed yet.
+#[derive(Debug, Clone)]
+pub struct RouteCandidate {
+    /// The trunk path (source pin to target pin).
+    pub path: RoutePath,
+    /// Branch paths of a multi-terminal net (empty for two-pin nets).
+    pub branches: Vec<RoutePath>,
+    /// Maximal wire-fragment rectangles per layer, over all paths.
+    pub fragments: Vec<(Layer, TrackRect)>,
+}
+
+/// The result of [`SearchStage::search_net`].
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The candidate route, or `None` if the net (or one of its branches)
+    /// has no path.
+    pub candidate: Option<RouteCandidate>,
+    /// Total A\* nodes expanded across trunk and branch searches.
+    pub expanded: u64,
+}
+
+impl SearchStage<'_> {
+    /// One multi-source multi-target A\* search for `net`.
+    pub fn search(
+        &self,
+        net: NetId,
+        sources: &[GridPoint],
+        targets: &[GridPoint],
+        penalties: &PenaltyGrid,
+        scratch: &mut SearchScratch,
+    ) -> (Option<RoutePath>, SearchStats) {
+        let req = AstarRequest {
+            net,
+            sources,
+            targets,
+            penalties,
+            guards: self.guards,
+        };
+        astar_search_in(self.plane, &req, self.dir_map, self.config, scratch)
+    }
+
+    /// Searches a full candidate route for `net`: the trunk between the
+    /// source and target pins, then one branch per extra terminal (each
+    /// may tap any already-found point of the net), and fragments the
+    /// result into maximal wire rectangles.
+    #[must_use]
+    pub fn search_net(
+        &self,
+        net: &Net,
+        penalties: &PenaltyGrid,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutcome {
+        let (path, stats) = self.search(
+            net.id,
+            net.source.candidates(),
+            net.target.candidates(),
+            penalties,
+            scratch,
+        );
+        let mut expanded = stats.expanded;
+        let Some(path) = path else {
+            return SearchOutcome {
+                candidate: None,
+                expanded,
+            };
+        };
+
+        let mut branches: Vec<RoutePath> = Vec::new();
+        for pin in &net.extra {
+            let mut targets: Vec<GridPoint> = path.points().to_vec();
+            for b in &branches {
+                targets.extend_from_slice(b.points());
+            }
+            let (bpath, bstats) =
+                self.search(net.id, pin.candidates(), &targets, penalties, scratch);
+            expanded += bstats.expanded;
+            match bpath {
+                Some(bp) => branches.push(bp),
+                None => {
+                    return SearchOutcome {
+                        candidate: None,
+                        expanded,
+                    }
+                }
+            }
+        }
+
+        let mut fragments = path.fragments();
+        for b in &branches {
+            fragments.extend(b.fragments());
+        }
+        SearchOutcome {
+            candidate: Some(RouteCandidate {
+                path,
+                branches,
+                fragments,
+            }),
+            expanded,
+        }
+    }
+}

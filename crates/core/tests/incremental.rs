@@ -1,6 +1,6 @@
 //! The incremental routing API: begin / route_incremental / finalize.
 
-use sadp_core::{Router, RouterConfig};
+use sadp_core::{Router, RouterConfig, RouterError};
 use sadp_geom::{DesignRules, GridPoint, Layer};
 use sadp_grid::{Netlist, RoutingPlane};
 use std::time::Instant;
@@ -30,7 +30,7 @@ fn incremental_matches_batch_in_hpwl_order() {
     let start = Instant::now();
     inc.begin(&plane_b);
     for id in nl.ids_by_hpwl() {
-        inc.route_incremental(&mut plane_b, nl.net(id));
+        inc.route_incremental(&mut plane_b, nl.net(id)).unwrap();
     }
     inc.finalize(&mut plane_b, &nl);
     let inc_report = inc.report(&nl, start);
@@ -53,7 +53,7 @@ fn caller_controls_the_order() {
     let mut order: Vec<_> = nl.ids_by_hpwl();
     order.reverse();
     for id in order {
-        router.route_incremental(&mut plane, nl.net(id));
+        router.route_incremental(&mut plane, nl.net(id)).unwrap();
     }
     router.finalize(&mut plane, &nl);
     let report = router.report(&nl, Instant::now());
@@ -63,12 +63,21 @@ fn caller_controls_the_order() {
 }
 
 #[test]
-#[should_panic(expected = "Router::begin")]
 fn route_incremental_requires_begin() {
     let nl = netlist();
     let mut plane = RoutingPlane::new(3, 32, 32, DesignRules::node_10nm()).unwrap();
     let mut router = Router::new(RouterConfig::paper_defaults());
-    let _ = router.route_incremental(&mut plane, nl.net(sadp_grid::NetId(0)));
+    // Calling before begin() is a recoverable error, not a panic …
+    assert_eq!(
+        router.route_incremental(&mut plane, nl.net(sadp_grid::NetId(0))),
+        Err(RouterError::NotBegun)
+    );
+    // … and the router is still usable afterwards.
+    router.begin(&plane);
+    assert_eq!(
+        router.route_incremental(&mut plane, nl.net(sadp_grid::NetId(0))),
+        Ok(true)
+    );
 }
 
 #[test]
@@ -81,7 +90,9 @@ fn eco_style_addition_after_finalize() {
 
     let mut extended = nl.clone();
     let extra = extended.add_two_pin("eco", p0(25, 2), p0(25, 20));
-    let ok = router.route_incremental(&mut plane, extended.net(extra));
+    let ok = router
+        .route_incremental(&mut plane, extended.net(extra))
+        .unwrap();
     assert!(ok);
     router.finalize(&mut plane, &extended);
     let report = router.report(&extended, Instant::now());

@@ -1,0 +1,182 @@
+//! Column-band partitioning of the routing plane for the sharded driver.
+//!
+//! The sharded routing driver splits the plane into `K` vertical bands of
+//! contiguous columns. A net whose entire *influence region* — the bounding
+//! box of its pin candidates grown by the search margin, further grown by
+//! the scenario interaction halo — fits inside a single band can be routed
+//! without observing (or affecting) any state owned by another band, so the
+//! bands can run concurrently. Nets that straddle a band boundary are
+//! routed serially after the bands merge.
+//!
+//! The partition depends only on the plane geometry, never on the worker
+//! count, so the schedule (and therefore the routing result) is identical
+//! for any `--threads` value.
+
+/// Target band width in tracks. Chosen to be much wider than twice the
+/// typical influence radius of a net (search margin 24 + halo 2 on each
+/// side), so that most nets are strictly interior to one band; planes
+/// narrower than twice this stay in a single band and take the plain
+/// serial path.
+pub const TARGET_BAND_WIDTH: i32 = 192;
+
+/// One vertical band: the inclusive column range `x0..=x1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Band {
+    /// First column of the band.
+    pub x0: i32,
+    /// Last column of the band (inclusive).
+    pub x1: i32,
+}
+
+impl Band {
+    /// Number of columns in the band.
+    #[must_use]
+    pub fn width(&self) -> i32 {
+        self.x1 - self.x0 + 1
+    }
+}
+
+/// The band decomposition of a plane of a given width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandPlan {
+    width: i32,
+    halo: i32,
+    bands: Vec<Band>,
+}
+
+impl BandPlan {
+    /// Partitions a plane of `width` columns into `max(1, width / 192)`
+    /// equal bands with the given interaction `halo` (in tracks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width <= 0` or `halo < 0`.
+    #[must_use]
+    pub fn for_plane(width: i32, halo: i32) -> BandPlan {
+        let count = (width / TARGET_BAND_WIDTH).max(1) as usize;
+        BandPlan::with_bands(width, count, halo)
+    }
+
+    /// Partitions a plane of `width` columns into exactly `count` bands
+    /// (clamped to `1..=width`) of near-equal widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width <= 0` or `halo < 0`.
+    #[must_use]
+    pub fn with_bands(width: i32, count: usize, halo: i32) -> BandPlan {
+        assert!(width > 0, "empty plane");
+        assert!(halo >= 0, "negative halo");
+        let count = count.clamp(1, width as usize);
+        let bands = (0..count)
+            .map(|j| {
+                let x0 = (j as i64 * i64::from(width) / count as i64) as i32;
+                let x1 = ((j as i64 + 1) * i64::from(width) / count as i64) as i32 - 1;
+                Band { x0, x1 }
+            })
+            .collect();
+        BandPlan { width, halo, bands }
+    }
+
+    /// Number of bands.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// Always false: a plan holds at least one band.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bands.is_empty()
+    }
+
+    /// The interaction halo in tracks.
+    #[must_use]
+    pub fn halo(&self) -> i32 {
+        self.halo
+    }
+
+    /// The bands, in ascending column order.
+    #[must_use]
+    pub fn bands(&self) -> &[Band] {
+        &self.bands
+    }
+
+    /// The band that contains the column span `x0..=x1` *including* its
+    /// halo (both clipped to the plane), or `None` if the grown span
+    /// straddles a band boundary and must be handled serially.
+    #[must_use]
+    pub fn band_of_span(&self, x0: i32, x1: i32) -> Option<usize> {
+        let lo = (x0 - self.halo).max(0);
+        let hi = (x1 + self.halo).min(self.width - 1);
+        if lo > hi {
+            return None;
+        }
+        self.bands.iter().position(|b| b.x0 <= lo && hi <= b.x1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_planes_get_one_band() {
+        for width in [1, 16, 64, TARGET_BAND_WIDTH, 2 * TARGET_BAND_WIDTH - 1] {
+            let plan = BandPlan::for_plane(width, 2);
+            assert_eq!(plan.len(), 1, "width {width}");
+            assert_eq!(
+                plan.bands()[0],
+                Band {
+                    x0: 0,
+                    x1: width - 1
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn wide_planes_split() {
+        assert_eq!(BandPlan::for_plane(2 * TARGET_BAND_WIDTH, 2).len(), 2);
+        assert_eq!(BandPlan::for_plane(900, 2).len(), 4);
+    }
+
+    #[test]
+    fn bands_partition_the_plane_exactly() {
+        for (width, count) in [(7, 3), (400, 2), (900, 4), (10, 10), (5, 9)] {
+            let plan = BandPlan::with_bands(width, count, 2);
+            let bands = plan.bands();
+            assert_eq!(bands[0].x0, 0);
+            assert_eq!(bands[bands.len() - 1].x1, width - 1);
+            for w in bands.windows(2) {
+                assert_eq!(w[1].x0, w[0].x1 + 1, "gap or overlap in {plan:?}");
+            }
+            assert!(!plan.is_empty());
+            // Near-equal widths: all within one track of each other.
+            let min = bands.iter().map(Band::width).min().unwrap();
+            let max = bands.iter().map(Band::width).max().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn span_membership_respects_halo() {
+        let plan = BandPlan::with_bands(400, 2, 2);
+        // Bands are [0,199] and [200,399].
+        assert_eq!(plan.band_of_span(10, 100), Some(0));
+        assert_eq!(plan.band_of_span(10, 197), Some(0));
+        // Halo pushes the span over the boundary.
+        assert_eq!(plan.band_of_span(10, 198), None);
+        assert_eq!(plan.band_of_span(202, 350), Some(1));
+        assert_eq!(plan.band_of_span(150, 250), None);
+        // Clipping at the plane edges keeps edge nets interior.
+        assert_eq!(plan.band_of_span(-30, 100), Some(0));
+        assert_eq!(plan.band_of_span(350, 430), Some(1));
+    }
+
+    #[test]
+    fn degenerate_span_outside_plane_is_boundary() {
+        let plan = BandPlan::with_bands(100, 1, 2);
+        assert_eq!(plan.band_of_span(200, 150), None);
+    }
+}

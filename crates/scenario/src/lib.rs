@@ -40,3 +40,39 @@ pub use color::{Assignment, Color};
 pub use cost::{Cost, CostTable};
 pub use kind::{EdgeKind, ScenarioKind};
 pub use table::{scenario_summary, ScenarioSummary};
+
+/// The maximum interaction distance of the scenario analysis, in tracks:
+/// two wire fragments farther apart than this (in Chebyshev track gap) can
+/// never induce a potential overlay scenario (Theorem 1 — every scenario of
+/// Fig. 9 has both gap components within the dependence radius).
+///
+/// Spatial partitioning (the sharded routing driver) uses this as its halo:
+/// two nets whose fragments stay more than this many tracks apart are
+/// provably independent and may be routed concurrently.
+#[must_use]
+pub fn interaction_radius_tracks(rules: &sadp_geom::DesignRules) -> i32 {
+    rules.dependence_radius_tracks()
+}
+
+#[cfg(test)]
+mod interaction_tests {
+    use super::*;
+    use sadp_geom::{DesignRules, TrackRect};
+
+    #[test]
+    fn interaction_radius_bounds_every_scenario() {
+        // No pair of fragments with a track gap beyond the radius may
+        // classify into a scenario, for both rule sets.
+        for rules in [DesignRules::node_10nm(), DesignRules::node_14nm()] {
+            let r = interaction_radius_tracks(&rules);
+            assert!(r >= 1);
+            let a = TrackRect::new(0, 0, 4, 0);
+            // Just beyond the radius: independent.
+            let b = TrackRect::new(0, r + 1, 4, r + 1);
+            assert!(classify(&a, &b, &rules).is_none());
+            // On the radius: at least some geometries classify.
+            let c = TrackRect::new(0, 1, 4, 1);
+            assert!(classify(&a, &c, &rules).is_some());
+        }
+    }
+}

@@ -1,11 +1,17 @@
 //! `sadp` — command-line front end for the overlay-aware SADP router.
 //!
 //! ```text
-//! sadp route <layout.txt> [--svg DIR] [--masks FILE]   route + verify a layout file
-//! sadp verify <layout.txt>                             route, then pixel-verify only
-//! sadp bench [--scale X] [--seed N]                    route a Test1-family instance
+//! sadp route <layout.txt> [--svg DIR] [--masks FILE] [--threads N]
+//!                                                      route + verify a layout file
+//! sadp verify <layout.txt> [--threads N]               route, then pixel-verify only
+//! sadp bench [--scale X] [--seed N] [--threads N]      route a Test1-family instance
 //! sadp table2                                          print the scenario table
 //! ```
+//!
+//! `--threads N` runs the region-sharded schedule on up to `N` worker
+//! threads. The result is byte-identical for every `N` (the band
+//! partition and the commit order depend only on the plane geometry);
+//! only the wall-clock changes.
 //!
 //! Layout files use the `sadp_grid::io` text format (see its module docs).
 
@@ -31,9 +37,9 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!("usage: sadp <route|verify|bench|table2> [args]");
-            eprintln!("  route <layout.txt> [--svg DIR] [--masks FILE]");
-            eprintln!("  verify <layout.txt>");
-            eprintln!("  bench [--scale X] [--seed N]");
+            eprintln!("  route <layout.txt> [--svg DIR] [--masks FILE] [--threads N]");
+            eprintln!("  verify <layout.txt> [--threads N]");
+            eprintln!("  bench [--scale X] [--seed N] [--threads N]");
             return ExitCode::from(2);
         }
     };
@@ -53,6 +59,19 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Router configuration honouring `--threads N` (default: serial).
+fn config_from(args: &[String]) -> Result<RouterConfig, String> {
+    let mut config = RouterConfig::paper_defaults();
+    if let Some(v) = flag_value(args, "--threads") {
+        config.threads = v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--threads wants a positive integer, got {v:?}"))?;
+    }
+    Ok(config)
+}
+
 fn cmd_route(args: &[String], verify_only: bool) -> Result<(), String> {
     let path = args
         .first()
@@ -61,7 +80,7 @@ fn cmd_route(args: &[String], verify_only: bool) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let (mut plane, netlist) = read_layout(&text).map_err(|e| e.to_string())?;
 
-    let mut router = Router::new(RouterConfig::paper_defaults());
+    let mut router = Router::new(config_from(args)?);
     let report = router.route_all(&mut plane, &netlist);
     println!("{report}\n");
 
@@ -133,7 +152,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         spec.name, spec.net_count, spec.width_tracks, spec.height_tracks, spec.layers
     );
     let (mut plane, netlist) = spec.generate();
-    let mut router = Router::new(RouterConfig::paper_defaults());
+    let mut router = Router::new(config_from(args)?);
     let report = router.route_all(&mut plane, &netlist);
     println!("{report}");
     if report.cut_conflicts != 0 {

@@ -1,0 +1,85 @@
+//! The parallel driver's determinism contract: for any thread count the
+//! routed result is *identical* to the serial run — same report, same
+//! paths, same colors, same failures. The band partition and the commit
+//! order depend only on the plane geometry, never on scheduling.
+
+use sadp::grid::{BandPlan, BenchmarkSpec};
+use sadp::prelude::*;
+use sadp_geom::TrackRect;
+use std::time::Duration;
+
+/// Routes `spec` with `threads` workers and returns everything observable.
+#[allow(clippy::type_complexity)]
+fn route_with(
+    spec: &BenchmarkSpec,
+    threads: usize,
+) -> (
+    RoutingReport,
+    Vec<Vec<(u32, Color, Vec<TrackRect>)>>,
+    Vec<NetId>,
+    (usize, usize, usize),
+) {
+    let (mut plane, netlist) = spec.generate();
+    let mut config = RouterConfig::paper_defaults();
+    config.threads = threads;
+    let mut router = Router::new(config);
+    let mut report = router.route_all(&mut plane, &netlist);
+    // The report compares CPU time too; zero it so only results count.
+    report.cpu = Duration::ZERO;
+    let patterns = (0..plane.layers())
+        .map(|l| router.patterns_on_layer(Layer(l)))
+        .collect();
+    (report, patterns, router.failed().to_vec(), plane.usage())
+}
+
+#[test]
+fn sharded_run_is_byte_identical_to_serial() {
+    // Wide enough for a multi-band partition: this is the parallel path,
+    // not the single-band fast path.
+    let spec = BenchmarkSpec::new("det-wide", 110, 400, 120).with_seed(11);
+    let halo = sadp::scenario::interaction_radius_tracks(&DesignRules::node_10nm());
+    assert!(
+        BandPlan::for_plane(spec.width_tracks, halo).len() >= 2,
+        "fixture must exercise the banded schedule"
+    );
+
+    let serial = route_with(&spec, 1);
+    for threads in [2, 4] {
+        let sharded = route_with(&spec, threads);
+        assert_eq!(serial.0, sharded.0, "report diverged at threads={threads}");
+        assert_eq!(
+            serial.1, sharded.1,
+            "patterns/colors diverged at threads={threads}"
+        );
+        assert_eq!(
+            serial.2, sharded.2,
+            "failed nets diverged at threads={threads}"
+        );
+        assert_eq!(
+            serial.3, sharded.3,
+            "plane occupancy diverged at threads={threads}"
+        );
+    }
+    // The conflict-free guarantee holds for the parallel path too.
+    assert_eq!(serial.0.cut_conflicts, 0);
+    assert_eq!(serial.0.hard_overlay_violations, 0);
+    assert!(serial.0.routed_nets > 0);
+}
+
+#[test]
+fn narrow_plane_ignores_thread_count() {
+    // Below one band width the driver routes directly on the real plane;
+    // extra workers must change nothing.
+    let spec = BenchmarkSpec::new("det-narrow", 40, 64, 64).with_seed(7);
+    assert_eq!(
+        BandPlan::for_plane(
+            spec.width_tracks,
+            sadp::scenario::interaction_radius_tracks(&DesignRules::node_10nm())
+        )
+        .len(),
+        1
+    );
+    let serial = route_with(&spec, 1);
+    let many = route_with(&spec, 8);
+    assert_eq!(serial, many);
+}
