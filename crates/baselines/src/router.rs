@@ -6,6 +6,7 @@ use sadp_core::scan::{pack_frag_id, scan_fragments};
 use sadp_core::{GuardGrid, PenaltyGrid, RouterConfig, RoutingReport, SearchStage, NO_GUARD};
 use sadp_geom::{GridPoint, Layer, SpatialHash, TrackRect};
 use sadp_grid::{Net, NetId, Netlist, RoutePath, RoutingPlane};
+use sadp_obs::{FailReason, NoopRecorder, Recorder, RouterEvent, SpanClock, Stage};
 use sadp_scenario::{Assignment, Color, CostTable, ScenarioKind};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -159,6 +160,21 @@ impl BaselineRouter {
 
     /// Routes the whole netlist under the baseline's policy.
     pub fn route_all(&mut self, plane: &mut RoutingPlane, netlist: &Netlist) -> RoutingReport {
+        self.route_all_with(plane, netlist, &mut NoopRecorder)
+    }
+
+    /// [`BaselineRouter::route_all`] with an observability recorder: each
+    /// net's pathfinding is timed as one `search` span and emits a
+    /// `net_routed`/`net_failed` event. The baselines run serially, so the
+    /// stream is trivially deterministic; failures are all reported as
+    /// `no_path` (the baseline policies do not distinguish an exhausted
+    /// retry budget from an unroutable net).
+    pub fn route_all_with(
+        &mut self,
+        plane: &mut RoutingPlane,
+        netlist: &Netlist,
+        rec: &mut dyn Recorder,
+    ) -> RoutingReport {
         let start = Instant::now();
         let layers = plane.layers();
         self.index = (0..layers).map(|_| SpatialHash::new(16)).collect();
@@ -198,6 +214,7 @@ impl BaselineRouter {
             }
             let net = netlist.net(id);
             penalties.clear();
+            let clock = SpanClock::start(&*rec);
             let routed = match self.kind {
                 BaselineKind::DuTrim => {
                     self.route_du(plane, net, &penalties, &guards, &dir_map, &mut scratch)
@@ -211,12 +228,29 @@ impl BaselineRouter {
                     &mut scratch,
                 ),
             };
+            clock.stop(rec, Stage::Search);
             if let Some(path) = routed {
                 self.commit(plane, net, path);
+                if rec.enabled() {
+                    rec.event(RouterEvent::NetRouted {
+                        net: id.0,
+                        attempts: 1,
+                        flipped: false,
+                    });
+                }
+            } else if rec.enabled() {
+                rec.event(RouterEvent::NetFailed {
+                    net: id.0,
+                    reason: FailReason::NoPath,
+                });
             }
         }
 
-        self.build_report(netlist, start)
+        let mut report = self.build_report(netlist, start);
+        if let Some(profile) = rec.profile() {
+            report.profile = profile;
+        }
+        report
     }
 
     /// Gao-Pan \[11\] and \[16\]: one search (plus 1-b avoidance re-routes for

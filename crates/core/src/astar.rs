@@ -14,6 +14,7 @@
 use crate::bucket::BucketQueue;
 use crate::config::RouterConfig;
 use crate::grids::{DirGrid, GuardGrid, PenaltyGrid};
+use crate::router::RouterError;
 use sadp_geom::{Dir, GridPoint, Layer, Step, TrackRect};
 use sadp_grid::{NetId, RoutePath, RoutingPlane};
 
@@ -71,17 +72,37 @@ impl SearchScratch {
     ///
     /// # Panics
     ///
-    /// Panics if the plane has `u32::MAX` cells or more (the open list
-    /// packs cell indices into 32 bits; such a plane would need tens of
-    /// gigabytes of search state anyway).
+    /// Panics if the plane is too large for packed search indices; use
+    /// [`SearchScratch::try_new`] to get the error as a value instead.
     #[must_use]
     pub fn new(plane: &RoutingPlane) -> Self {
-        let cells = plane.layers() as usize * plane.height() as usize * plane.width() as usize;
-        assert!(
-            cells < u32::MAX as usize,
-            "plane too large for packed search indices"
-        );
-        Self {
+        SearchScratch::try_new(plane).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checks that a plane's cells fit the packed 32-bit search indices
+    /// (the open list and came-from links store cell ids as `u32`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterError::PlaneTooLarge`] when they do not. The check
+    /// runs *before* any search state is allocated, so an oversized plane
+    /// fails cleanly instead of overflowing the index arithmetic (or
+    /// aborting mid-allocation) deep inside a routing run.
+    pub fn check_plane(plane: &RoutingPlane) -> Result<usize, RouterError> {
+        checked_cell_count(plane.layers(), plane.width(), plane.height())
+    }
+
+    /// Builds scratch state shaped like `plane`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterError::PlaneTooLarge`] if the plane has
+    /// `u32::MAX` cells or more — the search packs cell indices into 32
+    /// bits, and such a plane would need tens of gigabytes of search
+    /// state anyway.
+    pub fn try_new(plane: &RoutingPlane) -> Result<Self, RouterError> {
+        let cells = SearchScratch::check_plane(plane)?;
+        Ok(Self {
             width: plane.width(),
             height: plane.height(),
             layers: plane.layers(),
@@ -91,7 +112,7 @@ impl SearchScratch {
             target_stamp: vec![0; cells],
             generation: 0,
             queue: BucketQueue::new(),
-        }
+        })
     }
 
     /// True if this scratch matches the plane's dimensions.
@@ -381,6 +402,21 @@ fn t2b_count(plane: &RoutingPlane, dir_map: &DirGrid, net: NetId, q: GridPoint, 
     count
 }
 
+/// Computes `layers * width * height` and checks it fits the packed
+/// 32-bit cell indices. Kept separate from [`SearchScratch::try_new`] so
+/// the limit is testable from raw dimensions without allocating tens of
+/// gigabytes of scratch state. The product is taken in `u128`:
+/// `RoutingPlane` itself admits planes of up to 2^33 cells, which would
+/// already overflow a 32-bit (and on some targets a pathological
+/// intermediate) multiply.
+fn checked_cell_count(layers: u8, width: i32, height: i32) -> Result<usize, RouterError> {
+    let cells = layers as u128 * width as u128 * height as u128;
+    if cells >= u32::MAX as u128 {
+        return Err(RouterError::PlaneTooLarge { cells });
+    }
+    Ok(cells as usize)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -662,6 +698,39 @@ mod tests {
             stats.expanded <= 4 * 58 + 16,
             "expanded {} nodes for a 58-step straight route",
             stats.expanded
+        );
+    }
+
+    #[test]
+    fn cell_count_within_packed_index_limit_is_ok() {
+        assert_eq!(checked_cell_count(3, 64, 64), Ok(3 * 64 * 64));
+        // Just under the limit: (2^32 - 2) cells.
+        assert_eq!(
+            checked_cell_count(2, i32::MAX, 1),
+            Ok(2 * (i32::MAX as usize))
+        );
+    }
+
+    #[test]
+    fn cell_count_at_or_above_packed_index_limit_errors() {
+        // Exactly u32::MAX cells: the NO_PREV sentinel needs that value.
+        let err = checked_cell_count(1, 65_537, 65_535).expect_err("at limit");
+        assert_eq!(
+            err,
+            RouterError::PlaneTooLarge {
+                cells: u32::MAX as u128
+            }
+        );
+        // Far above: the product must not wrap.
+        let err = checked_cell_count(255, i32::MAX, i32::MAX).expect_err("huge");
+        let RouterError::PlaneTooLarge { cells } = err else {
+            panic!("wrong error: {err}");
+        };
+        assert_eq!(cells, 255u128 * i32::MAX as u128 * i32::MAX as u128);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("packed"),
+            "error should explain the limit: {msg}"
         );
     }
 }

@@ -31,6 +31,7 @@ use crate::scan::{scan_fragments, FoundScenario};
 use crate::search::SearchStage;
 use sadp_geom::{GridPoint, Layer, Orientation, TrackRect};
 use sadp_grid::{BandPlan, Net, NetId, Netlist, RoutingPlane};
+use sadp_obs::{BufferRecorder, FailReason, Recorder, RipReason, RouterEvent, SpanClock, Stage};
 use sadp_scenario::ScenarioKind;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -44,6 +45,9 @@ pub(crate) struct RouteCtx<'a> {
     pub guards: &'a GuardGrid,
     pub penalties: &'a mut PenaltyGrid,
     pub scratch: &'a mut SearchScratch,
+    /// Observability sink of this stream: the caller's recorder on the
+    /// serial paths, a private [`BufferRecorder`] inside a band worker.
+    pub rec: &'a mut dyn Recorder,
 }
 
 /// Occupies every pin candidate cell of `net` up front so earlier nets
@@ -76,15 +80,47 @@ pub(crate) fn reserve_pins(
     }
 }
 
+/// Records one rip-up: penalises the offending cells (timed as the
+/// `ripup` stage), bumps the aggregate and per-reason counters and emits
+/// the `net_ripped` event.
+fn rip_up(
+    ctx: &mut RouteCtx<'_>,
+    net: u32,
+    attempt: u32,
+    reason: RipReason,
+    cells: &[(Layer, TrackRect)],
+) {
+    let clock = SpanClock::start(&*ctx.rec);
+    penalize(ctx.config, ctx.penalties, cells);
+    ctx.ledger.counters.ripups += 1;
+    match reason {
+        RipReason::TypeB => ctx.ledger.counters.ripups_type_b += 1,
+        RipReason::Graph => ctx.ledger.counters.ripups_graph += 1,
+        RipReason::Risk => ctx.ledger.counters.ripups_risk += 1,
+    }
+    clock.stop(ctx.rec, Stage::Ripup);
+    if ctx.rec.enabled() {
+        ctx.rec.event(RouterEvent::NetRipped {
+            net,
+            attempt,
+            reason,
+        });
+    }
+}
+
 /// Routes one net through the full stage pipeline with up to `max_ripup`
 /// rip-up-and-re-route iterations; returns whether the net was committed.
 /// `seed_penalties` pre-loads the penalty grid (used by the cleanup
 /// re-route to steer the net away from its old corridor).
+/// `count_failures` is false for cleanup re-routes: their casualties are
+/// counted once as `failed_cleanup` by the caller, not a second time as
+/// initial-routing failures.
 pub(crate) fn route_net(
     ctx: &mut RouteCtx<'_>,
     plane: &mut RoutingPlane,
     net: &Net,
     seed_penalties: &[(GridPoint, u64)],
+    count_failures: bool,
 ) -> bool {
     let key = net.id.0;
     ctx.penalties.clear();
@@ -94,7 +130,7 @@ pub(crate) fn route_net(
         }
     }
 
-    for _attempt in 0..=ctx.config.max_ripup {
+    for attempt in 0..=ctx.config.max_ripup {
         // Stage 1: pure search over read-only views.
         let stage = SearchStage {
             plane: &*plane,
@@ -102,15 +138,24 @@ pub(crate) fn route_net(
             guards: ctx.guards,
             config: ctx.config,
         };
-        let outcome = stage.search_net(net, ctx.penalties, ctx.scratch);
+        let outcome = stage.search_net_observed(net, ctx.penalties, ctx.scratch, ctx.rec);
         ctx.ledger.counters.nodes_expanded += outcome.expanded;
         let Some(candidate) = outcome.candidate else {
-            ctx.ledger.counters.failed_no_path += 1;
+            if count_failures {
+                ctx.ledger.counters.failed_no_path += 1;
+                if ctx.rec.enabled() {
+                    ctx.rec.event(RouterEvent::NetFailed {
+                        net: key,
+                        reason: FailReason::NoPath,
+                    });
+                }
+            }
             return false;
         };
 
         // Stage 2: classify the tentative route against the routed layout
         // (BTreeMap: layer order must be deterministic).
+        let clock = SpanClock::start(&*ctx.rec);
         let mut found: Vec<FoundScenario> = Vec::new();
         let mut per_layer: BTreeMap<Layer, Vec<TrackRect>> = BTreeMap::new();
         for &(layer, rect) in &candidate.fragments {
@@ -125,6 +170,7 @@ pub(crate) fn route_net(
                 plane.rules(),
             ));
         }
+        clock.stop(ctx.rec, Stage::Commit);
 
         // Ablation: without the merge technique every tip-to-tip pair is
         // undecomposable (the \[16\] behaviour) and must be routed away
@@ -136,35 +182,14 @@ pub(crate) fn route_net(
                 .map(|f| (f.layer, f.our_rect))
                 .collect();
             if !merges.is_empty() {
-                penalize(ctx.config, ctx.penalties, &merges);
-                ctx.ledger.counters.ripups += 1;
-                ctx.ledger.counters.ripups_graph += 1;
+                rip_up(ctx, key, attempt, RipReason::Graph, &merges);
                 continue;
             }
         }
 
         // Cut conflict check (type B, Fig. 16).
-        if std::env::var_os("SADP_DEBUG_FAIL").is_some() && _attempt > 0 {
-            let kinds: Vec<String> = found
-                .iter()
-                .filter(|f| f.scenario.kind.is_constraining())
-                .map(|f| format!("{}:{}", f.scenario.kind.name(), f.other_net))
-                .collect();
-            let on_path: u64 = candidate
-                .path
-                .points()
-                .iter()
-                .map(|&pt| ctx.penalties.get(pt))
-                .sum();
-            eprintln!(
-                "net {} attempt {}: {} penalty units on path; {:?}",
-                net.id, _attempt, on_path, kinds
-            );
-        }
         if let Some(bad) = type_b_conflict(&found, plane.rules()) {
-            penalize(ctx.config, ctx.penalties, &bad);
-            ctx.ledger.counters.ripups += 1;
-            ctx.ledger.counters.ripups_type_b += 1;
+            rip_up(ctx, key, attempt, RipReason::TypeB, &bad);
             continue;
         }
 
@@ -172,6 +197,7 @@ pub(crate) fn route_net(
         // cycles or infeasible pairs abort the proposal and trigger rip-up
         // (Fig. 19 lines 6-9). The union-find checkpoints inside the
         // proposal make the abort O(net) instead of O(E).
+        let clock = SpanClock::start(&*ctx.rec);
         let proposal = ctx.ledger.propose(net.id);
         let mut offender: Option<(Layer, u32)> = None;
         for f in &found {
@@ -193,6 +219,7 @@ pub(crate) fn route_net(
                 break;
             }
         }
+        clock.stop(ctx.rec, Stage::Commit);
         if let Some((layer, bad_net)) = offender {
             ctx.ledger.abort(proposal);
             let cells: Vec<(Layer, TrackRect)> = found
@@ -200,9 +227,14 @@ pub(crate) fn route_net(
                 .filter(|f| f.layer == layer && f.other_net == bad_net)
                 .map(|f| (layer, f.our_rect))
                 .collect();
-            penalize(ctx.config, ctx.penalties, &cells);
-            ctx.ledger.counters.ripups += 1;
-            ctx.ledger.counters.ripups_graph += 1;
+            if ctx.rec.enabled() {
+                ctx.rec.event(RouterEvent::OddCycleDecomposed {
+                    net: key,
+                    layer: layer.index() as u8,
+                    other: bad_net,
+                });
+            }
+            rip_up(ctx, key, attempt, RipReason::Graph, &cells);
             continue;
         }
 
@@ -210,6 +242,7 @@ pub(crate) fn route_net(
         // verify no hard overlay or type-A cut risk remains realized. A
         // risk the coloring cannot avoid is a cut conflict in the making —
         // abort and steer away (Fig. 19 lines 6-9).
+        let clock = SpanClock::start(&*ctx.rec);
         let layers: Vec<Layer> = per_layer.keys().copied().collect();
         let (overlay, needs_flip) = ctx.ledger.trial_color(&proposal, &layers);
         let mut flipped = false;
@@ -218,6 +251,7 @@ pub(crate) fn route_net(
             flipped = true;
         }
         let risky_layers = ctx.ledger.risky_layers(&proposal, &layers);
+        clock.stop(ctx.rec, Stage::Recolor);
         if !risky_layers.is_empty() {
             let cells: Vec<(Layer, TrackRect)> = found
                 .iter()
@@ -225,9 +259,7 @@ pub(crate) fn route_net(
                 .map(|f| (f.layer, f.our_rect))
                 .collect();
             ctx.ledger.abort(proposal);
-            penalize(ctx.config, ctx.penalties, &cells);
-            ctx.ledger.counters.ripups += 1;
-            ctx.ledger.counters.ripups_risk += 1;
+            rip_up(ctx, key, attempt, RipReason::Risk, &cells);
             continue;
         }
         if flipped {
@@ -235,26 +267,37 @@ pub(crate) fn route_net(
         }
 
         // Stage 5: commit.
+        let clock = SpanClock::start(&*ctx.rec);
         ctx.ledger
             .commit(proposal, plane, ctx.dir_map, net, candidate);
+        clock.stop(ctx.rec, Stage::Commit);
+        if ctx.rec.enabled() {
+            ctx.rec.event(RouterEvent::NetRouted {
+                net: key,
+                attempts: attempt + 1,
+                flipped,
+            });
+        }
         return true;
     }
     // Attempts exhausted; leave the graphs clean.
-    if std::env::var_os("SADP_DEBUG_FAIL").is_some() {
-        eprintln!(
-            "net {} exhausted: src={:?} dst={:?}",
-            net.id,
-            net.source.primary(),
-            net.target.primary()
-        );
+    if count_failures {
+        ctx.ledger.counters.failed_exhausted += 1;
+        if ctx.rec.enabled() {
+            ctx.rec.event(RouterEvent::NetFailed {
+                net: key,
+                reason: FailReason::Exhausted,
+            });
+        }
     }
-    ctx.ledger.counters.failed_exhausted += 1;
     ctx.ledger.forget(net.id);
     false
 }
 
 /// Routes one net against the global state, building the context from the
-/// router's workspace. `seed_penalties` as in [`route_net`].
+/// router's workspace. `seed_penalties` and `count_failures` as in
+/// [`route_net`].
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn route_one(
     config: &RouterConfig,
     ledger: &mut CommitLedger,
@@ -262,6 +305,8 @@ pub(crate) fn route_one(
     plane: &mut RoutingPlane,
     net: &Net,
     seed_penalties: &[(GridPoint, u64)],
+    rec: &mut dyn Recorder,
+    count_failures: bool,
 ) -> bool {
     let mut ctx = RouteCtx {
         config,
@@ -270,8 +315,9 @@ pub(crate) fn route_one(
         guards: &ws.guards,
         penalties: &mut ws.penalties,
         scratch: &mut ws.scratch,
+        rec,
     };
-    route_net(&mut ctx, plane, net, seed_penalties)
+    route_net(&mut ctx, plane, net, seed_penalties, count_failures)
 }
 
 /// Adds rip-up penalties around the given cells so the re-route leaves
@@ -320,12 +366,16 @@ fn net_extent(net: &Net, config: &RouterConfig) -> (i32, i32) {
 struct BandOutcome {
     ledger: CommitLedger,
     failed: Vec<NetId>,
+    /// The worker's private event/span buffer, replayed into the caller's
+    /// recorder in band order so traces are thread-count-invariant.
+    rec: BufferRecorder,
 }
 
 /// Routes `order` on the plane: serially when the plane holds a single
 /// band, else via the region-sharded band schedule (see the module docs).
 /// Failed nets are appended to `failed` in schedule order (band nets in
 /// ascending band order, then boundary nets in net order).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn route_schedule(
     config: &RouterConfig,
     ledger: &mut CommitLedger,
@@ -334,12 +384,13 @@ pub(crate) fn route_schedule(
     netlist: &Netlist,
     order: &[NetId],
     failed: &mut Vec<NetId>,
+    rec: &mut dyn Recorder,
 ) {
     let halo = sadp_scenario::interaction_radius_tracks(plane.rules());
     let plan = BandPlan::for_plane(plane.width(), halo);
     if plan.len() <= 1 {
         for &id in order {
-            if !route_one(config, ledger, ws, plane, netlist.net(id), &[]) {
+            if !route_one(config, ledger, ws, plane, netlist.net(id), &[], rec, true) {
                 failed.push(id);
             }
         }
@@ -368,6 +419,10 @@ pub(crate) fn route_schedule(
     let plane_ref: &RoutingPlane = plane;
     let guards: &GuardGrid = &ws.guards;
     let band_nets_ref = &band_nets;
+    // The flags are copied out so the worker closure stays `Send` without
+    // sharing the caller's recorder; each worker buffers privately.
+    let trace = rec.enabled();
+    let timing = rec.timing();
     let run_band = move |j: usize| -> BandOutcome {
         let mut band_plane = plane_ref.clone();
         let mut band_ledger = CommitLedger::new(plane_ref, expected);
@@ -375,6 +430,7 @@ pub(crate) fn route_schedule(
         let mut penalties = PenaltyGrid::new(plane_ref, 0);
         let mut scratch = SearchScratch::new(plane_ref);
         let mut band_failed = Vec::new();
+        let mut band_rec = BufferRecorder::with_flags(trace, timing);
         for &id in &band_nets_ref[j] {
             let mut ctx = RouteCtx {
                 config,
@@ -383,14 +439,16 @@ pub(crate) fn route_schedule(
                 guards,
                 penalties: &mut penalties,
                 scratch: &mut scratch,
+                rec: &mut band_rec,
             };
-            if !route_net(&mut ctx, &mut band_plane, netlist.net(id), &[]) {
+            if !route_net(&mut ctx, &mut band_plane, netlist.net(id), &[], true) {
                 band_failed.push(id);
             }
         }
         BandOutcome {
             ledger: band_ledger,
             failed: band_failed,
+            rec: band_rec,
         }
     };
 
@@ -424,15 +482,28 @@ pub(crate) fn route_schedule(
     };
     // Deterministic fold regardless of which worker finished which band.
     results.sort_by_key(|&(j, _)| j);
-    for (_, outcome) in results {
+    for (j, outcome) in results {
+        let nets = outcome.ledger.routed().len() as u64;
+        let clock = SpanClock::start(&*rec);
         ledger.merge_band(outcome.ledger, plane, &mut ws.dir_map);
+        clock.stop(rec, Stage::Merge);
+        // Replay the band's buffered stream, then mark the merge: the
+        // trace reads as "band j's routing, then band j folded in", in
+        // ascending band order for every worker count.
+        outcome.rec.replay_into(rec);
+        if rec.enabled() {
+            rec.event(RouterEvent::BandMerged {
+                band: j as u32,
+                nets,
+            });
+        }
         failed.extend(outcome.failed);
     }
 
     // Boundary phase: nets straddling a band edge route serially against
     // the merged state, exactly like the single-band path.
     for &id in &boundary {
-        if !route_one(config, ledger, ws, plane, netlist.net(id), &[]) {
+        if !route_one(config, ledger, ws, plane, netlist.net(id), &[], rec, true) {
             failed.push(id);
         }
     }

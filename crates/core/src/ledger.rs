@@ -106,7 +106,30 @@ pub struct LedgerCounters {
 }
 
 impl LedgerCounters {
-    /// Adds another counter set, field-wise.
+    /// One-line JSON object with a fixed key order, for bench records.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ripups\":{},\"ripups_type_b\":{},\"ripups_graph\":{},\
+             \"ripups_risk\":{},\"failed_no_path\":{},\"failed_exhausted\":{},\
+             \"failed_cleanup\":{},\"flips\":{},\"nodes_expanded\":{}}}",
+            self.ripups,
+            self.ripups_type_b,
+            self.ripups_graph,
+            self.ripups_risk,
+            self.failed_no_path,
+            self.failed_exhausted,
+            self.failed_cleanup,
+            self.flips,
+            self.nodes_expanded
+        )
+    }
+
+    /// Adds another counter set, field-wise. This is how band workers'
+    /// private counts reach the global report: every counter lives in the
+    /// worker's own ledger and [`CommitLedger::merge_band`] accumulates it
+    /// here, so no count is lost to sharding and the totals are identical
+    /// for every worker count.
     pub fn accumulate(&mut self, other: &LedgerCounters) {
         self.ripups += other.ripups;
         self.ripups_type_b += other.ripups_type_b;

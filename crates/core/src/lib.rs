@@ -54,7 +54,9 @@ pub mod stats;
 pub use astar::{AstarRequest, SearchScratch, SearchStats};
 pub use bucket::BucketQueue;
 pub use config::{NetOrder, RouterConfig};
-pub use decompose::{decompose_layout, LayoutColoring, UndecomposableLayout};
+pub use decompose::{
+    decompose_layout, decompose_layout_observed, LayoutColoring, UndecomposableLayout,
+};
 pub use grids::{DenseGrid, DirGrid, GuardGrid, PenaltyGrid, NO_GUARD};
 pub use ledger::{CommitLedger, CommitRecord, LedgerCounters, Proposal, RoutedNet};
 pub use report::RoutingReport;

@@ -1,5 +1,6 @@
 //! Routing result metrics (the columns of Tables III and IV).
 
+use sadp_obs::StageProfile;
 use std::fmt;
 use std::time::Duration;
 
@@ -46,6 +47,14 @@ pub struct RoutingReport {
     pub color_fallbacks: u64,
     /// Wall-clock routing time.
     pub cpu: Duration,
+    /// Per-stage time and work counts, filled when the run used a
+    /// recorder with timing on ([`Router::route_all_with`]); all zeros —
+    /// and equal across runs — with the default no-op recorder. Stage
+    /// *counts* are deterministic for a given input regardless of thread
+    /// count; stage *times* are wall-clock and are not.
+    ///
+    /// [`Router::route_all_with`]: crate::router::Router::route_all_with
+    pub profile: StageProfile,
 }
 
 impl RoutingReport {

@@ -15,6 +15,7 @@ use crate::report::RoutingReport;
 use sadp_geom::{GridPoint, Layer, TrackRect};
 use sadp_graph::{flip, OverlayGraph};
 use sadp_grid::{Net, NetId, Netlist, RoutingPlane};
+use sadp_obs::{FailReason, NoopRecorder, Recorder, RouterEvent, SpanClock, Stage};
 use sadp_scenario::Color;
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -32,6 +33,14 @@ pub enum RouterError {
     /// [`Router::route_incremental`] was called before [`Router::begin`]
     /// (or a prior [`Router::route_all`]) sized the router for a plane.
     NotBegun,
+    /// The plane has too many cells for the packed 32-bit search indices
+    /// (`layers * width * height >= u32::MAX`). Returned by the `try_`
+    /// entry points; the panicking ones abort with the same message.
+    PlaneTooLarge {
+        /// The offending cell count (`u128`: the product can exceed
+        /// `usize` arithmetic on the way in).
+        cells: u128,
+    },
 }
 
 impl fmt::Display for RouterError {
@@ -39,6 +48,14 @@ impl fmt::Display for RouterError {
         match self {
             RouterError::NotBegun => {
                 write!(f, "call Router::begin before route_incremental")
+            }
+            RouterError::PlaneTooLarge { cells } => {
+                write!(
+                    f,
+                    "plane has {cells} cells but the packed search indices \
+                     hold at most {} (32-bit cell ids)",
+                    u32::MAX - 1
+                )
             }
         }
     }
@@ -61,13 +78,16 @@ pub(crate) struct Workspace {
 }
 
 impl Workspace {
-    fn new(plane: &RoutingPlane) -> Workspace {
-        Workspace {
+    fn try_new(plane: &RoutingPlane) -> Result<Workspace, RouterError> {
+        // Check the size before touching the other grids so an oversized
+        // plane allocates nothing at all.
+        let scratch = SearchScratch::try_new(plane)?;
+        Ok(Workspace {
             dir_map: DirGrid::new(plane, None),
             guards: GuardGrid::new(plane, NO_GUARD),
             penalties: PenaltyGrid::new(plane, 0),
-            scratch: SearchScratch::new(plane),
-        }
+            scratch,
+        })
     }
 
     fn fits(&self, plane: &RoutingPlane) -> bool {
@@ -192,6 +212,21 @@ impl Router {
     /// and returns the aggregate report. The result is identical for any
     /// thread count.
     pub fn route_all(&mut self, plane: &mut RoutingPlane, netlist: &Netlist) -> RoutingReport {
+        self.route_all_with(plane, netlist, &mut NoopRecorder)
+    }
+
+    /// [`Router::route_all`] with an observability [`Recorder`]: timing
+    /// spans and counters land in [`RoutingReport::profile`], structured
+    /// [`RouterEvent`] records in the recorder's sink.
+    /// Event order (and every event payload) is identical for any
+    /// [`RouterConfig::threads`] value: band workers buffer locally and
+    /// the buffers are replayed in ascending band order.
+    pub fn route_all_with(
+        &mut self,
+        plane: &mut RoutingPlane,
+        netlist: &Netlist,
+        rec: &mut dyn Recorder,
+    ) -> RoutingReport {
         let start = Instant::now();
         self.begin_sized(plane, netlist.len());
         let order = self.net_order(netlist);
@@ -210,10 +245,32 @@ impl Router {
             for net in netlist {
                 driver::reserve_pins(config, &mut ws.guards, plane, net);
             }
-            driver::route_schedule(config, ledger, ws, plane, netlist, &order, failed);
+            driver::route_schedule(config, ledger, ws, plane, netlist, &order, failed, rec);
         }
-        self.finalize(plane, netlist);
-        self.build_report(netlist, start)
+        self.finalize_with(plane, netlist, rec);
+        let mut report = self.build_report(netlist, start);
+        if let Some(profile) = rec.profile() {
+            report.profile = profile;
+        }
+        report
+    }
+
+    /// [`Router::route_all_with`], but an oversized plane is a
+    /// [`RouterError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterError::PlaneTooLarge`] if the plane's cells do not
+    /// fit the packed 32-bit search indices. The check runs before any
+    /// routing state is allocated.
+    pub fn try_route_all(
+        &mut self,
+        plane: &mut RoutingPlane,
+        netlist: &Netlist,
+        rec: &mut dyn Recorder,
+    ) -> Result<RoutingReport, RouterError> {
+        SearchScratch::check_plane(plane)?;
+        Ok(self.route_all_with(plane, netlist, rec))
     }
 
     /// Resets the router state for the plane. Called automatically by
@@ -227,13 +284,32 @@ impl Router {
     /// so the fragment spatial index can pick a density-matched tile size
     /// (`0` = unknown, uses the coarsest tile).
     pub fn begin_sized(&mut self, plane: &RoutingPlane, expected_nets: usize) {
+        self.try_begin_sized(plane, expected_nets)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`Router::begin_sized`], but an oversized plane is a
+    /// [`RouterError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterError::PlaneTooLarge`] if the plane's cells do not
+    /// fit the packed 32-bit search indices; the router state is left
+    /// untouched in that case.
+    pub fn try_begin_sized(
+        &mut self,
+        plane: &RoutingPlane,
+        expected_nets: usize,
+    ) -> Result<(), RouterError> {
+        SearchScratch::check_plane(plane)?;
         self.ledger = CommitLedger::new(plane, expected_nets);
         match self.workspace.as_mut() {
             Some(ws) if ws.fits(plane) => ws.clear(),
-            _ => self.workspace = Some(Workspace::new(plane)),
+            _ => self.workspace = Some(Workspace::try_new(plane)?),
         }
         self.failed.clear();
         self.color_fallbacks.set(0);
+        Ok(())
     }
 
     /// Routes one net incrementally against the already-routed layout,
@@ -265,7 +341,7 @@ impl Router {
         }
         let ws = workspace.as_mut().ok_or(RouterError::NotBegun)?;
         driver::reserve_pins(config, &mut ws.guards, plane, net);
-        let ok = driver::route_one(config, ledger, ws, plane, net, &[]);
+        let ok = driver::route_one(config, ledger, ws, plane, net, &[], &mut NoopRecorder, true);
         if !ok {
             failed.push(net.id);
         }
@@ -283,11 +359,25 @@ impl Router {
     /// re-walking the whole layout each time. A no-op before
     /// [`Router::begin`].
     pub fn finalize(&mut self, plane: &mut RoutingPlane, netlist: &Netlist) {
+        self.finalize_with(plane, netlist, &mut NoopRecorder);
+    }
+
+    /// [`Router::finalize`] with an observability [`Recorder`]: the
+    /// flipping passes are timed as the `recolor` stage and emit one
+    /// `flip_pass` event per layer that had dirty components.
+    pub fn finalize_with(
+        &mut self,
+        plane: &mut RoutingPlane,
+        netlist: &Netlist,
+        rec: &mut dyn Recorder,
+    ) {
         if self.config.final_flip {
-            for g in self.ledger.graphs_mut() {
+            let clock = SpanClock::start(rec);
+            for (layer, g) in self.ledger.graphs_mut().iter_mut().enumerate() {
                 let mut dirty = g.take_dirty();
                 dirty.sort_unstable();
                 let mut visited: std::collections::HashSet<u32> = std::collections::HashSet::new();
+                let mut components: u64 = 0;
                 for v in dirty {
                     if !g.contains(v) || visited.contains(&v) {
                         continue;
@@ -295,14 +385,22 @@ impl Router {
                     visited.extend(g.component_of(v));
                     flip::flip_component(g, v);
                     flip::greedy_refine_component(g, v, 4);
+                    components += 1;
+                }
+                if rec.enabled() && components > 0 {
+                    rec.event(RouterEvent::FlipPass {
+                        layer: layer as u8,
+                        components,
+                    });
                 }
             }
+            clock.stop(rec, Stage::Recolor);
         }
         // Guarantee the conflict-free claim: any net whose coloring still
         // realizes a hard overlay or a type-A cut risk is re-flipped,
         // re-routed away from the offending region, or — failing both —
         // unrouted.
-        self.cleanup_risks(plane, netlist);
+        self.cleanup_risks(plane, netlist, rec);
     }
 
     /// Builds the aggregate report for the current state (used by the
@@ -353,8 +451,12 @@ impl Router {
             report.cut_conflicts += e.cut_risks;
         }
         // Consistency sweep: every routed net must have a color on every
-        // layer it occupies (see `patterns_on_layer`).
-        let mut fallbacks = self.color_fallbacks.get();
+        // layer it occupies. This sweep is the authoritative count; the
+        // `color_fallbacks` cell only backs `patterns_on_layer`'s own
+        // dev-build assertion and would double-count the same missing
+        // `(net, layer)` pairs if added here (and would make the report
+        // depend on how many times the caller asked for patterns).
+        let mut fallbacks = 0u64;
         for r in self.ledger.routed().values() {
             let mut layers: Vec<Layer> = r.fragments.iter().map(|&(l, _)| l).collect();
             layers.sort_unstable();
@@ -373,7 +475,12 @@ impl Router {
     /// Post-routing cleanup: re-flip components of nets whose coloring
     /// still realizes a forbidden assignment or a type-A cut risk, and
     /// unroute the incorrigible ones so the final result is conflict-free.
-    fn cleanup_risks(&mut self, plane: &mut RoutingPlane, netlist: &Netlist) {
+    fn cleanup_risks(
+        &mut self,
+        plane: &mut RoutingPlane,
+        netlist: &Netlist,
+        rec: &mut dyn Recorder,
+    ) {
         let Router {
             config,
             ledger,
@@ -441,16 +548,26 @@ impl Router {
                             let _ = plane.occupy(c, id);
                         }
                     }
-                    let ok = driver::route_one(config, ledger, ws, plane, net_ref, &seeds);
+                    // `count_failures = false`: a net that fails here is a
+                    // *cleanup* casualty, not an initial-routing failure —
+                    // letting route_net bump failed_no_path/failed_exhausted
+                    // for it double-counted the net across failure counters.
+                    let ok =
+                        driver::route_one(config, ledger, ws, plane, net_ref, &seeds, rec, false);
                     let risk_again = ok
                         && (0..ledger.layer_count()).any(|l| ledger.graphs()[l].net_has_risk(net));
-                    if risk_again {
-                        ledger.unroute(plane, &mut ws.dir_map, id);
+                    if risk_again || !ok {
+                        if risk_again {
+                            ledger.unroute(plane, &mut ws.dir_map, id);
+                        }
                         failed.push(id);
                         ledger.counters.failed_cleanup += 1;
-                    } else if !ok {
-                        failed.push(id);
-                        ledger.counters.failed_cleanup += 1;
+                        if rec.enabled() {
+                            rec.event(RouterEvent::NetFailed {
+                                net: id.0,
+                                reason: FailReason::Cleanup,
+                            });
+                        }
                     }
                 }
             }
@@ -472,6 +589,12 @@ impl Router {
                     ledger.unroute(plane, &mut ws.dir_map, id);
                     failed.push(id);
                     ledger.counters.failed_cleanup += 1;
+                    if rec.enabled() {
+                        rec.event(RouterEvent::NetFailed {
+                            net: id.0,
+                            reason: FailReason::Cleanup,
+                        });
+                    }
                 }
             }
         }

@@ -18,6 +18,7 @@ use crate::config::RouterConfig;
 use crate::grids::{DirGrid, GuardGrid, PenaltyGrid};
 use sadp_geom::{GridPoint, Layer, TrackRect};
 use sadp_grid::{Net, NetId, RoutePath, RoutingPlane};
+use sadp_obs::{Recorder, SpanClock, Stage};
 
 /// Read-only views for one pathfinding call.
 #[derive(Debug, Clone, Copy)]
@@ -133,5 +134,22 @@ impl SearchStage<'_> {
             }),
             expanded,
         }
+    }
+
+    /// [`SearchStage::search_net`], timed as one `search` span on `rec`.
+    /// One virtual call per net attempt — the per-node inner loop stays
+    /// observation-free.
+    #[must_use]
+    pub fn search_net_observed(
+        &self,
+        net: &Net,
+        penalties: &PenaltyGrid,
+        scratch: &mut SearchScratch,
+        rec: &mut dyn Recorder,
+    ) -> SearchOutcome {
+        let clock = SpanClock::start(&*rec);
+        let outcome = self.search_net(net, penalties, scratch);
+        clock.stop(rec, Stage::Search);
+        outcome
     }
 }

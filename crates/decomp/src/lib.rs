@@ -59,5 +59,5 @@ pub use layout::ColoredPattern;
 pub use render::{render_ascii, render_svg};
 pub use trim::trim_conflicts;
 pub use trimsim::TrimSimulator;
-pub use verify::{verify_layers, LayerVerdict, Verdict};
+pub use verify::{verify_layers, verify_layers_observed, LayerVerdict, Verdict};
 pub use window::{replay_all_scenarios, replay_scenario, ScenarioReplay};

@@ -4,6 +4,7 @@
 use crate::cutsim::CutSimulator;
 use crate::layout::ColoredPattern;
 use sadp_geom::{DesignRules, Layer, TrackRect};
+use sadp_obs::{Recorder, SpanClock, Stage};
 use sadp_scenario::Color;
 use std::fmt;
 
@@ -131,6 +132,20 @@ pub fn verify_layers(layers: &[Vec<(u32, Color, Vec<TrackRect>)>], rules: &Desig
             spacer_violations: d.report.spacer_violations,
         });
     }
+    verdict
+}
+
+/// [`verify_layers`], timed as one `decompose` span on `rec` (the
+/// decomposition simulator is the verification step of the pipeline).
+#[must_use]
+pub fn verify_layers_observed(
+    layers: &[Vec<(u32, Color, Vec<TrackRect>)>],
+    rules: &DesignRules,
+    rec: &mut dyn Recorder,
+) -> Verdict {
+    let clock = SpanClock::start(&*rec);
+    let verdict = verify_layers(layers, rules);
+    clock.stop(rec, Stage::Decompose);
     verdict
 }
 

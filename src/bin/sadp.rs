@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! sadp route <layout.txt> [--svg DIR] [--masks FILE] [--threads N]
-//!                                                      route + verify a layout file
-//! sadp verify <layout.txt> [--threads N]               route, then pixel-verify only
-//! sadp bench [--scale X] [--seed N] [--threads N]      route a Test1-family instance
+//!            [--trace FILE] [--profile]                route + verify a layout file
+//! sadp verify <layout.txt> [--threads N] [--trace FILE] [--profile]
+//!                                                      route, then pixel-verify only
+//! sadp bench [--test K] [--scale X] [--seed N] [--threads N] [--trace FILE]
+//!            [--profile]                               route a TestK-family instance
 //! sadp table2                                          print the scenario table
 //! ```
 //!
@@ -13,11 +15,20 @@
 //! partition and the commit order depend only on the plane geometry);
 //! only the wall-clock changes.
 //!
+//! `--trace FILE` writes the structured pipeline event stream as JSONL
+//! (one event per line; see `sadp_obs::RouterEvent`). Events carry only
+//! logical routing facts, so the file is byte-identical for every
+//! `--threads` value. `--profile` prints the per-stage time/count table
+//! after routing.
+//!
 //! Layout files use the `sadp_grid::io` text format (see its module docs).
 
 use sadp::core::ScenarioCensus;
-use sadp::decomp::{export_masks, render_svg, verify_layers, ColoredPattern, CutSimulator};
+use sadp::decomp::{
+    export_masks, render_svg, verify_layers_observed, ColoredPattern, CutSimulator,
+};
 use sadp::grid::read_layout;
+use sadp::obs::events_to_jsonl;
 use sadp::prelude::*;
 use sadp_grid::BenchmarkSpec;
 use std::process::ExitCode;
@@ -37,9 +48,17 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!("usage: sadp <route|verify|bench|table2> [args]");
-            eprintln!("  route <layout.txt> [--svg DIR] [--masks FILE] [--threads N]");
-            eprintln!("  verify <layout.txt> [--threads N]");
-            eprintln!("  bench [--scale X] [--seed N] [--threads N]");
+            eprintln!(
+                "  route <layout.txt> [--svg DIR] [--masks FILE] [--threads N] \
+                 [--trace FILE] [--profile]"
+            );
+            eprintln!("  verify <layout.txt> [--threads N] [--trace FILE] [--profile]");
+            eprintln!(
+                "  bench [--test K] [--scale X] [--seed N] [--threads N] [--trace FILE] \
+                 [--profile]"
+            );
+            eprintln!("  --trace FILE   write the pipeline event stream as JSONL");
+            eprintln!("  --profile      print the per-stage time/count table");
             return ExitCode::from(2);
         }
     };
@@ -72,6 +91,22 @@ fn config_from(args: &[String]) -> Result<RouterConfig, String> {
     Ok(config)
 }
 
+/// The recorder for the `--trace`/`--profile` flags: collecting events
+/// iff a trace file was asked for, timing iff the profile table was.
+fn recorder_from(args: &[String]) -> (Option<&str>, bool, BufferRecorder) {
+    let trace_path = flag_value(args, "--trace");
+    let profile = args.iter().any(|a| a == "--profile");
+    let rec = BufferRecorder::with_flags(trace_path.is_some(), profile);
+    (trace_path, profile, rec)
+}
+
+fn write_trace(path: &str, rec: &mut BufferRecorder) -> Result<(), String> {
+    let jsonl = events_to_jsonl(&rec.take_events());
+    std::fs::write(path, jsonl).map_err(|e| format!("{path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
 fn cmd_route(args: &[String], verify_only: bool) -> Result<(), String> {
     let path = args
         .first()
@@ -80,15 +115,23 @@ fn cmd_route(args: &[String], verify_only: bool) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let (mut plane, netlist) = read_layout(&text).map_err(|e| e.to_string())?;
 
+    let (trace_path, profile, mut rec) = recorder_from(args);
     let mut router = Router::new(config_from(args)?);
-    let report = router.route_all(&mut plane, &netlist);
+    let report = router.route_all_with(&mut plane, &netlist, &mut rec);
     println!("{report}\n");
 
     let layers: Vec<_> = (0..plane.layers())
         .map(|l| router.patterns_on_layer(Layer(l)))
         .collect();
-    let verdict = verify_layers(&layers, plane.rules());
+    let verdict = verify_layers_observed(&layers, plane.rules(), &mut rec);
     println!("{verdict}");
+
+    if let Some(file) = trace_path {
+        write_trace(file, &mut rec)?;
+    }
+    if profile {
+        println!("\n{}", rec.profile.table());
+    }
 
     if verify_only {
         if verdict.is_decomposable() && report.cut_conflicts == 0 {
@@ -140,11 +183,22 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let scale: f64 = flag_value(args, "--scale")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.1);
+    let suite = BenchmarkSpec::paper_fixed_suite();
+    let test: usize = match flag_value(args, "--test") {
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| (1..=suite.len()).contains(&n))
+            .ok_or_else(|| format!("--test wants 1..={}, got {v:?}", suite.len()))?,
+        None => 1,
+    };
     let seed: u64 = flag_value(args, "--seed")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(101);
-    let spec = BenchmarkSpec::paper_fixed_suite()
-        .remove(0)
+        .unwrap_or(100 + test as u64);
+    let spec = suite
+        .into_iter()
+        .nth(test - 1)
+        .expect("index validated above")
         .scaled(scale)
         .with_seed(seed);
     println!(
@@ -152,9 +206,16 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         spec.name, spec.net_count, spec.width_tracks, spec.height_tracks, spec.layers
     );
     let (mut plane, netlist) = spec.generate();
+    let (trace_path, profile, mut rec) = recorder_from(args);
     let mut router = Router::new(config_from(args)?);
-    let report = router.route_all(&mut plane, &netlist);
+    let report = router.route_all_with(&mut plane, &netlist, &mut rec);
     println!("{report}");
+    if let Some(file) = trace_path {
+        write_trace(file, &mut rec)?;
+    }
+    if profile {
+        println!("\n{}", rec.profile.table());
+    }
     if report.cut_conflicts != 0 {
         return Err("cut conflicts remained (this should be impossible)".into());
     }

@@ -28,7 +28,7 @@
 //!
 //! See the crate-level docs of the member crates for details:
 //! [`sadp_geom`], [`sadp_grid`], [`sadp_scenario`], [`sadp_graph`],
-//! [`sadp_decomp`], [`sadp_core`], [`sadp_baselines`].
+//! [`sadp_decomp`], [`sadp_core`], [`sadp_baselines`], [`sadp_obs`].
 
 pub use sadp_baselines as baselines;
 pub use sadp_core as core;
@@ -36,6 +36,7 @@ pub use sadp_decomp as decomp;
 pub use sadp_geom as geom;
 pub use sadp_graph as graph;
 pub use sadp_grid as grid;
+pub use sadp_obs as obs;
 pub use sadp_scenario as scenario;
 
 /// Commonly used items, for glob import.
@@ -43,5 +44,6 @@ pub mod prelude {
     pub use sadp_core::{Router, RouterConfig, RoutingReport};
     pub use sadp_geom::{DesignRules, GridPoint, Layer, Nm, TrackRect};
     pub use sadp_grid::{Net, NetId, Netlist, RoutingPlane};
+    pub use sadp_obs::{BufferRecorder, NoopRecorder, Recorder, StageProfile};
     pub use sadp_scenario::{Assignment, Color, ScenarioKind};
 }

@@ -56,6 +56,40 @@ fn bench_subcommand_reports_conflict_free() {
 }
 
 #[test]
+fn trace_matches_golden_jsonl() {
+    // The JSONL schema is a stable interface: field names, order and
+    // formatting are pinned by `fixtures/odd_cycle.trace.jsonl`. A diff
+    // here means the trace format changed and the golden file (plus any
+    // downstream consumers) must be updated deliberately.
+    let dir = std::env::temp_dir().join("sadp_cli_trace_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.jsonl");
+    let out = sadp()
+        .args([
+            "route",
+            "fixtures/odd_cycle.layout",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--profile",
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    // The profile table prints every stage with its work count.
+    for stage in ["search", "commit", "recolor", "ripup", "merge", "decompose"] {
+        assert!(
+            stdout.contains(stage),
+            "profile table missing {stage}: {stdout}"
+        );
+    }
+    let got = std::fs::read_to_string(&trace).expect("trace written");
+    let want = std::fs::read_to_string("fixtures/odd_cycle.trace.jsonl").expect("golden exists");
+    assert_eq!(got, want, "trace JSONL diverged from the golden file");
+}
+
+#[test]
 fn bad_usage_fails_with_code_2() {
     let out = sadp().output().expect("binary runs");
     assert_eq!(out.status.code(), Some(2));

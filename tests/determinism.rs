@@ -4,6 +4,7 @@
 //! order depend only on the plane geometry, never on scheduling.
 
 use sadp::grid::{BandPlan, BenchmarkSpec};
+use sadp::obs::events_to_jsonl;
 use sadp::prelude::*;
 use sadp_geom::TrackRect;
 use std::time::Duration;
@@ -64,6 +65,57 @@ fn sharded_run_is_byte_identical_to_serial() {
     assert_eq!(serial.0.cut_conflicts, 0);
     assert_eq!(serial.0.hard_overlay_violations, 0);
     assert!(serial.0.routed_nets > 0);
+}
+
+/// Routes `spec` with `threads` workers under a tracing recorder and
+/// returns the report plus the serialized event stream. Timing stays off
+/// so the report's stage profile holds only deterministic counts.
+fn route_traced(spec: &BenchmarkSpec, threads: usize) -> (RoutingReport, String) {
+    let (mut plane, netlist) = spec.generate();
+    let mut config = RouterConfig::paper_defaults();
+    config.threads = threads;
+    let mut router = Router::new(config);
+    let mut rec = BufferRecorder::with_flags(true, false);
+    let mut report = router.route_all_with(&mut plane, &netlist, &mut rec);
+    report.cpu = Duration::ZERO;
+    (report, events_to_jsonl(&rec.take_events()))
+}
+
+#[test]
+fn report_counters_identical_across_thread_counts() {
+    // Band workers count into private ledgers that `merge_band` folds into
+    // the global one; every counter must come out equal to the serial run.
+    let spec = BenchmarkSpec::new("det-wide", 110, 400, 120).with_seed(11);
+    let (serial, _) = route_traced(&spec, 1);
+    let (sharded, _) = route_traced(&spec, 4);
+    assert_eq!(serial.ripups, sharded.ripups);
+    assert_eq!(serial.ripups_type_b, sharded.ripups_type_b);
+    assert_eq!(serial.ripups_graph, sharded.ripups_graph);
+    assert_eq!(serial.ripups_risk, sharded.ripups_risk);
+    assert_eq!(serial.failed_no_path, sharded.failed_no_path);
+    assert_eq!(serial.failed_exhausted, sharded.failed_exhausted);
+    assert_eq!(serial.failed_cleanup, sharded.failed_cleanup);
+    assert_eq!(serial.flips, sharded.flips);
+    assert_eq!(serial.nodes_expanded, sharded.nodes_expanded);
+    assert_eq!(serial.color_fallbacks, sharded.color_fallbacks);
+    // Stage work counts are part of the contract too (times are zero here
+    // because timing is off, so whole-profile equality is meaningful).
+    assert_eq!(serial.profile, sharded.profile);
+    assert_eq!(serial, sharded, "full reports diverged");
+}
+
+#[test]
+fn trace_is_byte_identical_across_thread_counts() {
+    // Events carry only logical routing facts and band buffers are
+    // replayed in band order, so the JSONL stream is byte-stable.
+    let spec = BenchmarkSpec::new("det-wide", 110, 400, 120).with_seed(11);
+    let (_, serial) = route_traced(&spec, 1);
+    let (_, sharded) = route_traced(&spec, 2);
+    assert!(!serial.is_empty(), "trace should record events");
+    assert!(serial
+        .lines()
+        .any(|l| l.contains("\"event\":\"net_routed\"")));
+    assert_eq!(serial, sharded, "event streams diverged");
 }
 
 #[test]
