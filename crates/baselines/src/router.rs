@@ -459,7 +459,7 @@ impl BaselineRouter {
                 plane.rules(),
             );
             for f in &found {
-                if f.scenario.kind.is_constraining() {
+                if f.scenario.is_constraining() {
                     self.pairs[layer.index()].add(
                         id.0,
                         f.other_net,

@@ -58,6 +58,15 @@ pub struct RouterConfig {
     pub wrong_way: f64,
     /// Whether to run the final full-layout flipping pass.
     pub final_flip: bool,
+    /// Whether [`finalize`](crate::Router::finalize) runs the pixel
+    /// cut-process simulator on the final colored layout and repairs
+    /// (rips up, re-routes, ultimately unroutes) nets whose target runs
+    /// the simulator finds cut-conflicted or spacer-destroyed. The
+    /// constraint graph is a pairwise model; a few multi-pattern
+    /// interactions (assist-core merges closing over a via pad) only
+    /// show up in the synthesised masks, and this pass is what backs the
+    /// conflict-free claim against the simulator ground truth.
+    pub cut_repair: bool,
     /// Whether the merge-and-cut technique is available: when disabled the
     /// router treats type 1-b (tip-to-tip) pairs as conflicts and routes
     /// away from them, like baseline \[16\]. Ablation switch.
@@ -86,6 +95,7 @@ impl RouterConfig {
             pin_guard: 2.0,
             wrong_way: 2.0,
             final_flip: true,
+            cut_repair: true,
             allow_merge: true,
             net_order: NetOrder::HpwlAscending,
             threads: 1,

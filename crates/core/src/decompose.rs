@@ -103,7 +103,7 @@ pub fn decompose_layout(
                     continue;
                 }
                 if let Some(s) = classify(r, &other, rules) {
-                    if !s.kind.is_constraining() {
+                    if !s.is_constraining() {
                         continue;
                     }
                     match graph.add_scenario_with_kind(*net, other_net, Some(s.kind), s.table) {

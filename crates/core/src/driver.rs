@@ -201,7 +201,7 @@ pub(crate) fn route_net(
         let proposal = ctx.ledger.propose(net.id);
         let mut offender: Option<(Layer, u32)> = None;
         for f in &found {
-            if !f.scenario.kind.is_constraining() {
+            if !f.scenario.is_constraining() {
                 continue;
             }
             if ctx

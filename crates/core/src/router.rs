@@ -12,6 +12,7 @@ use crate::driver;
 use crate::grids::{DirGrid, GuardGrid, PenaltyGrid, NO_GUARD};
 use crate::ledger::{CommitLedger, FLIP_NEIGHBORHOOD};
 use crate::report::RoutingReport;
+use sadp_decomp::{ColoredPattern, CutSimulator};
 use sadp_geom::{GridPoint, Layer, TrackRect};
 use sadp_graph::{flip, OverlayGraph};
 use sadp_grid::{Net, NetId, Netlist, RoutingPlane};
@@ -401,6 +402,153 @@ impl Router {
         // re-routed away from the offending region, or — failing both —
         // unrouted.
         self.cleanup_risks(plane, netlist, rec);
+        self.repair_cut_conflicts(plane, netlist, rec);
+    }
+
+    /// Simulator-backed repair: synthesises the cut-process masks for the
+    /// final colored layout and, while any layer still shows a type-B cut
+    /// conflict or a spacer-destroyed target, rips up the nets owning the
+    /// conflicted runs and re-routes them away from the region.
+    ///
+    /// The overlay constraint graph is a pairwise model; a few
+    /// multi-pattern interactions (e.g. an assist core of one wire merging
+    /// over a via pad that is itself tip-merged with a third net) only
+    /// appear in the synthesised masks. This pass closes that gap, so the
+    /// router's conflict-free claim holds against the pixel simulator and
+    /// not just against its own graph.
+    fn repair_cut_conflicts(
+        &mut self,
+        plane: &mut RoutingPlane,
+        netlist: &Netlist,
+        rec: &mut dyn Recorder,
+    ) {
+        if !self.config.cut_repair || self.workspace.is_none() {
+            return;
+        }
+        let sim = CutSimulator::new(*plane.rules());
+        // Re-routing rounds: later rounds widen the rip-up to the
+        // dependence-radius neighbours of the conflict, since the net
+        // owning the conflicted run may be pinned in place (a via pad on
+        // a pin cell cannot move). A re-route can realize a fresh
+        // graph-level risk, so the graph cleanup re-runs after each round.
+        let radius = plane.rules().dependence_radius_tracks();
+        for round in 0..4 {
+            let offenders = self.sim_offenders(&sim, if round >= 2 { radius } else { 0 });
+            if offenders.is_empty() {
+                return;
+            }
+            self.reroute_offenders(plane, netlist, &offenders, rec);
+            self.cleanup_risks(plane, netlist, rec);
+        }
+        // Convergence backstop: unroute the offenders outright. Removing
+        // a net never adds constraint-graph edges, but it can reshape the
+        // masks, so re-simulate until clean; every iteration unroutes at
+        // least one routed net, so this terminates.
+        loop {
+            let offenders = self.sim_offenders(&sim, 0);
+            if offenders.is_empty() {
+                return;
+            }
+            let ws = self.workspace.as_mut().expect("checked above");
+            for id in offenders {
+                if self.ledger.routed().contains_key(&id) {
+                    self.ledger.unroute(plane, &mut ws.dir_map, id);
+                    self.failed.push(id);
+                    self.ledger.counters.failed_cleanup += 1;
+                    if rec.enabled() {
+                        rec.event(RouterEvent::NetFailed {
+                            net: id.0,
+                            reason: FailReason::Cleanup,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the cut simulator on every occupied layer and returns the
+    /// nets owning target cells the decomposition fails on (sorted,
+    /// deduplicated). With `radius > 0`, nets with any fragment within
+    /// that many tracks of a conflicted cell are included as well.
+    fn sim_offenders(&self, sim: &CutSimulator, radius: i32) -> Vec<NetId> {
+        let mut offenders: Vec<NetId> = Vec::new();
+        for l in 0..self.ledger.layer_count() {
+            let layer = Layer(l as u8);
+            let pats = self.patterns_on_layer(layer);
+            if pats.is_empty() {
+                continue;
+            }
+            let colored: Vec<ColoredPattern> = pats
+                .iter()
+                .map(|(net, color, rects)| ColoredPattern::new(*net, *color, rects.clone()))
+                .collect();
+            let d = sim.run(&colored);
+            if d.report.cut_conflicts == 0 && d.report.spacer_violations == 0 {
+                continue;
+            }
+            for (cx, cy) in d.conflict_cells() {
+                let window = TrackRect::cell(cx, cy).expanded(radius);
+                for (id, rect) in self.ledger.frag_index(layer).query_entries(&window) {
+                    if rect.intersects(&window) {
+                        offenders.push(NetId(crate::scan::net_of_frag_id(id)));
+                    }
+                }
+            }
+        }
+        offenders.sort_unstable();
+        offenders.dedup();
+        offenders
+    }
+
+    /// Rips up and re-routes each offender with penalties seeded on its
+    /// old corridor (the repair analogue of the cleanup re-route); a net
+    /// that cannot be re-routed is recorded as a cleanup casualty.
+    fn reroute_offenders(
+        &mut self,
+        plane: &mut RoutingPlane,
+        netlist: &Netlist,
+        offenders: &[NetId],
+        rec: &mut dyn Recorder,
+    ) {
+        let Router {
+            config,
+            ledger,
+            workspace,
+            failed,
+            ..
+        } = self;
+        let ws = workspace.as_mut().expect("repair runs after begin");
+        for &id in offenders {
+            let Some(routed) = ledger.routed().get(&id) else {
+                continue;
+            };
+            let old_cells: Vec<(Layer, TrackRect)> = routed.fragments.clone();
+            ledger.unroute(plane, &mut ws.dir_map, id);
+            let p = config.ripup_penalty_cost() * 2;
+            let mut seeds: Vec<(GridPoint, u64)> = Vec::new();
+            for (layer, rect) in &old_cells {
+                for (x, y) in rect.cells() {
+                    seeds.push((GridPoint::new(*layer, x, y), p));
+                }
+            }
+            let net_ref = netlist.net(id);
+            for pin in [&net_ref.source, &net_ref.target] {
+                for &c in pin.candidates() {
+                    let _ = plane.occupy(c, id);
+                }
+            }
+            let ok = driver::route_one(config, ledger, ws, plane, net_ref, &seeds, rec, false);
+            if !ok {
+                failed.push(id);
+                ledger.counters.failed_cleanup += 1;
+                if rec.enabled() {
+                    rec.event(RouterEvent::NetFailed {
+                        net: id.0,
+                        reason: FailReason::Cleanup,
+                    });
+                }
+            }
+        }
     }
 
     /// Builds the aggregate report for the current state (used by the

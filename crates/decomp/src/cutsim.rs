@@ -76,6 +76,11 @@ pub struct Decomposition {
     pub owner: Vec<u16>,
     /// Measured metrics.
     pub report: DecompReport,
+    /// Target pixels the decomposition fails on: type-B conflicted runs
+    /// plus spacer-destroyed target. Empty iff
+    /// [`DecompReport::cut_conflicts`] and
+    /// [`DecompReport::spacer_violations`] are both zero.
+    pub conflicts: Bitmap,
     /// Cell origin: the track coordinate mapped to the canvas margin.
     pub origin: (i32, i32),
     /// Pixels per track pitch.
@@ -123,6 +128,29 @@ impl Decomposition {
     #[must_use]
     pub fn px_of_cell_y(&self, y: i32) -> i64 {
         (y - self.origin.1) as i64 * self.pitch_px as i64 + self.margin_px as i64
+    }
+
+    /// The track cells whose target pixels the decomposition fails on
+    /// (see [`Decomposition::conflicts`]), deduplicated and sorted.
+    /// Conflict pixels are target pixels, which only exist inside the
+    /// `w_line` band of a cell, so flooring by the pitch is exact.
+    #[must_use]
+    pub fn conflict_cells(&self) -> Vec<(i32, i32)> {
+        let pitch = self.pitch_px as i64;
+        let m = self.margin_px as i64;
+        let mut cells = Vec::new();
+        for y in 0..self.conflicts.height() as i64 {
+            for x in 0..self.conflicts.width() as i64 {
+                if self.conflicts.get(x, y) {
+                    let cx = ((x - m) / pitch) as i32 + self.origin.0;
+                    let cy = ((y - m) / pitch) as i32 + self.origin.1;
+                    cells.push((cx, cy));
+                }
+            }
+        }
+        cells.sort_unstable();
+        cells.dedup();
+        cells
     }
 }
 
@@ -324,10 +352,12 @@ impl CutSimulator {
         let cut = spacer.complement().minus(&target);
 
         // 6. Measure.
-        let mut report = self.measure(
+        let (mut report, type_b) = self.measure(
             patterns, origin, &target, &spacer, &cut, &owner, width, height,
         );
-        report.spacer_violations = spacer.intersect(&target).count();
+        let destroyed = spacer.intersect(&target);
+        report.spacer_violations = destroyed.count();
+        let conflicts = type_b.union(&destroyed);
 
         Decomposition {
             target,
@@ -336,6 +366,7 @@ impl CutSimulator {
             cut,
             owner,
             report,
+            conflicts,
             origin,
             pitch_px: pitch,
             margin_px,
@@ -409,7 +440,7 @@ impl CutSimulator {
         owner: &[u16],
         width: usize,
         height: usize,
-    ) -> DecompReport {
+    ) -> (DecompReport, Bitmap) {
         let wline = self.w_line_px();
         let pitch = self.pitch_px() as i64;
         let mut report = DecompReport {
@@ -477,8 +508,9 @@ impl CutSimulator {
             }
         }
 
-        report.cut_conflicts = self.count_type_b(target, cut, width, height);
-        report
+        let (n, conflicted) = self.count_type_b(target, cut, width, height);
+        report.cut_conflicts = n;
+        (report, conflicted)
     }
 
     /// Classifies a boundary edge as side (normal perpendicular to the wire
@@ -528,8 +560,15 @@ impl CutSimulator {
     /// Counts type-B cut conflicts: a target run of width < d_cut flanked
     /// by cut pixels on both sides (two parallel cut-defined boundary
     /// sections over one pattern). Contiguous conflicting positions count
-    /// once.
-    fn count_type_b(&self, target: &Bitmap, cut: &Bitmap, width: usize, height: usize) -> usize {
+    /// once. Also returns the union of the marked runs so callers can
+    /// locate the conflicts.
+    fn count_type_b(
+        &self,
+        target: &Bitmap,
+        cut: &Bitmap,
+        width: usize,
+        height: usize,
+    ) -> (usize, Bitmap) {
         let d_cut = self.d_cut_px() as i64;
         let mut conflict_h = Bitmap::new(width, height);
         let mut conflict_v = Bitmap::new(width, height);
@@ -574,7 +613,7 @@ impl CutSimulator {
         }
         let (_, nh) = conflict_h.components();
         let (_, nv) = conflict_v.components();
-        (nh + nv) as usize
+        ((nh + nv) as usize, conflict_h.union(&conflict_v))
     }
 }
 
@@ -739,6 +778,40 @@ mod bridge_tests {
         assert_eq!(d.report.cut_conflicts, 0, "{:?}", d.report);
         assert_eq!(d.report.side_overlay_px, 0);
         assert_eq!(d.report.spacer_violations, 0);
+    }
+
+    #[test]
+    fn core_pad_flanked_by_second_wires_conflicts() {
+        // Fuzz-found (sparse-pairs seed 1, shrunk): a core via landing pad
+        // with second wires two tracks away on BOTH sides. Each wire's
+        // assist strip merges into the pad's spacer zone, leaving the pad
+        // bounded by cut-defined edges within d_cut — a type-A conflict.
+        // Either pairwise combination alone is clean, which is why the
+        // point-tip 2-d table must carry the cut risk (see
+        // sadp_scenario::classify).
+        let sim = CutSimulator::new(DesignRules::node_10nm());
+        let flanked = |pad: Color| {
+            sim.run(&[
+                ColoredPattern::new(0, Color::Second, vec![TrackRect::new(0, 0, 0, 8)]),
+                ColoredPattern::new(1, pad, vec![TrackRect::cell(2, 4)]),
+                ColoredPattern::new(2, Color::Second, vec![TrackRect::new(4, 0, 4, 8)]),
+            ])
+        };
+        assert!(
+            flanked(Color::Core).report.cut_conflicts >= 1,
+            "core pad between two second wires must conflict"
+        );
+        assert_eq!(flanked(Color::Second).report.cut_conflicts, 0);
+        // Pairwise (single flanking wire) is clean for every assignment.
+        for pad in [Color::Core, Color::Second] {
+            for w in [Color::Core, Color::Second] {
+                let d = sim.run(&[
+                    ColoredPattern::new(0, pad, vec![TrackRect::cell(2, 4)]),
+                    ColoredPattern::new(1, w, vec![TrackRect::new(4, 0, 4, 8)]),
+                ]);
+                assert_eq!(d.report.cut_conflicts, 0, "pad={pad:?} wire={w:?}");
+            }
+        }
     }
 
     #[test]

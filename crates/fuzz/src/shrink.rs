@@ -1,0 +1,228 @@
+//! Automatic instance minimisation (delta debugging).
+//!
+//! Given a failing `(plane, netlist)` pair and a predicate that re-checks
+//! the failure, the shrinker greedily drops net chunks (classic ddmin),
+//! trims the plane to the bounding box of what remains, and drops unused
+//! layers — re-validating the predicate after every candidate step. The
+//! result is written as a replayable `.layout` fixture with a comment
+//! header carrying the original seed, so a nightly failure reduces to a
+//! few lines of checked-in text.
+
+use sadp_geom::{GridPoint, Layer, TrackRect};
+use sadp_grid::{io::write_layout, CellState, Net, Netlist, RoutingPlane};
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimised plane.
+    pub plane: RoutingPlane,
+    /// The minimised netlist.
+    pub netlist: Netlist,
+    /// Predicate evaluations spent.
+    pub checks: usize,
+    /// Whether the budget ran out before a fixpoint was reached.
+    pub budget_exhausted: bool,
+}
+
+impl ShrinkResult {
+    /// The replayable `.layout` fixture text, prefixed with `header`
+    /// comment lines (each line is `#`-prefixed automatically).
+    #[must_use]
+    pub fn fixture_text(&self, header: &str) -> String {
+        let mut out = String::new();
+        for line in header.lines() {
+            out.push_str("# ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str(&write_layout(&self.plane, &self.netlist));
+        out
+    }
+}
+
+/// Minimises a failing instance. `still_fails` must return `true` when
+/// the candidate still exhibits the original failure; the returned
+/// instance is the smallest found within `max_checks` predicate calls
+/// (and always still fails).
+pub fn minimize(
+    plane: &RoutingPlane,
+    netlist: &Netlist,
+    mut still_fails: impl FnMut(&RoutingPlane, &Netlist) -> bool,
+    max_checks: usize,
+) -> ShrinkResult {
+    let mut best_plane = plane.clone();
+    let mut best_nets: Vec<Net> = netlist.iter().cloned().collect();
+    let mut checks = 0usize;
+    let mut budget_exhausted = false;
+
+    loop {
+        let mut changed = false;
+
+        // Phase 1: ddmin over nets. Chunk sizes halve from n/2 to 1.
+        let mut chunk = (best_nets.len() / 2).max(1);
+        'outer: loop {
+            let mut i = 0;
+            while i < best_nets.len() && best_nets.len() > 1 {
+                if checks >= max_checks {
+                    budget_exhausted = true;
+                    break 'outer;
+                }
+                let hi = (i + chunk).min(best_nets.len());
+                let mut candidate = best_nets.clone();
+                candidate.drain(i..hi);
+                if candidate.is_empty() {
+                    i = hi;
+                    continue;
+                }
+                let cand_nl: Netlist = candidate.iter().cloned().collect();
+                checks += 1;
+                if still_fails(&best_plane, &cand_nl) {
+                    best_nets = candidate;
+                    changed = true;
+                    // Retry the same index: the next chunk shifted into it.
+                } else {
+                    i = hi;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+
+        // Phase 2: trim the plane to the content bounding box (pins and
+        // nothing else need bound it: blockages outside are dropped).
+        if !budget_exhausted && checks < max_checks {
+            let nl: Netlist = best_nets.iter().cloned().collect();
+            if let Some(trimmed) = trim_plane(&best_plane, &nl) {
+                checks += 1;
+                if still_fails(&trimmed, &nl) {
+                    best_plane = trimmed;
+                    changed = true;
+                }
+            }
+        } else {
+            budget_exhausted = true;
+        }
+
+        if !changed || budget_exhausted {
+            break;
+        }
+    }
+
+    ShrinkResult {
+        plane: best_plane,
+        netlist: best_nets.into_iter().collect(),
+        checks,
+        budget_exhausted,
+    }
+}
+
+/// A copy of `plane` cut down to the pin bounding box (plus a small
+/// routing margin) and the layers the pins actually use, with blockages
+/// re-applied cell by cell. `None` when no trim is possible.
+fn trim_plane(plane: &RoutingPlane, netlist: &Netlist) -> Option<RoutingPlane> {
+    let mut max_x = 0;
+    let mut max_y = 0;
+    let mut max_layer = 0u8;
+    for net in netlist {
+        for pin in net.pins() {
+            for c in pin.candidates() {
+                max_x = max_x.max(c.x);
+                max_y = max_y.max(c.y);
+                max_layer = max_layer.max(c.layer.0);
+            }
+        }
+    }
+    // Keep a 3-track margin so detours stay possible, and at least two
+    // layers so vias stay possible (the router may need the escape).
+    let w = (max_x + 4).min(plane.width());
+    let h = (max_y + 4).min(plane.height());
+    let layers = (max_layer + 2).min(plane.layers());
+    if w == plane.width() && h == plane.height() && layers == plane.layers() {
+        return None;
+    }
+    let mut trimmed = RoutingPlane::new(layers, w, h, *plane.rules()).ok()?;
+    for l in 0..layers {
+        for y in 0..h {
+            for x in 0..w {
+                let p = GridPoint::new(Layer(l), x, y);
+                if plane.cell(p) == CellState::Blocked {
+                    trimmed.add_blockage(Layer(l), TrackRect::cell(x, y));
+                }
+            }
+        }
+    }
+    Some(trimmed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, Regime};
+    use sadp_grid::io::read_layout;
+
+    #[test]
+    fn shrinks_to_the_guilty_net() {
+        // Failure = "a net named p3 exists": ddmin must isolate it.
+        let inst = generate(Regime::SparsePairs, 2);
+        assert!(inst.netlist.len() > 4);
+        let result = minimize(
+            &inst.plane,
+            &inst.netlist,
+            |_, nl| nl.iter().any(|n| n.name == "p3"),
+            500,
+        );
+        assert_eq!(result.netlist.len(), 1);
+        assert_eq!(result.netlist.iter().next().unwrap().name, "p3");
+        assert!(!result.budget_exhausted);
+        // The plane shrank to the remaining net's bounding box.
+        assert!(
+            result.plane.width() <= inst.plane.width()
+                && result.plane.height() <= inst.plane.height()
+        );
+    }
+
+    #[test]
+    fn result_is_replayable_layout_text() {
+        let inst = generate(Regime::OddCycleRich, 3);
+        let result = minimize(&inst.plane, &inst.netlist, |_, nl| nl.len() >= 2, 300);
+        assert_eq!(result.netlist.len(), 2);
+        let text = result.fixture_text("fuzz: regime=odd-cycle seed=3\ninvariant=example");
+        assert!(text.starts_with("# fuzz: regime=odd-cycle seed=3\n# invariant=example\n"));
+        let (plane, nl) = read_layout(&text).expect("fixture round-trips");
+        assert_eq!(nl, result.netlist);
+        assert_eq!(plane.usage(), result.plane.usage());
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let inst = generate(Regime::DenseClock, 1);
+        let mut calls = 0usize;
+        let result = minimize(
+            &inst.plane,
+            &inst.netlist,
+            |_, _| {
+                calls += 1;
+                true
+            },
+            3,
+        );
+        assert!(result.checks <= 3);
+        assert!(calls <= 3);
+        assert!(
+            result.budget_exhausted,
+            "a dense instance cannot converge in 3 checks"
+        );
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let inst = generate(Regime::NarrowBand, 4);
+        let run = || {
+            let r = minimize(&inst.plane, &inst.netlist, |_, nl| nl.len() >= 3, 400);
+            r.fixture_text("h")
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -142,17 +142,42 @@ pub fn read_layout(text: &str) -> Result<(RoutingPlane, Netlist), ParseLayoutErr
                     return Err(err(lineno, "blockage needs `blockage L x0 y0 x1 y1`"));
                 };
                 let l = u8::try_from(l).map_err(|_| err(lineno, "bad layer"))?;
+                if l >= plane.layers() {
+                    return Err(err(
+                        lineno,
+                        format!(
+                            "blockage layer {l} out of range (plane has {})",
+                            plane.layers()
+                        ),
+                    ));
+                }
+                // Validate the corners before materialising the rectangle:
+                // `add_blockage` walks every cell, so an absurd rect would
+                // hang the parser instead of failing.
+                for (what, v, limit) in [
+                    ("x0", x0, plane.width()),
+                    ("x1", x1, plane.width()),
+                    ("y0", y0, plane.height()),
+                    ("y1", y1, plane.height()),
+                ] {
+                    if !(0..limit).contains(&v) {
+                        return Err(err(
+                            lineno,
+                            format!("blockage {what}={v} out of range 0..{limit}"),
+                        ));
+                    }
+                }
                 plane.add_blockage(Layer(l), TrackRect::new(x0, y0, x1, y1));
             }
             Some("net") => {
-                if plane.is_none() {
-                    return Err(err(lineno, "net before plane header"));
-                }
+                let plane = plane
+                    .as_ref()
+                    .ok_or_else(|| err(lineno, "net before plane header"))?;
                 let name = parts
                     .next()
                     .ok_or_else(|| err(lineno, "net needs a name"))?;
                 let pins: Vec<Pin> = parts
-                    .map(|tok| parse_pin(tok, lineno))
+                    .map(|tok| parse_pin(tok, lineno, plane))
                     .collect::<Result<_, _>>()?;
                 if pins.len() < 2 {
                     return Err(err(lineno, "net needs at least two pins"));
@@ -167,7 +192,7 @@ pub fn read_layout(text: &str) -> Result<(RoutingPlane, Netlist), ParseLayoutErr
     Ok((plane, netlist))
 }
 
-fn parse_pin(text: &str, lineno: usize) -> Result<Pin, ParseLayoutError> {
+fn parse_pin(text: &str, lineno: usize, plane: &RoutingPlane) -> Result<Pin, ParseLayoutError> {
     let mut candidates = Vec::new();
     for cand in text.split('|') {
         let (layer, rest) = cand
@@ -179,7 +204,13 @@ fn parse_pin(text: &str, lineno: usize) -> Result<Pin, ParseLayoutError> {
         let layer: u8 = layer.parse().map_err(|_| err(lineno, "bad pin layer"))?;
         let x: i32 = x.parse().map_err(|_| err(lineno, "bad pin x"))?;
         let y: i32 = y.parse().map_err(|_| err(lineno, "bad pin y"))?;
-        candidates.push(GridPoint::new(Layer(layer), x, y));
+        let p = GridPoint::new(Layer(layer), x, y);
+        // Out-of-bounds pins would only surface later as a panic when the
+        // router reserves them; reject them here with the line number.
+        if !plane.in_bounds(p) {
+            return Err(err(lineno, format!("pin `{cand}` outside the plane")));
+        }
+        candidates.push(p);
     }
     if candidates.is_empty() {
         return Err(err(lineno, "pin without candidates"));
@@ -250,6 +281,50 @@ net data 0:4,5|0:4,6 2:28,8
             read_layout("plane 3 32 32\nnet a 0:1,1\n").is_err(),
             "one pin"
         );
+    }
+
+    #[test]
+    fn rejects_out_of_range_geometry() {
+        // A huge blockage must fail fast, not walk 4e18 cells.
+        let e = read_layout("plane 3 32 32\nblockage 0 0 0 2000000000 2000000000\n").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "line 2: blockage x1=2000000000 out of range 0..32"
+        );
+        let e = read_layout("plane 3 32 32\nblockage 0 -1 0 4 4\n").unwrap_err();
+        assert!(e.to_string().contains("x0=-1 out of range"));
+        let e = read_layout("plane 3 32 32\nblockage 7 0 0 4 4\n").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "line 2: blockage layer 7 out of range (plane has 3)"
+        );
+        // Out-of-bounds pins are parse errors, not later router panics.
+        let e = read_layout("plane 3 32 32\nnet a 0:2,3 0:99,3\n").unwrap_err();
+        assert_eq!(e.to_string(), "line 2: pin `0:99,3` outside the plane");
+        let e = read_layout("plane 3 32 32\nnet a 0:2,3 5:4,3\n").unwrap_err();
+        assert!(e.to_string().contains("outside the plane"));
+        let e = read_layout("plane 3 32 32\nnet a 0:2,-1 0:4,3\n").unwrap_err();
+        assert!(e.to_string().contains("outside the plane"));
+    }
+
+    #[test]
+    fn rejects_malformed_numbers_without_panicking() {
+        for bad in [
+            "plane x 32 32\n",
+            "plane 3 32 32 32\n",
+            "plane 999 32 32\n",
+            "plane 3 -5 32\n",
+            "plane 3 32 32\nblockage 0 a 0 4 4\n",
+            "plane 3 32 32\nblockage 0 0 0 4 4 4\n",
+            "plane 3 32 32\nnet a 0:2,3 0:4,\n",
+            "plane 3 32 32\nnet a 0:2,3 :4,5\n",
+            "plane 3 32 32\nnet a 0:2,3 0:4,99999999999999999999\n",
+            "plane 3 32 32\nnet\n",
+            "plane 3 32 32\nnet a\n",
+        ] {
+            let e = read_layout(bad).unwrap_err();
+            assert!(e.to_string().starts_with("line "), "{bad:?} -> {e}");
+        }
     }
 
     #[test]

@@ -24,6 +24,18 @@ pub struct Scenario {
     pub swapped: bool,
 }
 
+impl Scenario {
+    /// Whether this pair constrains the coloring: the [`ScenarioKind`] is
+    /// consulted first, but the oriented table gets the final say, so a
+    /// nominally non-constraining kind whose table carries costs (e.g. a
+    /// future refinement of the point-fragment scenarios) is never
+    /// silently dropped by scenario filters.
+    #[must_use]
+    pub fn is_constraining(&self) -> bool {
+        self.kind.is_constraining() || self.table.is_constraining()
+    }
+}
+
 impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} [{}]", self.kind, self.table)
@@ -133,6 +145,7 @@ fn classify_axis_aligned(a: &TrackRect, b: &TrackRect, dx: i32, dy: i32) -> Opti
         (Facing::Tip, Facing::Side, _) => (ScenarioKind::TwoD, false),
         (Facing::Side, Facing::Tip, _) => (ScenarioKind::TwoD, true),
     };
+
     Some(oriented(kind, overlap, swapped))
 }
 
@@ -285,6 +298,23 @@ mod tests {
         let h = TrackRect::new(0, 0, 6, 0);
         let v = TrackRect::new(3, 2, 3, 6);
         assert_eq!(kind_of(h, v), Some(ScenarioKind::TwoD));
+    }
+
+    #[test]
+    fn scenario_is_constraining_follows_kind_and_table() {
+        // Type 2-d (including the via-pad variant) stays non-constraining
+        // for the pairwise coloring: the three-body flanked-pad conflict it
+        // can participate in is handled geometrically by the router, not by
+        // the cost tables (which are pairwise by construction).
+        let h = TrackRect::new(0, 0, 6, 0);
+        let p = TrackRect::cell(3, 2);
+        let s = classify(&p, &h, &rules()).unwrap();
+        assert_eq!(s.kind, ScenarioKind::TwoD);
+        assert!(!s.is_constraining());
+        // Type 2-b is constraining through its kind.
+        let s2 = classify(&TrackRect::cell(3, 1), &h, &rules()).unwrap();
+        assert_eq!(s2.kind, ScenarioKind::TwoB);
+        assert!(s2.is_constraining());
     }
 
     #[test]

@@ -7,8 +7,19 @@
 //!                                                      route, then pixel-verify only
 //! sadp bench [--test K] [--scale X] [--seed N] [--threads N] [--trace FILE]
 //!            [--profile]                               route a TestK-family instance
+//! sadp fuzz [--seeds N] [--start S] [--regime R] [--minimize] [--threads N]
+//!           [--out DIR] [--replay FILE]                deterministic fuzzing campaign
 //! sadp table2                                          print the scenario table
 //! ```
+//!
+//! `sadp fuzz` runs the generative oracle of `sadp_fuzz`: `--seeds N`
+//! instances per regime (all five unless `--regime R` narrows it),
+//! counting up from `--start`. Standard output is byte-identical for a
+//! given flag set (timing goes to stderr). On a violation the (optionally
+//! `--minimize`d) instance is written to `<out>/fuzz-<regime>-<seed>.layout`
+//! together with a `.trace.jsonl` event stream, and the exit code is
+//! nonzero. `--replay FILE` re-checks one such fixture instead of running
+//! a campaign.
 //!
 //! `--threads N` runs the region-sharded schedule on up to `N` worker
 //! threads. The result is byte-identical for every `N` (the band
@@ -40,6 +51,7 @@ fn main() -> ExitCode {
         Some("route") => cmd_route(&args[1..], false),
         Some("verify") => cmd_route(&args[1..], true),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("table2") => {
             for row in sadp::scenario::scenario_summary() {
                 println!("{row}");
@@ -47,7 +59,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         _ => {
-            eprintln!("usage: sadp <route|verify|bench|table2> [args]");
+            eprintln!("usage: sadp <route|verify|bench|fuzz|table2> [args]");
             eprintln!(
                 "  route <layout.txt> [--svg DIR] [--masks FILE] [--threads N] \
                  [--trace FILE] [--profile]"
@@ -56,6 +68,10 @@ fn main() -> ExitCode {
             eprintln!(
                 "  bench [--test K] [--scale X] [--seed N] [--threads N] [--trace FILE] \
                  [--profile]"
+            );
+            eprintln!(
+                "  fuzz [--seeds N] [--start S] [--regime R] [--minimize] [--threads N] \
+                 [--out DIR] [--replay FILE]"
             );
             eprintln!("  --trace FILE   write the pipeline event stream as JSONL");
             eprintln!("  --profile      print the per-stage time/count table");
@@ -177,6 +193,112 @@ fn cmd_route(args: &[String], verify_only: bool) -> Result<(), String> {
         println!("wrote {file}");
     }
     Ok(())
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    use sadp::fuzz::{check_layout, run_campaign, CampaignConfig, Regime};
+
+    let mut cfg = CampaignConfig::default();
+    if let Some(v) = flag_value(args, "--threads") {
+        cfg.oracle.threads = v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--threads wants a positive integer, got {v:?}"))?;
+    }
+
+    if let Some(path) = flag_value(args, "--replay") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let (plane, netlist) = read_layout(&text).map_err(|e| e.to_string())?;
+        return match check_layout(&plane, &netlist, &cfg.oracle) {
+            Ok(stats) => {
+                println!(
+                    "{path}: clean ({} nets, {} routed)",
+                    stats.nets, stats.routed
+                );
+                Ok(())
+            }
+            Err(v) => Err(format!("{path}: {}: {}", v.invariant.name(), v.detail)),
+        };
+    }
+
+    if let Some(v) = flag_value(args, "--seeds") {
+        cfg.seeds = v
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--seeds wants a positive integer, got {v:?}"))?;
+    }
+    if let Some(v) = flag_value(args, "--start") {
+        cfg.start = v
+            .parse::<u64>()
+            .map_err(|_| format!("--start wants an integer, got {v:?}"))?;
+    }
+    if let Some(v) = flag_value(args, "--regime") {
+        let regime = Regime::parse(v).ok_or_else(|| {
+            let names: Vec<&str> = Regime::ALL.iter().map(|r| r.name()).collect();
+            format!("unknown regime {v:?} (one of: {})", names.join(", "))
+        })?;
+        cfg.regimes = vec![regime];
+    }
+    cfg.minimize = args.iter().any(|a| a == "--minimize");
+    let out_dir = flag_value(args, "--out").unwrap_or("fuzz-out");
+
+    let started = std::time::Instant::now();
+    let report = run_campaign(&cfg, |line| println!("{line}"));
+    eprintln!(
+        "campaign wall-clock: {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+
+    println!(
+        "checked {} instances ({} nets, {} routed)",
+        report.instances, report.total_nets, report.total_routed
+    );
+    if report.is_clean() {
+        println!("clean");
+        return Ok(());
+    }
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("{out_dir}: {e}"))?;
+    for failure in &report.failures {
+        let stem = format!("{out_dir}/fuzz-{}-{}", failure.regime, failure.seed);
+        println!(
+            "FAIL {} seed {}: {}: {}",
+            failure.regime,
+            failure.seed,
+            failure.violation.invariant.name(),
+            failure.violation.detail
+        );
+        let layout = format!("{stem}.layout");
+        std::fs::write(&layout, failure.fixture_text()).map_err(|e| format!("{layout}: {e}"))?;
+        println!("wrote {layout}");
+        if let Some(trace) = failure_trace(failure) {
+            let path = format!("{stem}.trace.jsonl");
+            std::fs::write(&path, trace).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {path}");
+        }
+    }
+    Err(format!("{} invariant violations", report.failures.len()))
+}
+
+/// The JSONL event trace of routing a failed instance (the minimised one
+/// when shrinking ran), or `None` when routing itself panics.
+fn failure_trace(failure: &sadp::fuzz::Failure) -> Option<String> {
+    let (plane, netlist) = match &failure.shrunk {
+        Some(s) => (s.plane.clone(), s.netlist.clone()),
+        None => {
+            let inst = sadp::fuzz::generate(failure.regime, failure.seed);
+            (inst.plane, inst.netlist)
+        }
+    };
+    std::panic::catch_unwind(move || {
+        let mut plane = plane;
+        let mut rec = BufferRecorder::with_flags(true, false);
+        let mut router = Router::new(RouterConfig::paper_defaults());
+        let _ = router.route_all_with(&mut plane, &netlist, &mut rec);
+        events_to_jsonl(&rec.take_events())
+    })
+    .ok()
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {

@@ -28,11 +28,13 @@
 //!
 //! See the crate-level docs of the member crates for details:
 //! [`sadp_geom`], [`sadp_grid`], [`sadp_scenario`], [`sadp_graph`],
-//! [`sadp_decomp`], [`sadp_core`], [`sadp_baselines`], [`sadp_obs`].
+//! [`sadp_decomp`], [`sadp_core`], [`sadp_baselines`], [`sadp_obs`],
+//! [`sadp_fuzz`].
 
 pub use sadp_baselines as baselines;
 pub use sadp_core as core;
 pub use sadp_decomp as decomp;
+pub use sadp_fuzz as fuzz;
 pub use sadp_geom as geom;
 pub use sadp_graph as graph;
 pub use sadp_grid as grid;
