@@ -12,6 +12,7 @@
 //! heuristic itself `O(|path|)` and the whole search superlinear).
 
 use crate::bucket::BucketQueue;
+use crate::budget::Budget;
 use crate::config::RouterConfig;
 use crate::grids::{DirGrid, GuardGrid, PenaltyGrid};
 use crate::router::RouterError;
@@ -44,6 +45,9 @@ pub struct SearchStats {
     pub expanded: u64,
     /// Whether a path was found.
     pub found: bool,
+    /// Whether the search stopped because its [`Budget`] ran out. When
+    /// set, `found` is false regardless of whether a path existed.
+    pub budget_exceeded: bool,
 }
 
 /// Came-from sentinel: the cell is a search source.
@@ -218,6 +222,29 @@ pub fn astar_search_in(
     config: &RouterConfig,
     scratch: &mut SearchScratch,
 ) -> (Option<RoutePath>, SearchStats) {
+    astar_search_budgeted(
+        plane,
+        req,
+        dir_map,
+        config,
+        scratch,
+        &mut Budget::unlimited(),
+    )
+}
+
+/// [`astar_search_in`] under a search [`Budget`]: the budget is charged
+/// once per expanded node, and an exhausted budget stops the search with
+/// `SearchStats::budget_exceeded` set (no path is returned). An
+/// unlimited budget costs one predictable branch per node.
+#[must_use]
+pub fn astar_search_budgeted(
+    plane: &RoutingPlane,
+    req: &AstarRequest<'_>,
+    dir_map: &DirGrid,
+    config: &RouterConfig,
+    scratch: &mut SearchScratch,
+    budget: &mut Budget,
+) -> (Option<RoutePath>, SearchStats) {
     let mut stats = SearchStats::default();
     if req.targets.is_empty() || req.sources.is_empty() {
         return (None, stats);
@@ -275,6 +302,10 @@ pub fn astar_search_in(
             continue; // stale queue entry
         }
         stats.expanded += 1;
+        if !budget.charge() {
+            stats.budget_exceeded = true;
+            return (None, stats);
+        }
         if scratch.is_target(ci) {
             stats.found = true;
             let mut pts = Vec::new();
@@ -699,6 +730,36 @@ mod tests {
             "expanded {} nodes for a 58-step straight route",
             stats.expanded
         );
+    }
+
+    #[test]
+    fn exhausted_budget_stops_the_search() {
+        let p = plane(64, 64);
+        let penalties = PenaltyGrid::new(&p, 0);
+        let guards = GuardGrid::new(&p, crate::grids::NO_GUARD);
+        let req = AstarRequest {
+            net: NetId(0),
+            sources: &[GridPoint::new(Layer(0), 2, 30)],
+            targets: &[GridPoint::new(Layer(0), 60, 30)],
+            penalties: &penalties,
+            guards: &guards,
+        };
+        let dm = DirGrid::new(&p, None);
+        let cfg = RouterConfig::paper_defaults();
+        let mut scratch = SearchScratch::new(&p);
+        let mut limited = RouterConfig::paper_defaults();
+        limited.net_node_budget = 3;
+        let mut budget = Budget::for_net(&limited);
+        let (path, stats) = astar_search_budgeted(&p, &req, &dm, &cfg, &mut scratch, &mut budget);
+        assert!(path.is_none());
+        assert!(stats.budget_exceeded);
+        assert!(!stats.found);
+        assert!(stats.expanded <= 4);
+        // The same search with an unlimited budget still succeeds on the
+        // reused scratch (the aborted search left no stale state behind).
+        let (path, stats) = astar_search_in(&p, &req, &dm, &cfg, &mut scratch);
+        assert!(path.is_some());
+        assert!(!stats.budget_exceeded);
     }
 
     #[test]

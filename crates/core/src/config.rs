@@ -1,5 +1,7 @@
 //! Router configuration (the user-defined parameters of eq. (5)).
 
+use crate::fault::FaultPlan;
+
 /// Fixed-point scale for search costs (milli-units), so that the paper's
 /// fractional `γ = 1.5` stays exact in integer arithmetic.
 pub const COST_SCALE: u64 = 1000;
@@ -78,6 +80,26 @@ pub struct RouterConfig {
     /// geometry, never on this value, so results are byte-identical for
     /// any thread count.
     pub threads: usize,
+    /// Per-net A* node-expansion budget spanning all rip-up attempts
+    /// and branch searches; `0` means unlimited. A net over budget
+    /// fails cleanly with `FailReason::BudgetExceeded`. Node budgets
+    /// are byte-deterministic across thread counts.
+    pub net_node_budget: u64,
+    /// Per-net wall-clock deadline in milliseconds; `0` means
+    /// unlimited. Checked every ~1024 expanded nodes — a liveness
+    /// guard, not a deterministic one.
+    pub net_deadline_ms: u64,
+    /// Whole-run node-expansion budget shared across workers; `0`
+    /// means unlimited. Once tripped, remaining nets fail fast and the
+    /// run finalizes its committed work (partial results).
+    pub run_node_budget: u64,
+    /// Whole-run wall-clock deadline in milliseconds; `0` means
+    /// unlimited. Like `run_node_budget`, a liveness guard.
+    pub run_deadline_ms: u64,
+    /// Deterministic fault-injection plan for testing the recovery
+    /// paths; `None` (the default) costs one check per band and per
+    /// net, never anything per node.
+    pub faults: Option<FaultPlan>,
 }
 
 impl RouterConfig {
@@ -99,6 +121,11 @@ impl RouterConfig {
             allow_merge: true,
             net_order: NetOrder::HpwlAscending,
             threads: 1,
+            net_node_budget: 0,
+            net_deadline_ms: 0,
+            run_node_budget: 0,
+            run_deadline_ms: 0,
+            faults: None,
         }
     }
 
@@ -161,6 +188,13 @@ mod tests {
         assert!(c.final_flip);
         assert!(c.allow_merge);
         assert_eq!(c.net_order, NetOrder::HpwlAscending);
+        // Robustness knobs are off by default: the paper configuration
+        // carries no budgets and injects no faults.
+        assert_eq!(c.net_node_budget, 0);
+        assert_eq!(c.net_deadline_ms, 0);
+        assert_eq!(c.run_node_budget, 0);
+        assert_eq!(c.run_deadline_ms, 0);
+        assert!(c.faults.is_none());
         assert_eq!(RouterConfig::default(), c);
     }
 

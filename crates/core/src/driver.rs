@@ -23,6 +23,7 @@
 //! flight* at once.
 
 use crate::astar::SearchScratch;
+use crate::budget::{Budget, RunBudget};
 use crate::config::RouterConfig;
 use crate::grids::{DirGrid, GuardGrid, PenaltyGrid, NO_GUARD};
 use crate::ledger::CommitLedger;
@@ -34,7 +35,14 @@ use sadp_grid::{BandPlan, Net, NetId, Netlist, RoutingPlane};
 use sadp_obs::{BufferRecorder, FailReason, Recorder, RipReason, RouterEvent, SpanClock, Stage};
 use sadp_scenario::ScenarioKind;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Callback invoked by [`route_schedule`] at checkpointable boundaries
+/// with the global ledger, the failures so far, and whether the boundary
+/// is a *forced* one (a band fold — always worth persisting) or a cheap
+/// per-net tick the receiver may throttle.
+pub(crate) type CheckpointHook<'h> = &'h mut dyn FnMut(&CommitLedger, &[NetId], bool);
 
 /// Mutable context of one routing stream (the global one, or one band
 /// worker's private one).
@@ -45,6 +53,9 @@ pub(crate) struct RouteCtx<'a> {
     pub guards: &'a GuardGrid,
     pub penalties: &'a mut PenaltyGrid,
     pub scratch: &'a mut SearchScratch,
+    /// The whole-run budget, shared (read-mostly atomics) across every
+    /// stream of the run including band workers.
+    pub run_budget: &'a RunBudget,
     /// Observability sink of this stream: the caller's recorder on the
     /// serial paths, a private [`BufferRecorder`] inside a band worker.
     pub rec: &'a mut dyn Recorder,
@@ -130,6 +141,28 @@ pub(crate) fn route_net(
         }
     }
 
+    // Graceful degradation: once the run is over its global budget (or a
+    // fault plan says this net's budget is exhausted), remaining nets
+    // fail fast instead of searching, and the run finalizes whatever is
+    // already committed. Injection is keyed by net id only, so serial,
+    // banded, and recovered schedules see the identical fault set.
+    let injected = count_failures && ctx.config.faults.is_some_and(|f| f.injects_net_budget(key));
+    if injected || ctx.run_budget.tripped() {
+        if count_failures {
+            ctx.ledger.counters.failed_budget += 1;
+            if ctx.rec.enabled() {
+                ctx.rec.event(RouterEvent::NetFailed {
+                    net: key,
+                    reason: FailReason::BudgetExceeded,
+                });
+            }
+        }
+        return false;
+    }
+
+    // One per-net budget spans every rip-up attempt and branch search.
+    let mut budget = Budget::for_net(ctx.config);
+
     for attempt in 0..=ctx.config.max_ripup {
         // Stage 1: pure search over read-only views.
         let stage = SearchStage {
@@ -138,8 +171,23 @@ pub(crate) fn route_net(
             guards: ctx.guards,
             config: ctx.config,
         };
-        let outcome = stage.search_net_observed(net, ctx.penalties, ctx.scratch, ctx.rec);
+        let outcome =
+            stage.search_net_observed(net, ctx.penalties, ctx.scratch, &mut budget, ctx.rec);
         ctx.ledger.counters.nodes_expanded += outcome.expanded;
+        ctx.run_budget.add_nodes(outcome.expanded);
+        if outcome.budget_exceeded {
+            if count_failures {
+                ctx.ledger.counters.failed_budget += 1;
+                if ctx.rec.enabled() {
+                    ctx.rec.event(RouterEvent::NetFailed {
+                        net: key,
+                        reason: FailReason::BudgetExceeded,
+                    });
+                }
+            }
+            ctx.ledger.forget(net.id);
+            return false;
+        }
         let Some(candidate) = outcome.candidate else {
             if count_failures {
                 ctx.ledger.counters.failed_no_path += 1;
@@ -153,132 +201,44 @@ pub(crate) fn route_net(
             return false;
         };
 
-        // Stage 2: classify the tentative route against the routed layout
-        // (BTreeMap: layer order must be deterministic).
-        let clock = SpanClock::start(&*ctx.rec);
-        let mut found: Vec<FoundScenario> = Vec::new();
-        let mut per_layer: BTreeMap<Layer, Vec<TrackRect>> = BTreeMap::new();
-        for &(layer, rect) in &candidate.fragments {
-            per_layer.entry(layer).or_default().push(rect);
-        }
-        for (layer, frags) in &per_layer {
-            found.extend(scan_fragments(
-                *layer,
-                key,
-                frags,
-                ctx.ledger.frag_index(*layer),
-                plane.rules(),
-            ));
-        }
-        clock.stop(ctx.rec, Stage::Commit);
-
-        // Ablation: without the merge technique every tip-to-tip pair is
-        // undecomposable (the \[16\] behaviour) and must be routed away
-        // from.
-        if !ctx.config.allow_merge {
-            let merges: Vec<(Layer, TrackRect)> = found
-                .iter()
-                .filter(|f| f.scenario.kind == ScenarioKind::OneB)
-                .map(|f| (f.layer, f.our_rect))
-                .collect();
-            if !merges.is_empty() {
-                rip_up(ctx, key, attempt, RipReason::Graph, &merges);
-                continue;
+        // Stages 2-5: scenario scan, type-B check, propose, trial-color,
+        // commit. Shared with the checkpoint-replay path, which re-commits
+        // journaled routes without searching.
+        match commit_candidate(ctx, plane, net, candidate) {
+            Ok(flipped) => {
+                if ctx.rec.enabled() {
+                    ctx.rec.event(RouterEvent::NetRouted {
+                        net: key,
+                        attempts: attempt + 1,
+                        flipped,
+                    });
+                }
+                return true;
+            }
+            Err(StageReject::Merge(cells)) => {
+                rip_up(ctx, key, attempt, RipReason::Graph, &cells);
+            }
+            Err(StageReject::TypeB(cells)) => {
+                rip_up(ctx, key, attempt, RipReason::TypeB, &cells);
+            }
+            Err(StageReject::Graph {
+                layer,
+                other,
+                cells,
+            }) => {
+                if ctx.rec.enabled() {
+                    ctx.rec.event(RouterEvent::OddCycleDecomposed {
+                        net: key,
+                        layer: layer.index() as u8,
+                        other,
+                    });
+                }
+                rip_up(ctx, key, attempt, RipReason::Graph, &cells);
+            }
+            Err(StageReject::Risk(cells)) => {
+                rip_up(ctx, key, attempt, RipReason::Risk, &cells);
             }
         }
-
-        // Cut conflict check (type B, Fig. 16).
-        if let Some(bad) = type_b_conflict(&found, plane.rules()) {
-            rip_up(ctx, key, attempt, RipReason::TypeB, &bad);
-            continue;
-        }
-
-        // Stage 3: propose — stage the scenario edges in the ledger; odd
-        // cycles or infeasible pairs abort the proposal and trigger rip-up
-        // (Fig. 19 lines 6-9). The union-find checkpoints inside the
-        // proposal make the abort O(net) instead of O(E).
-        let clock = SpanClock::start(&*ctx.rec);
-        let proposal = ctx.ledger.propose(net.id);
-        let mut offender: Option<(Layer, u32)> = None;
-        for f in &found {
-            if !f.scenario.is_constraining() {
-                continue;
-            }
-            if ctx
-                .ledger
-                .add_scenario(
-                    &proposal,
-                    f.layer,
-                    f.other_net,
-                    f.scenario.kind,
-                    f.scenario.table,
-                )
-                .is_err()
-            {
-                offender = Some((f.layer, f.other_net));
-                break;
-            }
-        }
-        clock.stop(ctx.rec, Stage::Commit);
-        if let Some((layer, bad_net)) = offender {
-            ctx.ledger.abort(proposal);
-            let cells: Vec<(Layer, TrackRect)> = found
-                .iter()
-                .filter(|f| f.layer == layer && f.other_net == bad_net)
-                .map(|f| (layer, f.our_rect))
-                .collect();
-            if ctx.rec.enabled() {
-                ctx.rec.event(RouterEvent::OddCycleDecomposed {
-                    net: key,
-                    layer: layer.index() as u8,
-                    other: bad_net,
-                });
-            }
-            rip_up(ctx, key, attempt, RipReason::Graph, &cells);
-            continue;
-        }
-
-        // Stage 4: trial coloring — pseudo-color, flip on demand, and
-        // verify no hard overlay or type-A cut risk remains realized. A
-        // risk the coloring cannot avoid is a cut conflict in the making —
-        // abort and steer away (Fig. 19 lines 6-9).
-        let clock = SpanClock::start(&*ctx.rec);
-        let layers: Vec<Layer> = per_layer.keys().copied().collect();
-        let (overlay, needs_flip) = ctx.ledger.trial_color(&proposal, &layers);
-        let mut flipped = false;
-        if needs_flip || overlay > ctx.config.flip_threshold {
-            ctx.ledger.flip_trial(&proposal, &layers);
-            flipped = true;
-        }
-        let risky_layers = ctx.ledger.risky_layers(&proposal, &layers);
-        clock.stop(ctx.rec, Stage::Recolor);
-        if !risky_layers.is_empty() {
-            let cells: Vec<(Layer, TrackRect)> = found
-                .iter()
-                .filter(|f| risky_layers.contains(&f.layer))
-                .map(|f| (f.layer, f.our_rect))
-                .collect();
-            ctx.ledger.abort(proposal);
-            rip_up(ctx, key, attempt, RipReason::Risk, &cells);
-            continue;
-        }
-        if flipped {
-            ctx.ledger.counters.flips += 1;
-        }
-
-        // Stage 5: commit.
-        let clock = SpanClock::start(&*ctx.rec);
-        ctx.ledger
-            .commit(proposal, plane, ctx.dir_map, net, candidate);
-        clock.stop(ctx.rec, Stage::Commit);
-        if ctx.rec.enabled() {
-            ctx.rec.event(RouterEvent::NetRouted {
-                net: key,
-                attempts: attempt + 1,
-                flipped,
-            });
-        }
-        return true;
     }
     // Attempts exhausted; leave the graphs clean.
     if count_failures {
@@ -294,6 +254,154 @@ pub(crate) fn route_net(
     false
 }
 
+/// Why [`commit_candidate`] rejected a tentative route. Each variant
+/// carries the offending cells so the caller can penalise them; the
+/// ledger proposal is already aborted when one of these is returned.
+pub(crate) enum StageReject {
+    /// Merge-and-cut is disabled and the route formed 1-b pairs (the
+    /// \[16\] ablation behaviour).
+    Merge(Vec<(Layer, TrackRect)>),
+    /// Unavoidable type-B cut conflict (Fig. 16).
+    TypeB(Vec<(Layer, TrackRect)>),
+    /// Constraint-graph rejection: odd cycle or infeasible pair.
+    Graph {
+        layer: Layer,
+        other: u32,
+        cells: Vec<(Layer, TrackRect)>,
+    },
+    /// The trial coloring could not avoid a realized risk.
+    Risk(Vec<(Layer, TrackRect)>),
+}
+
+/// Stages 2-5 of the pipeline for an already-found candidate: scenario
+/// scan, type-B cut-conflict check, propose, trial coloring, commit.
+/// Returns whether the committed net's component was flipped, or the
+/// rejection (with the proposal aborted and the graphs rolled back).
+///
+/// Split out of [`route_net`] so checkpoint replay can re-commit
+/// journaled routes through the identical pipeline without searching.
+pub(crate) fn commit_candidate(
+    ctx: &mut RouteCtx<'_>,
+    plane: &mut RoutingPlane,
+    net: &Net,
+    candidate: crate::search::RouteCandidate,
+) -> Result<bool, StageReject> {
+    let key = net.id.0;
+
+    // Stage 2: classify the tentative route against the routed layout
+    // (BTreeMap: layer order must be deterministic).
+    let clock = SpanClock::start(&*ctx.rec);
+    let mut found: Vec<FoundScenario> = Vec::new();
+    let mut per_layer: BTreeMap<Layer, Vec<TrackRect>> = BTreeMap::new();
+    for &(layer, rect) in &candidate.fragments {
+        per_layer.entry(layer).or_default().push(rect);
+    }
+    for (layer, frags) in &per_layer {
+        found.extend(scan_fragments(
+            *layer,
+            key,
+            frags,
+            ctx.ledger.frag_index(*layer),
+            plane.rules(),
+        ));
+    }
+    clock.stop(ctx.rec, Stage::Commit);
+
+    // Ablation: without the merge technique every tip-to-tip pair is
+    // undecomposable (the \[16\] behaviour) and must be routed away
+    // from.
+    if !ctx.config.allow_merge {
+        let merges: Vec<(Layer, TrackRect)> = found
+            .iter()
+            .filter(|f| f.scenario.kind == ScenarioKind::OneB)
+            .map(|f| (f.layer, f.our_rect))
+            .collect();
+        if !merges.is_empty() {
+            return Err(StageReject::Merge(merges));
+        }
+    }
+
+    // Cut conflict check (type B, Fig. 16).
+    if let Some(bad) = type_b_conflict(&found, plane.rules()) {
+        return Err(StageReject::TypeB(bad));
+    }
+
+    // Stage 3: propose — stage the scenario edges in the ledger; odd
+    // cycles or infeasible pairs abort the proposal and trigger rip-up
+    // (Fig. 19 lines 6-9). The union-find checkpoints inside the
+    // proposal make the abort O(net) instead of O(E).
+    let clock = SpanClock::start(&*ctx.rec);
+    let proposal = ctx.ledger.propose(net.id);
+    let mut offender: Option<(Layer, u32)> = None;
+    for f in &found {
+        if !f.scenario.is_constraining() {
+            continue;
+        }
+        if ctx
+            .ledger
+            .add_scenario(
+                &proposal,
+                f.layer,
+                f.other_net,
+                f.scenario.kind,
+                f.scenario.table,
+            )
+            .is_err()
+        {
+            offender = Some((f.layer, f.other_net));
+            break;
+        }
+    }
+    clock.stop(ctx.rec, Stage::Commit);
+    if let Some((layer, bad_net)) = offender {
+        ctx.ledger.abort(proposal);
+        let cells: Vec<(Layer, TrackRect)> = found
+            .iter()
+            .filter(|f| f.layer == layer && f.other_net == bad_net)
+            .map(|f| (layer, f.our_rect))
+            .collect();
+        return Err(StageReject::Graph {
+            layer,
+            other: bad_net,
+            cells,
+        });
+    }
+
+    // Stage 4: trial coloring — pseudo-color, flip on demand, and
+    // verify no hard overlay or type-A cut risk remains realized. A
+    // risk the coloring cannot avoid is a cut conflict in the making —
+    // abort and steer away (Fig. 19 lines 6-9).
+    let clock = SpanClock::start(&*ctx.rec);
+    let layers: Vec<Layer> = per_layer.keys().copied().collect();
+    let (overlay, needs_flip) = ctx.ledger.trial_color(&proposal, &layers);
+    let mut flipped = false;
+    if needs_flip || overlay > ctx.config.flip_threshold {
+        ctx.ledger.flip_trial(&proposal, &layers);
+        flipped = true;
+    }
+    let risky_layers = ctx.ledger.risky_layers(&proposal, &layers);
+    clock.stop(ctx.rec, Stage::Recolor);
+    if !risky_layers.is_empty() {
+        let cells: Vec<(Layer, TrackRect)> = found
+            .iter()
+            .filter(|f| risky_layers.contains(&f.layer))
+            .map(|f| (f.layer, f.our_rect))
+            .collect();
+        ctx.ledger.abort(proposal);
+        return Err(StageReject::Risk(cells));
+    }
+    if flipped {
+        ctx.ledger.counters.flips += 1;
+    }
+
+    // Stage 5: commit.
+    let clock = SpanClock::start(&*ctx.rec);
+    ctx.ledger
+        .commit(proposal, plane, ctx.dir_map, net, candidate);
+    clock.stop(ctx.rec, Stage::Commit);
+    Ok(flipped)
+}
+
 /// Routes one net against the global state, building the context from the
 /// router's workspace. `seed_penalties` and `count_failures` as in
 /// [`route_net`].
@@ -305,6 +413,7 @@ pub(crate) fn route_one(
     plane: &mut RoutingPlane,
     net: &Net,
     seed_penalties: &[(GridPoint, u64)],
+    run_budget: &RunBudget,
     rec: &mut dyn Recorder,
     count_failures: bool,
 ) -> bool {
@@ -315,6 +424,7 @@ pub(crate) fn route_one(
         guards: &ws.guards,
         penalties: &mut ws.penalties,
         scratch: &mut ws.scratch,
+        run_budget,
         rec,
     };
     route_net(&mut ctx, plane, net, seed_penalties, count_failures)
@@ -375,6 +485,14 @@ struct BandOutcome {
 /// band, else via the region-sharded band schedule (see the module docs).
 /// Failed nets are appended to `failed` in schedule order (band nets in
 /// ascending band order, then boundary nets in net order).
+///
+/// Fault tolerance: band workers run under `catch_unwind`. A band whose
+/// worker panics is discarded wholesale and re-run serially *before* the
+/// fold, by the identical worker closure with fault injection disabled —
+/// so the recovered band's outcome is bit-for-bit the one a clean worker
+/// would have produced, and the merged result stays byte-identical for
+/// every thread count. A panic that survives the clean retry is a
+/// deterministic bug that would abort the serial run too; it propagates.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn route_schedule(
     config: &RouterConfig,
@@ -384,15 +502,35 @@ pub(crate) fn route_schedule(
     netlist: &Netlist,
     order: &[NetId],
     failed: &mut Vec<NetId>,
+    run_budget: &RunBudget,
     rec: &mut dyn Recorder,
+    mut checkpoint: Option<CheckpointHook<'_>>,
 ) {
     let halo = sadp_scenario::interaction_radius_tracks(plane.rules());
     let plan = BandPlan::for_plane(plane.width(), halo);
     if plan.len() <= 1 {
         for &id in order {
-            if !route_one(config, ledger, ws, plane, netlist.net(id), &[], rec, true) {
+            if !route_one(
+                config,
+                ledger,
+                ws,
+                plane,
+                netlist.net(id),
+                &[],
+                run_budget,
+                rec,
+                true,
+            ) {
                 failed.push(id);
             }
+            if let Some(cb) = checkpoint.as_mut() {
+                cb(ledger, failed, false);
+            }
+        }
+        // Final forced boundary: even a run too small to hit a throttled
+        // tick leaves a complete, resumable snapshot behind.
+        if let Some(cb) = checkpoint.as_mut() {
+            cb(ledger, failed, true);
         }
         return;
     }
@@ -423,7 +561,17 @@ pub(crate) fn route_schedule(
     // sharing the caller's recorder; each worker buffers privately.
     let trace = rec.enabled();
     let timing = rec.timing();
-    let run_band = move |j: usize| -> BandOutcome {
+    // `inject` arms the fault plan's band panics; the recovery retry runs
+    // the same closure with it off. (The scratch allocation can only
+    // panic on an oversized plane, which `begin_sized` already rejected.)
+    let run_band = move |j: usize, inject: bool| -> BandOutcome {
+        let panic_at = if inject {
+            config
+                .faults
+                .and_then(|f| f.band_panic(j, band_nets_ref[j].len()))
+        } else {
+            None
+        };
         let mut band_plane = plane_ref.clone();
         let mut band_ledger = CommitLedger::new(plane_ref, expected);
         let mut dir_map = DirGrid::new(plane_ref, None);
@@ -431,7 +579,10 @@ pub(crate) fn route_schedule(
         let mut scratch = SearchScratch::new(plane_ref);
         let mut band_failed = Vec::new();
         let mut band_rec = BufferRecorder::with_flags(trace, timing);
-        for &id in &band_nets_ref[j] {
+        for (k, &id) in band_nets_ref[j].iter().enumerate() {
+            if panic_at == Some(k) {
+                panic!("injected fault: band {j} worker dies before net {k}");
+            }
             let mut ctx = RouteCtx {
                 config,
                 ledger: &mut band_ledger,
@@ -439,6 +590,7 @@ pub(crate) fn route_schedule(
                 guards,
                 penalties: &mut penalties,
                 scratch: &mut scratch,
+                run_budget,
                 rec: &mut band_rec,
             };
             if !route_net(&mut ctx, &mut band_plane, netlist.net(id), &[], true) {
@@ -451,12 +603,18 @@ pub(crate) fn route_schedule(
             rec: band_rec,
         }
     };
+    // The isolation boundary: a worker panic poisons only its own band's
+    // private state, which is discarded. Applied on the sequential path
+    // too, so behavior is thread-count-invariant.
+    let guarded = |j: usize| -> Option<BandOutcome> {
+        catch_unwind(AssertUnwindSafe(|| run_band(j, true))).ok()
+    };
 
-    let mut results: Vec<(usize, BandOutcome)> = if workers <= 1 {
-        (0..bands).map(|j| (j, run_band(j))).collect()
+    let mut results: Vec<(usize, Option<BandOutcome>)> = if workers <= 1 {
+        (0..bands).map(|j| (j, guarded(j))).collect()
     } else {
         let next = AtomicUsize::new(0);
-        let run = &run_band;
+        let run = &guarded;
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -476,12 +634,29 @@ pub(crate) fn route_schedule(
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("band worker panicked"))
+                .flat_map(|h| {
+                    h.join()
+                        .expect("band worker panicked outside the isolation boundary")
+                })
                 .collect()
         })
     };
     // Deterministic fold regardless of which worker finished which band.
     results.sort_by_key(|&(j, _)| j);
+    // Recovery pass, before any merge mutates the plane: each poisoned
+    // band re-runs serially through the identical closure (injection
+    // off), so the retried outcome is the one a clean worker produces.
+    let mut recovered = vec![false; bands];
+    let results: Vec<(usize, BandOutcome)> = results
+        .into_iter()
+        .map(|(j, out)| match out {
+            Some(out) => (j, out),
+            None => {
+                recovered[j] = true;
+                (j, run_band(j, false))
+            }
+        })
+        .collect();
     for (j, outcome) in results {
         let nets = outcome.ledger.routed().len() as u64;
         let clock = SpanClock::start(&*rec);
@@ -491,21 +666,49 @@ pub(crate) fn route_schedule(
         // trace reads as "band j's routing, then band j folded in", in
         // ascending band order for every worker count.
         outcome.rec.replay_into(rec);
-        if rec.enabled() {
+        if recovered[j] {
+            ledger.counters.bands_recovered += 1;
+            if rec.enabled() {
+                rec.event(RouterEvent::BandRecovered {
+                    band: j as u32,
+                    nets,
+                });
+            }
+        } else if rec.enabled() {
             rec.event(RouterEvent::BandMerged {
                 band: j as u32,
                 nets,
             });
         }
         failed.extend(outcome.failed);
+        if let Some(cb) = checkpoint.as_mut() {
+            cb(ledger, failed, true);
+        }
     }
 
     // Boundary phase: nets straddling a band edge route serially against
     // the merged state, exactly like the single-band path.
     for &id in &boundary {
-        if !route_one(config, ledger, ws, plane, netlist.net(id), &[], rec, true) {
+        if !route_one(
+            config,
+            ledger,
+            ws,
+            plane,
+            netlist.net(id),
+            &[],
+            run_budget,
+            rec,
+            true,
+        ) {
             failed.push(id);
         }
+        if let Some(cb) = checkpoint.as_mut() {
+            cb(ledger, failed, false);
+        }
+    }
+    // Final forced boundary, mirroring the serial path above.
+    if let Some(cb) = checkpoint.as_mut() {
+        cb(ledger, failed, true);
     }
 }
 

@@ -103,6 +103,11 @@ pub struct LedgerCounters {
     pub flips: u64,
     /// Total A\*-nodes expanded.
     pub nodes_expanded: u64,
+    /// Nets that ran out of their search budget (per-net or whole-run).
+    pub failed_budget: u64,
+    /// Band workers that panicked and were re-routed on the serial
+    /// fallback path.
+    pub bands_recovered: u64,
 }
 
 impl LedgerCounters {
@@ -112,7 +117,8 @@ impl LedgerCounters {
         format!(
             "{{\"ripups\":{},\"ripups_type_b\":{},\"ripups_graph\":{},\
              \"ripups_risk\":{},\"failed_no_path\":{},\"failed_exhausted\":{},\
-             \"failed_cleanup\":{},\"flips\":{},\"nodes_expanded\":{}}}",
+             \"failed_cleanup\":{},\"flips\":{},\"nodes_expanded\":{},\
+             \"failed_budget\":{},\"bands_recovered\":{}}}",
             self.ripups,
             self.ripups_type_b,
             self.ripups_graph,
@@ -121,7 +127,9 @@ impl LedgerCounters {
             self.failed_exhausted,
             self.failed_cleanup,
             self.flips,
-            self.nodes_expanded
+            self.nodes_expanded,
+            self.failed_budget,
+            self.bands_recovered
         )
     }
 
@@ -140,6 +148,8 @@ impl LedgerCounters {
         self.failed_cleanup += other.failed_cleanup;
         self.flips += other.flips;
         self.nodes_expanded += other.nodes_expanded;
+        self.failed_budget += other.failed_budget;
+        self.bands_recovered += other.bands_recovered;
     }
 }
 

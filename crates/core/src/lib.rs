@@ -40,9 +40,12 @@
 
 pub mod astar;
 pub mod bucket;
+pub mod budget;
+pub mod checkpoint;
 pub mod config;
 pub mod decompose;
 mod driver;
+pub mod fault;
 pub mod grids;
 pub mod ledger;
 pub mod report;
@@ -53,10 +56,13 @@ pub mod stats;
 
 pub use astar::{AstarRequest, SearchScratch, SearchStats};
 pub use bucket::BucketQueue;
+pub use budget::{Budget, RunBudget};
+pub use checkpoint::{Snapshot, SnapshotError};
 pub use config::{NetOrder, RouterConfig};
 pub use decompose::{
     decompose_layout, decompose_layout_observed, LayoutColoring, UndecomposableLayout,
 };
+pub use fault::FaultPlan;
 pub use grids::{DenseGrid, DirGrid, GuardGrid, PenaltyGrid, NO_GUARD};
 pub use ledger::{CommitLedger, CommitRecord, LedgerCounters, Proposal, RoutedNet};
 pub use report::RoutingReport;

@@ -7,6 +7,8 @@
 //! flipping passes and the conflict cleanup. See DESIGN.md, "Pipeline
 //! architecture".
 
+use crate::budget::RunBudget;
+use crate::checkpoint::{self, Snapshot, SnapshotError};
 use crate::config::RouterConfig;
 use crate::driver;
 use crate::grids::{DirGrid, GuardGrid, PenaltyGrid, NO_GUARD};
@@ -115,6 +117,10 @@ pub struct Router {
     workspace: Option<Workspace>,
     failed: Vec<NetId>,
     color_fallbacks: Cell<u64>,
+    /// The whole-run budget, re-armed at the start of every `route_all`
+    /// from the config (unlimited between runs, so the incremental API
+    /// is never throttled by a stale deadline).
+    run_budget: RunBudget,
 }
 
 impl Router {
@@ -127,6 +133,7 @@ impl Router {
             workspace: None,
             failed: Vec::new(),
             color_fallbacks: Cell::new(0),
+            run_budget: RunBudget::unlimited(),
         }
     }
 
@@ -228,15 +235,57 @@ impl Router {
         netlist: &Netlist,
         rec: &mut dyn Recorder,
     ) -> RoutingReport {
+        self.route_all_recoverable(plane, netlist, rec, None, None)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Router::route_all_with`] with checkpoint/resume:
+    ///
+    /// * `resume` — a parsed [`Snapshot`] to start from. Its journaled
+    ///   routes are re-committed through the identical stage pipeline
+    ///   (no searching) and only the remaining nets are routed. The
+    ///   final result is byte-identical to an uninterrupted run because
+    ///   snapshots are only taken at schedule-aligned boundaries.
+    /// * `save` — a sink called with fresh snapshot text at those
+    ///   boundaries: after every band fold, and (throttled) between
+    ///   serial nets. `None` disables checkpointing at zero cost — the
+    ///   input fingerprint is not even computed then.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Router`] for an oversized plane,
+    /// [`SnapshotError::FingerprintMismatch`] when `resume` was taken
+    /// from a different plane/netlist, and
+    /// [`SnapshotError::ReplayDiverged`] when a journaled route no
+    /// longer commits cleanly.
+    pub fn route_all_recoverable(
+        &mut self,
+        plane: &mut RoutingPlane,
+        netlist: &Netlist,
+        rec: &mut dyn Recorder,
+        resume: Option<&Snapshot>,
+        mut save: Option<&mut dyn FnMut(&str)>,
+    ) -> Result<RoutingReport, SnapshotError> {
         let start = Instant::now();
-        self.begin_sized(plane, netlist.len());
-        let order = self.net_order(netlist);
+        self.try_begin_sized(plane, netlist.len())?;
+        self.run_budget = RunBudget::from_config(&self.config);
+        // The input fingerprint costs a serialization pass, so it is
+        // computed only when checkpointing or resuming asks for it.
+        let fp =
+            (resume.is_some() || save.is_some()).then(|| checkpoint::fingerprint(plane, netlist));
+        if let (Some(snap), Some(fp)) = (resume, fp) {
+            if snap.fingerprint() != fp {
+                return Err(SnapshotError::FingerprintMismatch);
+            }
+        }
+        let mut order = self.net_order(netlist);
         {
             let Router {
                 config,
                 ledger,
                 workspace,
                 failed,
+                run_budget,
                 ..
             } = self;
             let ws = workspace.as_mut().expect("begin_sized sets the workspace");
@@ -246,14 +295,39 @@ impl Router {
             for net in netlist {
                 driver::reserve_pins(config, &mut ws.guards, plane, net);
             }
-            driver::route_schedule(config, ledger, ws, plane, netlist, &order, failed, rec);
+            if let Some(snap) = resume {
+                replay_snapshot(snap, config, ledger, ws, plane, netlist, failed, run_budget)?;
+                let done: std::collections::HashSet<NetId> = snap.processed().into_iter().collect();
+                order.retain(|id| !done.contains(id));
+            }
+            // The hook serializes the whole journal each time, so the
+            // per-net ticks on the serial paths are throttled; band
+            // folds (force = true) always persist.
+            let mut hook_fn;
+            let hook: Option<driver::CheckpointHook<'_>> = match save.as_mut() {
+                Some(sink) => {
+                    let fp = fp.expect("fingerprint is computed when saving");
+                    let mut tick = 0u64;
+                    hook_fn = move |ledger: &CommitLedger, failed: &[NetId], force: bool| {
+                        tick += 1;
+                        if force || tick.is_multiple_of(64) {
+                            sink(&checkpoint::serialize(ledger, failed, fp));
+                        }
+                    };
+                    Some(&mut hook_fn)
+                }
+                None => None,
+            };
+            driver::route_schedule(
+                config, ledger, ws, plane, netlist, &order, failed, run_budget, rec, hook,
+            );
         }
         self.finalize_with(plane, netlist, rec);
         let mut report = self.build_report(netlist, start);
         if let Some(profile) = rec.profile() {
             report.profile = profile;
         }
-        report
+        Ok(report)
     }
 
     /// [`Router::route_all_with`], but an oversized plane is a
@@ -335,6 +409,7 @@ impl Router {
             ledger,
             workspace,
             failed,
+            run_budget,
             ..
         } = self;
         if ledger.layer_count() == 0 {
@@ -342,7 +417,17 @@ impl Router {
         }
         let ws = workspace.as_mut().ok_or(RouterError::NotBegun)?;
         driver::reserve_pins(config, &mut ws.guards, plane, net);
-        let ok = driver::route_one(config, ledger, ws, plane, net, &[], &mut NoopRecorder, true);
+        let ok = driver::route_one(
+            config,
+            ledger,
+            ws,
+            plane,
+            net,
+            &[],
+            run_budget,
+            &mut NoopRecorder,
+            true,
+        );
         if !ok {
             failed.push(net.id);
         }
@@ -515,6 +600,7 @@ impl Router {
             ledger,
             workspace,
             failed,
+            run_budget,
             ..
         } = self;
         let ws = workspace.as_mut().expect("repair runs after begin");
@@ -537,7 +623,9 @@ impl Router {
                     let _ = plane.occupy(c, id);
                 }
             }
-            let ok = driver::route_one(config, ledger, ws, plane, net_ref, &seeds, rec, false);
+            let ok = driver::route_one(
+                config, ledger, ws, plane, net_ref, &seeds, run_budget, rec, false,
+            );
             if !ok {
                 failed.push(id);
                 ledger.counters.failed_cleanup += 1;
@@ -583,6 +671,8 @@ impl Router {
             failed_no_path: c.failed_no_path,
             failed_exhausted: c.failed_exhausted,
             failed_cleanup: c.failed_cleanup,
+            failed_budget: c.failed_budget,
+            bands_recovered: c.bands_recovered,
             flips: c.flips,
             nodes_expanded: c.nodes_expanded,
             cpu: start.elapsed(),
@@ -634,6 +724,7 @@ impl Router {
             ledger,
             workspace,
             failed,
+            run_budget,
             ..
         } = self;
         let Some(ws) = workspace.as_mut() else {
@@ -700,8 +791,9 @@ impl Router {
                     // *cleanup* casualty, not an initial-routing failure —
                     // letting route_net bump failed_no_path/failed_exhausted
                     // for it double-counted the net across failure counters.
-                    let ok =
-                        driver::route_one(config, ledger, ws, plane, net_ref, &seeds, rec, false);
+                    let ok = driver::route_one(
+                        config, ledger, ws, plane, net_ref, &seeds, run_budget, rec, false,
+                    );
                     let risk_again = ok
                         && (0..ledger.layer_count()).any(|l| ledger.graphs()[l].net_has_risk(net));
                     if risk_again || !ok {
@@ -747,6 +839,49 @@ impl Router {
             }
         }
     }
+}
+
+/// Re-commits a snapshot's journal against a freshly begun router state:
+/// every journaled route goes through the identical stage pipeline
+/// ([`driver::commit_candidate`]) in journal order, which reproduces the
+/// plane occupancy, direction map, fragment-index scan order and graph
+/// state of the original prefix exactly — no searching involved. The
+/// snapshot's counters then overwrite the replayed ones (replay re-counts
+/// flips but none of the search/rip-up work).
+#[allow(clippy::too_many_arguments)]
+fn replay_snapshot(
+    snap: &Snapshot,
+    config: &RouterConfig,
+    ledger: &mut CommitLedger,
+    ws: &mut Workspace,
+    plane: &mut RoutingPlane,
+    netlist: &Netlist,
+    failed: &mut Vec<NetId>,
+    run_budget: &RunBudget,
+) -> Result<(), SnapshotError> {
+    let mut rec = NoopRecorder;
+    for n in &snap.nets {
+        if n.id.index() >= netlist.len() {
+            return Err(SnapshotError::ReplayDiverged);
+        }
+        let candidate = Snapshot::candidate_of(n)?;
+        let mut ctx = driver::RouteCtx {
+            config,
+            ledger,
+            dir_map: &mut ws.dir_map,
+            guards: &ws.guards,
+            penalties: &mut ws.penalties,
+            scratch: &mut ws.scratch,
+            run_budget,
+            rec: &mut rec,
+        };
+        if driver::commit_candidate(&mut ctx, plane, netlist.net(n.id), candidate).is_err() {
+            return Err(SnapshotError::ReplayDiverged);
+        }
+    }
+    ledger.counters = snap.counters();
+    failed.extend(snap.failed.iter().copied());
+    Ok(())
 }
 
 #[cfg(test)]

@@ -13,7 +13,8 @@
 //! can run one instance per worker thread against clones/snapshots of the
 //! shared state with no coordination.
 
-use crate::astar::{astar_search_in, AstarRequest, SearchScratch, SearchStats};
+use crate::astar::{astar_search_budgeted, AstarRequest, SearchScratch, SearchStats};
+use crate::budget::Budget;
 use crate::config::RouterConfig;
 use crate::grids::{DirGrid, GuardGrid, PenaltyGrid};
 use sadp_geom::{GridPoint, Layer, TrackRect};
@@ -54,6 +55,10 @@ pub struct SearchOutcome {
     pub candidate: Option<RouteCandidate>,
     /// Total A\* nodes expanded across trunk and branch searches.
     pub expanded: u64,
+    /// Whether the net's search [`Budget`] ran out mid-search. When set,
+    /// `candidate` is `None` and the net must fail with
+    /// `FailReason::BudgetExceeded`, not `NoPath`.
+    pub budget_exceeded: bool,
 }
 
 impl SearchStage<'_> {
@@ -66,6 +71,27 @@ impl SearchStage<'_> {
         penalties: &PenaltyGrid,
         scratch: &mut SearchScratch,
     ) -> (Option<RoutePath>, SearchStats) {
+        self.search_budgeted(
+            net,
+            sources,
+            targets,
+            penalties,
+            scratch,
+            &mut Budget::unlimited(),
+        )
+    }
+
+    /// [`SearchStage::search`] under a caller-owned [`Budget`], charged
+    /// once per expanded node.
+    pub fn search_budgeted(
+        &self,
+        net: NetId,
+        sources: &[GridPoint],
+        targets: &[GridPoint],
+        penalties: &PenaltyGrid,
+        scratch: &mut SearchScratch,
+        budget: &mut Budget,
+    ) -> (Option<RoutePath>, SearchStats) {
         let req = AstarRequest {
             net,
             sources,
@@ -73,7 +99,7 @@ impl SearchStage<'_> {
             penalties,
             guards: self.guards,
         };
-        astar_search_in(self.plane, &req, self.dir_map, self.config, scratch)
+        astar_search_budgeted(self.plane, &req, self.dir_map, self.config, scratch, budget)
     }
 
     /// Searches a full candidate route for `net`: the trunk between the
@@ -87,18 +113,34 @@ impl SearchStage<'_> {
         penalties: &PenaltyGrid,
         scratch: &mut SearchScratch,
     ) -> SearchOutcome {
-        let (path, stats) = self.search(
+        self.search_net_budgeted(net, penalties, scratch, &mut Budget::unlimited())
+    }
+
+    /// [`SearchStage::search_net`] under the net's [`Budget`]. The budget
+    /// spans the trunk and every branch search; once it runs out the
+    /// outcome carries `budget_exceeded` and no candidate.
+    #[must_use]
+    pub fn search_net_budgeted(
+        &self,
+        net: &Net,
+        penalties: &PenaltyGrid,
+        scratch: &mut SearchScratch,
+        budget: &mut Budget,
+    ) -> SearchOutcome {
+        let (path, stats) = self.search_budgeted(
             net.id,
             net.source.candidates(),
             net.target.candidates(),
             penalties,
             scratch,
+            budget,
         );
         let mut expanded = stats.expanded;
         let Some(path) = path else {
             return SearchOutcome {
                 candidate: None,
                 expanded,
+                budget_exceeded: stats.budget_exceeded,
             };
         };
 
@@ -108,8 +150,14 @@ impl SearchStage<'_> {
             for b in &branches {
                 targets.extend_from_slice(b.points());
             }
-            let (bpath, bstats) =
-                self.search(net.id, pin.candidates(), &targets, penalties, scratch);
+            let (bpath, bstats) = self.search_budgeted(
+                net.id,
+                pin.candidates(),
+                &targets,
+                penalties,
+                scratch,
+                budget,
+            );
             expanded += bstats.expanded;
             match bpath {
                 Some(bp) => branches.push(bp),
@@ -117,6 +165,7 @@ impl SearchStage<'_> {
                     return SearchOutcome {
                         candidate: None,
                         expanded,
+                        budget_exceeded: bstats.budget_exceeded,
                     }
                 }
             }
@@ -133,22 +182,24 @@ impl SearchStage<'_> {
                 fragments,
             }),
             expanded,
+            budget_exceeded: false,
         }
     }
 
-    /// [`SearchStage::search_net`], timed as one `search` span on `rec`.
-    /// One virtual call per net attempt — the per-node inner loop stays
-    /// observation-free.
+    /// [`SearchStage::search_net_budgeted`], timed as one `search` span
+    /// on `rec`. One virtual call per net attempt — the per-node inner
+    /// loop stays observation-free.
     #[must_use]
     pub fn search_net_observed(
         &self,
         net: &Net,
         penalties: &PenaltyGrid,
         scratch: &mut SearchScratch,
+        budget: &mut Budget,
         rec: &mut dyn Recorder,
     ) -> SearchOutcome {
         let clock = SpanClock::start(&*rec);
-        let outcome = self.search_net(net, penalties, scratch);
+        let outcome = self.search_net_budgeted(net, penalties, scratch, budget);
         clock.stop(rec, Stage::Search);
         outcome
     }

@@ -9,7 +9,7 @@
 
 use crate::generator::FuzzInstance;
 use sadp_baselines::{BaselineKind, BaselineRouter};
-use sadp_core::{Router, RouterConfig, RoutingReport};
+use sadp_core::{FaultPlan, Router, RouterConfig, RoutingReport};
 use sadp_decomp::verify_layers;
 use sadp_geom::{Layer, TrackRect};
 use sadp_grid::{Netlist, RoutingPlane};
@@ -48,6 +48,11 @@ pub enum Invariant {
     /// The baseline router must accept the same instance without
     /// panicking and produce a self-consistent report.
     BaselineSane,
+    /// Under an injected [`FaultPlan`] the run must recover: no abort, no
+    /// net silently lost, budget failures counted exactly once each,
+    /// band-panic recovery byte-invisible, and the whole faulted result
+    /// byte-identical across thread counts.
+    FaultRecovery,
 }
 
 impl Invariant {
@@ -67,6 +72,7 @@ impl Invariant {
             Invariant::VerdictAgrees => "verdict-agrees",
             Invariant::ThreadDeterminism => "thread-determinism",
             Invariant::BaselineSane => "baseline-sane",
+            Invariant::FaultRecovery => "fault-recovery",
         }
     }
 }
@@ -105,6 +111,10 @@ pub struct OracleConfig {
     pub differential: bool,
     /// Whether to run the baseline cross-check.
     pub baseline: bool,
+    /// When set, additionally route the instance under the
+    /// [`FaultPlan`] for this seed (injected band-worker panics and
+    /// budget exhaustion) and check the recovery invariants.
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for OracleConfig {
@@ -113,6 +123,7 @@ impl Default for OracleConfig {
             threads: 4,
             differential: true,
             baseline: true,
+            fault_seed: None,
         }
     }
 }
@@ -152,11 +163,13 @@ fn route_once(
     plane: &RoutingPlane,
     netlist: &Netlist,
     threads: usize,
+    faults: Option<u64>,
 ) -> Result<RunResult, Violation> {
     let run = catch_unwind(AssertUnwindSafe(|| {
         let mut plane = plane.clone();
         let mut config = RouterConfig::paper_defaults();
         config.threads = threads;
+        config.faults = faults.map(FaultPlan::new);
         let mut router = Router::new(config);
         let mut rec = BufferRecorder::with_flags(true, false);
         let report = router.try_route_all(&mut plane, netlist, &mut rec);
@@ -234,15 +247,18 @@ pub fn check_layout(
     netlist: &Netlist,
     cfg: &OracleConfig,
 ) -> Result<OracleStats, Violation> {
-    let serial = route_once(plane, netlist, 1)?;
+    let serial = route_once(plane, netlist, 1, None)?;
     check_structure(netlist, &serial)?;
     let hard_runs = check_verdict(plane, &serial)?;
     if cfg.differential && cfg.threads > 1 {
-        let sharded = route_once(plane, netlist, cfg.threads)?;
+        let sharded = route_once(plane, netlist, cfg.threads, None)?;
         check_differential(&serial, &sharded, cfg.threads)?;
     }
     if cfg.baseline {
         check_baseline(plane, netlist)?;
+    }
+    if let Some(seed) = cfg.fault_seed {
+        check_faults(plane, netlist, cfg, &serial, seed)?;
     }
     Ok(OracleStats {
         nets: netlist.len(),
@@ -417,6 +433,80 @@ fn check_baseline(plane: &RoutingPlane, netlist: &Netlist) -> Result<(), Violati
     }
 }
 
+/// Routes the instance under the [`FaultPlan`] for `seed` (injected
+/// band-worker panics and per-net budget exhaustion) and checks the
+/// recovery invariants against the clean serial run:
+///
+/// * the faulted run completes — a panic escaping the isolation boundary
+///   is a `no-panic` violation from [`route_once`],
+/// * no net is silently lost (`routed + failed` still partitions the
+///   netlist),
+/// * every injected budget fault is counted exactly once in
+///   `failed_budget`,
+/// * when only band panics were injected, the routed output is
+///   byte-identical to the clean run (recovery is invisible apart from
+///   the `bands_recovered` counter),
+/// * the whole faulted result is byte-identical across thread counts.
+fn check_faults(
+    plane: &RoutingPlane,
+    netlist: &Netlist,
+    cfg: &OracleConfig,
+    clean: &RunResult,
+    seed: u64,
+) -> Result<(), Violation> {
+    let bad = |what: String| Err(Violation::new(Invariant::FaultRecovery, what));
+    let faulted = route_once(plane, netlist, 1, Some(seed))?;
+    let r = &faulted.report;
+    if r.routed_nets + faulted.failed.len() != netlist.len() {
+        return bad(format!(
+            "faults seed {seed}: {} routed + {} failed != {} total",
+            r.routed_nets,
+            faulted.failed.len(),
+            netlist.len()
+        ));
+    }
+    let plan = FaultPlan::new(seed);
+    let injected = netlist
+        .iter()
+        .filter(|n| plan.injects_net_budget(n.id.0))
+        .count() as u64;
+    if r.failed_budget != injected {
+        return bad(format!(
+            "faults seed {seed}: failed_budget {} but {injected} nets had budget faults injected",
+            r.failed_budget
+        ));
+    }
+    if injected == 0 {
+        // Pure band-panic faults: recovery must be byte-invisible.
+        let mut masked = faulted.report.clone();
+        masked.bands_recovered = 0;
+        if masked != clean.report
+            || faulted.patterns != clean.patterns
+            || faulted.failed != clean.failed
+            || faulted.usage != clean.usage
+        {
+            return bad(format!(
+                "faults seed {seed}: band-panic recovery changed the routed output"
+            ));
+        }
+    }
+    if cfg.differential && cfg.threads > 1 {
+        let sharded = route_once(plane, netlist, cfg.threads, Some(seed))?;
+        if faulted.report != sharded.report
+            || faulted.patterns != sharded.patterns
+            || faulted.failed != sharded.failed
+            || faulted.usage != sharded.usage
+            || faulted.trace != sharded.trace
+        {
+            return bad(format!(
+                "faults seed {seed}: threads-1 vs threads-{} diverged under injected faults",
+                cfg.threads
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +517,7 @@ mod tests {
             threads: 2,
             differential: true,
             baseline: true,
+            fault_seed: None,
         }
     }
 
@@ -478,8 +569,30 @@ mod tests {
             Invariant::VerdictAgrees,
             Invariant::ThreadDeterminism,
             Invariant::BaselineSane,
+            Invariant::FaultRecovery,
         ] {
             assert!(!inv.name().is_empty());
         }
+    }
+
+    #[test]
+    fn clean_instances_recover_from_injected_faults() {
+        // A couple of (regime, fault seed) pairs; the recovery invariants
+        // must hold for every seed, whether or not it triggers a fault.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence injected panics
+        let result = catch_unwind(|| {
+            for fault_seed in [0u64, 1, 7] {
+                let cfg = OracleConfig {
+                    fault_seed: Some(fault_seed),
+                    ..quick_cfg()
+                };
+                let inst = generate(Regime::DenseClock, 3);
+                check_instance(&inst, &cfg)
+                    .unwrap_or_else(|v| panic!("fault seed {fault_seed}: {v}"));
+            }
+        });
+        std::panic::set_hook(hook);
+        result.expect("fault-recovery oracle run failed");
     }
 }

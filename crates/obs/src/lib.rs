@@ -250,6 +250,9 @@ pub enum FailReason {
     Exhausted,
     /// The post-routing conflict cleanup gave the net up.
     Cleanup,
+    /// The per-net or whole-run search budget ran out before a route was
+    /// found.
+    BudgetExceeded,
 }
 
 impl FailReason {
@@ -260,6 +263,7 @@ impl FailReason {
             FailReason::NoPath => "no_path",
             FailReason::Exhausted => "exhausted",
             FailReason::Cleanup => "cleanup",
+            FailReason::BudgetExceeded => "budget_exceeded",
         }
     }
 }
@@ -313,6 +317,16 @@ pub enum RouterEvent {
         /// Nets the band committed.
         nets: u64,
     },
+    /// A band worker panicked (or failed to allocate its private state);
+    /// its nets were re-routed on the serial fallback path against the
+    /// global merged state. The final output is byte-identical to a run
+    /// where the band was never parallelized.
+    BandRecovered {
+        /// Band index (ascending merge order).
+        band: u32,
+        /// Nets re-routed serially for the poisoned band.
+        nets: u64,
+    },
     /// A hard-constraint odd cycle was broken by ripping up the proposing
     /// net (the re-route decomposes the cycle geometrically).
     OddCycleDecomposed {
@@ -335,6 +349,7 @@ impl RouterEvent {
             RouterEvent::NetFailed { .. } => "net_failed",
             RouterEvent::FlipPass { .. } => "flip_pass",
             RouterEvent::BandMerged { .. } => "band_merged",
+            RouterEvent::BandRecovered { .. } => "band_recovered",
             RouterEvent::OddCycleDecomposed { .. } => "odd_cycle_decomposed",
         }
     }
@@ -370,6 +385,9 @@ impl RouterEvent {
             ),
             RouterEvent::BandMerged { band, nets } => {
                 format!("{{\"event\":\"band_merged\",\"band\":{band},\"nets\":{nets}}}")
+            }
+            RouterEvent::BandRecovered { band, nets } => {
+                format!("{{\"event\":\"band_recovered\",\"band\":{band},\"nets\":{nets}}}")
             }
             RouterEvent::OddCycleDecomposed { net, layer, other } => format!(
                 "{{\"event\":\"odd_cycle_decomposed\",\"net\":{net},\"layer\":{layer},\"other\":{other}}}"
@@ -669,10 +687,15 @@ mod tests {
                 components: 4,
             },
             RouterEvent::BandMerged { band: 3, nets: 17 },
+            RouterEvent::BandRecovered { band: 4, nets: 9 },
             RouterEvent::OddCycleDecomposed {
                 net: 5,
                 layer: 0,
                 other: 2,
+            },
+            RouterEvent::NetFailed {
+                net: 9,
+                reason: FailReason::BudgetExceeded,
             },
         ];
         let jsonl = events_to_jsonl(&events);
@@ -682,7 +705,9 @@ mod tests {
             "{\"event\":\"net_failed\",\"net\":8,\"reason\":\"cleanup\"}\n",
             "{\"event\":\"flip_pass\",\"layer\":1,\"components\":4}\n",
             "{\"event\":\"band_merged\",\"band\":3,\"nets\":17}\n",
+            "{\"event\":\"band_recovered\",\"band\":4,\"nets\":9}\n",
             "{\"event\":\"odd_cycle_decomposed\",\"net\":5,\"layer\":0,\"other\":2}\n",
+            "{\"event\":\"net_failed\",\"net\":9,\"reason\":\"budget_exceeded\"}\n",
         );
         assert_eq!(jsonl, expected);
     }

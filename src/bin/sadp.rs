@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! sadp route <layout.txt> [--svg DIR] [--masks FILE] [--threads N]
-//!            [--trace FILE] [--profile]                route + verify a layout file
+//!            [--trace FILE] [--profile] [--checkpoint FILE] [--resume FILE]
+//!                                                      route + verify a layout file
 //! sadp verify <layout.txt> [--threads N] [--trace FILE] [--profile]
 //!                                                      route, then pixel-verify only
 //! sadp bench [--test K] [--scale X] [--seed N] [--threads N] [--trace FILE]
 //!            [--profile]                               route a TestK-family instance
 //! sadp fuzz [--seeds N] [--start S] [--regime R] [--minimize] [--threads N]
-//!           [--out DIR] [--replay FILE]                deterministic fuzzing campaign
+//!           [--out DIR] [--replay FILE] [--faults SEED]
+//!                                                      deterministic fuzzing campaign
 //! sadp table2                                          print the scenario table
 //! ```
 //!
@@ -19,7 +21,10 @@
 //! `--minimize`d) instance is written to `<out>/fuzz-<regime>-<seed>.layout`
 //! together with a `.trace.jsonl` event stream, and the exit code is
 //! nonzero. `--replay FILE` re-checks one such fixture instead of running
-//! a campaign.
+//! a campaign; a `# fault-seed:` marker in the fixture re-arms the same
+//! fault plan automatically. `--faults SEED` turns on deterministic fault
+//! injection: the oracle additionally checks that injected band panics
+//! and budget exhaustions are recovered without corrupting the output.
 //!
 //! `--threads N` runs the region-sharded schedule on up to `N` worker
 //! threads. The result is byte-identical for every `N` (the band
@@ -32,9 +37,26 @@
 //! `--threads` value. `--profile` prints the per-stage time/count table
 //! after routing.
 //!
+//! Budget flags (route/verify/bench): `--net-nodes N` caps A* node
+//! expansions per net (deterministic), `--net-deadline-ms MS` caps
+//! wall-clock per net, `--run-nodes N` / `--run-deadline-ms MS` cap the
+//! whole run; over-budget nets fail gracefully and the run finalises what
+//! it committed. `--faults SEED` (route/verify/bench) injects the
+//! deterministic fault plan for that seed — a recovery test-bench, not a
+//! production mode.
+//!
+//! `--checkpoint FILE` (route) periodically snapshots the commit ledger
+//! to `FILE` (atomic tmp+rename). `--resume FILE` starts from such a
+//! snapshot instead of from scratch; the final output is byte-identical
+//! to the uninterrupted run.
+//!
+//! Exit codes: 0 success, 1 failed check (verification, fuzz violation),
+//! 2 usage error, 3 unreadable/malformed input, 4 routing failure
+//! (router error, checkpoint mismatch, internal panic).
+//!
 //! Layout files use the `sadp_grid::io` text format (see its module docs).
 
-use sadp::core::ScenarioCensus;
+use sadp::core::{FaultPlan, ScenarioCensus, Snapshot};
 use sadp::decomp::{
     export_masks, render_svg, verify_layers_observed, ColoredPattern, CutSimulator,
 };
@@ -44,10 +66,73 @@ use sadp::prelude::*;
 use sadp_grid::BenchmarkSpec;
 use std::process::ExitCode;
 
+/// A CLI failure, classified so the process exit code tells scripts
+/// *what kind* of failure happened without parsing stderr.
+enum CliError {
+    /// Bad flags or arguments (exit 2). An empty message prints only
+    /// the usage block.
+    Usage(String),
+    /// Unreadable or malformed input — missing file, bad layout or
+    /// snapshot text (exit 3).
+    Input(String),
+    /// The router failed: router/checkpoint error or internal panic
+    /// (exit 4).
+    Routing(String),
+    /// A check found what it was looking for: verification failure,
+    /// fuzz violation, or an output-side I/O error (exit 1).
+    Other(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Usage(_) => ExitCode::from(2),
+            CliError::Input(_) => ExitCode::from(3),
+            CliError::Routing(_) => ExitCode::from(4),
+            CliError::Other(_) => ExitCode::FAILURE,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Input(m) | CliError::Routing(m) | CliError::Other(m) => {
+                m
+            }
+        }
+    }
+}
+
+type CliResult = Result<(), CliError>;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str);
-    let result = match cmd {
+    // The CLI never surfaces a raw panic: the default hook's backtrace
+    // banner is silenced and the payload is reported once below, as an
+    // ordinary error with the routing exit code.
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dispatch(&args)))
+        .unwrap_or_else(|payload| {
+            Err(CliError::Routing(format!(
+                "internal panic: {}",
+                panic_message(payload.as_ref())
+            )))
+        });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            if !e.message().is_empty() {
+                eprintln!("error: {}", e.message());
+            }
+            if matches!(e, CliError::Usage(_)) {
+                print_usage();
+            }
+            e.exit_code()
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
         Some("route") => cmd_route(&args[1..], false),
         Some("verify") => cmd_route(&args[1..], true),
         Some("bench") => cmd_bench(&args[1..]),
@@ -58,32 +143,43 @@ fn main() -> ExitCode {
             }
             Ok(())
         }
-        _ => {
-            eprintln!("usage: sadp <route|verify|bench|fuzz|table2> [args]");
-            eprintln!(
-                "  route <layout.txt> [--svg DIR] [--masks FILE] [--threads N] \
-                 [--trace FILE] [--profile]"
-            );
-            eprintln!("  verify <layout.txt> [--threads N] [--trace FILE] [--profile]");
-            eprintln!(
-                "  bench [--test K] [--scale X] [--seed N] [--threads N] [--trace FILE] \
-                 [--profile]"
-            );
-            eprintln!(
-                "  fuzz [--seeds N] [--start S] [--regime R] [--minimize] [--threads N] \
-                 [--out DIR] [--replay FILE]"
-            );
-            eprintln!("  --trace FILE   write the pipeline event stream as JSONL");
-            eprintln!("  --profile      print the per-stage time/count table");
-            return ExitCode::from(2);
-        }
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
-        }
+        Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
+        None => Err(CliError::Usage(String::new())),
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: sadp <route|verify|bench|fuzz|table2> [args]");
+    eprintln!(
+        "  route <layout.txt> [--svg DIR] [--masks FILE] [--threads N] \
+         [--trace FILE] [--profile] [--checkpoint FILE] [--resume FILE]"
+    );
+    eprintln!("  verify <layout.txt> [--threads N] [--trace FILE] [--profile]");
+    eprintln!(
+        "  bench [--test K] [--scale X] [--seed N] [--threads N] [--trace FILE] \
+         [--profile]"
+    );
+    eprintln!(
+        "  fuzz [--seeds N] [--start S] [--regime R] [--minimize] [--threads N] \
+         [--out DIR] [--replay FILE] [--faults SEED]"
+    );
+    eprintln!(
+        "  route/verify/bench budgets: [--net-nodes N] [--net-deadline-ms MS] \
+         [--run-nodes N] [--run-deadline-ms MS] [--faults SEED]"
+    );
+    eprintln!("  --trace FILE   write the pipeline event stream as JSONL");
+    eprintln!("  --profile      print the per-stage time/count table");
+    eprintln!("exit codes: 0 ok, 1 failed check, 2 usage, 3 bad input, 4 routing failure");
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
     }
 }
 
@@ -94,15 +190,40 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-/// Router configuration honouring `--threads N` (default: serial).
-fn config_from(args: &[String]) -> Result<RouterConfig, String> {
+/// Parses an optional `u64` flag; a present-but-unparsable value is a
+/// usage error, absence is `None`.
+fn u64_flag(args: &[String], flag: &str) -> Result<Option<u64>, CliError> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(v) => v.parse::<u64>().map(Some).map_err(|_| {
+            CliError::Usage(format!("{flag} wants a non-negative integer, got {v:?}"))
+        }),
+    }
+}
+
+/// Router configuration honouring `--threads N` (default: serial), the
+/// budget flags, and `--faults SEED`.
+fn config_from(args: &[String]) -> Result<RouterConfig, CliError> {
     let mut config = RouterConfig::paper_defaults();
     if let Some(v) = flag_value(args, "--threads") {
-        config.threads = v
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n >= 1)
-            .ok_or_else(|| format!("--threads wants a positive integer, got {v:?}"))?;
+        config.threads = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+            CliError::Usage(format!("--threads wants a positive integer, got {v:?}"))
+        })?;
+    }
+    if let Some(n) = u64_flag(args, "--net-nodes")? {
+        config.net_node_budget = n;
+    }
+    if let Some(n) = u64_flag(args, "--net-deadline-ms")? {
+        config.net_deadline_ms = n;
+    }
+    if let Some(n) = u64_flag(args, "--run-nodes")? {
+        config.run_node_budget = n;
+    }
+    if let Some(n) = u64_flag(args, "--run-deadline-ms")? {
+        config.run_deadline_ms = n;
+    }
+    if let Some(seed) = u64_flag(args, "--faults")? {
+        config.faults = Some(FaultPlan::new(seed));
     }
     Ok(config)
 }
@@ -116,24 +237,61 @@ fn recorder_from(args: &[String]) -> (Option<&str>, bool, BufferRecorder) {
     (trace_path, profile, rec)
 }
 
-fn write_trace(path: &str, rec: &mut BufferRecorder) -> Result<(), String> {
+fn write_trace(path: &str, rec: &mut BufferRecorder) -> CliResult {
     let jsonl = events_to_jsonl(&rec.take_events());
-    std::fs::write(path, jsonl).map_err(|e| format!("{path}: {e}"))?;
+    std::fs::write(path, jsonl).map_err(|e| CliError::Other(format!("{path}: {e}")))?;
     println!("wrote {path}");
     Ok(())
 }
 
-fn cmd_route(args: &[String], verify_only: bool) -> Result<(), String> {
+/// Writes `text` to `path` via a sibling temp file + rename, so a crash
+/// mid-write never leaves a torn checkpoint behind.
+fn write_atomic(path: &str, text: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn cmd_route(args: &[String], verify_only: bool) -> CliResult {
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
-        .ok_or("missing layout file")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let (mut plane, netlist) = read_layout(&text).map_err(|e| e.to_string())?;
+        .ok_or_else(|| CliError::Usage("missing layout file".into()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+    let (mut plane, netlist) =
+        read_layout(&text).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+
+    let resume = match flag_value(args, "--resume") {
+        Some(p) => {
+            let snap_text =
+                std::fs::read_to_string(p).map_err(|e| CliError::Input(format!("{p}: {e}")))?;
+            Some(Snapshot::parse(&snap_text).map_err(|e| CliError::Input(format!("{p}: {e}")))?)
+        }
+        None => None,
+    };
+    let checkpoint_path = flag_value(args, "--checkpoint").map(str::to_string);
 
     let (trace_path, profile, mut rec) = recorder_from(args);
     let mut router = Router::new(config_from(args)?);
-    let report = router.route_all_with(&mut plane, &netlist, &mut rec);
+
+    // A failed checkpoint write must not abort the route: the run is
+    // still correct without it, it just loses resumability from here on.
+    let mut save_fn;
+    let save: Option<&mut dyn FnMut(&str)> = match checkpoint_path {
+        Some(ckpt) => {
+            save_fn = move |snapshot: &str| {
+                if let Err(e) = write_atomic(&ckpt, snapshot) {
+                    eprintln!("warning: checkpoint {ckpt}: {e}");
+                }
+            };
+            Some(&mut save_fn)
+        }
+        None => None,
+    };
+    let report = router
+        .route_all_recoverable(&mut plane, &netlist, &mut rec, resume.as_ref(), save)
+        .map_err(|e| CliError::Routing(e.to_string()))?;
     println!("{report}\n");
 
     let layers: Vec<_> = (0..plane.layers())
@@ -153,13 +311,13 @@ fn cmd_route(args: &[String], verify_only: bool) -> Result<(), String> {
         if verdict.is_decomposable() && report.cut_conflicts == 0 {
             return Ok(());
         }
-        return Err("layout did not verify".into());
+        return Err(CliError::Other("layout did not verify".into()));
     }
 
     println!("\n{}", ScenarioCensus::of(&router));
 
     if let Some(dir) = flag_value(args, "--svg") {
-        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        std::fs::create_dir_all(dir).map_err(|e| CliError::Other(format!("{dir}: {e}")))?;
         let sim = CutSimulator::new(*plane.rules());
         for (l, layer_patterns) in layers.iter().enumerate() {
             if layer_patterns.is_empty() {
@@ -171,7 +329,8 @@ fn cmd_route(args: &[String], verify_only: bool) -> Result<(), String> {
                 .collect();
             let d = sim.run(&pats);
             let file = format!("{dir}/m{}.svg", l + 1);
-            std::fs::write(&file, render_svg(&d, &pats)).map_err(|e| e.to_string())?;
+            std::fs::write(&file, render_svg(&d, &pats))
+                .map_err(|e| CliError::Other(format!("{file}: {e}")))?;
             println!("wrote {file}");
         }
     }
@@ -189,27 +348,33 @@ fn cmd_route(args: &[String], verify_only: bool) -> Result<(), String> {
             out.push_str(&format!("# layer M{}\n", l + 1));
             out.push_str(&export_masks(&sim.run(&pats)));
         }
-        std::fs::write(file, out).map_err(|e| e.to_string())?;
+        std::fs::write(file, out).map_err(|e| CliError::Other(format!("{file}: {e}")))?;
         println!("wrote {file}");
     }
     Ok(())
 }
 
-fn cmd_fuzz(args: &[String]) -> Result<(), String> {
-    use sadp::fuzz::{check_layout, run_campaign, CampaignConfig, Regime};
+fn cmd_fuzz(args: &[String]) -> CliResult {
+    use sadp::fuzz::{check_layout, fault_seed_marker, run_campaign, CampaignConfig, Regime};
 
     let mut cfg = CampaignConfig::default();
     if let Some(v) = flag_value(args, "--threads") {
-        cfg.oracle.threads = v
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n >= 1)
-            .ok_or_else(|| format!("--threads wants a positive integer, got {v:?}"))?;
+        cfg.oracle.threads = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+            CliError::Usage(format!("--threads wants a positive integer, got {v:?}"))
+        })?;
     }
+    cfg.oracle.fault_seed = u64_flag(args, "--faults")?;
 
     if let Some(path) = flag_value(args, "--replay") {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let (plane, netlist) = read_layout(&text).map_err(|e| e.to_string())?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+        let (plane, netlist) =
+            read_layout(&text).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+        // Fault-mode fixtures carry their fault seed in a comment marker;
+        // an explicit --faults flag overrides it.
+        if cfg.oracle.fault_seed.is_none() {
+            cfg.oracle.fault_seed = fault_seed_marker(&text);
+        }
         return match check_layout(&plane, &netlist, &cfg.oracle) {
             Ok(stats) => {
                 println!(
@@ -218,26 +383,29 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
                 );
                 Ok(())
             }
-            Err(v) => Err(format!("{path}: {}: {}", v.invariant.name(), v.detail)),
+            Err(v) => Err(CliError::Other(format!(
+                "{path}: {}: {}",
+                v.invariant.name(),
+                v.detail
+            ))),
         };
     }
 
     if let Some(v) = flag_value(args, "--seeds") {
-        cfg.seeds = v
-            .parse::<u64>()
-            .ok()
-            .filter(|&n| n >= 1)
-            .ok_or_else(|| format!("--seeds wants a positive integer, got {v:?}"))?;
+        cfg.seeds = v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+            CliError::Usage(format!("--seeds wants a positive integer, got {v:?}"))
+        })?;
     }
-    if let Some(v) = flag_value(args, "--start") {
-        cfg.start = v
-            .parse::<u64>()
-            .map_err(|_| format!("--start wants an integer, got {v:?}"))?;
+    if let Some(n) = u64_flag(args, "--start")? {
+        cfg.start = n;
     }
     if let Some(v) = flag_value(args, "--regime") {
         let regime = Regime::parse(v).ok_or_else(|| {
             let names: Vec<&str> = Regime::ALL.iter().map(|r| r.name()).collect();
-            format!("unknown regime {v:?} (one of: {})", names.join(", "))
+            CliError::Usage(format!(
+                "unknown regime {v:?} (one of: {})",
+                names.join(", ")
+            ))
         })?;
         cfg.regimes = vec![regime];
     }
@@ -259,7 +427,7 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
         println!("clean");
         return Ok(());
     }
-    std::fs::create_dir_all(out_dir).map_err(|e| format!("{out_dir}: {e}"))?;
+    std::fs::create_dir_all(out_dir).map_err(|e| CliError::Other(format!("{out_dir}: {e}")))?;
     for failure in &report.failures {
         let stem = format!("{out_dir}/fuzz-{}-{}", failure.regime, failure.seed);
         println!(
@@ -270,15 +438,19 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
             failure.violation.detail
         );
         let layout = format!("{stem}.layout");
-        std::fs::write(&layout, failure.fixture_text()).map_err(|e| format!("{layout}: {e}"))?;
+        std::fs::write(&layout, failure.fixture_text())
+            .map_err(|e| CliError::Other(format!("{layout}: {e}")))?;
         println!("wrote {layout}");
         if let Some(trace) = failure_trace(failure) {
             let path = format!("{stem}.trace.jsonl");
-            std::fs::write(&path, trace).map_err(|e| format!("{path}: {e}"))?;
+            std::fs::write(&path, trace).map_err(|e| CliError::Other(format!("{path}: {e}")))?;
             println!("wrote {path}");
         }
     }
-    Err(format!("{} invariant violations", report.failures.len()))
+    Err(CliError::Other(format!(
+        "{} invariant violations",
+        report.failures.len()
+    )))
 }
 
 /// The JSONL event trace of routing a failed instance (the minimised one
@@ -301,7 +473,7 @@ fn failure_trace(failure: &sadp::fuzz::Failure) -> Option<String> {
     .ok()
 }
 
-fn cmd_bench(args: &[String]) -> Result<(), String> {
+fn cmd_bench(args: &[String]) -> CliResult {
     let scale: f64 = flag_value(args, "--scale")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.1);
@@ -311,7 +483,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             .parse::<usize>()
             .ok()
             .filter(|&n| (1..=suite.len()).contains(&n))
-            .ok_or_else(|| format!("--test wants 1..={}, got {v:?}", suite.len()))?,
+            .ok_or_else(|| {
+                CliError::Usage(format!("--test wants 1..={}, got {v:?}", suite.len()))
+            })?,
         None => 1,
     };
     let seed: u64 = flag_value(args, "--seed")
@@ -339,7 +513,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         println!("\n{}", rec.profile.table());
     }
     if report.cut_conflicts != 0 {
-        return Err("cut conflicts remained (this should be impossible)".into());
+        return Err(CliError::Routing(
+            "cut conflicts remained (this should be impossible)".into(),
+        ));
     }
     Ok(())
 }

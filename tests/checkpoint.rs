@@ -1,0 +1,109 @@
+//! Checkpoint/resume equivalence: a run killed after any checkpoint
+//! write and resumed from that snapshot on a fresh process produces the
+//! byte-identical final result. Resuming replays the journal through the
+//! normal commit pipeline, so graph state, scan order, and occupancy all
+//! come out exactly as in the uninterrupted run.
+
+use sadp::core::Snapshot;
+use sadp::grid::BenchmarkSpec;
+use sadp::prelude::*;
+use sadp_geom::TrackRect;
+use std::time::Duration;
+
+type RunResult = (
+    RoutingReport,
+    Vec<Vec<(u32, Color, Vec<TrackRect>)>>,
+    Vec<NetId>,
+    (usize, usize, usize),
+);
+
+fn observe(mut report: RoutingReport, router: &Router, plane: &RoutingPlane) -> RunResult {
+    report.cpu = Duration::ZERO;
+    let patterns = (0..plane.layers())
+        .map(|l| router.patterns_on_layer(Layer(l)))
+        .collect();
+    (report, patterns, router.failed().to_vec(), plane.usage())
+}
+
+/// One uninterrupted run, capturing every checkpoint snapshot on the way.
+fn reference_run(spec: &BenchmarkSpec) -> (RunResult, Vec<String>) {
+    let (mut plane, netlist) = spec.generate();
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    let mut snaps: Vec<String> = Vec::new();
+    let mut sink = |s: &str| snaps.push(s.to_string());
+    let report = router
+        .route_all_recoverable(
+            &mut plane,
+            &netlist,
+            &mut NoopRecorder,
+            None,
+            Some(&mut sink),
+        )
+        .expect("clean run");
+    (observe(report, &router, &plane), snaps)
+}
+
+/// Resumes `spec` from `snapshot` text on a completely fresh router and
+/// plane — exactly what a new process does after the old one was killed.
+fn resumed_run(spec: &BenchmarkSpec, snapshot: &str) -> RunResult {
+    let snap = Snapshot::parse(snapshot).expect("snapshot parses");
+    let (mut plane, netlist) = spec.generate();
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    let report = router
+        .route_all_recoverable(&mut plane, &netlist, &mut NoopRecorder, Some(&snap), None)
+        .expect("resumed run");
+    observe(report, &router, &plane)
+}
+
+#[test]
+fn resume_from_any_checkpoint_is_byte_identical() {
+    // Wide enough for the banded schedule, so snapshots land both at
+    // forced band folds and at throttled serial/boundary ticks.
+    let spec = BenchmarkSpec::new("ckpt-wide", 110, 400, 120).with_seed(11);
+    let (reference, snaps) = reference_run(&spec);
+    assert!(
+        snaps.len() >= 2,
+        "the run should checkpoint more than once (got {})",
+        snaps.len()
+    );
+
+    // Kill-points: right after the first, a middle, and the final write.
+    for idx in [0, snaps.len() / 2, snaps.len() - 1] {
+        let resumed = resumed_run(&spec, &snaps[idx]);
+        assert_eq!(
+            reference, resumed,
+            "resume from checkpoint #{idx} diverged from the uninterrupted run"
+        );
+    }
+}
+
+#[test]
+fn mid_run_snapshot_actually_skips_work() {
+    // The resumed run must not silently re-route everything: a snapshot
+    // taken mid-run already carries committed nets.
+    let spec = BenchmarkSpec::new("ckpt-wide", 110, 400, 120).with_seed(11);
+    let (_, snaps) = reference_run(&spec);
+    let mid = Snapshot::parse(&snaps[snaps.len() / 2]).expect("snapshot parses");
+    assert!(
+        mid.committed() > 0,
+        "mid-run snapshot should carry committed nets"
+    );
+}
+
+#[test]
+fn snapshot_rejects_a_foreign_layout() {
+    let spec = BenchmarkSpec::new("ckpt-wide", 110, 400, 120).with_seed(11);
+    let (_, snaps) = reference_run(&spec);
+    let snap = Snapshot::parse(snaps.last().unwrap()).expect("snapshot parses");
+
+    let other = BenchmarkSpec::new("ckpt-other", 40, 64, 64).with_seed(7);
+    let (mut plane, netlist) = other.generate();
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    let err = router
+        .route_all_recoverable(&mut plane, &netlist, &mut NoopRecorder, Some(&snap), None)
+        .expect_err("fingerprint mismatch must be detected");
+    assert!(
+        err.to_string().contains("fingerprint"),
+        "unexpected error: {err}"
+    );
+}

@@ -98,12 +98,149 @@ fn bad_usage_fails_with_code_2() {
 }
 
 #[test]
-fn missing_file_fails_cleanly() {
+fn unknown_command_fails_with_code_2() {
+    let out = sadp().arg("frobnicate").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_file_fails_with_input_code_3() {
     let out = sadp()
         .args(["route", "/nonexistent.layout"])
         .output()
         .expect("binary runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(3));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("error:"));
+}
+
+#[test]
+fn malformed_layout_fails_with_input_code_3() {
+    let dir = std::env::temp_dir().join("sadp_cli_badlayout");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.layout");
+    std::fs::write(&bad, "this is not a layout file\n").unwrap();
+    let out = sadp()
+        .args(["route", bad.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    // A parse failure is reported, never a panic backtrace.
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn checkpoint_then_resume_reproduces_the_run() {
+    let dir = std::env::temp_dir().join("sadp_cli_ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("run.ckpt");
+    let first = sadp()
+        .args([
+            "route",
+            "fixtures/odd_cycle.layout",
+            "--checkpoint",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(first.status.success());
+    let text = std::fs::read_to_string(&snap).expect("checkpoint written");
+    assert!(text.starts_with("SADPCKPT v1"), "{text}");
+
+    let resumed = sadp()
+        .args([
+            "route",
+            "fixtures/odd_cycle.layout",
+            "--resume",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(resumed.status.success());
+    // Everything but the wall-clock line must match byte for byte.
+    let strip_cpu = |bytes: &[u8]| -> String {
+        String::from_utf8_lossy(bytes)
+            .lines()
+            .filter(|l| !l.starts_with("cpu "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_cpu(&first.stdout),
+        strip_cpu(&resumed.stdout),
+        "resumed stdout diverged"
+    );
+}
+
+#[test]
+fn resume_with_wrong_layout_fails_with_routing_code_4() {
+    let dir = std::env::temp_dir().join("sadp_cli_ckpt_mismatch");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("run.ckpt");
+    let first = sadp()
+        .args([
+            "route",
+            "fixtures/odd_cycle.layout",
+            "--checkpoint",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(first.status.success());
+    let out = sadp()
+        .args([
+            "route",
+            "fixtures/clock_tree.layout",
+            "--resume",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(4));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fingerprint"), "{stderr}");
+}
+
+#[test]
+fn fault_injection_flag_keeps_the_route_conflict_free() {
+    // Faults are a recovery test-bench: the injected panics and budget
+    // failures must degrade gracefully, never crash the CLI.
+    let out = sadp()
+        .args([
+            "bench",
+            "--scale",
+            "0.04",
+            "--faults",
+            "1",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("0 cut conflicts"), "{stdout}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn budget_flags_degrade_gracefully() {
+    let out = sadp()
+        .args(["bench", "--scale", "0.04", "--net-nodes", "5"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(
+        stdout.contains("over search budget"),
+        "expected budget-failure line: {stdout}"
+    );
 }

@@ -3,26 +3,24 @@
 //! paths, same colors, same failures. The band partition and the commit
 //! order depend only on the plane geometry, never on scheduling.
 
+use sadp::core::FaultPlan;
 use sadp::grid::{BandPlan, BenchmarkSpec};
 use sadp::obs::events_to_jsonl;
 use sadp::prelude::*;
 use sadp_geom::TrackRect;
 use std::time::Duration;
 
-/// Routes `spec` with `threads` workers and returns everything observable.
-#[allow(clippy::type_complexity)]
-fn route_with(
-    spec: &BenchmarkSpec,
-    threads: usize,
-) -> (
+/// Everything observable about one routed run.
+type RunResult = (
     RoutingReport,
     Vec<Vec<(u32, Color, Vec<TrackRect>)>>,
     Vec<NetId>,
     (usize, usize, usize),
-) {
+);
+
+/// Routes `spec` under `config` and returns everything observable.
+fn route_config(spec: &BenchmarkSpec, config: RouterConfig) -> RunResult {
     let (mut plane, netlist) = spec.generate();
-    let mut config = RouterConfig::paper_defaults();
-    config.threads = threads;
     let mut router = Router::new(config);
     let mut report = router.route_all(&mut plane, &netlist);
     // The report compares CPU time too; zero it so only results count.
@@ -31,6 +29,13 @@ fn route_with(
         .map(|l| router.patterns_on_layer(Layer(l)))
         .collect();
     (report, patterns, router.failed().to_vec(), plane.usage())
+}
+
+/// Routes `spec` with `threads` workers and returns everything observable.
+fn route_with(spec: &BenchmarkSpec, threads: usize) -> RunResult {
+    let mut config = RouterConfig::paper_defaults();
+    config.threads = threads;
+    route_config(spec, config)
 }
 
 #[test]
@@ -116,6 +121,80 @@ fn trace_is_byte_identical_across_thread_counts() {
         .lines()
         .any(|l| l.contains("\"event\":\"net_routed\"")));
     assert_eq!(serial, sharded, "event streams diverged");
+}
+
+/// Routes `spec` with `threads` workers and the fault plan for `seed`.
+fn route_faulted(spec: &BenchmarkSpec, threads: usize, seed: u64) -> RunResult {
+    let mut config = RouterConfig::paper_defaults();
+    config.threads = threads;
+    config.faults = Some(FaultPlan::new(seed));
+    route_config(spec, config)
+}
+
+#[test]
+fn injected_band_panics_recover_to_the_clean_result() {
+    // The recovery contract: a band worker that panics is re-routed on
+    // the serial fallback, and the final output is byte-identical to a
+    // run where the panic never happened — the only trace it leaves is
+    // the `bands_recovered` counter.
+    let spec = BenchmarkSpec::new("det-wide", 110, 400, 120).with_seed(11);
+    let clean = route_with(&spec, 1);
+
+    // Find a fault seed that panics at least one band worker without
+    // also injecting budget faults (those legitimately change the
+    // result, so they would muddy the comparison).
+    let seed = (0..32u64)
+        .find(|&s| {
+            let r = route_faulted(&spec, 1, s);
+            r.0.bands_recovered > 0 && r.0.failed_budget == 0
+        })
+        .expect("some seed in 0..32 panics a band without budget faults");
+    let faulted = route_faulted(&spec, 1, seed);
+
+    // Recovery itself is deterministic across thread counts.
+    for threads in [2, 4] {
+        assert_eq!(
+            faulted,
+            route_faulted(&spec, threads, seed),
+            "faulted run diverged at threads={threads}"
+        );
+    }
+
+    // Modulo the recovery counter, the faulted run IS the clean run.
+    let mut masked = faulted.clone();
+    masked.0.bands_recovered = 0;
+    assert_eq!(masked, clean, "recovery altered the routed result");
+}
+
+#[test]
+fn budget_exhaustion_is_graceful_and_deterministic() {
+    // A tiny per-net node budget fails most nets with BudgetExceeded but
+    // never aborts the run; node counts are logical, so the degraded
+    // result is still byte-identical across thread counts.
+    let spec = BenchmarkSpec::new("det-wide", 110, 400, 120).with_seed(11);
+    let mut config = RouterConfig::paper_defaults();
+    config.net_node_budget = 40;
+    let starved = route_config(&spec, config.clone());
+    assert!(
+        starved.0.failed_budget > 0,
+        "a 40-node budget should starve some nets"
+    );
+    assert!(
+        starved.0.routed_nets + starved.2.len() == spec.net_count,
+        "every net is either routed or accounted failed"
+    );
+    for threads in [2, 4] {
+        let mut c = config.clone();
+        c.threads = threads;
+        assert_eq!(
+            starved,
+            route_config(&spec, c),
+            "budget-degraded run diverged at threads={threads}"
+        );
+    }
+    // The clean run routes strictly more than the starved one.
+    let clean = route_with(&spec, 1);
+    assert!(clean.0.routed_nets > starved.0.routed_nets);
 }
 
 #[test]
