@@ -1,0 +1,251 @@
+//! Thread-scaling benchmark for the wave-scheduled boundary tail.
+//!
+//! Routes the fixture suite — Test5 of the paper suite plus a
+//! boundary-heavy corpus plane whose nets all straddle a band edge — at
+//! 1, 2 and 4 worker threads, asserts the results are identical (modulo
+//! wall-clock), and emits a machine-readable `BENCH_<rev>.json`:
+//! wall-clock per [`Stage`] from the report's `StageProfile`,
+//! routability, wave statistics, and the boundary-tail fraction of the
+//! serial run vs the widest parallel run.
+//!
+//! The binary exits non-zero if the corpus fixture fails to batch more
+//! than one net into some wave — a vacuous run would silently gut the
+//! benchmark, so CI treats that as a failure.
+//!
+//! Usage: `scaling [--scale X | --full] [--out PATH]` (default output:
+//! `BENCH_<rev>.json` in the working directory, `rev` from `git
+//! rev-parse --short HEAD` or `local`).
+
+use sadp_core::{Router, RouterConfig, RoutingReport};
+use sadp_geom::{DesignRules, GridPoint, Layer};
+use sadp_grid::{BenchmarkSpec, NetId, Netlist, RoutingPlane};
+use sadp_obs::{BufferRecorder, RouterEvent, Stage};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Everything measured about one `(fixture, threads)` routing run.
+struct RunStats {
+    threads: usize,
+    wall_s: f64,
+    report: RoutingReport,
+    failed: Vec<NetId>,
+    waves: u64,
+    max_wave: u64,
+    boundary_nets: u64,
+}
+
+fn route(plane: &RoutingPlane, netlist: &Netlist, threads: usize) -> RunStats {
+    let mut plane = plane.clone();
+    let mut config = RouterConfig::paper_defaults();
+    config.threads = threads;
+    let mut router = Router::new(config);
+    let mut rec = BufferRecorder::with_flags(true, true);
+    let start = Instant::now();
+    let report = router.route_all_with(&mut plane, netlist, &mut rec);
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let (mut waves, mut max_wave, mut boundary_nets) = (0u64, 0u64, 0u64);
+    for ev in rec.take_events() {
+        if let RouterEvent::WaveScheduled { nets, .. } = ev {
+            waves += 1;
+            max_wave = max_wave.max(nets);
+            boundary_nets += nets;
+        }
+    }
+    RunStats {
+        threads,
+        wall_s,
+        report,
+        failed: router.failed().to_vec(),
+        waves,
+        max_wave,
+        boundary_nets,
+    }
+}
+
+/// The deterministic projection of a report: CPU time zeroed, stage
+/// times dropped (counts kept). Must be equal across thread counts.
+fn deterministic(report: &RoutingReport) -> RoutingReport {
+    let mut r = report.clone();
+    r.cpu = Duration::ZERO;
+    r.profile = r.profile.counts_only();
+    r
+}
+
+/// A plane whose nets all straddle the x=200 band edge in interleaving
+/// conflict groups — the boundary tail IS the workload, so the wave
+/// scheduler's effect is undiluted. Row spacing alternates between
+/// footprint-disjoint (batched into one wave) and conflicting (forces a
+/// wave cut).
+fn boundary_corpus() -> (RoutingPlane, Netlist) {
+    let plane = RoutingPlane::new(3, 400, 620, DesignRules::node_10nm()).expect("valid plane");
+    let mut nl = Netlist::new();
+    let mut y = 10;
+    let mut i = 0;
+    while y < 610 {
+        nl.add_two_pin(
+            format!("c{i}"),
+            GridPoint::new(Layer(0), 150, y),
+            GridPoint::new(Layer(0), 250, y),
+        );
+        // 60-track gaps are disjoint (bbox + 24 margin + 2 halo per
+        // side), 25-track gaps conflict: alternate to force real waves.
+        y += if i % 2 == 0 { 60 } else { 25 };
+        i += 1;
+    }
+    (plane, nl)
+}
+
+fn json_fixture(name: &str, plane: &RoutingPlane, total_nets: usize, runs: &[RunStats]) -> String {
+    let mut out = String::new();
+    let serial = &runs[0];
+    let widest = runs.last().expect("at least one run");
+    let frac = |r: &RunStats| {
+        r.report.profile.stage(Stage::Boundary).time.as_secs_f64() / r.wall_s.max(1e-12)
+    };
+    write!(
+        out,
+        "    {{\"name\":\"{name}\",\"nets\":{total_nets},\"tracks\":[{},{},{}],\
+         \"waves\":{},\"max_wave_width\":{},\"boundary_nets\":{},\
+         \"boundary_tail_fraction\":{{\"serial\":{:.6},\"parallel\":{:.6}}},\"runs\":[",
+        plane.width(),
+        plane.height(),
+        plane.layers(),
+        serial.waves,
+        serial.max_wave,
+        serial.boundary_nets,
+        frac(serial),
+        frac(widest),
+    )
+    .expect("write to string");
+    for (k, r) in runs.iter().enumerate() {
+        let routability = r.report.routed_nets as f64 / (total_nets as f64).max(1.0);
+        write!(
+            out,
+            "{}\n      {{\"threads\":{},\"wall_s\":{:.6},\"routability\":{routability:.6},\
+             \"routed\":{},\"failed\":{},\"boundary_tail_fraction\":{:.6},\"stages\":{{",
+            if k == 0 { "" } else { "," },
+            r.threads,
+            r.wall_s,
+            r.report.routed_nets,
+            r.failed.len(),
+            frac(r),
+        )
+        .expect("write to string");
+        for (j, stage) in Stage::ALL.iter().enumerate() {
+            let s = r.report.profile.stage(*stage);
+            write!(
+                out,
+                "{}\"{}\":{{\"s\":{:.6},\"count\":{}}}",
+                if j == 0 { "" } else { "," },
+                stage.name(),
+                s.time.as_secs_f64(),
+                s.count
+            )
+            .expect("write to string");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n    ]}");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = sadp_bench::scale_from_args(&args);
+    let rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "local".to_string());
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("BENCH_{rev}.json"));
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if cores < 2 {
+        println!("note: single-core host — identity checks are meaningful, speedups are not");
+    }
+
+    let test5 = BenchmarkSpec::paper_fixed_suite()
+        .pop()
+        .expect("suite is non-empty")
+        .scaled(scale);
+    let (t5_plane, t5_netlist) = test5.generate();
+    let (corpus_plane, corpus_netlist) = boundary_corpus();
+    let fixtures: [(&str, &RoutingPlane, &Netlist); 2] = [
+        ("test5", &t5_plane, &t5_netlist),
+        ("boundary-corpus", &corpus_plane, &corpus_netlist),
+    ];
+
+    let mut fixture_json = Vec::new();
+    for (name, plane, netlist) in fixtures {
+        let runs: Vec<RunStats> = THREADS.iter().map(|&t| route(plane, netlist, t)).collect();
+
+        // Identity gate: the wave scheduler must not change the result.
+        let serial = &runs[0];
+        for r in &runs[1..] {
+            assert_eq!(
+                deterministic(&serial.report),
+                deterministic(&r.report),
+                "{name}: report diverged at threads={}",
+                r.threads
+            );
+            assert_eq!(
+                serial.failed, r.failed,
+                "{name}: failed nets diverged at threads={}",
+                r.threads
+            );
+        }
+
+        println!(
+            "{name}: {} nets, {} waves (max width {}), {} boundary nets",
+            netlist.len(),
+            serial.waves,
+            serial.max_wave,
+            serial.boundary_nets
+        );
+        for r in &runs {
+            let boundary_s = r.report.profile.stage(Stage::Boundary).time.as_secs_f64();
+            println!(
+                "  threads={}: {:7.3}s wall, boundary tail {:6.3}s ({:4.1}%), routed {}/{}",
+                r.threads,
+                r.wall_s,
+                boundary_s,
+                100.0 * boundary_s / r.wall_s.max(1e-12),
+                r.report.routed_nets,
+                netlist.len()
+            );
+        }
+        // Vacuity guard for CI: the corpus fixture exists to exercise
+        // wave batching; a max wave of 1 means the benchmark is vacuous.
+        if name == "boundary-corpus" {
+            assert!(
+                serial.waves >= 2 && serial.max_wave > 1,
+                "vacuous corpus run: {} waves, max width {}",
+                serial.waves,
+                serial.max_wave
+            );
+        }
+        fixture_json.push(json_fixture(name, plane, netlist.len(), &runs));
+    }
+
+    let json = format!(
+        "{{\n  \"schema\":\"sadp-scaling-bench/v1\",\n  \"rev\":\"{rev}\",\n  \
+         \"scale\":{scale},\n  \"cores\":{cores},\n  \"threads\":[1,2,4],\n  \
+         \"fixtures\":[\n{}\n  ]\n}}\n",
+        fixture_json.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

@@ -366,7 +366,10 @@ pub fn preferred_dir(layer: sadp_geom::Layer) -> Dir {
     }
 }
 
+#[inline]
 fn passable(plane: &RoutingPlane, p: GridPoint, net: NetId) -> bool {
+    // Fast path: `is_free` is a single busy-bitplane word probe; only a
+    // busy cell pays the occupant lookup in the full cell array.
     plane.is_free(p) || plane.occupant(p) == Some(net)
 }
 

@@ -12,13 +12,13 @@
 //! suffix of the original schedule and its final output is byte-identical
 //! to an uninterrupted run.
 //!
-//! Format (`SADPCKPT v1`):
+//! Format (`SADPCKPT v2`):
 //!
 //! ```text
-//! SADPCKPT v1
+//! SADPCKPT v2
 //! checksum <16-hex FNV-64 of everything below this line>
 //! fingerprint <16-hex FNV-64 of the serialized plane+netlist>
-//! counters <11 space-separated u64, LedgerCounters field order>
+//! counters <12 space-separated u64, LedgerCounters field order>
 //! net <id> <branch count>
 //! p <point count> <layer,x,y> ...
 //! b <point count> <layer,x,y> ...   (one line per branch)
@@ -41,7 +41,7 @@ use std::fmt::Write as _;
 
 /// The magic + version line. Bump the version when the body layout
 /// changes; old readers reject newer snapshots instead of misparsing.
-const MAGIC: &str = "SADPCKPT v1";
+const MAGIC: &str = "SADPCKPT v2";
 
 /// FNV-1a 64-bit, the same construction the fuzz corpus uses: stable,
 /// dependency-free, good enough to catch truncation and bit rot.
@@ -174,7 +174,7 @@ pub fn serialize(ledger: &CommitLedger, failed: &[sadp_grid::NetId], fingerprint
     let _ = writeln!(body, "fingerprint {fingerprint:016x}");
     let _ = writeln!(
         body,
-        "counters {} {} {} {} {} {} {} {} {} {} {}",
+        "counters {} {} {} {} {} {} {} {} {} {} {} {}",
         c.ripups,
         c.ripups_type_b,
         c.ripups_graph,
@@ -185,7 +185,8 @@ pub fn serialize(ledger: &CommitLedger, failed: &[sadp_grid::NetId], fingerprint
         c.flips,
         c.nodes_expanded,
         c.failed_budget,
-        c.bands_recovered
+        c.bands_recovered,
+        c.waves_recovered
     );
     for rec in ledger.records() {
         // Routing-phase journals always have their routed net; a record
@@ -349,13 +350,13 @@ impl Snapshot {
 
         let (ln, counters_line) = next("counters")?;
         let toks: Vec<&str> = counters_line.split_whitespace().collect();
-        if toks.first() != Some(&"counters") || toks.len() != 12 {
+        if toks.first() != Some(&"counters") || toks.len() != 13 {
             return Err(SnapshotError::Format {
                 line: ln,
-                message: "expected `counters` with 11 values".into(),
+                message: "expected `counters` with 12 values".into(),
             });
         }
-        let mut v = [0u64; 11];
+        let mut v = [0u64; 12];
         for (slot, tok) in v.iter_mut().zip(&toks[1..]) {
             *slot = parse_u64(tok, ln, "counter")?;
         }
@@ -371,6 +372,7 @@ impl Snapshot {
             nodes_expanded: v[8],
             failed_budget: v[9],
             bands_recovered: v[10],
+            waves_recovered: v[11],
         };
 
         let mut nets = Vec::new();
@@ -443,9 +445,10 @@ impl Snapshot {
         for b in &net.branches {
             branches.push(RoutePath::new(b.clone()).map_err(|_| SnapshotError::ReplayDiverged)?);
         }
-        let mut fragments = path.fragments();
+        let mut fragments = crate::search::FragmentList::new();
+        path.fragments_into(|layer, rect| fragments.push((layer, rect)));
         for b in &branches {
-            fragments.extend(b.fragments());
+            b.fragments_into(|layer, rect| fragments.push((layer, rect)));
         }
         Ok(crate::search::RouteCandidate {
             path,

@@ -13,14 +13,23 @@
 //! workers on `std::thread::scope` against fully private state (a plane
 //! clone, a fresh ledger and grids; the pin guards are shared read-only —
 //! they never change after the reservation pre-pass). Band results are
-//! merged in ascending band order, then boundary-straddling nets route
-//! serially against the merged state.
+//! merged in ascending band order.
+//!
+//! Boundary-straddling nets then run against the merged state in
+//! **waves** (see [`crate::schedule`]): each wave is a contiguous run of
+//! the canonical order whose members have pairwise-disjoint interaction
+//! footprints. A wave's attempt-0 searches run in parallel against the
+//! frozen pre-wave state (phase A); commits then replay serially in
+//! canonical order (phase B), so the global commit sequence is exactly
+//! the serial one and every pre-search result equals the serial search
+//! bit for bit. Rip-up re-searches run live during the replay, just as
+//! they would serially.
 //!
 //! The schedule — band count, net classification, per-band net order,
-//! merge order — depends only on the plane geometry and the netlist,
-//! never on the worker count, so any `threads` value produces
-//! byte-identical results. Workers only change how many bands are *in
-//! flight* at once.
+//! merge order, wave partition — depends only on the plane geometry and
+//! the netlist, never on the worker count, so any `threads` value
+//! produces byte-identical results. Workers only change how many bands
+//! or pre-searches are *in flight* at once.
 
 use crate::astar::SearchScratch;
 use crate::budget::{Budget, RunBudget};
@@ -119,6 +128,19 @@ fn rip_up(
     }
 }
 
+/// An attempt-0 search completed ahead of time by a wave worker against
+/// the frozen pre-wave state. Because wave members have pairwise-disjoint
+/// footprints, the outcome is byte-identical to the search the serial
+/// schedule would run at this net's turn, and the replay can consume it
+/// instead of searching again.
+pub(crate) struct PreSearch {
+    /// The attempt-0 search outcome.
+    pub outcome: crate::search::SearchOutcome,
+    /// The per-net budget *after* that search, threaded into any rip-up
+    /// attempts so per-net node accounting stays byte-deterministic.
+    pub budget: Budget,
+}
+
 /// Routes one net through the full stage pipeline with up to `max_ripup`
 /// rip-up-and-re-route iterations; returns whether the net was committed.
 /// `seed_penalties` pre-loads the penalty grid (used by the cleanup
@@ -132,6 +154,22 @@ pub(crate) fn route_net(
     net: &Net,
     seed_penalties: &[(GridPoint, u64)],
     count_failures: bool,
+) -> bool {
+    route_net_presearched(ctx, plane, net, seed_penalties, count_failures, None)
+}
+
+/// [`route_net`] with an optional pre-computed attempt-0 search from a
+/// wave worker. The run budget is *not* re-charged for a consumed
+/// pre-search (the worker already added its nodes); the ledger's
+/// deterministic `nodes_expanded` counter is charged here, at the net's
+/// canonical turn, so counters are thread-count-invariant.
+pub(crate) fn route_net_presearched(
+    ctx: &mut RouteCtx<'_>,
+    plane: &mut RoutingPlane,
+    net: &Net,
+    seed_penalties: &[(GridPoint, u64)],
+    count_failures: bool,
+    mut presearch: Option<PreSearch>,
 ) -> bool {
     let key = net.id.0;
     ctx.penalties.clear();
@@ -164,17 +202,34 @@ pub(crate) fn route_net(
     let mut budget = Budget::for_net(ctx.config);
 
     for attempt in 0..=ctx.config.max_ripup {
-        // Stage 1: pure search over read-only views.
-        let stage = SearchStage {
-            plane: &*plane,
-            dir_map: &*ctx.dir_map,
-            guards: ctx.guards,
-            config: ctx.config,
+        // Stage 1: pure search over read-only views — or the wave
+        // worker's pre-search for attempt 0, which is the identical
+        // computation performed ahead of time.
+        let outcome = match presearch.take() {
+            Some(pre) => {
+                budget = pre.budget;
+                ctx.ledger.counters.nodes_expanded += pre.outcome.expanded;
+                pre.outcome
+            }
+            None => {
+                let stage = SearchStage {
+                    plane: &*plane,
+                    dir_map: &*ctx.dir_map,
+                    guards: ctx.guards,
+                    config: ctx.config,
+                };
+                let outcome = stage.search_net_observed(
+                    net,
+                    ctx.penalties,
+                    ctx.scratch,
+                    &mut budget,
+                    ctx.rec,
+                );
+                ctx.ledger.counters.nodes_expanded += outcome.expanded;
+                ctx.run_budget.add_nodes(outcome.expanded);
+                outcome
+            }
         };
-        let outcome =
-            stage.search_net_observed(net, ctx.penalties, ctx.scratch, &mut budget, ctx.rec);
-        ctx.ledger.counters.nodes_expanded += outcome.expanded;
-        ctx.run_budget.add_nodes(outcome.expanded);
         if outcome.budget_exceeded {
             if count_failures {
                 ctx.ledger.counters.failed_budget += 1;
@@ -686,30 +741,209 @@ pub(crate) fn route_schedule(
         }
     }
 
-    // Boundary phase: nets straddling a band edge route serially against
-    // the merged state, exactly like the single-band path.
-    for &id in &boundary {
-        if !route_one(
-            config,
-            ledger,
-            ws,
-            plane,
-            netlist.net(id),
-            &[],
-            run_budget,
-            rec,
-            true,
-        ) {
-            failed.push(id);
+    // Boundary phase: nets straddling a band edge still *commit* in
+    // exact canonical order against the merged state, but their
+    // attempt-0 searches run in parallel waves of pairwise
+    // footprint-disjoint nets (see [`crate::schedule`]). Within a wave
+    // no member's commit can touch state another member's search read,
+    // so each pre-search against the frozen pre-wave state is
+    // byte-identical to the serial search at that net's turn. The same
+    // two-phase structure runs at every thread count — workers merely
+    // change how many pre-searches are in flight.
+    let waves = crate::schedule::plan_waves(&boundary, netlist, config, halo, plane);
+    let wave_workers = config.threads.max(1);
+    for (w, wave) in waves.waves.iter().enumerate() {
+        let clock = SpanClock::start(&*rec);
+        if rec.enabled() {
+            rec.event(RouterEvent::WaveScheduled {
+                wave: w as u32,
+                nets: wave.len() as u64,
+            });
         }
-        if let Some(cb) = checkpoint.as_mut() {
-            cb(ledger, failed, false);
+        // Phase A: parallel pre-search against the frozen global state.
+        let slots = presearch_wave(
+            config,
+            plane,
+            &ws.dir_map,
+            &ws.guards,
+            netlist,
+            wave,
+            run_budget,
+            wave_workers,
+            timing,
+        );
+        clock.stop(rec, Stage::Boundary);
+        // Phase B: serial replay in canonical order. A panicked
+        // pre-search falls back to a live serial search (wave-panic
+        // injection off on that path), which is exactly the serial
+        // schedule for that net; a panic that survives the fallback is a
+        // deterministic bug and propagates, as it would serially.
+        for (slot, &id) in slots.into_iter().zip(wave) {
+            if slot.recovered {
+                ledger.counters.waves_recovered += 1;
+                if rec.enabled() {
+                    rec.event(RouterEvent::WaveRecovered {
+                        wave: w as u32,
+                        net: id.0,
+                    });
+                }
+            }
+            slot.rec.replay_into(rec);
+            let mut ctx = RouteCtx {
+                config,
+                ledger,
+                dir_map: &mut ws.dir_map,
+                guards: &ws.guards,
+                penalties: &mut ws.penalties,
+                scratch: &mut ws.scratch,
+                run_budget,
+                rec: &mut *rec,
+            };
+            if !route_net_presearched(&mut ctx, plane, netlist.net(id), &[], true, slot.result) {
+                failed.push(id);
+            }
+            if let Some(cb) = checkpoint.as_mut() {
+                cb(ledger, failed, false);
+            }
         }
     }
     // Final forced boundary, mirroring the serial path above.
     if let Some(cb) = checkpoint.as_mut() {
         cb(ledger, failed, true);
     }
+}
+
+/// One boundary net's pre-search result, produced by a wave worker.
+struct WaveSlot {
+    /// `Some` when the worker completed the attempt-0 search; `None` when
+    /// it skipped (the budget fail-fast preamble would refuse the net
+    /// anyway) or panicked.
+    result: Option<PreSearch>,
+    /// The pre-search panicked and was caught; the replay re-searches
+    /// live on the serial fallback path and counts the recovery.
+    recovered: bool,
+    /// The worker's span buffer (timing only — wave workers emit no
+    /// events), replayed into the caller's recorder at the net's
+    /// canonical turn so profiles are thread-count-invariant.
+    rec: BufferRecorder,
+}
+
+/// Phase A of one wave: pre-search every member against the frozen
+/// global state. Workers share the read-only plane, direction map and
+/// pin guards; penalties and scratch are worker-private. Each search is
+/// wrapped in `catch_unwind` so one poisoned pre-search (injected via
+/// [`FaultPlan::injects_wave_panic`](crate::FaultPlan::injects_wave_panic),
+/// or a genuine crash) costs only its own slot. Slot order matches
+/// `wave`, regardless of which worker ran what.
+#[allow(clippy::too_many_arguments)]
+fn presearch_wave(
+    config: &RouterConfig,
+    plane: &RoutingPlane,
+    dir_map: &DirGrid,
+    guards: &GuardGrid,
+    netlist: &Netlist,
+    wave: &[NetId],
+    run_budget: &RunBudget,
+    workers: usize,
+    timing: bool,
+) -> Vec<WaveSlot> {
+    let search_one =
+        |id: NetId, penalties: &mut PenaltyGrid, scratch: &mut SearchScratch| -> WaveSlot {
+            let key = id.0;
+            let mut wrec = BufferRecorder::with_flags(false, timing);
+            // Mirror the fail-fast preamble of `route_net`: a net the
+            // replay will refuse to route must not search here either.
+            let injected = config.faults.is_some_and(|f| f.injects_net_budget(key));
+            if injected || run_budget.tripped() {
+                return WaveSlot {
+                    result: None,
+                    recovered: false,
+                    rec: wrec,
+                };
+            }
+            penalties.clear();
+            let mut budget = Budget::for_net(config);
+            let stage = SearchStage {
+                plane,
+                dir_map,
+                guards,
+                config,
+            };
+            let net = netlist.net(id);
+            // The isolation boundary: a panic poisons only this slot's
+            // private state. The scratch resets itself at the start of
+            // every search, so reusing it afterwards is safe.
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                if config.faults.is_some_and(|f| f.injects_wave_panic(key)) {
+                    panic!("injected fault: wave pre-search of net {key} dies");
+                }
+                stage.search_net_observed(net, penalties, scratch, &mut budget, &mut wrec)
+            }));
+            match caught {
+                Ok(outcome) => {
+                    // Charge the shared run budget now, like the serial
+                    // path; the replay must not charge it again.
+                    run_budget.add_nodes(outcome.expanded);
+                    WaveSlot {
+                        result: Some(PreSearch { outcome, budget }),
+                        recovered: false,
+                        rec: wrec,
+                    }
+                }
+                // A panicked search never closed its span, so the buffer
+                // is still clean; drop any state and let replay re-run.
+                Err(_) => WaveSlot {
+                    result: None,
+                    recovered: true,
+                    rec: wrec,
+                },
+            }
+        };
+
+    let n = wave.len();
+    if workers <= 1 || n <= 1 {
+        let mut penalties = PenaltyGrid::new(plane, 0);
+        let mut scratch = SearchScratch::new(plane);
+        return wave
+            .iter()
+            .map(|&id| search_one(id, &mut penalties, &mut scratch))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let search = &search_one;
+    let mut slots: Vec<Option<WaveSlot>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut penalties = PenaltyGrid::new(plane, 0);
+                    let mut scratch = SearchScratch::new(plane);
+                    let mut out = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= n {
+                            break;
+                        }
+                        out.push((k, search(wave[k], &mut penalties, &mut scratch)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            let batch = h
+                .join()
+                .expect("wave worker panicked outside the isolation boundary");
+            for (k, slot) in batch {
+                slots[k] = Some(slot);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every wave slot is filled exactly once"))
+        .collect()
 }
 
 /// Detects unavoidable type-B cut conflicts in the tentative route's

@@ -108,6 +108,9 @@ pub struct LedgerCounters {
     /// Band workers that panicked and were re-routed on the serial
     /// fallback path.
     pub bands_recovered: u64,
+    /// Boundary-wave pre-searches that panicked and were re-searched on
+    /// the serial fallback path.
+    pub waves_recovered: u64,
 }
 
 impl LedgerCounters {
@@ -118,7 +121,7 @@ impl LedgerCounters {
             "{{\"ripups\":{},\"ripups_type_b\":{},\"ripups_graph\":{},\
              \"ripups_risk\":{},\"failed_no_path\":{},\"failed_exhausted\":{},\
              \"failed_cleanup\":{},\"flips\":{},\"nodes_expanded\":{},\
-             \"failed_budget\":{},\"bands_recovered\":{}}}",
+             \"failed_budget\":{},\"bands_recovered\":{},\"waves_recovered\":{}}}",
             self.ripups,
             self.ripups_type_b,
             self.ripups_graph,
@@ -129,7 +132,8 @@ impl LedgerCounters {
             self.flips,
             self.nodes_expanded,
             self.failed_budget,
-            self.bands_recovered
+            self.bands_recovered,
+            self.waves_recovered
         )
     }
 
@@ -150,6 +154,7 @@ impl LedgerCounters {
         self.nodes_expanded += other.nodes_expanded;
         self.failed_budget += other.failed_budget;
         self.bands_recovered += other.bands_recovered;
+        self.waves_recovered += other.waves_recovered;
     }
 }
 
@@ -388,6 +393,7 @@ impl CommitLedger {
                 }
             }
         }
+        let fragments = fragments.into_vec();
         let mut frag_ids = Vec::with_capacity(fragments.len());
         for &(layer, rect) in &fragments {
             if let Some(axis) = rect.orientation().axis() {

@@ -51,6 +51,7 @@ pub mod ledger;
 pub mod report;
 pub mod router;
 pub mod scan;
+pub mod schedule;
 pub mod search;
 pub mod stats;
 
@@ -68,5 +69,6 @@ pub use ledger::{CommitLedger, CommitRecord, LedgerCounters, Proposal, RoutedNet
 pub use report::RoutingReport;
 pub use router::{Router, RouterError};
 pub use scan::{scan_fragments, FoundScenario};
-pub use search::{RouteCandidate, SearchOutcome, SearchStage};
+pub use schedule::{net_footprint, plan_waves, WavePlan};
+pub use search::{FragmentList, RouteCandidate, SearchOutcome, SearchStage};
 pub use stats::ScenarioCensus;

@@ -673,6 +673,7 @@ impl Router {
             failed_cleanup: c.failed_cleanup,
             failed_budget: c.failed_budget,
             bands_recovered: c.bands_recovered,
+            waves_recovered: c.waves_recovered,
             flips: c.flips,
             nodes_expanded: c.nodes_expanded,
             cpu: start.elapsed(),

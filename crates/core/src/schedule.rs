@@ -1,0 +1,273 @@
+//! Conflict-aware wave scheduling for the boundary-net tail.
+//!
+//! Band sharding ([`BandPlan`](sadp_grid::BandPlan)) parallelises nets
+//! whose search windows fit inside one column band, but every net that
+//! *straddles* a band boundary used to route serially after the fold —
+//! on wide planes that tail dominates wall-clock. This module breaks the
+//! tail up: each boundary net gets a conservative **footprint** (the
+//! region its search and commit can read or write), footprints are
+//! indexed in a [`SpatialHash`], and the canonically-ordered conflict
+//! DAG over them is layered greedily into **waves**.
+//!
+//! A wave is a maximal *contiguous run* of the canonical net order whose
+//! members are pairwise footprint-disjoint. Contiguity is what makes the
+//! scheme sound for byte-identity: the driver pre-searches a wave's nets
+//! in parallel against the frozen pre-wave state and then commits them
+//! in canonical order, so the global commit sequence is *exactly* the
+//! serial one. Within a wave, disjoint footprints guarantee that no
+//! member's commit can change anything another member's search read —
+//! hence the parallel pre-search result equals the serial search result
+//! bit for bit. (A non-contiguous layering — e.g. classic longest-path
+//! DAG levels — would reorder commits, and trial coloring chains through
+//! the overlay graph far beyond footprints, so reordering is unsound.)
+
+use crate::config::RouterConfig;
+use sadp_geom::{SpatialHash, TrackRect};
+use sadp_grid::{Net, NetId, Netlist, RoutingPlane};
+
+/// The conservative interaction footprint of `net`.
+///
+/// The rectangle covers everything routing this net can read or write:
+///
+/// * the bounding box of **all** pin candidates (every candidate can
+///   seed or terminate the search),
+/// * expanded by the search window margin, scaled by the pin count the
+///   same way the band classifier scales it (branch searches widen the
+///   window once per extra pin),
+/// * expanded by `halo` extra tracks so that neighbour reads just
+///   outside the window (the `T2b` cost term inspects adjacent cells,
+///   and scenario scans reach `dependence_radius_tracks`) stay inside.
+///
+/// Two nets with disjoint footprints can therefore neither block each
+/// other's paths nor contribute scenarios to each other's scans.
+#[must_use]
+pub fn net_footprint(
+    net: &Net,
+    config: &RouterConfig,
+    halo: i32,
+    plane: &RoutingPlane,
+) -> TrackRect {
+    let mut bbox: Option<TrackRect> = None;
+    for pin in net.pins() {
+        for c in pin.candidates() {
+            let cell = TrackRect::cell(c.x, c.y);
+            bbox = Some(match bbox {
+                Some(b) => b.union_bbox(&cell),
+                None => cell,
+            });
+        }
+    }
+    let margin = config
+        .search_margin
+        .saturating_mul(1 + net.extra.len() as i32)
+        .saturating_add(halo);
+    let plane_rect = TrackRect::new(0, 0, plane.width() - 1, plane.height() - 1);
+    bbox.expect("a net has at least two pins")
+        .expanded(margin)
+        .intersection(&plane_rect)
+        .unwrap_or(plane_rect)
+}
+
+/// The wave schedule for a boundary-net tail: a partition of the input
+/// order into contiguous, pairwise footprint-disjoint runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WavePlan {
+    /// The waves, in execution order. Concatenating them reproduces the
+    /// input net order exactly.
+    pub waves: Vec<Vec<NetId>>,
+}
+
+impl WavePlan {
+    /// Number of waves.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.waves.len()
+    }
+
+    /// Whether the plan has no waves (empty boundary tail).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.waves.is_empty()
+    }
+
+    /// The widest wave (1 for a fully serial plan, 0 when empty).
+    #[must_use]
+    pub fn max_width(&self) -> usize {
+        self.waves.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Layers `boundary` (already in canonical routing order) into waves.
+///
+/// Builds the footprint interference graph with one [`SpatialHash`]
+/// sweep: nets are inserted in order, and each net records its *nearest
+/// earlier* conflicting index. The greedy contiguous layering then cuts
+/// a new wave exactly when a net conflicts with any member of the open
+/// wave — equivalently, when its nearest earlier conflict lies at or
+/// after the open wave's first index. This is the canonical antichain
+/// prefix decomposition of the order-oriented conflict DAG.
+#[must_use]
+pub fn plan_waves(
+    boundary: &[NetId],
+    netlist: &Netlist,
+    config: &RouterConfig,
+    halo: i32,
+    plane: &RoutingPlane,
+) -> WavePlan {
+    let n = boundary.len();
+    let footprints: Vec<TrackRect> = boundary
+        .iter()
+        .map(|&id| net_footprint(netlist.net(id), config, halo, plane))
+        .collect();
+    let mut index = SpatialHash::with_density(plane.width(), plane.height(), n.max(1));
+    let mut nearest_conflict: Vec<Option<usize>> = vec![None; n];
+    for (i, fp) in footprints.iter().enumerate() {
+        let mut best: Option<usize> = None;
+        for (k, rect) in index.query_entries(fp) {
+            if rect.intersects(fp) {
+                let k = k as usize;
+                best = Some(best.map_or(k, |b| b.max(k)));
+            }
+        }
+        nearest_conflict[i] = best;
+        index.insert(i as u64, *fp);
+    }
+
+    let mut waves: Vec<Vec<NetId>> = Vec::new();
+    let mut wave: Vec<NetId> = Vec::new();
+    let mut start = 0usize;
+    for (i, &id) in boundary.iter().enumerate() {
+        if !wave.is_empty() && nearest_conflict[i].is_some_and(|k| k >= start) {
+            waves.push(std::mem::take(&mut wave));
+            start = i;
+        }
+        wave.push(id);
+    }
+    if !wave.is_empty() {
+        waves.push(wave);
+    }
+    WavePlan { waves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sadp_geom::{DesignRules, GridPoint, Layer};
+
+    fn plane(width: i32, height: i32) -> RoutingPlane {
+        RoutingPlane::new(3, width, height, DesignRules::node_10nm()).unwrap()
+    }
+
+    fn p(x: i32, y: i32) -> GridPoint {
+        GridPoint::new(Layer(0), x, y)
+    }
+
+    /// A netlist of horizontal two-pin nets at the given (x0, x1, y)
+    /// spans, ids in insertion order.
+    fn spans(spans: &[(i32, i32, i32)]) -> (Netlist, Vec<NetId>) {
+        let mut nl = Netlist::new();
+        let ids = spans
+            .iter()
+            .enumerate()
+            .map(|(i, &(x0, x1, y))| nl.add_two_pin(format!("n{i}"), p(x0, y), p(x1, y)))
+            .collect();
+        (nl, ids)
+    }
+
+    fn check_invariants(plan: &WavePlan, order: &[NetId], nl: &Netlist, pl: &RoutingPlane) {
+        let config = RouterConfig::paper_defaults();
+        // Concatenation reproduces the input order (contiguity).
+        let flat: Vec<NetId> = plan.waves.iter().flatten().copied().collect();
+        assert_eq!(flat, order, "waves must be contiguous canonical runs");
+        // Members of one wave are pairwise footprint-disjoint.
+        for wave in &plan.waves {
+            let fps: Vec<TrackRect> = wave
+                .iter()
+                .map(|&id| net_footprint(nl.net(id), &config, 2, pl))
+                .collect();
+            for a in 0..fps.len() {
+                for b in a + 1..fps.len() {
+                    assert!(
+                        !fps[a].intersects(&fps[b]),
+                        "wave members {:?} and {:?} overlap",
+                        wave[a],
+                        wave[b]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_nets_share_one_wave() {
+        // Far-apart nets on a wide plane: everything fits in wave 0.
+        let pl = plane(800, 64);
+        let (nl, ids) = spans(&[(10, 30, 10), (300, 320, 10), (600, 620, 10)]);
+        let plan = plan_waves(&ids, &nl, &RouterConfig::paper_defaults(), 2, &pl);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.max_width(), 3);
+        check_invariants(&plan, &ids, &nl, &pl);
+    }
+
+    #[test]
+    fn overlapping_nets_serialise() {
+        // Nets stacked on adjacent tracks conflict pairwise: one net per
+        // wave, reproducing the serial schedule.
+        let pl = plane(200, 64);
+        let (nl, ids) = spans(&[(10, 60, 10), (20, 70, 12), (30, 80, 14)]);
+        let plan = plan_waves(&ids, &nl, &RouterConfig::paper_defaults(), 2, &pl);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.max_width(), 1);
+        check_invariants(&plan, &ids, &nl, &pl);
+    }
+
+    #[test]
+    fn conflict_with_open_wave_cuts_a_new_wave() {
+        // Net 0 and net 1 are disjoint; net 2 overlaps net 0. The cut
+        // must fall before net 2 even though nets 1 and 2 are disjoint.
+        let pl = plane(900, 64);
+        let (nl, ids) = spans(&[(10, 40, 10), (700, 740, 10), (20, 50, 30)]);
+        let plan = plan_waves(&ids, &nl, &RouterConfig::paper_defaults(), 2, &pl);
+        assert_eq!(plan.waves, vec![vec![ids[0], ids[1]], vec![ids[2]]]);
+        check_invariants(&plan, &ids, &nl, &pl);
+    }
+
+    #[test]
+    fn interleaved_footprints_split_into_multiple_waves() {
+        // Alternating left/right nets: lefts conflict with lefts, rights
+        // with rights, so waves of width 2 form.
+        let pl = plane(1200, 200);
+        let (nl, ids) = spans(&[
+            (10, 60, 10),
+            (1000, 1060, 10),
+            (20, 70, 20),
+            (1010, 1070, 20),
+            (30, 80, 30),
+            (1020, 1080, 30),
+        ]);
+        let plan = plan_waves(&ids, &nl, &RouterConfig::paper_defaults(), 2, &pl);
+        assert!(plan.len() >= 2, "interleaved fixture must split");
+        assert!(plan.max_width() >= 2, "some wave must hold >1 net");
+        check_invariants(&plan, &ids, &nl, &pl);
+    }
+
+    #[test]
+    fn footprint_covers_pins_and_clips_to_plane() {
+        let pl = plane(100, 50);
+        let (nl, ids) = spans(&[(2, 90, 5)]);
+        let config = RouterConfig::paper_defaults();
+        let fp = net_footprint(nl.net(ids[0]), &config, 2, &pl);
+        assert!(fp.contains_cell(2, 5) && fp.contains_cell(90, 5));
+        assert!(fp.x0 >= 0 && fp.y0 >= 0);
+        assert!(fp.x1 < pl.width() && fp.y1 < pl.height());
+    }
+
+    #[test]
+    fn empty_boundary_is_an_empty_plan() {
+        let pl = plane(100, 50);
+        let nl = Netlist::new();
+        let plan = plan_waves(&[], &nl, &RouterConfig::paper_defaults(), 2, &pl);
+        assert!(plan.is_empty());
+        assert_eq!(plan.max_width(), 0);
+    }
+}

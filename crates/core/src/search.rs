@@ -34,6 +34,115 @@ pub struct SearchStage<'a> {
     pub config: &'a RouterConfig,
 }
 
+/// Inline capacity of a [`FragmentList`]. Eight covers the vast majority
+/// of routed nets: a straight trunk is one fragment, and each bend or
+/// via landing adds only one or two more.
+const FRAGMENTS_INLINE: usize = 8;
+
+/// The maximal wire-fragment rectangles of a candidate route, with
+/// inline storage for short lists.
+///
+/// A [`RouteCandidate`] is built once per search attempt and moved
+/// through the propose → commit pipeline, so its fragment list is one of
+/// the hottest allocations in the router. Up to `FRAGMENTS_INLINE` (8)
+/// entries live in the struct itself; longer lists spill to the heap
+/// transparently, preserving order.
+#[derive(Debug, Clone)]
+pub struct FragmentList {
+    repr: FragRepr,
+}
+
+#[derive(Debug, Clone)]
+enum FragRepr {
+    Inline {
+        buf: [(Layer, TrackRect); FRAGMENTS_INLINE],
+        len: u8,
+    },
+    Heap(Vec<(Layer, TrackRect)>),
+}
+
+impl FragmentList {
+    /// An empty list (inline, no allocation).
+    #[must_use]
+    pub fn new() -> FragmentList {
+        FragmentList {
+            repr: FragRepr::Inline {
+                buf: [(Layer(0), TrackRect::cell(0, 0)); FRAGMENTS_INLINE],
+                len: 0,
+            },
+        }
+    }
+
+    /// Appends one fragment, spilling to the heap past the inline
+    /// capacity.
+    pub fn push(&mut self, frag: (Layer, TrackRect)) {
+        match &mut self.repr {
+            FragRepr::Inline { buf, len } => {
+                let l = usize::from(*len);
+                if l < FRAGMENTS_INLINE {
+                    buf[l] = frag;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(FRAGMENTS_INLINE * 2);
+                    v.extend_from_slice(buf);
+                    v.push(frag);
+                    self.repr = FragRepr::Heap(v);
+                }
+            }
+            FragRepr::Heap(v) => v.push(frag),
+        }
+    }
+
+    /// The fragments as a slice, in insertion order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[(Layer, TrackRect)] {
+        match &self.repr {
+            FragRepr::Inline { buf, len } => &buf[..usize::from(*len)],
+            FragRepr::Heap(v) => v,
+        }
+    }
+
+    /// Number of fragments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the list holds no fragments.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Iterates over the fragments.
+    pub fn iter(&self) -> std::slice::Iter<'_, (Layer, TrackRect)> {
+        self.as_slice().iter()
+    }
+
+    /// Moves the fragments into a plain `Vec` (no copy once spilled).
+    #[must_use]
+    pub fn into_vec(self) -> Vec<(Layer, TrackRect)> {
+        match self.repr {
+            FragRepr::Inline { buf, len } => buf[..usize::from(len)].to_vec(),
+            FragRepr::Heap(v) => v,
+        }
+    }
+}
+
+impl Default for FragmentList {
+    fn default() -> FragmentList {
+        FragmentList::new()
+    }
+}
+
+impl<'a> IntoIterator for &'a FragmentList {
+    type Item = &'a (Layer, TrackRect);
+    type IntoIter = std::slice::Iter<'a, (Layer, TrackRect)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// A tentative route produced by the search stage: trunk, branches, and
 /// the maximal wire-fragment rectangles of all of them. Nothing about it
 /// is committed yet.
@@ -44,7 +153,7 @@ pub struct RouteCandidate {
     /// Branch paths of a multi-terminal net (empty for two-pin nets).
     pub branches: Vec<RoutePath>,
     /// Maximal wire-fragment rectangles per layer, over all paths.
-    pub fragments: Vec<(Layer, TrackRect)>,
+    pub fragments: FragmentList,
 }
 
 /// The result of [`SearchStage::search_net`].
@@ -171,9 +280,10 @@ impl SearchStage<'_> {
             }
         }
 
-        let mut fragments = path.fragments();
+        let mut fragments = FragmentList::new();
+        path.fragments_into(|layer, rect| fragments.push((layer, rect)));
         for b in &branches {
-            fragments.extend(b.fragments());
+            b.fragments_into(|layer, rect| fragments.push((layer, rect)));
         }
         SearchOutcome {
             candidate: Some(RouteCandidate {
@@ -202,5 +312,49 @@ impl SearchStage<'_> {
         let outcome = self.search_net_budgeted(net, penalties, scratch, budget);
         clock.stop(rec, Stage::Search);
         outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frag(i: i32) -> (Layer, TrackRect) {
+        (Layer(0), TrackRect::cell(i, i))
+    }
+
+    #[test]
+    fn fragment_list_starts_empty_and_inline() {
+        let list = FragmentList::new();
+        assert!(list.is_empty());
+        assert_eq!(list.len(), 0);
+        assert_eq!(list.as_slice(), &[]);
+        assert!(FragmentList::default().is_empty());
+    }
+
+    #[test]
+    fn fragment_list_spills_past_inline_capacity_preserving_order() {
+        let mut list = FragmentList::new();
+        let n = FRAGMENTS_INLINE as i32 + 5;
+        for i in 0..n {
+            list.push(frag(i));
+        }
+        assert_eq!(list.len(), n as usize);
+        let expect: Vec<_> = (0..n).map(frag).collect();
+        assert_eq!(list.as_slice(), expect.as_slice());
+        assert_eq!(list.iter().count(), n as usize);
+        assert_eq!((&list).into_iter().count(), n as usize);
+        assert_eq!(list.into_vec(), expect);
+    }
+
+    #[test]
+    fn fragment_list_into_vec_at_exact_inline_boundary() {
+        let mut list = FragmentList::new();
+        for i in 0..FRAGMENTS_INLINE as i32 {
+            list.push(frag(i));
+        }
+        assert_eq!(list.len(), FRAGMENTS_INLINE);
+        let expect: Vec<_> = (0..FRAGMENTS_INLINE as i32).map(frag).collect();
+        assert_eq!(list.into_vec(), expect);
     }
 }

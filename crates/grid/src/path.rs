@@ -122,6 +122,15 @@ impl RoutePath {
     #[must_use]
     pub fn fragments(&self) -> Vec<(Layer, TrackRect)> {
         let mut out = Vec::new();
+        self.fragments_into(|layer, rect| out.push((layer, rect)));
+        out
+    }
+
+    /// Visits the maximal straight wire rectangles of the path without
+    /// allocating ([`RoutePath::fragments`] collects them into a `Vec`;
+    /// callers with their own storage — e.g. an inline fragment list —
+    /// can push directly).
+    pub fn fragments_into<F: FnMut(Layer, TrackRect)>(&self, mut emit: F) {
         let pts = &self.points;
         let mut run_start = 0usize;
         let mut i = 0usize;
@@ -132,18 +141,17 @@ impl RoutePath {
                 continue;
             }
             // Run is pts[run_start..=i] on a single layer.
-            emit_layer_run(&pts[run_start..=i], &mut out);
+            emit_layer_run(&pts[run_start..=i], &mut emit);
             i += 1;
             run_start = i;
         }
-        out
     }
 }
 
-fn emit_layer_run(run: &[GridPoint], out: &mut Vec<(Layer, TrackRect)>) {
+fn emit_layer_run<F: FnMut(Layer, TrackRect)>(run: &[GridPoint], emit: &mut F) {
     let layer = run[0].layer;
     if run.len() == 1 {
-        out.push((layer, TrackRect::cell(run[0].x, run[0].y)));
+        emit(layer, TrackRect::cell(run[0].x, run[0].y));
         return;
     }
     let mut seg_start = 0usize;
@@ -154,7 +162,7 @@ fn emit_layer_run(run: &[GridPoint], out: &mut Vec<(Layer, TrackRect)>) {
             // Maximal straight segment run[seg_start..=i].
             let a = run[seg_start];
             let b = run[i];
-            out.push((layer, TrackRect::new(a.x, a.y, b.x, b.y)));
+            emit(layer, TrackRect::new(a.x, a.y, b.x, b.y));
             seg_start = i;
         }
     }

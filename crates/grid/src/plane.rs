@@ -81,6 +81,12 @@ pub struct RoutingPlane {
     height: i32,
     rules: DesignRules,
     cells: Vec<u32>,
+    /// One bit per cell, set when the cell is *not* free (blocked or
+    /// occupied). Mirrors `cells` exactly; kept in sync by the three
+    /// mutation paths. The A\*-search neighbour test probes free-ness 64
+    /// cells per word, so the passability working set is 1/32 the size
+    /// of `cells` and stays cache-resident on large planes.
+    busy: Vec<u64>,
 }
 
 impl RoutingPlane {
@@ -110,7 +116,22 @@ impl RoutingPlane {
             height,
             rules,
             cells: vec![FREE; cell_count as usize],
+            busy: vec![0; (cell_count as usize).div_ceil(64)],
         })
+    }
+
+    #[inline]
+    fn busy_bit(&self, i: usize) -> bool {
+        self.busy[i >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    #[inline]
+    fn set_busy(&mut self, i: usize, v: bool) {
+        if v {
+            self.busy[i >> 6] |= 1u64 << (i & 63);
+        } else {
+            self.busy[i >> 6] &= !(1u64 << (i & 63));
+        }
     }
 
     /// Number of metal layers.
@@ -175,10 +196,12 @@ impl RoutingPlane {
         }
     }
 
-    /// Whether the cell at `p` is in bounds and free.
+    /// Whether the cell at `p` is in bounds and free. This is the A\*
+    /// hot-path probe: it reads the packed busy bitplane, not `cells`.
+    #[inline]
     #[must_use]
     pub fn is_free(&self, p: GridPoint) -> bool {
-        self.in_bounds(p) && self.cells[self.index(p)] == FREE
+        self.in_bounds(p) && !self.busy_bit(self.index(p))
     }
 
     /// The net occupying `p`, if any.
@@ -209,6 +232,7 @@ impl RoutingPlane {
         match self.cells[i] {
             FREE => {
                 self.cells[i] = net.0;
+                self.set_busy(i, true);
                 Ok(())
             }
             id if id == net.0 => Ok(()),
@@ -223,6 +247,7 @@ impl RoutingPlane {
                 let i = self.index(p);
                 if self.cells[i] == net.0 {
                     self.cells[i] = FREE;
+                    self.set_busy(i, false);
                 }
             }
         }
@@ -236,6 +261,7 @@ impl RoutingPlane {
                 let i = self.index(p);
                 if self.cells[i] == FREE {
                     self.cells[i] = BLOCKED;
+                    self.set_busy(i, true);
                 }
             }
         }
@@ -355,6 +381,32 @@ mod tests {
         p.occupy(GridPoint::new(Layer(0), 0, 0), NetId(1)).unwrap();
         let cells: Vec<_> = p.occupied_cells(Layer(1)).collect();
         assert_eq!(cells, vec![(3, 4, NetId(7)), (4, 4, NetId(7))]);
+    }
+
+    #[test]
+    fn busy_bitplane_mirrors_cells_through_every_mutation() {
+        let mut p = plane();
+        let a = GridPoint::new(Layer(0), 1, 1);
+        let b = GridPoint::new(Layer(2), 15, 15);
+        p.occupy(a, NetId(3)).unwrap();
+        p.occupy(b, NetId(4)).unwrap();
+        p.add_blockage(Layer(1), TrackRect::new(0, 0, 3, 3));
+        p.clear_path(&[a], NetId(3));
+        // Failed occupy of a busy cell must not flip any bit either.
+        let blocked = GridPoint::new(Layer(1), 2, 2);
+        assert!(p.occupy(blocked, NetId(9)).is_err());
+        for l in 0..p.layers() {
+            for y in 0..p.height() {
+                for x in 0..p.width() {
+                    let q = GridPoint::new(Layer(l), x, y);
+                    assert_eq!(
+                        p.is_free(q),
+                        p.cell(q) == CellState::Free,
+                        "bitplane out of sync at {q}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -48,17 +48,21 @@ pub enum Stage {
     Merge,
     /// Layout decomposition / verification of the routed result.
     Decompose,
+    /// The boundary-net tail: wave scheduling, parallel pre-search and
+    /// the canonical-order commit replay of band-straddling nets.
+    Boundary,
 }
 
 impl Stage {
     /// Every stage, in fixed report order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Search,
         Stage::Commit,
         Stage::Recolor,
         Stage::Ripup,
         Stage::Merge,
         Stage::Decompose,
+        Stage::Boundary,
     ];
 
     /// Stable lowercase name (used as the JSON key and the table label).
@@ -71,6 +75,7 @@ impl Stage {
             Stage::Ripup => "ripup",
             Stage::Merge => "merge",
             Stage::Decompose => "decompose",
+            Stage::Boundary => "boundary",
         }
     }
 
@@ -83,6 +88,7 @@ impl Stage {
             Stage::Ripup => 3,
             Stage::Merge => 4,
             Stage::Decompose => 5,
+            Stage::Boundary => 6,
         }
     }
 }
@@ -337,6 +343,24 @@ pub enum RouterEvent {
         /// The other net of the rejected edge.
         other: u32,
     },
+    /// One wave of the boundary-net conflict-DAG schedule: `nets` nets
+    /// with pairwise-disjoint dependence footprints, pre-searched
+    /// concurrently and committed in canonical net order.
+    WaveScheduled {
+        /// Wave index (ascending commit order).
+        wave: u32,
+        /// Nets scheduled in the wave.
+        nets: u64,
+    },
+    /// A wave worker panicked pre-searching a boundary net; the net was
+    /// re-searched on the serial fallback path. The final output is
+    /// byte-identical to a run where the panic never happened.
+    WaveRecovered {
+        /// Wave index (ascending commit order).
+        wave: u32,
+        /// The recovered net.
+        net: u32,
+    },
 }
 
 impl RouterEvent {
@@ -351,6 +375,8 @@ impl RouterEvent {
             RouterEvent::BandMerged { .. } => "band_merged",
             RouterEvent::BandRecovered { .. } => "band_recovered",
             RouterEvent::OddCycleDecomposed { .. } => "odd_cycle_decomposed",
+            RouterEvent::WaveScheduled { .. } => "wave_scheduled",
+            RouterEvent::WaveRecovered { .. } => "wave_recovered",
         }
     }
 
@@ -392,6 +418,12 @@ impl RouterEvent {
             RouterEvent::OddCycleDecomposed { net, layer, other } => format!(
                 "{{\"event\":\"odd_cycle_decomposed\",\"net\":{net},\"layer\":{layer},\"other\":{other}}}"
             ),
+            RouterEvent::WaveScheduled { wave, nets } => {
+                format!("{{\"event\":\"wave_scheduled\",\"wave\":{wave},\"nets\":{nets}}}")
+            }
+            RouterEvent::WaveRecovered { wave, net } => {
+                format!("{{\"event\":\"wave_recovered\",\"wave\":{wave},\"net\":{net}}}")
+            }
         }
     }
 }
@@ -697,6 +729,8 @@ mod tests {
                 net: 9,
                 reason: FailReason::BudgetExceeded,
             },
+            RouterEvent::WaveScheduled { wave: 2, nets: 6 },
+            RouterEvent::WaveRecovered { wave: 2, net: 11 },
         ];
         let jsonl = events_to_jsonl(&events);
         let expected = concat!(
@@ -708,6 +742,8 @@ mod tests {
             "{\"event\":\"band_recovered\",\"band\":4,\"nets\":9}\n",
             "{\"event\":\"odd_cycle_decomposed\",\"net\":5,\"layer\":0,\"other\":2}\n",
             "{\"event\":\"net_failed\",\"net\":9,\"reason\":\"budget_exceeded\"}\n",
+            "{\"event\":\"wave_scheduled\",\"wave\":2,\"nets\":6}\n",
+            "{\"event\":\"wave_recovered\",\"wave\":2,\"net\":11}\n",
         );
         assert_eq!(jsonl, expected);
     }

@@ -27,9 +27,12 @@
 //! and budget exhaustions are recovered without corrupting the output.
 //!
 //! `--threads N` runs the region-sharded schedule on up to `N` worker
-//! threads. The result is byte-identical for every `N` (the band
-//! partition and the commit order depend only on the plane geometry);
-//! only the wall-clock changes.
+//! threads: band-interior nets on band workers, then band-straddling
+//! nets in footprint-disjoint waves whose pre-searches run concurrently
+//! but commit in canonical order. The result is byte-identical for
+//! every `N` (the band partition, the wave partition and the commit
+//! order depend only on the plane geometry and the netlist); only the
+//! wall-clock changes.
 //!
 //! `--trace FILE` writes the structured pipeline event stream as JSONL
 //! (one event per line; see `sadp_obs::RouterEvent`). Events carry only

@@ -151,7 +151,7 @@ fn checkpoint_then_resume_reproduces_the_run() {
         .expect("binary runs");
     assert!(first.status.success());
     let text = std::fs::read_to_string(&snap).expect("checkpoint written");
-    assert!(text.starts_with("SADPCKPT v1"), "{text}");
+    assert!(text.starts_with("SADPCKPT v2"), "{text}");
 
     let resumed = sadp()
         .args([

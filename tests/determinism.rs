@@ -1,7 +1,8 @@
 //! The parallel driver's determinism contract: for any thread count the
 //! routed result is *identical* to the serial run — same report, same
-//! paths, same colors, same failures. The band partition and the commit
-//! order depend only on the plane geometry, never on scheduling.
+//! paths, same colors, same failures. The band partition, the boundary
+//! wave schedule, and the commit order depend only on the plane geometry
+//! and the netlist, never on scheduling.
 
 use sadp::core::FaultPlan;
 use sadp::grid::{BandPlan, BenchmarkSpec};
@@ -160,10 +161,165 @@ fn injected_band_panics_recover_to_the_clean_result() {
         );
     }
 
-    // Modulo the recovery counter, the faulted run IS the clean run.
+    // Modulo the recovery counters, the faulted run IS the clean run.
+    // (The same plan may also panic boundary-wave pre-searches; those
+    // recover byte-identically too, so both counters are masked.)
     let mut masked = faulted.clone();
     masked.0.bands_recovered = 0;
+    masked.0.waves_recovered = 0;
     assert_eq!(masked, clean, "recovery altered the routed result");
+}
+
+/// Twelve identical-length nets that all straddle the x=200 band edge of
+/// a two-band 400-track plane, in interleaving conflict groups. A net's
+/// wave footprint is its pin bbox grown by `search_margin + halo`
+/// (24 + 2) per side, so rows 60 tracks apart are footprint-disjoint
+/// while rows 30 apart conflict: the wave planner must batch the former
+/// into wide waves and cut before the latter. Equal lengths make the
+/// canonical (HPWL, id) order the insertion order.
+fn boundary_wave_fixture() -> (RoutingPlane, Netlist) {
+    let plane = RoutingPlane::new(3, 400, 300, DesignRules::node_10nm()).expect("valid plane");
+    let mut nl = Netlist::new();
+    let rows: [i32; 12] = [10, 70, 130, 190, 250, 40, 100, 160, 220, 280, 25, 85];
+    for (i, &y) in rows.iter().enumerate() {
+        nl.add_two_pin(
+            format!("b{i}"),
+            GridPoint::new(Layer(0), 150, y),
+            GridPoint::new(Layer(0), 250, y),
+        );
+    }
+    (plane, nl)
+}
+
+/// Routes the boundary-wave fixture under `config` with a tracing
+/// recorder; returns everything observable plus the JSONL event stream.
+fn route_waves(mut config: RouterConfig, threads: usize) -> (RunResult, String) {
+    let (mut plane, netlist) = boundary_wave_fixture();
+    config.threads = threads;
+    let mut router = Router::new(config);
+    let mut rec = BufferRecorder::with_flags(true, false);
+    let mut report = router.route_all_with(&mut plane, &netlist, &mut rec);
+    report.cpu = Duration::ZERO;
+    let patterns = (0..plane.layers())
+        .map(|l| router.patterns_on_layer(Layer(l)))
+        .collect();
+    (
+        (report, patterns, router.failed().to_vec(), plane.usage()),
+        events_to_jsonl(&rec.take_events()),
+    )
+}
+
+#[test]
+fn boundary_waves_are_byte_identical_across_thread_counts() {
+    // The tentpole contract: boundary nets pre-search in parallel waves
+    // but commit in exact canonical order, so report, colors, patterns,
+    // occupancy AND the full event trace are byte-stable at any worker
+    // count.
+    let (serial, serial_trace) = route_waves(RouterConfig::paper_defaults(), 1);
+    assert!(serial.0.routed_nets > 0, "fixture must route");
+
+    // Vacuity guards: the fixture must actually exercise wave batching —
+    // several waves, and at least one wave holding more than one net.
+    let wave_lines: Vec<&str> = serial_trace
+        .lines()
+        .filter(|l| l.contains("\"event\":\"wave_scheduled\""))
+        .collect();
+    assert!(
+        wave_lines.len() >= 2,
+        "fixture must split into multiple waves: {wave_lines:?}"
+    );
+    let wide_waves = wave_lines
+        .iter()
+        .filter(|l| !l.contains("\"nets\":1}"))
+        .count();
+    assert!(
+        wide_waves >= 1,
+        "at least one wave must batch >1 net: {wave_lines:?}"
+    );
+
+    for threads in [2, 4] {
+        let (sharded, trace) = route_waves(RouterConfig::paper_defaults(), threads);
+        assert_eq!(serial, sharded, "wave run diverged at threads={threads}");
+        assert_eq!(
+            serial_trace, trace,
+            "wave trace diverged at threads={threads}"
+        );
+    }
+    assert_eq!(serial.0.cut_conflicts, 0);
+    assert_eq!(serial.0.hard_overlay_violations, 0);
+}
+
+#[test]
+fn budget_starved_boundary_waves_fail_identically_across_thread_counts() {
+    // Per-net node budgets are charged inside the wave pre-search and
+    // threaded into the replay; the budget-starved failure set must be
+    // identical at every thread count even when every failing net is a
+    // boundary net.
+    let mut config = RouterConfig::paper_defaults();
+    config.net_node_budget = 40;
+    let (starved, starved_trace) = route_waves(config.clone(), 1);
+    assert!(
+        starved.0.failed_budget > 0,
+        "a 40-node budget should starve boundary nets"
+    );
+    assert_eq!(
+        starved.0.routed_nets + starved.2.len(),
+        12,
+        "every net is either routed or accounted failed"
+    );
+    for threads in [2, 4] {
+        let (run, trace) = route_waves(config.clone(), threads);
+        assert_eq!(
+            starved, run,
+            "budget-starved wave run diverged at threads={threads}"
+        );
+        assert_eq!(
+            starved_trace, trace,
+            "budget-starved trace diverged at threads={threads}"
+        );
+    }
+    // The unstarved run routes strictly more.
+    let (clean, _) = route_waves(RouterConfig::paper_defaults(), 1);
+    assert!(clean.0.routed_nets > starved.0.routed_nets);
+}
+
+#[test]
+fn injected_wave_panics_recover_to_the_clean_result() {
+    // The wave recovery contract: a pre-search that panics is re-searched
+    // serially during the replay, and the final output is byte-identical
+    // to a run where the panic never happened — the only trace it leaves
+    // is the `waves_recovered` counter. (The fixture has no band-interior
+    // nets, so band panics cannot fire and muddy the comparison.)
+    let (clean, _) = route_waves(RouterConfig::paper_defaults(), 1);
+
+    let faulted_run = |threads: usize, seed: u64| {
+        let mut config = RouterConfig::paper_defaults();
+        config.faults = Some(FaultPlan::new(seed));
+        route_waves(config, threads).0
+    };
+    let seed = (0..64u64)
+        .find(|&s| {
+            let r = faulted_run(1, s);
+            r.0.waves_recovered > 0 && r.0.failed_budget == 0
+        })
+        .expect("some seed in 0..64 panics a wave pre-search without budget faults");
+    let faulted = faulted_run(1, seed);
+    assert_eq!(faulted.0.bands_recovered, 0, "fixture has no band nets");
+
+    // Wave recovery is deterministic across thread counts (injection is
+    // keyed by net id, never by wave index or worker).
+    for threads in [2, 4] {
+        assert_eq!(
+            faulted,
+            faulted_run(threads, seed),
+            "faulted wave run diverged at threads={threads}"
+        );
+    }
+
+    // Modulo the recovery counter, the faulted run IS the clean run.
+    let mut masked = faulted.clone();
+    masked.0.waves_recovered = 0;
+    assert_eq!(masked, clean, "wave recovery altered the routed result");
 }
 
 #[test]
