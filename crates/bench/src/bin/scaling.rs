@@ -8,6 +8,11 @@
 //! routability, wave statistics, and the boundary-tail fraction of the
 //! serial run vs the widest parallel run.
 //!
+//! A second section exercises the `sadp serve` job daemon: a corpus of
+//! small independent layouts is submitted to an in-process daemon at 1,
+//! 2 and 4 workers, and the record gains jobs/sec plus the p50/p95
+//! submit-to-done sojourn ("queue latency") per worker count.
+//!
 //! The binary exits non-zero if the corpus fixture fails to batch more
 //! than one net into some wave — a vacuous run would silently gut the
 //! benchmark, so CI treats that as a failure.
@@ -18,12 +23,14 @@
 
 use sadp_core::{Router, RouterConfig, RoutingReport};
 use sadp_geom::{DesignRules, GridPoint, Layer};
-use sadp_grid::{BenchmarkSpec, NetId, Netlist, RoutingPlane};
+use sadp_grid::{write_layout, BenchmarkSpec, NetId, Netlist, RoutingPlane};
 use sadp_obs::{BufferRecorder, RouterEvent, Stage};
+use sadp_serve::{serve, Client, Json, Request, ServeConfig};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 const THREADS: [usize; 3] = [1, 2, 4];
+const WORKERS: [usize; 3] = [1, 2, 4];
 
 /// Everything measured about one `(fixture, threads)` routing run.
 struct RunStats {
@@ -96,6 +103,125 @@ fn boundary_corpus() -> (RoutingPlane, Netlist) {
         i += 1;
     }
     (plane, nl)
+}
+
+/// Throughput of one daemon configuration on the multi-job corpus.
+struct ServeStats {
+    workers: usize,
+    wall_s: f64,
+    jobs_per_s: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+}
+
+/// Nearest-rank percentile of an already-sorted sample, in milliseconds.
+fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+/// Many small independent jobs, so queueing behaviour dominates and the
+/// per-job route is milliseconds. Grows mildly with `--scale`.
+fn serve_corpus(scale: f64) -> Vec<String> {
+    let jobs = ((8.0 + 32.0 * scale).round() as usize).max(4);
+    (0..jobs)
+        .map(|i| {
+            let spec =
+                BenchmarkSpec::new(format!("serve-{i}"), 24, 96, 72).with_seed(40 + i as u64);
+            let (plane, netlist) = spec.generate();
+            write_layout(&plane, &netlist)
+        })
+        .collect()
+}
+
+/// Submits the whole corpus to a fresh in-process daemon, then lets one
+/// subscriber thread per job record its completion. The measured
+/// sojourn is submit-to-done, queue wait included.
+fn serve_bench(layouts: &[String], workers: usize) -> ServeStats {
+    let handle = serve(ServeConfig {
+        workers,
+        slice_steps: 16,
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr().to_string();
+
+    let start = Instant::now();
+    let mut client = Client::connect(&addr).expect("client connects");
+    let mut submitted: Vec<(u64, Instant)> = Vec::new();
+    for layout in layouts {
+        let resp = client
+            .call(&Request::Submit {
+                layout: layout.clone(),
+                priority: 100,
+                threads: None,
+                node_budget: None,
+                deadline_ms: None,
+            })
+            .expect("submit accepted");
+        let id = resp.get("job").and_then(Json::as_u64).expect("job id");
+        submitted.push((id, Instant::now()));
+    }
+    let sojourns: Vec<Duration> = std::thread::scope(|s| {
+        let handles: Vec<_> = submitted
+            .iter()
+            .map(|&(id, t_submit)| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut c = Client::connect(&addr).expect("subscriber connects");
+                    let done = c
+                        .subscribe(id, |_| {})
+                        .expect("job reaches a terminal state");
+                    assert_eq!(
+                        done.get("state").and_then(Json::as_str),
+                        Some("done"),
+                        "job {id} did not finish cleanly"
+                    );
+                    t_submit.elapsed()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("subscriber thread"))
+            .collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    handle.shutdown();
+
+    let mut sorted = sojourns;
+    sorted.sort();
+    ServeStats {
+        workers,
+        wall_s,
+        jobs_per_s: layouts.len() as f64 / wall_s.max(1e-12),
+        p50_ms: percentile_ms(&sorted, 0.50),
+        p95_ms: percentile_ms(&sorted, 0.95),
+    }
+}
+
+fn json_serve(jobs: usize, runs: &[ServeStats]) -> String {
+    let mut out = String::new();
+    write!(out, "{{\"jobs\":{jobs},\"runs\":[").expect("write to string");
+    for (k, r) in runs.iter().enumerate() {
+        write!(
+            out,
+            "{}\n    {{\"workers\":{},\"wall_s\":{:.6},\"jobs_per_s\":{:.3},\
+             \"queue_latency_ms\":{{\"p50\":{:.3},\"p95\":{:.3}}}}}",
+            if k == 0 { "" } else { "," },
+            r.workers,
+            r.wall_s,
+            r.jobs_per_s,
+            r.p50_ms,
+            r.p95_ms,
+        )
+        .expect("write to string");
+    }
+    out.push_str("\n  ]}");
+    out
 }
 
 fn json_fixture(name: &str, plane: &RoutingPlane, total_nets: usize, runs: &[RunStats]) -> String {
@@ -240,11 +366,22 @@ fn main() {
         fixture_json.push(json_fixture(name, plane, netlist.len(), &runs));
     }
 
+    let corpus = serve_corpus(scale);
+    println!("serve: {} jobs", corpus.len());
+    let serve_runs: Vec<ServeStats> = WORKERS.iter().map(|&w| serve_bench(&corpus, w)).collect();
+    for r in &serve_runs {
+        println!(
+            "  workers={}: {:7.3}s wall, {:7.2} jobs/s, queue latency p50 {:7.1}ms p95 {:7.1}ms",
+            r.workers, r.wall_s, r.jobs_per_s, r.p50_ms, r.p95_ms
+        );
+    }
+
     let json = format!(
-        "{{\n  \"schema\":\"sadp-scaling-bench/v1\",\n  \"rev\":\"{rev}\",\n  \
+        "{{\n  \"schema\":\"sadp-scaling-bench/v2\",\n  \"rev\":\"{rev}\",\n  \
          \"scale\":{scale},\n  \"cores\":{cores},\n  \"threads\":[1,2,4],\n  \
-         \"fixtures\":[\n{}\n  ]\n}}\n",
-        fixture_json.join(",\n")
+         \"fixtures\":[\n{}\n  ],\n  \"serve\":{}\n}}\n",
+        fixture_json.join(",\n"),
+        json_serve(corpus.len(), &serve_runs)
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("wrote {out_path}");

@@ -98,8 +98,12 @@ pub enum SnapshotError {
     },
     /// The body does not match its checksum line (truncation, bit rot).
     ChecksumMismatch,
-    /// The magic line names a version this build does not read.
-    VersionUnsupported,
+    /// The magic line names a version this build does not read (e.g. a
+    /// `SADPCKPT v1` file written by an older build).
+    VersionUnsupported {
+        /// The magic line that was found.
+        found: String,
+    },
     /// The snapshot was taken from a different plane/netlist.
     FingerprintMismatch,
     /// A journaled route no longer commits cleanly — the snapshot does
@@ -120,8 +124,13 @@ impl fmt::Display for SnapshotError {
                     "checkpoint body does not match its checksum (truncated or corrupt)"
                 )
             }
-            SnapshotError::VersionUnsupported => {
-                write!(f, "checkpoint version not supported (expected `{MAGIC}`)")
+            SnapshotError::VersionUnsupported { found } => {
+                write!(
+                    f,
+                    "checkpoint version `{found}` is not supported by this \
+                     build (expected `{MAGIC}`); delete the stale checkpoint \
+                     and re-route to write a current one"
+                )
             }
             SnapshotError::FingerprintMismatch => {
                 write!(
@@ -311,7 +320,9 @@ impl Snapshot {
         let (magic, rest) = split_line(text);
         if magic.trim_end() != MAGIC {
             return Err(if magic.starts_with("SADPCKPT") {
-                SnapshotError::VersionUnsupported
+                SnapshotError::VersionUnsupported {
+                    found: magic.trim_end().to_string(),
+                }
             } else {
                 SnapshotError::Format {
                     line: 1,
@@ -520,9 +531,28 @@ mod tests {
 
     #[test]
     fn foreign_version_is_rejected() {
+        // A v1 file from an older build must fail on the version line,
+        // with the found version in the message — not fall through to a
+        // checksum or parse error.
+        let err = Snapshot::parse("SADPCKPT v1\nchecksum 0\nend\n").unwrap_err();
+        assert_eq!(
+            err,
+            SnapshotError::VersionUnsupported {
+                found: "SADPCKPT v1".into()
+            }
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("SADPCKPT v1"),
+            "names the found version: {msg}"
+        );
+        assert!(msg.contains(MAGIC), "names the expected version: {msg}");
+        assert!(msg.contains("re-route"), "says what to do: {msg}");
         assert_eq!(
             Snapshot::parse("SADPCKPT v99\nchecksum 0\nend\n"),
-            Err(SnapshotError::VersionUnsupported)
+            Err(SnapshotError::VersionUnsupported {
+                found: "SADPCKPT v99".into()
+            })
         );
         assert!(matches!(
             Snapshot::parse("not a checkpoint\n"),

@@ -43,7 +43,7 @@ use sadp_geom::{GridPoint, Layer, Orientation, TrackRect};
 use sadp_grid::{BandPlan, Net, NetId, Netlist, RoutingPlane};
 use sadp_obs::{BufferRecorder, FailReason, Recorder, RipReason, RouterEvent, SpanClock, Stage};
 use sadp_scenario::ScenarioKind;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -536,86 +536,363 @@ struct BandOutcome {
     rec: BufferRecorder,
 }
 
-/// Routes `order` on the plane: serially when the plane holds a single
-/// band, else via the region-sharded band schedule (see the module docs).
-/// Failed nets are appended to `failed` in schedule order (band nets in
-/// ascending band order, then boundary nets in net order).
+/// What one [`ScheduleMachine::step`] call did. Every non-`Complete`
+/// increment ends *between* canonical commits, so pausing after any step
+/// leaves a state [`crate::checkpoint::serialize`] can capture and a
+/// resumed run reproduces byte-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepEvent {
+    /// One net of the serial (single-band) schedule was processed — a
+    /// cheap checkpoint tick the receiver may throttle.
+    SerialNet,
+    /// One band's private ledger was folded into the global state — a
+    /// forced checkpoint boundary. The first fold also runs (and pays
+    /// for) the entire parallel band phase, recovery included.
+    BandFold,
+    /// One boundary net committed at its canonical turn — a throttleable
+    /// checkpoint tick. The first commit of each wave also runs the
+    /// wave's parallel pre-search phase.
+    BoundaryNet,
+    /// The schedule is finished; no work was done. Further calls keep
+    /// returning `Complete`.
+    Complete,
+}
+
+/// The borrowed router state one schedule step executes against. Bundled
+/// so the resumable [`ScheduleMachine`] and the blocking
+/// [`route_schedule`] loop share one signature.
+pub(crate) struct StepArgs<'a> {
+    pub config: &'a RouterConfig,
+    pub ledger: &'a mut CommitLedger,
+    pub ws: &'a mut Workspace,
+    pub plane: &'a mut RoutingPlane,
+    pub netlist: &'a Netlist,
+    pub failed: &'a mut Vec<NetId>,
+    pub run_budget: &'a RunBudget,
+    pub rec: &'a mut dyn Recorder,
+}
+
+/// Position of the resumable schedule stepper.
+enum Plan {
+    /// Single-band plane: the plain serial schedule.
+    Serial { order: Vec<NetId>, next: usize },
+    /// Region-sharded schedule: band phase, then boundary waves.
+    Banded {
+        /// Band-local nets, one list per band.
+        band_nets: Vec<Vec<NetId>>,
+        /// Outcomes of the parallel band phase in ascending band order,
+        /// tagged with their recovery flag. Produced lazily by the first
+        /// `BandFold` step, consumed front to back by the folds.
+        outcomes: Option<VecDeque<(bool, BandOutcome)>>,
+        /// Next band to fold.
+        next_band: usize,
+        /// The wave partition of the boundary tail. It reads only the
+        /// plane geometry and the netlist pins, so planning it up front
+        /// is identical to planning it after the folds.
+        waves: Vec<Vec<NetId>>,
+        wave_idx: usize,
+        wave_pos: usize,
+        /// Pre-search slots of the open wave, consumed front to back.
+        slots: VecDeque<WaveSlot>,
+    },
+}
+
+/// The routing schedule as a resumable state machine: repeated
+/// [`ScheduleMachine::step`] calls perform exactly the computation of the
+/// blocking loop — same commit order, same events, same counters, for
+/// every thread count — but hand control back to the caller between
+/// canonical commits. [`route_schedule`] is the blocking wrapper;
+/// `RoutingSession` in [`crate::session`] drives the machine in bounded
+/// increments.
+///
+/// Parallelism happens *within* a step, never across steps: the first
+/// `BandFold` runs every band worker (and the serial panic recovery,
+/// which must see the pre-merge plane) before folding band 0, and the
+/// first `BoundaryNet` of each wave runs the wave's pre-search phase A.
+/// Pausing between steps therefore cannot reorder or interleave any part
+/// of the canonical commit sequence.
 ///
 /// Fault tolerance: band workers run under `catch_unwind`. A band whose
-/// worker panics is discarded wholesale and re-run serially *before* the
+/// worker panics is discarded wholesale and re-run serially *before* any
 /// fold, by the identical worker closure with fault injection disabled —
 /// so the recovered band's outcome is bit-for-bit the one a clean worker
 /// would have produced, and the merged result stays byte-identical for
 /// every thread count. A panic that survives the clean retry is a
 /// deterministic bug that would abort the serial run too; it propagates.
+pub(crate) struct ScheduleMachine {
+    plan: Plan,
+    steps_done: u64,
+    steps_total: u64,
+}
+
+impl ScheduleMachine {
+    /// Plans the schedule for `order` on the plane. Band classification
+    /// and the wave partition are fixed here, before any routing: both
+    /// depend only on the plane geometry, the config and the netlist,
+    /// never on routed state or the worker count.
+    pub(crate) fn new(
+        config: &RouterConfig,
+        plane: &RoutingPlane,
+        netlist: &Netlist,
+        order: Vec<NetId>,
+    ) -> ScheduleMachine {
+        let halo = sadp_scenario::interaction_radius_tracks(plane.rules());
+        let plan = BandPlan::for_plane(plane.width(), halo);
+        if plan.len() <= 1 {
+            let steps_total = order.len() as u64;
+            return ScheduleMachine {
+                plan: Plan::Serial { order, next: 0 },
+                steps_done: 0,
+                steps_total,
+            };
+        }
+        // Classify: a net is band-local when its influence region, grown
+        // by the scenario halo, fits one band's columns — then its
+        // searches, scans and commits provably cannot interact with any
+        // other band.
+        let mut band_nets: Vec<Vec<NetId>> = vec![Vec::new(); plan.len()];
+        let mut boundary: Vec<NetId> = Vec::new();
+        for &id in &order {
+            let (x0, x1) = net_extent(netlist.net(id), config);
+            match plan.band_of_span(x0, x1) {
+                Some(j) => band_nets[j].push(id),
+                None => boundary.push(id),
+            }
+        }
+        let waves = crate::schedule::plan_waves(&boundary, netlist, config, halo, plane).waves;
+        let steps_total = band_nets.len() as u64 + boundary.len() as u64;
+        ScheduleMachine {
+            plan: Plan::Banded {
+                band_nets,
+                outcomes: None,
+                next_band: 0,
+                waves,
+                wave_idx: 0,
+                wave_pos: 0,
+                slots: VecDeque::new(),
+            },
+            steps_done: 0,
+            steps_total,
+        }
+    }
+
+    /// Steps completed so far (serial nets + band folds + boundary
+    /// commits).
+    pub(crate) fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    /// Total steps the schedule will take.
+    pub(crate) fn steps_total(&self) -> u64 {
+        self.steps_total
+    }
+
+    /// Executes the next increment of the schedule against `a`.
+    pub(crate) fn step(&mut self, a: &mut StepArgs<'_>) -> StepEvent {
+        let ev = self.step_inner(a);
+        if ev != StepEvent::Complete {
+            self.steps_done += 1;
+        }
+        ev
+    }
+
+    fn step_inner(&mut self, a: &mut StepArgs<'_>) -> StepEvent {
+        match &mut self.plan {
+            Plan::Serial { order, next } => {
+                let Some(&id) = order.get(*next) else {
+                    return StepEvent::Complete;
+                };
+                *next += 1;
+                if !route_one(
+                    a.config,
+                    &mut *a.ledger,
+                    &mut *a.ws,
+                    &mut *a.plane,
+                    a.netlist.net(id),
+                    &[],
+                    a.run_budget,
+                    &mut *a.rec,
+                    true,
+                ) {
+                    a.failed.push(id);
+                }
+                StepEvent::SerialNet
+            }
+            Plan::Banded {
+                band_nets,
+                outcomes,
+                next_band,
+                waves,
+                wave_idx,
+                wave_pos,
+                slots,
+            } => {
+                // Band phase: the whole parallel run (workers + serial
+                // panic recovery) happens with the first fold — recovery
+                // must see the pre-merge plane, exactly as the blocking
+                // loop ordered it. Each later step folds one band.
+                if *next_band < band_nets.len() {
+                    if outcomes.is_none() {
+                        *outcomes = Some(run_bands(
+                            a.config,
+                            a.plane,
+                            &a.ws.guards,
+                            a.netlist,
+                            band_nets,
+                            a.run_budget,
+                            a.rec.enabled(),
+                            a.rec.timing(),
+                        ));
+                    }
+                    let j = *next_band;
+                    *next_band += 1;
+                    let (recovered, outcome) = outcomes
+                        .as_mut()
+                        .expect("band outcomes were just produced")
+                        .pop_front()
+                        .expect("one outcome per band");
+                    fold_band(a, j, recovered, outcome);
+                    return StepEvent::BandFold;
+                }
+
+                // Boundary phase: nets straddling a band edge still
+                // *commit* in exact canonical order against the merged
+                // state, but each wave's attempt-0 searches run in
+                // parallel against the frozen pre-wave state when the
+                // wave opens (see [`crate::schedule`]). Within a wave no
+                // member's commit can touch state another member's search
+                // read, so each pre-search is byte-identical to the
+                // serial search at that net's turn.
+                while *wave_idx < waves.len() {
+                    let wave = &waves[*wave_idx];
+                    if wave.is_empty() {
+                        *wave_idx += 1;
+                        continue;
+                    }
+                    if *wave_pos == 0 {
+                        // Phase A: parallel pre-search against the frozen
+                        // global state.
+                        let clock = SpanClock::start(&*a.rec);
+                        if a.rec.enabled() {
+                            a.rec.event(RouterEvent::WaveScheduled {
+                                wave: *wave_idx as u32,
+                                nets: wave.len() as u64,
+                            });
+                        }
+                        *slots = presearch_wave(
+                            a.config,
+                            a.plane,
+                            &a.ws.dir_map,
+                            &a.ws.guards,
+                            a.netlist,
+                            wave,
+                            a.run_budget,
+                            a.config.threads.max(1),
+                            a.rec.timing(),
+                        )
+                        .into();
+                        clock.stop(&mut *a.rec, Stage::Boundary);
+                    }
+                    // Phase B, one increment: this net's serial commit at
+                    // its canonical turn. A panicked pre-search falls
+                    // back to a live serial search (wave-panic injection
+                    // off on that path), which is exactly the serial
+                    // schedule for that net; a panic that survives the
+                    // fallback is a deterministic bug and propagates, as
+                    // it would serially.
+                    let id = wave[*wave_pos];
+                    let slot = slots.pop_front().expect("one slot per wave member");
+                    if slot.recovered {
+                        a.ledger.counters.waves_recovered += 1;
+                        if a.rec.enabled() {
+                            a.rec.event(RouterEvent::WaveRecovered {
+                                wave: *wave_idx as u32,
+                                net: id.0,
+                            });
+                        }
+                    }
+                    slot.rec.replay_into(&mut *a.rec);
+                    let mut ctx = RouteCtx {
+                        config: a.config,
+                        ledger: &mut *a.ledger,
+                        dir_map: &mut a.ws.dir_map,
+                        guards: &a.ws.guards,
+                        penalties: &mut a.ws.penalties,
+                        scratch: &mut a.ws.scratch,
+                        run_budget: a.run_budget,
+                        rec: &mut *a.rec,
+                    };
+                    if !route_net_presearched(
+                        &mut ctx,
+                        a.plane,
+                        a.netlist.net(id),
+                        &[],
+                        true,
+                        slot.result,
+                    ) {
+                        a.failed.push(id);
+                    }
+                    *wave_pos += 1;
+                    if *wave_pos == wave.len() {
+                        *wave_idx += 1;
+                        *wave_pos = 0;
+                    }
+                    return StepEvent::BoundaryNet;
+                }
+                StepEvent::Complete
+            }
+        }
+    }
+}
+
+/// Folds one band's outcome into the global state (one `BandFold` step).
+fn fold_band(a: &mut StepArgs<'_>, j: usize, recovered: bool, outcome: BandOutcome) {
+    let nets = outcome.ledger.routed().len() as u64;
+    let clock = SpanClock::start(&*a.rec);
+    a.ledger
+        .merge_band(outcome.ledger, a.plane, &mut a.ws.dir_map);
+    clock.stop(&mut *a.rec, Stage::Merge);
+    // Replay the band's buffered stream, then mark the merge: the trace
+    // reads as "band j's routing, then band j folded in", in ascending
+    // band order for every worker count.
+    outcome.rec.replay_into(&mut *a.rec);
+    if recovered {
+        a.ledger.counters.bands_recovered += 1;
+        if a.rec.enabled() {
+            a.rec.event(RouterEvent::BandRecovered {
+                band: j as u32,
+                nets,
+            });
+        }
+    } else if a.rec.enabled() {
+        a.rec.event(RouterEvent::BandMerged {
+            band: j as u32,
+            nets,
+        });
+    }
+    a.failed.extend(outcome.failed);
+}
+
+/// The parallel band phase: routes every band's nets on fully private
+/// state across `config.threads` workers, re-runs panicked bands serially
+/// (fault injection off) against the identical pre-merge state, and
+/// returns the outcomes in ascending band order tagged with their
+/// recovery flag. The ledger tile size uses the global net count so the
+/// fragment index behaves exactly like the serial one.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn route_schedule(
+fn run_bands(
     config: &RouterConfig,
-    ledger: &mut CommitLedger,
-    ws: &mut Workspace,
-    plane: &mut RoutingPlane,
+    plane: &RoutingPlane,
+    guards: &GuardGrid,
     netlist: &Netlist,
-    order: &[NetId],
-    failed: &mut Vec<NetId>,
+    band_nets: &[Vec<NetId>],
     run_budget: &RunBudget,
-    rec: &mut dyn Recorder,
-    mut checkpoint: Option<CheckpointHook<'_>>,
-) {
-    let halo = sadp_scenario::interaction_radius_tracks(plane.rules());
-    let plan = BandPlan::for_plane(plane.width(), halo);
-    if plan.len() <= 1 {
-        for &id in order {
-            if !route_one(
-                config,
-                ledger,
-                ws,
-                plane,
-                netlist.net(id),
-                &[],
-                run_budget,
-                rec,
-                true,
-            ) {
-                failed.push(id);
-            }
-            if let Some(cb) = checkpoint.as_mut() {
-                cb(ledger, failed, false);
-            }
-        }
-        // Final forced boundary: even a run too small to hit a throttled
-        // tick leaves a complete, resumable snapshot behind.
-        if let Some(cb) = checkpoint.as_mut() {
-            cb(ledger, failed, true);
-        }
-        return;
-    }
-
-    // Classify: a net is band-local when its influence region, grown by
-    // the scenario halo, fits one band's columns — then its searches,
-    // scans and commits provably cannot interact with any other band.
-    let mut band_nets: Vec<Vec<NetId>> = vec![Vec::new(); plan.len()];
-    let mut boundary: Vec<NetId> = Vec::new();
-    for &id in order {
-        let (x0, x1) = net_extent(netlist.net(id), config);
-        match plan.band_of_span(x0, x1) {
-            Some(j) => band_nets[j].push(id),
-            None => boundary.push(id),
-        }
-    }
-
-    // Band phase: each band routes on fully private state. The ledger
-    // tile size uses the global net count so the fragment index behaves
-    // exactly like the serial one.
+    trace: bool,
+    timing: bool,
+) -> VecDeque<(bool, BandOutcome)> {
     let expected = netlist.len();
-    let bands = plan.len();
+    let bands = band_nets.len();
     let workers = config.threads.clamp(1, bands);
-    let plane_ref: &RoutingPlane = plane;
-    let guards: &GuardGrid = &ws.guards;
-    let band_nets_ref = &band_nets;
-    // The flags are copied out so the worker closure stays `Send` without
-    // sharing the caller's recorder; each worker buffers privately.
-    let trace = rec.enabled();
-    let timing = rec.timing();
     // `inject` arms the fault plan's band panics; the recovery retry runs
     // the same closure with it off. (The scratch allocation can only
     // panic on an oversized plane, which `begin_sized` already rejected.)
@@ -623,18 +900,18 @@ pub(crate) fn route_schedule(
         let panic_at = if inject {
             config
                 .faults
-                .and_then(|f| f.band_panic(j, band_nets_ref[j].len()))
+                .and_then(|f| f.band_panic(j, band_nets[j].len()))
         } else {
             None
         };
-        let mut band_plane = plane_ref.clone();
-        let mut band_ledger = CommitLedger::new(plane_ref, expected);
-        let mut dir_map = DirGrid::new(plane_ref, None);
-        let mut penalties = PenaltyGrid::new(plane_ref, 0);
-        let mut scratch = SearchScratch::new(plane_ref);
+        let mut band_plane = plane.clone();
+        let mut band_ledger = CommitLedger::new(plane, expected);
+        let mut dir_map = DirGrid::new(plane, None);
+        let mut penalties = PenaltyGrid::new(plane, 0);
+        let mut scratch = SearchScratch::new(plane);
         let mut band_failed = Vec::new();
         let mut band_rec = BufferRecorder::with_flags(trace, timing);
-        for (k, &id) in band_nets_ref[j].iter().enumerate() {
+        for (k, &id) in band_nets[j].iter().enumerate() {
             if panic_at == Some(k) {
                 panic!("injected fault: band {j} worker dies before net {k}");
             }
@@ -701,115 +978,69 @@ pub(crate) fn route_schedule(
     // Recovery pass, before any merge mutates the plane: each poisoned
     // band re-runs serially through the identical closure (injection
     // off), so the retried outcome is the one a clean worker produces.
-    let mut recovered = vec![false; bands];
-    let results: Vec<(usize, BandOutcome)> = results
+    results
         .into_iter()
         .map(|(j, out)| match out {
-            Some(out) => (j, out),
-            None => {
-                recovered[j] = true;
-                (j, run_band(j, false))
-            }
+            Some(out) => (false, out),
+            None => (true, run_band(j, false)),
         })
-        .collect();
-    for (j, outcome) in results {
-        let nets = outcome.ledger.routed().len() as u64;
-        let clock = SpanClock::start(&*rec);
-        ledger.merge_band(outcome.ledger, plane, &mut ws.dir_map);
-        clock.stop(rec, Stage::Merge);
-        // Replay the band's buffered stream, then mark the merge: the
-        // trace reads as "band j's routing, then band j folded in", in
-        // ascending band order for every worker count.
-        outcome.rec.replay_into(rec);
-        if recovered[j] {
-            ledger.counters.bands_recovered += 1;
-            if rec.enabled() {
-                rec.event(RouterEvent::BandRecovered {
-                    band: j as u32,
-                    nets,
-                });
-            }
-        } else if rec.enabled() {
-            rec.event(RouterEvent::BandMerged {
-                band: j as u32,
-                nets,
-            });
-        }
-        failed.extend(outcome.failed);
-        if let Some(cb) = checkpoint.as_mut() {
-            cb(ledger, failed, true);
-        }
-    }
+        .collect()
+}
 
-    // Boundary phase: nets straddling a band edge still *commit* in
-    // exact canonical order against the merged state, but their
-    // attempt-0 searches run in parallel waves of pairwise
-    // footprint-disjoint nets (see [`crate::schedule`]). Within a wave
-    // no member's commit can touch state another member's search read,
-    // so each pre-search against the frozen pre-wave state is
-    // byte-identical to the serial search at that net's turn. The same
-    // two-phase structure runs at every thread count — workers merely
-    // change how many pre-searches are in flight.
-    let waves = crate::schedule::plan_waves(&boundary, netlist, config, halo, plane);
-    let wave_workers = config.threads.max(1);
-    for (w, wave) in waves.waves.iter().enumerate() {
-        let clock = SpanClock::start(&*rec);
-        if rec.enabled() {
-            rec.event(RouterEvent::WaveScheduled {
-                wave: w as u32,
-                nets: wave.len() as u64,
-            });
-        }
-        // Phase A: parallel pre-search against the frozen global state.
-        let slots = presearch_wave(
+/// Routes `order` on the plane: serially when the plane holds a single
+/// band, else via the region-sharded band schedule (see the module docs
+/// and [`ScheduleMachine`]). Failed nets are appended to `failed` in
+/// schedule order (band nets in ascending band order, then boundary nets
+/// in net order). This is the blocking loop over the machine; the
+/// checkpoint hook fires after every step, forced at band folds and at
+/// completion.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn route_schedule(
+    config: &RouterConfig,
+    ledger: &mut CommitLedger,
+    ws: &mut Workspace,
+    plane: &mut RoutingPlane,
+    netlist: &Netlist,
+    order: &[NetId],
+    failed: &mut Vec<NetId>,
+    run_budget: &RunBudget,
+    rec: &mut dyn Recorder,
+    mut checkpoint: Option<CheckpointHook<'_>>,
+) {
+    let mut machine = ScheduleMachine::new(config, plane, netlist, order.to_vec());
+    loop {
+        let ev = machine.step(&mut StepArgs {
             config,
-            plane,
-            &ws.dir_map,
-            &ws.guards,
+            ledger: &mut *ledger,
+            ws: &mut *ws,
+            plane: &mut *plane,
             netlist,
-            wave,
+            failed: &mut *failed,
             run_budget,
-            wave_workers,
-            timing,
-        );
-        clock.stop(rec, Stage::Boundary);
-        // Phase B: serial replay in canonical order. A panicked
-        // pre-search falls back to a live serial search (wave-panic
-        // injection off on that path), which is exactly the serial
-        // schedule for that net; a panic that survives the fallback is a
-        // deterministic bug and propagates, as it would serially.
-        for (slot, &id) in slots.into_iter().zip(wave) {
-            if slot.recovered {
-                ledger.counters.waves_recovered += 1;
-                if rec.enabled() {
-                    rec.event(RouterEvent::WaveRecovered {
-                        wave: w as u32,
-                        net: id.0,
-                    });
+            rec: &mut *rec,
+        });
+        match ev {
+            // Per-net increments are cheap ticks the hook may throttle.
+            StepEvent::SerialNet | StepEvent::BoundaryNet => {
+                if let Some(cb) = checkpoint.as_mut() {
+                    cb(ledger, failed, false);
                 }
             }
-            slot.rec.replay_into(rec);
-            let mut ctx = RouteCtx {
-                config,
-                ledger,
-                dir_map: &mut ws.dir_map,
-                guards: &ws.guards,
-                penalties: &mut ws.penalties,
-                scratch: &mut ws.scratch,
-                run_budget,
-                rec: &mut *rec,
-            };
-            if !route_net_presearched(&mut ctx, plane, netlist.net(id), &[], true, slot.result) {
-                failed.push(id);
+            // A fold is always worth persisting.
+            StepEvent::BandFold => {
+                if let Some(cb) = checkpoint.as_mut() {
+                    cb(ledger, failed, true);
+                }
             }
-            if let Some(cb) = checkpoint.as_mut() {
-                cb(ledger, failed, false);
+            // Final forced boundary: even a run too small to hit a
+            // throttled tick leaves a complete, resumable snapshot.
+            StepEvent::Complete => {
+                if let Some(cb) = checkpoint.as_mut() {
+                    cb(ledger, failed, true);
+                }
+                break;
             }
         }
-    }
-    // Final forced boundary, mirroring the serial path above.
-    if let Some(cb) = checkpoint.as_mut() {
-        cb(ledger, failed, true);
     }
 }
 

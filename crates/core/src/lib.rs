@@ -53,6 +53,7 @@ pub mod router;
 pub mod scan;
 pub mod schedule;
 pub mod search;
+pub mod session;
 pub mod stats;
 
 pub use astar::{AstarRequest, SearchScratch, SearchStats};
@@ -71,4 +72,5 @@ pub use router::{Router, RouterError};
 pub use scan::{scan_fragments, FoundScenario};
 pub use schedule::{net_footprint, plan_waves, WavePlan};
 pub use search::{FragmentList, RouteCandidate, SearchOutcome, SearchStage};
+pub use session::{RoutingSession, SessionError, SessionStatus, StepBudget};
 pub use stats::ScenarioCensus;

@@ -56,7 +56,8 @@ impl fmt::Display for RouterError {
                 write!(
                     f,
                     "plane has {cells} cells but the packed search indices \
-                     hold at most {} (32-bit cell ids)",
+                     hold at most {} (32-bit cell ids); shrink the plane or \
+                     split the layout into separate runs",
                     u32::MAX - 1
                 )
             }
@@ -112,15 +113,15 @@ impl Workspace {
 /// the decomposition simulator).
 #[derive(Debug)]
 pub struct Router {
-    config: RouterConfig,
-    ledger: CommitLedger,
-    workspace: Option<Workspace>,
-    failed: Vec<NetId>,
+    pub(crate) config: RouterConfig,
+    pub(crate) ledger: CommitLedger,
+    pub(crate) workspace: Option<Workspace>,
+    pub(crate) failed: Vec<NetId>,
     color_fallbacks: Cell<u64>,
     /// The whole-run budget, re-armed at the start of every `route_all`
     /// from the config (unlimited between runs, so the incremental API
     /// is never throttled by a stale deadline).
-    run_budget: RunBudget,
+    pub(crate) run_budget: RunBudget,
 }
 
 impl Router {
@@ -267,18 +268,7 @@ impl Router {
         mut save: Option<&mut dyn FnMut(&str)>,
     ) -> Result<RoutingReport, SnapshotError> {
         let start = Instant::now();
-        self.try_begin_sized(plane, netlist.len())?;
-        self.run_budget = RunBudget::from_config(&self.config);
-        // The input fingerprint costs a serialization pass, so it is
-        // computed only when checkpointing or resuming asks for it.
-        let fp =
-            (resume.is_some() || save.is_some()).then(|| checkpoint::fingerprint(plane, netlist));
-        if let (Some(snap), Some(fp)) = (resume, fp) {
-            if snap.fingerprint() != fp {
-                return Err(SnapshotError::FingerprintMismatch);
-            }
-        }
-        let mut order = self.net_order(netlist);
+        let (order, fp) = self.prepare_run(plane, netlist, resume, save.is_some())?;
         {
             let Router {
                 config,
@@ -289,17 +279,6 @@ impl Router {
                 ..
             } = self;
             let ws = workspace.as_mut().expect("begin_sized sets the workspace");
-            // Reserve every pin candidate cell up front so earlier nets
-            // cannot route over the pins of later ones (the owner may
-            // still enter its own reserved cells).
-            for net in netlist {
-                driver::reserve_pins(config, &mut ws.guards, plane, net);
-            }
-            if let Some(snap) = resume {
-                replay_snapshot(snap, config, ledger, ws, plane, netlist, failed, run_budget)?;
-                let done: std::collections::HashSet<NetId> = snap.processed().into_iter().collect();
-                order.retain(|id| !done.contains(id));
-            }
             // The hook serializes the whole journal each time, so the
             // per-net ticks on the serial paths are throttled; band
             // folds (force = true) always persist.
@@ -346,6 +325,54 @@ impl Router {
     ) -> Result<RoutingReport, RouterError> {
         SearchScratch::check_plane(plane)?;
         Ok(self.route_all_with(plane, netlist, rec))
+    }
+
+    /// The shared run preamble of [`Router::route_all_recoverable`] and
+    /// [`crate::session::RoutingSession`]: sizes the router for the
+    /// plane, arms the run budget, verifies the resume fingerprint,
+    /// reserves every pin, replays the snapshot journal, and returns the
+    /// canonical net order with the processed prefix removed (plus the
+    /// input fingerprint when checkpointing asked for it).
+    pub(crate) fn prepare_run(
+        &mut self,
+        plane: &mut RoutingPlane,
+        netlist: &Netlist,
+        resume: Option<&Snapshot>,
+        want_fingerprint: bool,
+    ) -> Result<(Vec<NetId>, Option<u64>), SnapshotError> {
+        self.try_begin_sized(plane, netlist.len())?;
+        self.run_budget = RunBudget::from_config(&self.config);
+        // The input fingerprint costs a serialization pass, so it is
+        // computed only when checkpointing or resuming asks for it.
+        let fp =
+            (resume.is_some() || want_fingerprint).then(|| checkpoint::fingerprint(plane, netlist));
+        if let (Some(snap), Some(fp)) = (resume, fp) {
+            if snap.fingerprint() != fp {
+                return Err(SnapshotError::FingerprintMismatch);
+            }
+        }
+        let mut order = self.net_order(netlist);
+        let Router {
+            config,
+            ledger,
+            workspace,
+            failed,
+            run_budget,
+            ..
+        } = self;
+        let ws = workspace.as_mut().expect("begin_sized sets the workspace");
+        // Reserve every pin candidate cell up front so earlier nets
+        // cannot route over the pins of later ones (the owner may
+        // still enter its own reserved cells).
+        for net in netlist {
+            driver::reserve_pins(config, &mut ws.guards, plane, net);
+        }
+        if let Some(snap) = resume {
+            replay_snapshot(snap, config, ledger, ws, plane, netlist, failed, run_budget)?;
+            let done: std::collections::HashSet<NetId> = snap.processed().into_iter().collect();
+            order.retain(|id| !done.contains(id));
+        }
+        Ok((order, fp))
     }
 
     /// Resets the router state for the plane. Called automatically by
@@ -646,7 +673,7 @@ impl Router {
         self.build_report(netlist, since)
     }
 
-    fn net_order(&self, netlist: &Netlist) -> Vec<NetId> {
+    pub(crate) fn net_order(&self, netlist: &Netlist) -> Vec<NetId> {
         use crate::config::NetOrder;
         match self.config.net_order {
             NetOrder::HpwlAscending => netlist.ids_by_hpwl(),
@@ -659,7 +686,7 @@ impl Router {
         }
     }
 
-    fn build_report(&self, netlist: &Netlist, start: Instant) -> RoutingReport {
+    pub(crate) fn build_report(&self, netlist: &Netlist, start: Instant) -> RoutingReport {
         let c = &self.ledger.counters;
         let mut report = RoutingReport {
             total_nets: netlist.len(),

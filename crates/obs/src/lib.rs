@@ -440,6 +440,127 @@ pub fn events_to_jsonl(events: &[RouterEvent]) -> String {
     out
 }
 
+/// One job-lifecycle event of the serving layer (`sadp serve`).
+///
+/// These sit a level above [`RouterEvent`]: a job *contains* one routing
+/// session, whose `RouterEvent` stream is forwarded separately. Like the
+/// router events they carry numbers and fixed names only, so no string
+/// escaping is ever required and the JSONL schema
+/// ([`SessionEvent::to_json_line`]) is byte-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// A job entered the queue.
+    JobSubmitted {
+        /// Server-assigned job id.
+        job: u64,
+        /// Queue priority (lower runs first).
+        priority: u8,
+        /// Nets in the submitted netlist.
+        nets: u64,
+    },
+    /// A worker started (or restarted) advancing the job's session.
+    JobStarted {
+        /// Server-assigned job id.
+        job: u64,
+    },
+    /// The job's session crossed a forced checkpoint boundary and its
+    /// snapshot was persisted.
+    JobCheckpointed {
+        /// Server-assigned job id.
+        job: u64,
+        /// Schedule increments completed so far.
+        steps_done: u64,
+        /// Total schedule increments.
+        steps_total: u64,
+    },
+    /// A restarted daemon resumed the job from its persisted checkpoint.
+    JobResumed {
+        /// Server-assigned job id.
+        job: u64,
+        /// Journaled nets replayed from the checkpoint (searching
+        /// skipped).
+        nets_replayed: u64,
+    },
+    /// The job finished; its report is available.
+    JobDone {
+        /// Server-assigned job id.
+        job: u64,
+        /// Nets routed.
+        routed: u64,
+        /// Nets left unrouted.
+        failed: u64,
+    },
+    /// The job was cancelled by a client (a final checkpoint, if any,
+    /// stays on disk for a later resume).
+    JobCancelled {
+        /// Server-assigned job id.
+        job: u64,
+    },
+    /// The job could not run (e.g. its layout failed to parse or its
+    /// checkpoint was rejected). The human-readable cause travels in the
+    /// protocol response, not in the event stream.
+    JobFailed {
+        /// Server-assigned job id.
+        job: u64,
+    },
+}
+
+impl SessionEvent {
+    /// Stable event-kind name (the `"event"` field of the JSONL schema).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SessionEvent::JobSubmitted { .. } => "job_submitted",
+            SessionEvent::JobStarted { .. } => "job_started",
+            SessionEvent::JobCheckpointed { .. } => "job_checkpointed",
+            SessionEvent::JobResumed { .. } => "job_resumed",
+            SessionEvent::JobDone { .. } => "job_done",
+            SessionEvent::JobCancelled { .. } => "job_cancelled",
+            SessionEvent::JobFailed { .. } => "job_failed",
+        }
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        match self {
+            SessionEvent::JobSubmitted {
+                job,
+                priority,
+                nets,
+            } => format!(
+                "{{\"event\":\"job_submitted\",\"job\":{job},\"priority\":{priority},\"nets\":{nets}}}"
+            ),
+            SessionEvent::JobStarted { job } => {
+                format!("{{\"event\":\"job_started\",\"job\":{job}}}")
+            }
+            SessionEvent::JobCheckpointed {
+                job,
+                steps_done,
+                steps_total,
+            } => format!(
+                "{{\"event\":\"job_checkpointed\",\"job\":{job},\"steps_done\":{steps_done},\"steps_total\":{steps_total}}}"
+            ),
+            SessionEvent::JobResumed { job, nets_replayed } => format!(
+                "{{\"event\":\"job_resumed\",\"job\":{job},\"nets_replayed\":{nets_replayed}}}"
+            ),
+            SessionEvent::JobDone {
+                job,
+                routed,
+                failed,
+            } => format!(
+                "{{\"event\":\"job_done\",\"job\":{job},\"routed\":{routed},\"failed\":{failed}}}"
+            ),
+            SessionEvent::JobCancelled { job } => {
+                format!("{{\"event\":\"job_cancelled\",\"job\":{job}}}")
+            }
+            SessionEvent::JobFailed { job } => {
+                format!("{{\"event\":\"job_failed\",\"job\":{job}}}")
+            }
+        }
+    }
+}
+
 /// The pipeline's observer. All methods default to no-ops so a recorder
 /// implements only what it wants; [`NoopRecorder`] implements nothing.
 ///
@@ -746,6 +867,48 @@ mod tests {
             "{\"event\":\"wave_recovered\",\"wave\":2,\"net\":11}\n",
         );
         assert_eq!(jsonl, expected);
+    }
+
+    #[test]
+    fn session_jsonl_schema_is_stable() {
+        let events = [
+            SessionEvent::JobSubmitted {
+                job: 1,
+                priority: 5,
+                nets: 120,
+            },
+            SessionEvent::JobStarted { job: 1 },
+            SessionEvent::JobCheckpointed {
+                job: 1,
+                steps_done: 40,
+                steps_total: 124,
+            },
+            SessionEvent::JobResumed {
+                job: 1,
+                nets_replayed: 38,
+            },
+            SessionEvent::JobDone {
+                job: 1,
+                routed: 118,
+                failed: 2,
+            },
+            SessionEvent::JobCancelled { job: 2 },
+            SessionEvent::JobFailed { job: 3 },
+        ];
+        let expected = [
+            "{\"event\":\"job_submitted\",\"job\":1,\"priority\":5,\"nets\":120}",
+            "{\"event\":\"job_started\",\"job\":1}",
+            "{\"event\":\"job_checkpointed\",\"job\":1,\"steps_done\":40,\"steps_total\":124}",
+            "{\"event\":\"job_resumed\",\"job\":1,\"nets_replayed\":38}",
+            "{\"event\":\"job_done\",\"job\":1,\"routed\":118,\"failed\":2}",
+            "{\"event\":\"job_cancelled\",\"job\":2}",
+            "{\"event\":\"job_failed\",\"job\":3}",
+        ];
+        for (ev, want) in events.iter().zip(expected) {
+            assert_eq!(ev.to_json_line(), want);
+            // The kind name matches the serialized "event" field.
+            assert!(ev.to_json_line().contains(&format!("\"{}\"", ev.kind())));
+        }
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! `sadp-serve`: a zero-dependency TCP job daemon for the SADP router.
+//!
+//! The daemon (`sadp serve`) accepts routing jobs over a newline-delimited
+//! JSON protocol, queues them by priority, and advances each one as a
+//! resumable [`sadp_core::RoutingSession`] in bounded slices — so many
+//! jobs share a small worker pool fairly, every job can be cancelled and
+//! later resumed from its `SADPCKPT v2` checkpoint, and a restarted
+//! daemon picks queued and in-flight work back up from its state
+//! directory with byte-identical results.
+//!
+//! The crate uses only `std` (`std::net` sockets, `std::thread` workers,
+//! a hand-rolled JSON subset in [`json`]) — no external dependencies.
+//!
+//! - [`protocol`] documents the wire protocol.
+//! - [`server`] implements the daemon ([`serve`]) and a line client
+//!   ([`Client`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use json::Json;
+pub use protocol::Request;
+pub use server::{serve, Client, ServeConfig, ServerHandle};

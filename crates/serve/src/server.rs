@@ -1,0 +1,998 @@
+//! The job daemon: a `std::net` TCP server advancing routing sessions.
+//!
+//! ## Architecture
+//!
+//! One listener thread accepts connections and spawns one handler thread
+//! per connection (requests are line-oriented; see [`crate::protocol`]).
+//! A pool of `workers` job threads shares a priority queue of jobs; each
+//! worker pops the best ready job, advances its [`RoutingSession`] by one
+//! bounded slice ([`ServeConfig::slice_steps`] schedule increments),
+//! appends the drained trace events to the job's stream, and re-enqueues
+//! the job *behind* its priority class — so several jobs make
+//! interleaved progress and one huge job cannot starve the queue.
+//!
+//! ## Persistence and crash recovery
+//!
+//! With a [`ServeConfig::state_dir`], every job persists its layout and
+//! metadata at submit time and a `SADPCKPT v2` snapshot after every
+//! slice (written atomically: temp file + rename). A restarted daemon
+//! scans the directory, reloads finished jobs' final results, and
+//! re-enqueues unfinished jobs — their journaled prefix is replayed
+//! through the commit pipeline (no searching) and routing continues from
+//! the last slice boundary. Because sessions only pause *between*
+//! canonical commits, the resumed result is byte-identical to an
+//! uninterrupted run; the streamed trace after a resume is the suffix
+//! from the checkpoint on (replay emits no events).
+
+use crate::json::{self, Json};
+use crate::protocol::{error_line, Request};
+use sadp_core::{RouterConfig, RoutingReport, RoutingSession, SessionStatus, Snapshot, StepBudget};
+use sadp_grid::io::read_layout;
+use sadp_obs::SessionEvent;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7463` (port 0 picks a free port;
+    /// read the actual one from [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Job worker threads. `0` makes a queue-only daemon: jobs are
+    /// accepted and persisted but never advanced — useful for staging
+    /// work to be executed by a later daemon run.
+    pub workers: usize,
+    /// Directory for job persistence (layouts, metadata, checkpoints,
+    /// final results). `None` keeps everything in memory.
+    pub state_dir: Option<PathBuf>,
+    /// Schedule increments per worker slice. Smaller slices interleave
+    /// jobs more fairly and checkpoint more often; larger slices have
+    /// less queue overhead.
+    pub slice_steps: u64,
+    /// Router threads per job when a submit does not specify `threads`.
+    pub default_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            state_dir: None,
+            slice_steps: 32,
+            default_threads: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Cancelled,
+    Failed,
+}
+
+impl JobState {
+    fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    fn parse(name: &str) -> Option<JobState> {
+        match name {
+            "queued" | "running" => Some(JobState::Queued),
+            "done" => Some(JobState::Done),
+            "cancelled" => Some(JobState::Cancelled),
+            "failed" => Some(JobState::Failed),
+            _ => None,
+        }
+    }
+}
+
+struct Job {
+    id: u64,
+    priority: u8,
+    layout: String,
+    threads: usize,
+    node_budget: Option<u64>,
+    deadline_ms: Option<u64>,
+    state: JobState,
+    cancel_requested: bool,
+    /// The live session, parked between slices. `None` before the first
+    /// slice, after a terminal state, and across daemon restarts (the
+    /// checkpoint then carries the state).
+    session: Option<RoutingSession>,
+    /// The latest `SADPCKPT v2` snapshot (mirrored to disk when a state
+    /// dir is configured).
+    ckpt: Option<String>,
+    /// Streamed JSONL lines (router events + `job_*` lifecycle events),
+    /// in canonical order. Subscribers read by cursor.
+    trace: Vec<String>,
+    /// The terminal `{"done":...}` line, once the job finished.
+    final_line: Option<String>,
+    steps_done: u64,
+    steps_total: u64,
+}
+
+impl Job {
+    fn config(&self) -> RouterConfig {
+        let mut config = RouterConfig::paper_defaults();
+        config.threads = self.threads.max(1);
+        config.run_node_budget = self.node_budget.unwrap_or(0);
+        config.run_deadline_ms = self.deadline_ms.unwrap_or(0);
+        config
+    }
+
+    fn status_line(&self) -> String {
+        format!(
+            "{{\"ok\":true,\"job\":{},\"state\":\"{}\",\"priority\":{},\"steps_done\":{},\"steps_total\":{},\"has_checkpoint\":{}}}",
+            self.id,
+            self.state.name(),
+            self.priority,
+            self.steps_done,
+            self.steps_total,
+            self.ckpt.is_some()
+        )
+    }
+}
+
+struct Core {
+    jobs: BTreeMap<u64, Job>,
+    /// Ready jobs as `(priority, seq, id)`: lexicographic order gives
+    /// strict priority first, then FIFO within a class. Re-enqueued
+    /// jobs get a fresh `seq`, which is the round-robin.
+    queue: BTreeSet<(u8, u64, u64)>,
+    next_id: u64,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    core: Mutex<Core>,
+    /// Signals workers: queue or shutdown changed.
+    work_cv: Condvar,
+    /// Signals subscribers: a job's trace or terminal state changed.
+    event_cv: Condvar,
+    state_dir: Option<PathBuf>,
+    slice_steps: u64,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, Core> {
+        self.core.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn enqueue(&self, g: &mut Core, id: u64) {
+        let priority = g.jobs[&id].priority;
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        g.queue.insert((priority, seq, id));
+        self.work_cv.notify_one();
+    }
+
+    fn persist_meta(&self, job: &Job) {
+        let Some(dir) = &self.state_dir else { return };
+        let mut meta = format!(
+            "priority={}\nthreads={}\nstate={}\n",
+            job.priority,
+            job.threads,
+            job.state.name()
+        );
+        if let Some(n) = job.node_budget {
+            meta.push_str(&format!("node_budget={n}\n"));
+        }
+        if let Some(d) = job.deadline_ms {
+            meta.push_str(&format!("deadline_ms={d}\n"));
+        }
+        log_io_err(atomic_write(
+            &dir.join(format!("job-{}.meta", job.id)),
+            &meta,
+        ));
+    }
+
+    fn persist_layout(&self, job: &Job) {
+        let Some(dir) = &self.state_dir else { return };
+        log_io_err(atomic_write(
+            &dir.join(format!("job-{}.layout", job.id)),
+            &job.layout,
+        ));
+    }
+
+    fn persist_ckpt(&self, job: &Job) {
+        let (Some(dir), Some(ckpt)) = (&self.state_dir, &job.ckpt) else {
+            return;
+        };
+        log_io_err(atomic_write(
+            &dir.join(format!("job-{}.ckpt", job.id)),
+            ckpt,
+        ));
+    }
+
+    fn persist_final(&self, job: &Job) {
+        let (Some(dir), Some(line)) = (&self.state_dir, &job.final_line) else {
+            return;
+        };
+        log_io_err(atomic_write(
+            &dir.join(format!("job-{}.final", job.id)),
+            line,
+        ));
+    }
+}
+
+/// A persistence failure must not take the daemon down mid-route; the
+/// in-memory state stays authoritative and the next slice retries.
+fn log_io_err(r: io::Result<()>) {
+    if let Err(e) = r {
+        eprintln!("sadp serve: state persistence failed: {e}");
+    }
+}
+
+fn atomic_write(path: &Path, text: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// A running daemon. Dropping the handle does NOT stop the server; call
+/// [`ServerHandle::shutdown`] (or send the protocol `shutdown` command
+/// and [`ServerHandle::join`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown, waits for workers to finish their in-flight
+    /// slices, and persists a final checkpoint for every unfinished job
+    /// before returning.
+    pub fn shutdown(mut self) {
+        {
+            let mut g = self.shared.lock();
+            g.shutdown = true;
+            self.shared.work_cv.notify_all();
+            self.shared.event_cv.notify_all();
+        }
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        self.join_inner();
+    }
+
+    /// Waits for the daemon to exit (a client must send `shutdown`).
+    /// Like [`ServerHandle::shutdown`], persists final checkpoints for
+    /// unfinished jobs before returning.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // All threads are gone: park every live session as a checkpoint
+        // so a restarted daemon resumes from the last slice boundary.
+        let mut g = self.shared.lock();
+        let ids: Vec<u64> = g.jobs.keys().copied().collect();
+        for id in ids {
+            let job = g.jobs.get_mut(&id).expect("listed above");
+            if let Some(session) = job.session.take() {
+                job.ckpt = Some(session.snapshot());
+                job.state = JobState::Queued;
+                let job = &g.jobs[&id];
+                self.shared.persist_ckpt(job);
+                self.shared.persist_meta(job);
+            }
+        }
+    }
+}
+
+/// Starts the daemon: binds the listener, loads persisted jobs from the
+/// state directory, and spawns the worker pool.
+///
+/// # Errors
+///
+/// Forwards the bind/listen error; a corrupt state directory entry is
+/// skipped with a warning rather than refusing to start.
+pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    if let Some(dir) = &config.state_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let shared = Arc::new(Shared {
+        core: Mutex::new(Core {
+            jobs: BTreeMap::new(),
+            queue: BTreeSet::new(),
+            next_id: 1,
+            next_seq: 0,
+            shutdown: false,
+        }),
+        work_cv: Condvar::new(),
+        event_cv: Condvar::new(),
+        state_dir: config.state_dir.clone(),
+        slice_steps: config.slice_steps.max(1),
+    });
+    if let Some(dir) = &config.state_dir {
+        load_state(&shared, dir);
+    }
+
+    let mut threads = Vec::new();
+    for _ in 0..config.workers {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || worker_loop(&shared)));
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || accept_loop(&listener, &shared)));
+    }
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+/// Reloads jobs from a previous daemon run. Unfinished jobs re-enter
+/// the queue; their checkpoint (if any) is picked up on first slice.
+fn load_state(shared: &Arc<Shared>, dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut metas: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        if let Some(id) = name
+            .strip_prefix("job-")
+            .and_then(|s| s.strip_suffix(".meta"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            metas.push((id, entry.path()));
+        }
+    }
+    metas.sort_unstable();
+    let mut g = shared.lock();
+    for (id, meta_path) in metas {
+        let Ok(meta) = std::fs::read_to_string(&meta_path) else {
+            eprintln!("sadp serve: skipping unreadable {}", meta_path.display());
+            continue;
+        };
+        let field = |key: &str| -> Option<String> {
+            meta.lines()
+                .find_map(|l| l.strip_prefix(&format!("{key}=")))
+                .map(str::to_string)
+        };
+        let Some(state) = field("state").as_deref().and_then(JobState::parse) else {
+            eprintln!("sadp serve: skipping job {id}: bad state in meta");
+            continue;
+        };
+        let layout =
+            std::fs::read_to_string(dir.join(format!("job-{id}.layout"))).unwrap_or_default();
+        let ckpt = std::fs::read_to_string(dir.join(format!("job-{id}.ckpt"))).ok();
+        let final_line = std::fs::read_to_string(dir.join(format!("job-{id}.final"))).ok();
+        let job = Job {
+            id,
+            priority: field("priority")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100),
+            layout,
+            threads: field("threads").and_then(|v| v.parse().ok()).unwrap_or(1),
+            node_budget: field("node_budget").and_then(|v| v.parse().ok()),
+            deadline_ms: field("deadline_ms").and_then(|v| v.parse().ok()),
+            state,
+            cancel_requested: false,
+            session: None,
+            ckpt,
+            trace: Vec::new(),
+            final_line,
+            steps_done: 0,
+            steps_total: 0,
+        };
+        g.next_id = g.next_id.max(id + 1);
+        let requeue = state == JobState::Queued;
+        g.jobs.insert(id, job);
+        if requeue {
+            shared.enqueue(&mut g, id);
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.lock().shutdown {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        // Handler threads are detached: they exit when their client
+        // disconnects or the daemon shuts down.
+        std::thread::spawn(move || {
+            let _ = handle_conn(stream, &shared);
+        });
+    }
+}
+
+fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match Request::parse(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                writeln!(out, "{}", error_line(&e))?;
+                continue;
+            }
+        };
+        match req {
+            Request::Ping => writeln!(out, "{{\"ok\":true}}")?,
+            Request::Submit {
+                layout,
+                priority,
+                threads,
+                node_budget,
+                deadline_ms,
+            } => {
+                let resp = submit(shared, layout, priority, threads, node_budget, deadline_ms);
+                writeln!(out, "{resp}")?;
+            }
+            Request::Status { job } => {
+                let g = shared.lock();
+                let resp = match g.jobs.get(&job) {
+                    Some(j) => j.status_line(),
+                    None => error_line(&format!("no such job {job}")),
+                };
+                drop(g);
+                writeln!(out, "{resp}")?;
+            }
+            Request::Cancel { job } => writeln!(out, "{}", cancel(shared, job))?,
+            Request::Resume { job } => writeln!(out, "{}", resume(shared, job))?,
+            Request::List => {
+                let g = shared.lock();
+                let jobs: Vec<String> = g
+                    .jobs
+                    .values()
+                    .map(|j| {
+                        format!(
+                            "{{\"job\":{},\"state\":\"{}\",\"priority\":{},\"steps_done\":{},\"steps_total\":{}}}",
+                            j.id,
+                            j.state.name(),
+                            j.priority,
+                            j.steps_done,
+                            j.steps_total
+                        )
+                    })
+                    .collect();
+                drop(g);
+                writeln!(out, "{{\"ok\":true,\"jobs\":[{}]}}", jobs.join(","))?;
+            }
+            Request::Subscribe { job } => {
+                return subscribe(shared, job, out);
+            }
+            Request::Shutdown => {
+                writeln!(out, "{{\"ok\":true}}")?;
+                {
+                    let mut g = shared.lock();
+                    g.shutdown = true;
+                    shared.work_cv.notify_all();
+                    shared.event_cv.notify_all();
+                }
+                // The accept loop is blocked in `incoming()`; this
+                // connection's server-side local address IS the listen
+                // address, so a dummy connect wakes it to observe the
+                // shutdown flag.
+                if let Ok(addr) = out.local_addr() {
+                    let _ = TcpStream::connect(addr);
+                }
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn submit(
+    shared: &Arc<Shared>,
+    layout: String,
+    priority: u8,
+    threads: Option<usize>,
+    node_budget: Option<u64>,
+    deadline_ms: Option<u64>,
+) -> String {
+    // Validate the layout up front so a typo'd submit fails on the spot
+    // with the parser's line-numbered message, not later in the queue.
+    let nets = match read_layout(&layout) {
+        Ok((_, netlist)) => netlist.len() as u64,
+        Err(e) => return error_line(&format!("layout rejected: {e}")),
+    };
+    let mut g = shared.lock();
+    if g.shutdown {
+        return error_line("daemon is shutting down");
+    }
+    let id = g.next_id;
+    g.next_id += 1;
+    let mut job = Job {
+        id,
+        priority,
+        layout,
+        threads: threads.unwrap_or(0),
+        node_budget,
+        deadline_ms,
+        state: JobState::Queued,
+        cancel_requested: false,
+        session: None,
+        ckpt: None,
+        trace: Vec::new(),
+        final_line: None,
+        steps_done: 0,
+        steps_total: 0,
+    };
+    if job.threads == 0 {
+        job.threads = 1;
+    }
+    job.trace.push(
+        SessionEvent::JobSubmitted {
+            job: id,
+            priority,
+            nets,
+        }
+        .to_json_line(),
+    );
+    shared.persist_layout(&job);
+    shared.persist_meta(&job);
+    g.jobs.insert(id, job);
+    shared.enqueue(&mut g, id);
+    shared.event_cv.notify_all();
+    format!("{{\"ok\":true,\"job\":{id}}}")
+}
+
+fn cancel(shared: &Arc<Shared>, id: u64) -> String {
+    let mut g = shared.lock();
+    let Some(job) = g.jobs.get_mut(&id) else {
+        return error_line(&format!("no such job {id}"));
+    };
+    match job.state {
+        JobState::Done | JobState::Failed | JobState::Cancelled => {
+            return error_line(&format!(
+                "job {id} is already {} and cannot be cancelled",
+                job.state.name()
+            ));
+        }
+        JobState::Queued => {
+            // Not started (or parked between slices): settle it here.
+            job.state = JobState::Cancelled;
+            if let Some(session) = job.session.take() {
+                job.ckpt = Some(session.snapshot());
+            }
+            job.trace
+                .push(SessionEvent::JobCancelled { job: id }.to_json_line());
+            job.final_line = Some(format!(
+                "{{\"done\":true,\"job\":{id},\"state\":\"cancelled\"}}"
+            ));
+            let job = &g.jobs[&id];
+            shared.persist_ckpt(job);
+            shared.persist_meta(job);
+            shared.persist_final(job);
+            g.queue.retain(|&(_, _, j)| j != id);
+            shared.event_cv.notify_all();
+        }
+        JobState::Running => {
+            // A worker owns the session; it cancels at the slice
+            // boundary and writes the final checkpoint.
+            job.cancel_requested = true;
+        }
+    }
+    format!("{{\"ok\":true,\"job\":{id}}}")
+}
+
+fn resume(shared: &Arc<Shared>, id: u64) -> String {
+    let mut g = shared.lock();
+    let Some(job) = g.jobs.get_mut(&id) else {
+        return error_line(&format!("no such job {id}"));
+    };
+    match job.state {
+        JobState::Cancelled | JobState::Failed => {
+            job.state = JobState::Queued;
+            job.cancel_requested = false;
+            job.final_line = None;
+            if let Some(dir) = &shared.state_dir {
+                let _ = std::fs::remove_file(dir.join(format!("job-{id}.final")));
+            }
+            shared.persist_meta(&g.jobs[&id]);
+            shared.enqueue(&mut g, id);
+            format!("{{\"ok\":true,\"job\":{id}}}")
+        }
+        JobState::Queued | JobState::Running => {
+            format!("{{\"ok\":true,\"job\":{id}}}")
+        }
+        JobState::Done => error_line(&format!("job {id} is already done")),
+    }
+}
+
+fn subscribe(shared: &Arc<Shared>, id: u64, mut out: TcpStream) -> io::Result<()> {
+    if !shared.lock().jobs.contains_key(&id) {
+        writeln!(out, "{}", error_line(&format!("no such job {id}")))?;
+        return Ok(());
+    }
+    let mut cursor = 0usize;
+    loop {
+        let (lines, final_line, ended) = {
+            let mut g = shared.lock();
+            loop {
+                let job = &g.jobs[&id];
+                if job.trace.len() > cursor || job.final_line.is_some() || g.shutdown {
+                    break;
+                }
+                g = shared.event_cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+            let job = &g.jobs[&id];
+            let lines: Vec<String> = job.trace[cursor..].to_vec();
+            cursor = job.trace.len();
+            (lines, job.final_line.clone(), g.shutdown)
+        };
+        for line in &lines {
+            writeln!(out, "{line}")?;
+        }
+        if let Some(final_line) = final_line {
+            writeln!(out, "{final_line}")?;
+            return Ok(());
+        }
+        if ended {
+            writeln!(
+                out,
+                "{}",
+                error_line("daemon is shutting down; job checkpointed for the next run")
+            )?;
+            return Ok(());
+        }
+    }
+}
+
+/// What a worker needs to bring a job's session to life, gathered under
+/// the lock and executed outside it.
+enum SliceWork {
+    Advance(Box<RoutingSession>),
+    Create {
+        layout: String,
+        config: RouterConfig,
+        ckpt: Option<String>,
+    },
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        // Pop the best ready job.
+        let (id, work) = {
+            let mut g = shared.lock();
+            let key = loop {
+                if g.shutdown {
+                    return;
+                }
+                if let Some(&key) = g.queue.iter().next() {
+                    g.queue.remove(&key);
+                    break key;
+                }
+                g = shared.work_cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            };
+            let id = key.2;
+            let Some(job) = g.jobs.get_mut(&id) else {
+                continue;
+            };
+            if !matches!(job.state, JobState::Queued | JobState::Running) {
+                // A cancel settled the job while it sat in the queue.
+                continue;
+            }
+            let first_slice = job.state == JobState::Queued && job.session.is_none();
+            job.state = JobState::Running;
+            let work = match job.session.take() {
+                Some(session) => SliceWork::Advance(Box::new(session)),
+                None => SliceWork::Create {
+                    layout: job.layout.clone(),
+                    config: job.config(),
+                    ckpt: job.ckpt.clone(),
+                },
+            };
+            if first_slice {
+                job.trace
+                    .push(SessionEvent::JobStarted { job: id }.to_json_line());
+                shared.event_cv.notify_all();
+            }
+            (id, work)
+        };
+
+        // Bring the session up (parsing and journal replay are the
+        // expensive parts; they run without the lock).
+        let mut session = match work {
+            SliceWork::Advance(session) => *session,
+            SliceWork::Create {
+                layout,
+                config,
+                ckpt,
+            } => match create_session(&layout, config, ckpt.as_deref()) {
+                Ok((session, resumed_nets)) => {
+                    if let Some(nets_replayed) = resumed_nets {
+                        let mut g = shared.lock();
+                        if let Some(job) = g.jobs.get_mut(&id) {
+                            job.trace.push(
+                                SessionEvent::JobResumed {
+                                    job: id,
+                                    nets_replayed,
+                                }
+                                .to_json_line(),
+                            );
+                        }
+                        shared.event_cv.notify_all();
+                    }
+                    session
+                }
+                Err(message) => {
+                    let mut g = shared.lock();
+                    if let Some(job) = g.jobs.get_mut(&id) {
+                        job.state = JobState::Failed;
+                        job.trace
+                            .push(SessionEvent::JobFailed { job: id }.to_json_line());
+                        job.final_line = Some(format!(
+                            "{{\"done\":true,\"job\":{id},\"state\":\"failed\",\"error\":{}}}",
+                            json::escape(&message)
+                        ));
+                        let job = &g.jobs[&id];
+                        shared.persist_meta(job);
+                        shared.persist_final(job);
+                    }
+                    shared.event_cv.notify_all();
+                    continue;
+                }
+            },
+        };
+
+        // One bounded slice.
+        let status = session.advance(StepBudget::steps(shared.slice_steps));
+        let events = session.drain_events();
+        let (steps_done, steps_total) = session.progress();
+
+        let mut g = shared.lock();
+        let shutting_down = g.shutdown;
+        let Some(job) = g.jobs.get_mut(&id) else {
+            continue;
+        };
+        job.steps_done = steps_done;
+        job.steps_total = steps_total;
+        for ev in &events {
+            job.trace.push(ev.to_json_line());
+        }
+        match status {
+            SessionStatus::Done(report) => {
+                job.state = JobState::Done;
+                job.ckpt = None;
+                job.trace.push(
+                    SessionEvent::JobDone {
+                        job: id,
+                        routed: report.routed_nets as u64,
+                        failed: (report.total_nets - report.routed_nets) as u64,
+                    }
+                    .to_json_line(),
+                );
+                job.final_line = Some(done_line(id, &report));
+                let job = &g.jobs[&id];
+                shared.persist_meta(job);
+                shared.persist_final(job);
+                if let Some(dir) = &shared.state_dir {
+                    let _ = std::fs::remove_file(dir.join(format!("job-{id}.ckpt")));
+                }
+            }
+            SessionStatus::Running | SessionStatus::CheckpointReady => {
+                if job.cancel_requested {
+                    session.cancel();
+                    job.ckpt = Some(session.snapshot());
+                    job.state = JobState::Cancelled;
+                    job.cancel_requested = false;
+                    job.trace
+                        .push(SessionEvent::JobCancelled { job: id }.to_json_line());
+                    job.final_line = Some(format!(
+                        "{{\"done\":true,\"job\":{id},\"state\":\"cancelled\"}}"
+                    ));
+                    let job = &g.jobs[&id];
+                    shared.persist_ckpt(job);
+                    shared.persist_meta(job);
+                    shared.persist_final(job);
+                } else if shutting_down {
+                    // Park the session; join_inner persists it.
+                    job.session = Some(session);
+                } else {
+                    // Every slice boundary is checkpoint-aligned; persist
+                    // and rotate to the back of the priority class so
+                    // concurrent jobs interleave.
+                    job.ckpt = Some(session.snapshot());
+                    if matches!(status, SessionStatus::CheckpointReady) {
+                        job.trace.push(
+                            SessionEvent::JobCheckpointed {
+                                job: id,
+                                steps_done,
+                                steps_total,
+                            }
+                            .to_json_line(),
+                        );
+                    }
+                    job.session = Some(session);
+                    let job = &g.jobs[&id];
+                    shared.persist_ckpt(job);
+                    shared.enqueue(&mut g, id);
+                }
+            }
+            SessionStatus::Failed(e) => {
+                // Unreachable in practice: workers never advance a
+                // cancelled session. Settle the job anyway.
+                job.state = JobState::Failed;
+                job.trace
+                    .push(SessionEvent::JobFailed { job: id }.to_json_line());
+                job.final_line = Some(format!(
+                    "{{\"done\":true,\"job\":{id},\"state\":\"failed\",\"error\":{}}}",
+                    json::escape(&e.to_string())
+                ));
+                let job = &g.jobs[&id];
+                shared.persist_meta(job);
+                shared.persist_final(job);
+            }
+        }
+        shared.event_cv.notify_all();
+    }
+}
+
+/// Builds (or resumes) the session for one job. Returns the session and,
+/// for a resume, the number of journal nets replayed.
+fn create_session(
+    layout: &str,
+    config: RouterConfig,
+    ckpt: Option<&str>,
+) -> Result<(RoutingSession, Option<u64>), String> {
+    let (plane, netlist) = read_layout(layout).map_err(|e| format!("layout rejected: {e}"))?;
+    match ckpt {
+        None => {
+            let session = RoutingSession::create(config, plane, netlist, true, true)
+                .map_err(|e| e.to_string())?;
+            Ok((session, None))
+        }
+        Some(text) => {
+            let snap = Snapshot::parse(text).map_err(|e| format!("checkpoint rejected: {e}"))?;
+            let session = RoutingSession::resume(config, plane, netlist, &snap, true, true)
+                .map_err(|e| e.to_string())?;
+            let replayed = session.router().ledger().routed().len() as u64;
+            Ok((session, Some(replayed)))
+        }
+    }
+}
+
+fn done_line(id: u64, report: &RoutingReport) -> String {
+    format!(
+        "{{\"done\":true,\"job\":{id},\"state\":\"done\",\"report\":{{\
+         \"total_nets\":{},\"routed_nets\":{},\"wirelength\":{},\"vias\":{},\
+         \"overlay_units\":{},\"hard_overlay_violations\":{},\"cut_conflicts\":{},\
+         \"ripups\":{},\"failed_budget\":{},\"bands_recovered\":{},\"waves_recovered\":{},\
+         \"nodes_expanded\":{},\"cpu_s\":{:.6}}},\"profile\":{}}}",
+        report.total_nets,
+        report.routed_nets,
+        report.wirelength,
+        report.vias,
+        report.overlay_units,
+        report.hard_overlay_violations,
+        report.cut_conflicts,
+        report.ripups,
+        report.failed_budget,
+        report.bands_recovered,
+        report.waves_recovered,
+        report.nodes_expanded,
+        report.cpu.as_secs_f64(),
+        report.profile.to_json()
+    )
+}
+
+/// A line-oriented protocol client (the `sadp submit` / `sadp job` half;
+/// also the in-process test harness).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the connect error.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or a protocol-level `{"ok":false}` response
+    /// (returned as the error message).
+    pub fn call(&mut self, req: &Request) -> io::Result<Json> {
+        writeln!(self.writer, "{}", req.to_json_line())?;
+        let line = self.read_line()?;
+        let v = json::parse(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if v.get("ok").and_then(Json::as_bool) == Some(false) {
+            let msg = v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown server error")
+                .to_string();
+            return Err(io::Error::other(msg));
+        }
+        Ok(v)
+    }
+
+    /// Reads one line (for streaming `subscribe` responses).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors; a closed connection is `UnexpectedEof`.
+    pub fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Sends `subscribe` and streams lines into `on_line` until the
+    /// terminal `{"done":...}` line, which is returned parsed.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or an `{"ok":false}` line (e.g. unknown job or
+    /// daemon shutdown), returned as the error message.
+    pub fn subscribe(&mut self, job: u64, mut on_line: impl FnMut(&str)) -> io::Result<Json> {
+        writeln!(self.writer, "{}", Request::Subscribe { job }.to_json_line())?;
+        loop {
+            let line = self.read_line()?;
+            let v =
+                json::parse(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            if v.get("done").is_some() {
+                return Ok(v);
+            }
+            if v.get("ok").and_then(Json::as_bool) == Some(false) {
+                let msg = v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown server error")
+                    .to_string();
+                return Err(io::Error::other(msg));
+            }
+            on_line(&line);
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! End-to-end tests for the job daemon: submit/subscribe over real TCP,
+//! concurrent jobs, cancel + resume, and restart-from-state-dir — each
+//! checked for byte-identical traces / identical reports against a
+//! direct in-process route of the same layout.
+
+use sadp_core::{Router, RouterConfig, RoutingReport};
+use sadp_grid::io::read_layout;
+use sadp_obs::BufferRecorder;
+use sadp_serve::{serve, Client, Json, Request, ServeConfig};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../fixtures/corpus")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Routes the layout directly (no daemon) and returns the report plus
+/// the canonical JSONL trace — the byte-level reference for streams.
+fn route_direct(layout: &str, threads: usize) -> (RoutingReport, Vec<String>) {
+    let (mut plane, netlist) = read_layout(layout).expect("fixture parses");
+    let mut config = RouterConfig::paper_defaults();
+    config.threads = threads;
+    let mut router = Router::new(config);
+    let mut rec = BufferRecorder::with_flags(true, true);
+    let report = router.route_all_with(&mut plane, &netlist, &mut rec);
+    let trace: Vec<String> = rec.take_events().iter().map(|e| e.to_json_line()).collect();
+    (report, trace)
+}
+
+fn submit(client: &mut Client, layout: &str, priority: u8) -> u64 {
+    let resp = client
+        .call(&Request::Submit {
+            layout: layout.to_string(),
+            priority,
+            threads: Some(2),
+            node_budget: None,
+            deadline_ms: None,
+        })
+        .expect("submit succeeds");
+    resp.get("job").and_then(Json::as_u64).expect("job id")
+}
+
+/// Streams a job to completion, returning the router-event lines (the
+/// `job_*` lifecycle lines filtered out) and the terminal line.
+fn stream_job(addr: &str, job: u64) -> (Vec<String>, Json) {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut lines = Vec::new();
+    let done = client
+        .subscribe(job, |line| lines.push(line.to_string()))
+        .expect("job reaches a terminal state");
+    let router_lines: Vec<String> = lines
+        .into_iter()
+        .filter(|l| !l.contains("\"event\":\"job_"))
+        .collect();
+    (router_lines, done)
+}
+
+fn report_fields(done: &Json) -> (u64, u64, u64, u64) {
+    let report = done.get("report").expect("done line has a report");
+    let get = |k: &str| report.get(k).and_then(Json::as_u64).unwrap();
+    (
+        get("routed_nets"),
+        get("wirelength"),
+        get("vias"),
+        get("nodes_expanded"),
+    )
+}
+
+#[test]
+fn served_job_streams_the_exact_route_trace() {
+    let layout = fixture("clock-tree-multi-terminal.layout");
+    let (report, want_trace) = route_direct(&layout, 2);
+
+    let server = serve(ServeConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let job = submit(&mut client, &layout, 100);
+
+    let (trace, done) = stream_job(&addr, job);
+    assert_eq!(
+        trace, want_trace,
+        "served trace must be byte-identical to sadp route --trace"
+    );
+    assert_eq!(done.get("state").and_then(Json::as_str), Some("done"));
+    let (routed, wl, vias, nodes) = report_fields(&done);
+    assert_eq!(routed, report.routed_nets as u64);
+    assert_eq!(wl, report.wirelength);
+    assert_eq!(vias, report.vias);
+    assert_eq!(nodes, report.nodes_expanded);
+    server.shutdown();
+}
+
+#[test]
+fn two_concurrent_jobs_interleave_and_both_match_direct_routes() {
+    let layout_a = fixture("clock-tree-multi-terminal.layout");
+    let layout_b = fixture("odd-cycle-merge-and-cut.layout");
+    let (_, want_a) = route_direct(&layout_a, 2);
+    let (_, want_b) = route_direct(&layout_b, 2);
+
+    // One worker and small slices: the two jobs MUST interleave, which
+    // is exactly what per-job stream isolation has to survive.
+    let server = serve(ServeConfig {
+        workers: 1,
+        slice_steps: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let job_a = submit(&mut client, &layout_a, 100);
+    let job_b = submit(&mut client, &layout_b, 100);
+
+    let ta = {
+        let addr = addr.clone();
+        std::thread::spawn(move || stream_job(&addr, job_a))
+    };
+    let (trace_b, done_b) = stream_job(&addr, job_b);
+    let (trace_a, done_a) = ta.join().unwrap();
+    assert_eq!(trace_a, want_a, "job A trace");
+    assert_eq!(trace_b, want_b, "job B trace");
+    assert_eq!(done_a.get("state").and_then(Json::as_str), Some("done"));
+    assert_eq!(done_b.get("state").and_then(Json::as_str), Some("done"));
+    server.shutdown();
+}
+
+#[test]
+fn priorities_run_strictly_ordered_on_one_worker() {
+    let layout = fixture("odd-cycle-merge-and-cut.layout");
+    // Queue-only daemon first so the queue is fully formed before any
+    // worker exists; then a restart with a worker drains it.
+    let dir = tempdir("serve-prio");
+    let server = serve(ServeConfig {
+        workers: 0,
+        state_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let low = submit(&mut client, &layout, 200);
+    let high = submit(&mut client, &layout, 10);
+    server.shutdown();
+
+    let server = serve(ServeConfig {
+        workers: 1,
+        state_dir: Some(dir),
+        ..ServeConfig::default()
+    })
+    .expect("rebind");
+    let addr = server.addr().to_string();
+    let (_, done_high) = stream_job(&addr, high);
+    let (_, done_low) = stream_job(&addr, low);
+    assert_eq!(done_high.get("state").and_then(Json::as_str), Some("done"));
+    assert_eq!(done_low.get("state").and_then(Json::as_str), Some("done"));
+    assert_eq!(done_high.get("job").and_then(Json::as_u64), Some(high));
+    assert_eq!(done_low.get("job").and_then(Json::as_u64), Some(low));
+    server.shutdown();
+}
+
+#[test]
+fn cancel_then_resume_matches_the_uninterrupted_report() {
+    let layout = fixture("multi-band-fault-recovery.layout");
+    let (want, _) = route_direct(&layout, 2);
+
+    let dir = tempdir("serve-cancel");
+    let server = serve(ServeConfig {
+        workers: 1,
+        slice_steps: 1,
+        state_dir: Some(dir),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let job = submit(&mut client, &layout, 100);
+
+    // Wait for the first routed net, then cancel mid-run.
+    {
+        let mut sub = Client::connect(&addr).expect("connect");
+        let mut saw_progress = false;
+        let _ = sub.subscribe(job, |line| {
+            if !saw_progress && line.contains("\"event\":\"net_routed\"") {
+                saw_progress = true;
+                let mut c = Client::connect(&addr).expect("connect");
+                c.call(&Request::Cancel { job }).expect("cancel accepted");
+            }
+        });
+        assert!(saw_progress, "job produced progress before cancelling");
+    }
+    let status = client.call(&Request::Status { job }).expect("status");
+    assert_eq!(
+        status.get("state").and_then(Json::as_str),
+        Some("cancelled")
+    );
+    assert_eq!(
+        status.get("has_checkpoint").and_then(Json::as_bool),
+        Some(true)
+    );
+
+    client
+        .call(&Request::Resume { job })
+        .expect("resume accepted");
+    let (_, done) = stream_job(&addr, job);
+    assert_eq!(done.get("state").and_then(Json::as_str), Some("done"));
+    let (routed, wl, vias, _) = report_fields(&done);
+    assert_eq!(routed, want.routed_nets as u64, "resumed result identical");
+    assert_eq!(wl, want.wirelength);
+    assert_eq!(vias, want.vias);
+    server.shutdown();
+}
+
+#[test]
+fn killed_daemon_resumes_mid_job_from_its_state_dir() {
+    let layout = fixture("multi-band-fault-recovery.layout");
+    let (want, _) = route_direct(&layout, 2);
+
+    let dir = tempdir("serve-restart");
+    let server = serve(ServeConfig {
+        workers: 1,
+        slice_steps: 1,
+        state_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let job = submit(&mut client, &layout, 100);
+
+    // Shut the daemon down as soon as the job makes progress: the
+    // in-flight session must be parked as a checkpoint.
+    loop {
+        let status = client.call(&Request::Status { job }).expect("status");
+        let state = status
+            .get("state")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        let steps = status.get("steps_done").and_then(Json::as_u64).unwrap();
+        if state == "done" || steps >= 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    server.shutdown();
+
+    let ckpt = std::fs::read_to_string(dir.join(format!("job-{job}.ckpt"))).ok();
+    let finished = std::fs::read_to_string(dir.join(format!("job-{job}.final"))).ok();
+    assert!(
+        ckpt.is_some() || finished.is_some(),
+        "shutdown persisted either a checkpoint or the final result"
+    );
+    if let Some(ckpt) = &ckpt {
+        assert!(ckpt.starts_with("SADPCKPT v2"), "current checkpoint format");
+    }
+
+    // Restart on the same state dir: the job finishes with the same
+    // result as an uninterrupted route.
+    let server = serve(ServeConfig {
+        workers: 1,
+        slice_steps: 1,
+        state_dir: Some(dir),
+        ..ServeConfig::default()
+    })
+    .expect("rebind");
+    let addr = server.addr().to_string();
+    let (_, done) = stream_job(&addr, job);
+    assert_eq!(done.get("state").and_then(Json::as_str), Some("done"));
+    let (routed, wl, vias, _) = report_fields(&done);
+    assert_eq!(routed, want.routed_nets as u64);
+    assert_eq!(wl, want.wirelength);
+    assert_eq!(vias, want.vias);
+    server.shutdown();
+}
+
+#[test]
+fn bad_layout_and_unknown_job_fail_with_actionable_errors() {
+    let server = serve(ServeConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let err = client
+        .call(&Request::Submit {
+            layout: "not a layout".into(),
+            priority: 100,
+            threads: None,
+            node_budget: None,
+            deadline_ms: None,
+        })
+        .unwrap_err();
+    assert!(err.to_string().contains("layout rejected"), "{err}");
+
+    let err = client.call(&Request::Status { job: 999 }).unwrap_err();
+    assert!(err.to_string().contains("no such job 999"), "{err}");
+
+    let err = client.call(&Request::Cancel { job: 999 }).unwrap_err();
+    assert!(err.to_string().contains("no such job 999"), "{err}");
+    server.shutdown();
+}
+
+#[test]
+fn budgeted_job_finishes_with_a_valid_partial_result() {
+    let layout = fixture("clock-tree-multi-terminal.layout");
+    let server = serve(ServeConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let resp = client
+        .call(&Request::Submit {
+            layout,
+            priority: 100,
+            threads: Some(1),
+            node_budget: Some(1), // exhausted immediately
+            deadline_ms: None,
+        })
+        .expect("submit");
+    let job = resp.get("job").and_then(Json::as_u64).unwrap();
+    let (_, done) = stream_job(&addr, job);
+    assert_eq!(done.get("state").and_then(Json::as_str), Some("done"));
+    let report = done.get("report").expect("report");
+    let failed_budget = report.get("failed_budget").and_then(Json::as_u64).unwrap();
+    assert!(failed_budget > 0, "budget of 1 node must trip");
+    server.shutdown();
+}
+
+/// A unique, self-cleaning temp dir per test (std-only; no tempfile crate).
+fn tempdir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sadp-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}

@@ -12,6 +12,12 @@
 //!           [--out DIR] [--replay FILE] [--faults SEED]
 //!                                                      deterministic fuzzing campaign
 //! sadp table2                                          print the scenario table
+//! sadp serve [--addr A] [--workers N] [--state-dir DIR] [--slice-steps N]
+//!                                                      run the TCP job daemon
+//! sadp submit <layout.txt> [--addr A] [--priority P] [--threads N]
+//!             [--node-budget N] [--deadline-ms MS] [--trace FILE] [--wait]
+//!                                                      submit a job to a daemon
+//! sadp job <id> [--addr A] [--status|--cancel|--resume] manage a submitted job
 //! ```
 //!
 //! `sadp fuzz` runs the generative oracle of `sadp_fuzz`: `--seeds N`
@@ -51,7 +57,18 @@
 //! `--checkpoint FILE` (route) periodically snapshots the commit ledger
 //! to `FILE` (atomic tmp+rename). `--resume FILE` starts from such a
 //! snapshot instead of from scratch; the final output is byte-identical
-//! to the uninterrupted run.
+//! to the uninterrupted run. Under the hood `route` drives a stepwise
+//! `sadp_core::RoutingSession` in bounded slices — the same machinery
+//! the job daemon uses.
+//!
+//! `sadp serve` runs the zero-dependency TCP job daemon of `sadp_serve`:
+//! jobs are submitted as layout text over a newline-delimited JSON
+//! protocol (see `sadp_serve::protocol`), queued by priority, advanced
+//! in bounded slices by a worker pool, and checkpointed to `--state-dir`
+//! so a restarted daemon resumes them byte-identically. `sadp submit`
+//! and `sadp job` are the matching client commands; `sadp submit --wait
+//! --trace FILE` streams the job's event trace, which (lifecycle lines
+//! aside) is byte-identical to `sadp route --trace` of the same layout.
 //!
 //! Exit codes: 0 success, 1 failed check (verification, fuzz violation),
 //! 2 usage error, 3 unreadable/malformed input, 4 routing failure
@@ -59,13 +76,14 @@
 //!
 //! Layout files use the `sadp_grid::io` text format (see its module docs).
 
-use sadp::core::{FaultPlan, ScenarioCensus, Snapshot};
+use sadp::core::{FaultPlan, RoutingSession, ScenarioCensus, SessionStatus, Snapshot, StepBudget};
 use sadp::decomp::{
     export_masks, render_svg, verify_layers_observed, ColoredPattern, CutSimulator,
 };
 use sadp::grid::read_layout;
 use sadp::obs::events_to_jsonl;
 use sadp::prelude::*;
+use sadp::serve::{serve, Client, Json, Request, ServeConfig};
 use sadp_grid::BenchmarkSpec;
 use std::process::ExitCode;
 
@@ -140,6 +158,9 @@ fn dispatch(args: &[String]) -> CliResult {
         Some("verify") => cmd_route(&args[1..], true),
         Some("bench") => cmd_bench(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("job") => cmd_job(&args[1..]),
         Some("table2") => {
             for row in sadp::scenario::scenario_summary() {
                 println!("{row}");
@@ -152,7 +173,7 @@ fn dispatch(args: &[String]) -> CliResult {
 }
 
 fn print_usage() {
-    eprintln!("usage: sadp <route|verify|bench|fuzz|table2> [args]");
+    eprintln!("usage: sadp <route|verify|bench|fuzz|table2|serve|submit|job> [args]");
     eprintln!(
         "  route <layout.txt> [--svg DIR] [--masks FILE] [--threads N] \
          [--trace FILE] [--profile] [--checkpoint FILE] [--resume FILE]"
@@ -170,6 +191,12 @@ fn print_usage() {
         "  route/verify/bench budgets: [--net-nodes N] [--net-deadline-ms MS] \
          [--run-nodes N] [--run-deadline-ms MS] [--faults SEED]"
     );
+    eprintln!("  serve [--addr A] [--workers N] [--state-dir DIR] [--slice-steps N]");
+    eprintln!(
+        "  submit <layout.txt> [--addr A] [--priority P] [--threads N] \
+         [--node-budget N] [--deadline-ms MS] [--trace FILE] [--wait]"
+    );
+    eprintln!("  job <id> [--addr A] [--status|--cancel|--resume]");
     eprintln!("  --trace FILE   write the pipeline event stream as JSONL");
     eprintln!("  --profile      print the per-stage time/count table");
     eprintln!("exit codes: 0 ok, 1 failed check, 2 usage, 3 bad input, 4 routing failure");
@@ -255,6 +282,10 @@ fn write_atomic(path: &str, text: &str) -> std::io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
+/// How many schedule increments `route` advances per session slice.
+/// Matches the historical checkpoint throttle (one save per 64 nets).
+const ROUTE_SLICE_STEPS: u64 = 64;
+
 fn cmd_route(args: &[String], verify_only: bool) -> CliResult {
     let path = args
         .first()
@@ -262,7 +293,7 @@ fn cmd_route(args: &[String], verify_only: bool) -> CliResult {
         .ok_or_else(|| CliError::Usage("missing layout file".into()))?;
     let text =
         std::fs::read_to_string(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
-    let (mut plane, netlist) =
+    let (plane, netlist) =
         read_layout(&text).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
 
     let resume = match flag_value(args, "--resume") {
@@ -273,41 +304,53 @@ fn cmd_route(args: &[String], verify_only: bool) -> CliResult {
         }
         None => None,
     };
-    let checkpoint_path = flag_value(args, "--checkpoint").map(str::to_string);
+    let checkpoint_path = flag_value(args, "--checkpoint");
 
-    let (trace_path, profile, mut rec) = recorder_from(args);
-    let mut router = Router::new(config_from(args)?);
+    let trace_path = flag_value(args, "--trace");
+    let profile = args.iter().any(|a| a == "--profile");
+    let config = config_from(args)?;
 
-    // A failed checkpoint write must not abort the route: the run is
-    // still correct without it, it just loses resumability from here on.
-    let mut save_fn;
-    let save: Option<&mut dyn FnMut(&str)> = match checkpoint_path {
-        Some(ckpt) => {
-            save_fn = move |snapshot: &str| {
-                if let Err(e) = write_atomic(&ckpt, snapshot) {
-                    eprintln!("warning: checkpoint {ckpt}: {e}");
-                }
-            };
-            Some(&mut save_fn)
+    // The route is a stepwise session advanced in bounded slices; every
+    // slice boundary sits between canonical commits, so `--checkpoint`
+    // snapshots there. A failed checkpoint write must not abort the
+    // route: the run is still correct without it, it just loses
+    // resumability from here on.
+    let mut session = match &resume {
+        Some(snap) => {
+            RoutingSession::resume(config, plane, netlist, snap, trace_path.is_some(), profile)
         }
-        None => None,
+        None => RoutingSession::create(config, plane, netlist, trace_path.is_some(), profile),
+    }
+    .map_err(|e| CliError::Routing(e.to_string()))?;
+    let report = loop {
+        let status = session.advance(StepBudget::steps(ROUTE_SLICE_STEPS));
+        if let Some(ckpt) = checkpoint_path {
+            if let Err(e) = write_atomic(ckpt, &session.snapshot()) {
+                eprintln!("warning: checkpoint {ckpt}: {e}");
+            }
+        }
+        match status {
+            SessionStatus::Running | SessionStatus::CheckpointReady => {}
+            SessionStatus::Done(report) => break *report,
+            SessionStatus::Failed(e) => return Err(CliError::Routing(e.to_string())),
+        }
     };
-    let report = router
-        .route_all_recoverable(&mut plane, &netlist, &mut rec, resume.as_ref(), save)
-        .map_err(|e| CliError::Routing(e.to_string()))?;
     println!("{report}\n");
 
-    let layers: Vec<_> = (0..plane.layers())
-        .map(|l| router.patterns_on_layer(Layer(l)))
+    let layers: Vec<_> = (0..session.plane().layers())
+        .map(|l| session.router().patterns_on_layer(Layer(l)))
         .collect();
-    let verdict = verify_layers_observed(&layers, plane.rules(), &mut rec);
+    let rules = *session.plane().rules();
+    let verdict = verify_layers_observed(&layers, &rules, session.recorder_mut());
     println!("{verdict}");
 
     if let Some(file) = trace_path {
-        write_trace(file, &mut rec)?;
+        let jsonl = events_to_jsonl(&session.drain_events());
+        std::fs::write(file, jsonl).map_err(|e| CliError::Other(format!("{file}: {e}")))?;
+        println!("wrote {file}");
     }
     if profile {
-        println!("\n{}", rec.profile.table());
+        println!("\n{}", session.recorder_mut().profile.table());
     }
 
     if verify_only {
@@ -317,11 +360,11 @@ fn cmd_route(args: &[String], verify_only: bool) -> CliResult {
         return Err(CliError::Other("layout did not verify".into()));
     }
 
-    println!("\n{}", ScenarioCensus::of(&router));
+    println!("\n{}", ScenarioCensus::of(session.router()));
 
     if let Some(dir) = flag_value(args, "--svg") {
         std::fs::create_dir_all(dir).map_err(|e| CliError::Other(format!("{dir}: {e}")))?;
-        let sim = CutSimulator::new(*plane.rules());
+        let sim = CutSimulator::new(rules);
         for (l, layer_patterns) in layers.iter().enumerate() {
             if layer_patterns.is_empty() {
                 continue;
@@ -338,7 +381,7 @@ fn cmd_route(args: &[String], verify_only: bool) -> CliResult {
         }
     }
     if let Some(file) = flag_value(args, "--masks") {
-        let sim = CutSimulator::new(*plane.rules());
+        let sim = CutSimulator::new(rules);
         let mut out = String::new();
         for (l, layer_patterns) in layers.iter().enumerate() {
             if layer_patterns.is_empty() {
@@ -354,6 +397,129 @@ fn cmd_route(args: &[String], verify_only: bool) -> CliResult {
         std::fs::write(file, out).map_err(|e| CliError::Other(format!("{file}: {e}")))?;
         println!("wrote {file}");
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let mut config = ServeConfig {
+        addr: flag_value(args, "--addr")
+            .unwrap_or("127.0.0.1:7463")
+            .to_string(),
+        ..ServeConfig::default()
+    };
+    if let Some(v) = flag_value(args, "--workers") {
+        // 0 is legal: a queue-only daemon that accepts and persists jobs
+        // for a later run to execute.
+        config.workers = v.parse::<usize>().map_err(|_| {
+            CliError::Usage(format!("--workers wants a non-negative integer, got {v:?}"))
+        })?;
+    }
+    config.state_dir = flag_value(args, "--state-dir").map(std::path::PathBuf::from);
+    if let Some(n) = u64_flag(args, "--slice-steps")? {
+        config.slice_steps = n.max(1);
+    }
+    let workers = config.workers;
+    let addr = config.addr.clone();
+    let handle = serve(config).map_err(|e| CliError::Other(format!("{addr}: {e}")))?;
+    println!(
+        "sadp serve: listening on {} ({workers} workers)",
+        handle.addr()
+    );
+    handle.join();
+    println!("sadp serve: shut down");
+    Ok(())
+}
+
+/// The daemon address a client command talks to.
+fn client_addr(args: &[String]) -> &str {
+    flag_value(args, "--addr").unwrap_or("127.0.0.1:7463")
+}
+
+fn cmd_submit(args: &[String]) -> CliResult {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("missing layout file".into()))?;
+    let layout =
+        std::fs::read_to_string(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+    let priority = match flag_value(args, "--priority") {
+        None => 100,
+        Some(v) => v.parse::<u8>().map_err(|_| {
+            CliError::Usage(format!(
+                "--priority wants 0-255 (lower runs first), got {v:?}"
+            ))
+        })?,
+    };
+    let addr = client_addr(args);
+    let mut client = Client::connect(addr).map_err(|e| CliError::Other(format!("{addr}: {e}")))?;
+    let resp = client
+        .call(&Request::Submit {
+            layout,
+            priority,
+            threads: u64_flag(args, "--threads")?.map(|t| t as usize),
+            node_budget: u64_flag(args, "--node-budget")?,
+            deadline_ms: u64_flag(args, "--deadline-ms")?,
+        })
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    let job = resp
+        .get("job")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| CliError::Other("malformed server response to submit".into()))?;
+    println!("job {job}");
+
+    let trace_path = flag_value(args, "--trace");
+    if trace_path.is_none() && !args.iter().any(|a| a == "--wait") {
+        return Ok(());
+    }
+    // Stream to completion. The trace file keeps only router events, so
+    // it is byte-identical to `sadp route --trace` of the same layout;
+    // `job_*` lifecycle lines are daemon-side bookkeeping.
+    let mut jsonl = String::new();
+    let done = client
+        .subscribe(job, |line| {
+            if !line.contains("\"event\":\"job_") {
+                jsonl.push_str(line);
+                jsonl.push('\n');
+            }
+        })
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    if let Some(file) = trace_path {
+        std::fs::write(file, jsonl).map_err(|e| CliError::Other(format!("{file}: {e}")))?;
+        println!("wrote {file}");
+    }
+    let state = done
+        .get("state")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown");
+    println!("job {job}: {state}");
+    if state == "done" {
+        Ok(())
+    } else {
+        Err(CliError::Other(format!("job {job} finished as {state}")))
+    }
+}
+
+fn cmd_job(args: &[String]) -> CliResult {
+    let id = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("missing job id".into()))?;
+    let id: u64 = id
+        .parse()
+        .map_err(|_| CliError::Usage(format!("job id must be a number, got {id:?}")))?;
+    let req = if args.iter().any(|a| a == "--cancel") {
+        Request::Cancel { job: id }
+    } else if args.iter().any(|a| a == "--resume") {
+        Request::Resume { job: id }
+    } else {
+        Request::Status { job: id }
+    };
+    let addr = client_addr(args);
+    let mut client = Client::connect(addr).map_err(|e| CliError::Other(format!("{addr}: {e}")))?;
+    let resp = client
+        .call(&req)
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    println!("{resp}");
     Ok(())
 }
 

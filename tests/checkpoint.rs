@@ -107,3 +107,106 @@ fn snapshot_rejects_a_foreign_layout() {
         "unexpected error: {err}"
     );
 }
+
+/// Cancellation determinism: a session cancelled mid-run, snapshotted,
+/// and resumed in a fresh session finishes byte-identical to the
+/// uninterrupted run — same report, geometry, colors and occupancy.
+/// The resumed leg re-plans only the *remaining* nets, so its
+/// scheduling bookkeeping (`band_merged`/`wave_scheduled` lines) may
+/// regroup; the `net_routed` commit record must still cover exactly the
+/// uninterrupted run's nets, each with the same attempt count.
+#[test]
+fn cancelled_session_resumed_is_byte_identical_to_uninterrupted() {
+    use sadp::core::{RoutingSession, SessionError, SessionStatus, StepBudget};
+    use sadp::obs::events_to_jsonl;
+
+    let spec = BenchmarkSpec::new("ckpt-wide", 110, 400, 120).with_seed(11);
+    let mut config = RouterConfig::paper_defaults();
+    config.threads = 2;
+
+    // Uninterrupted reference, streamed through the same session API.
+    let (plane, netlist) = spec.generate();
+    let mut session = RoutingSession::create(config.clone(), plane, netlist, true, false)
+        .expect("session creates");
+    let mut want_events = Vec::new();
+    let want_report = loop {
+        match session.advance(StepBudget::steps(5)) {
+            SessionStatus::Running | SessionStatus::CheckpointReady => {
+                want_events.extend(session.drain_events());
+            }
+            SessionStatus::Done(report) => {
+                want_events.extend(session.drain_events());
+                break *report;
+            }
+            SessionStatus::Failed(e) => panic!("reference failed: {e}"),
+        }
+    };
+    // The stage profile counts work done in *this* process; a resumed
+    // session replays the journal instead of searching, so its profile
+    // legitimately differs. Everything else must be byte-identical.
+    let mut want_report = want_report;
+    want_report.profile = StageProfile::default();
+    let want = observe(want_report, session.router(), session.plane());
+    let want_trace = events_to_jsonl(&want_events);
+
+    // Cancel after a third of the schedule, snapshot, resume fresh.
+    let (plane, netlist) = spec.generate();
+    let mut first = RoutingSession::create(config.clone(), plane, netlist, true, false)
+        .expect("session creates");
+    let cancel_at = first.progress().1 / 3;
+    let mut events = Vec::new();
+    while first.progress().0 < cancel_at {
+        match first.advance(StepBudget::steps(5)) {
+            SessionStatus::Running | SessionStatus::CheckpointReady => {
+                events.extend(first.drain_events());
+            }
+            SessionStatus::Done(_) => panic!("cancelled too late to be interesting"),
+            SessionStatus::Failed(e) => panic!("first leg failed: {e}"),
+        }
+    }
+    first.cancel();
+    // A cancelled session refuses to advance but still snapshots.
+    match first.advance(StepBudget::unbounded()) {
+        SessionStatus::Failed(SessionError::Cancelled) => {}
+        other => panic!("cancelled session advanced: {other:?}"),
+    }
+    let snapshot = first.snapshot();
+    drop(first);
+
+    let snap = Snapshot::parse(&snapshot).expect("snapshot parses");
+    let (plane, netlist) = spec.generate();
+    let mut second = RoutingSession::resume(config, plane, netlist, &snap, true, false)
+        .expect("session resumes");
+    let report = loop {
+        match second.advance(StepBudget::steps(5)) {
+            SessionStatus::Running | SessionStatus::CheckpointReady => {
+                events.extend(second.drain_events());
+            }
+            SessionStatus::Done(report) => {
+                events.extend(second.drain_events());
+                break *report;
+            }
+            SessionStatus::Failed(e) => panic!("resumed leg failed: {e}"),
+        }
+    };
+    let mut report = report;
+    report.profile = StageProfile::default();
+    let got = observe(report, second.router(), second.plane());
+    assert_eq!(want, got, "cancel + resume diverged from uninterrupted run");
+    // Replay emits no events, so the spliced stream holds each commit
+    // exactly once; the lines are byte-equal per net (attempts, flips).
+    let commits = |jsonl: &str| -> Vec<String> {
+        let mut lines: Vec<String> = jsonl
+            .lines()
+            .filter(|l| l.contains("\"event\":\"net_routed\""))
+            .map(str::to_string)
+            .collect();
+        lines.sort();
+        lines
+    };
+    assert_eq!(
+        commits(&want_trace),
+        commits(&events_to_jsonl(&events)),
+        "spliced commit record diverged"
+    );
+}

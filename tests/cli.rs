@@ -209,6 +209,98 @@ fn resume_with_wrong_layout_fails_with_routing_code_4() {
 }
 
 #[test]
+fn foreign_checkpoint_version_is_rejected_with_a_versioned_error() {
+    let dir = std::env::temp_dir().join("sadp_cli_ckpt_v1");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("old.ckpt");
+    std::fs::write(&snap, "SADPCKPT v1\nchecksum 0\nend\n").unwrap();
+    let out = sadp()
+        .args([
+            "route",
+            "fixtures/odd_cycle.layout",
+            "--resume",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The message names the version it found, the version it wants, and
+    // what to do about it.
+    assert!(stderr.contains("SADPCKPT v1"), "{stderr}");
+    assert!(stderr.contains("SADPCKPT v2"), "{stderr}");
+    assert!(stderr.contains("re-route"), "{stderr}");
+}
+
+#[test]
+fn error_messages_are_pinned_and_actionable() {
+    // The user-facing error strings are an interface: scripts and
+    // humans match on them. Each case pins the load-bearing phrases —
+    // what failed plus what to do — so a reword is a deliberate act.
+    let dir = std::env::temp_dir().join("sadp_cli_errmsg");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A malformed layout names the offending line.
+    let bad = dir.join("bad.layout");
+    std::fs::write(&bad, "plane 3 32 32\nnet broken\n").unwrap();
+    let out = sadp()
+        .args(["route", bad.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+
+    // A corrupt checkpoint is reported as such, not as a parse error
+    // deeper in.
+    let snap = dir.join("corrupt.ckpt");
+    let first = sadp()
+        .args([
+            "route",
+            "fixtures/odd_cycle.layout",
+            "--checkpoint",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(first.status.success());
+    let text = std::fs::read_to_string(&snap).unwrap();
+    let truncated: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
+    std::fs::write(&snap, truncated).unwrap();
+    let out = sadp()
+        .args([
+            "route",
+            "fixtures/odd_cycle.layout",
+            "--resume",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("checksum") || stderr.contains("truncated"),
+        "{stderr}"
+    );
+
+    // Resuming against the wrong layout names the fingerprint mismatch
+    // (pinned in resume_with_wrong_layout_fails_with_routing_code_4);
+    // a submit of garbage to a daemon names the layout parse failure.
+    let out = sadp()
+        .args(["submit", bad.to_str().unwrap(), "--addr", "127.0.0.1:1"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "connection refused is exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("127.0.0.1:1"),
+        "names the address: {stderr}"
+    );
+}
+
+#[test]
 fn fault_injection_flag_keeps_the_route_conflict_free() {
     // Faults are a recovery test-bench: the injected panics and budget
     // failures must degrade gracefully, never crash the CLI.
