@@ -13,6 +13,12 @@
 //! 2 and 4 workers, and the record gains jobs/sec plus the p50/p95
 //! submit-to-done sojourn ("queue latency") per worker count.
 //!
+//! A third section measures the incremental ECO engine on the Test5
+//! fixture: a deterministic remove/re-add edit series over an
+//! [`EcoSession`], recording per-edit latency (p50/p95), the
+//! dependence-scoped invalidated-net counts, and undo/redo latency
+//! (journal restores, which replay the full commit ledger).
+//!
 //! The binary exits non-zero if the corpus fixture fails to batch more
 //! than one net into some wave — a vacuous run would silently gut the
 //! benchmark, so CI treats that as a failure.
@@ -21,6 +27,7 @@
 //! `BENCH_<rev>.json` in the working directory, `rev` from `git
 //! rev-parse --short HEAD` or `local`).
 
+use sadp_core::eco::{EcoEdit, EcoSession};
 use sadp_core::{Router, RouterConfig, RoutingReport};
 use sadp_geom::{DesignRules, GridPoint, Layer};
 use sadp_grid::{write_layout, BenchmarkSpec, NetId, Netlist, RoutingPlane};
@@ -203,6 +210,107 @@ fn serve_bench(layouts: &[String], workers: usize) -> ServeStats {
     }
 }
 
+/// Everything measured about the ECO edit series.
+struct EcoStats {
+    nets: usize,
+    edits: usize,
+    edit_p50_ms: f64,
+    edit_p95_ms: f64,
+    invalidated_mean: f64,
+    invalidated_max: u64,
+    undo_p50_ms: f64,
+    undo_p95_ms: f64,
+    redo_p50_ms: f64,
+    redo_p95_ms: f64,
+}
+
+/// A deterministic edit series: every stride-th net is removed and then
+/// re-added with its original pins. Both directions exercise the full
+/// pipeline — dependence-radius invalidation, scoped rip-up, re-route,
+/// journaling — and the series ends where it started, so the final
+/// journal unwind (the undo/redo timing pass) restores the batch result.
+fn eco_bench(plane: &RoutingPlane, netlist: &Netlist, pairs: usize) -> EcoStats {
+    let mut eco = EcoSession::create(
+        RouterConfig::paper_defaults(),
+        plane.clone(),
+        netlist.clone(),
+        false,
+    )
+    .expect("eco session builds");
+    let nets = netlist.len();
+    let targets: Vec<NetId> = {
+        let active: Vec<NetId> = eco.active_nets().collect();
+        let stride = (active.len() / pairs.max(1)).max(1);
+        active.into_iter().step_by(stride).take(pairs).collect()
+    };
+
+    let mut edit_lat: Vec<Duration> = Vec::new();
+    let mut invalidated: Vec<u64> = Vec::new();
+    for id in targets {
+        let net = eco.netlist().net(id);
+        let (name, pins) = (net.name.clone(), net.pins().cloned().collect::<Vec<_>>());
+        for edit in [
+            EcoEdit::RemoveNet { net: id },
+            EcoEdit::AddNet { name, pins },
+        ] {
+            let start = Instant::now();
+            let outcome = eco.apply(edit).expect("series edits are valid");
+            edit_lat.push(start.elapsed());
+            invalidated.push(outcome.invalidated.len() as u64);
+        }
+    }
+
+    let mut undo_lat: Vec<Duration> = Vec::new();
+    while eco.undo_depth() > 0 {
+        let start = Instant::now();
+        eco.undo().expect("journal non-empty");
+        undo_lat.push(start.elapsed());
+    }
+    let mut redo_lat: Vec<Duration> = Vec::new();
+    while eco.redo_depth() > 0 {
+        let start = Instant::now();
+        eco.redo().expect("redo available");
+        redo_lat.push(start.elapsed());
+    }
+
+    let edits = edit_lat.len();
+    edit_lat.sort();
+    undo_lat.sort();
+    redo_lat.sort();
+    EcoStats {
+        nets,
+        edits,
+        edit_p50_ms: percentile_ms(&edit_lat, 0.50),
+        edit_p95_ms: percentile_ms(&edit_lat, 0.95),
+        invalidated_mean: invalidated.iter().sum::<u64>() as f64 / (edits as f64).max(1.0),
+        invalidated_max: invalidated.iter().copied().max().unwrap_or(0),
+        undo_p50_ms: percentile_ms(&undo_lat, 0.50),
+        undo_p95_ms: percentile_ms(&undo_lat, 0.95),
+        redo_p50_ms: percentile_ms(&redo_lat, 0.50),
+        redo_p95_ms: percentile_ms(&redo_lat, 0.95),
+    }
+}
+
+fn json_eco(e: &EcoStats) -> String {
+    format!(
+        "{{\"nets\":{},\"edits\":{},\
+         \"edit_latency_ms\":{{\"p50\":{:.3},\"p95\":{:.3}}},\
+         \"invalidated\":{{\"mean\":{:.2},\"max\":{}}},\
+         \"undo_latency_ms\":{{\"p50\":{:.3},\"p95\":{:.3}}},\
+         \"redo_latency_ms\":{{\"p50\":{:.3},\"p95\":{:.3}}}}}",
+        e.nets,
+        e.edits,
+        e.edit_p50_ms,
+        e.edit_p95_ms,
+        e.invalidated_mean,
+        e.invalidated_max,
+        e.undo_p50_ms,
+        e.undo_p95_ms,
+        e.redo_p50_ms,
+        e.redo_p95_ms,
+    )
+}
+
 fn json_serve(jobs: usize, runs: &[ServeStats]) -> String {
     let mut out = String::new();
     write!(out, "{{\"jobs\":{jobs},\"runs\":[").expect("write to string");
@@ -366,6 +474,28 @@ fn main() {
         fixture_json.push(json_fixture(name, plane, netlist.len(), &runs));
     }
 
+    let eco = eco_bench(&t5_plane, &t5_netlist, 12);
+    println!(
+        "eco: {} edits on {} nets, edit p50 {:.2}ms p95 {:.2}ms, \
+         invalidated mean {:.1} max {}, undo p50 {:.2}ms, redo p50 {:.2}ms",
+        eco.edits,
+        eco.nets,
+        eco.edit_p50_ms,
+        eco.edit_p95_ms,
+        eco.invalidated_mean,
+        eco.invalidated_max,
+        eco.undo_p50_ms,
+        eco.redo_p50_ms
+    );
+    // Vacuity guard: an edit series that never invalidates a neighbour
+    // never exercises the dependence-scoped re-route path.
+    assert!(
+        eco.edits > 0 && eco.invalidated_max > 0,
+        "vacuous eco run: {} edits, max invalidated {}",
+        eco.edits,
+        eco.invalidated_max
+    );
+
     let corpus = serve_corpus(scale);
     println!("serve: {} jobs", corpus.len());
     let serve_runs: Vec<ServeStats> = WORKERS.iter().map(|&w| serve_bench(&corpus, w)).collect();
@@ -377,11 +507,12 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"schema\":\"sadp-scaling-bench/v2\",\n  \"rev\":\"{rev}\",\n  \
+        "{{\n  \"schema\":\"sadp-scaling-bench/v3\",\n  \"rev\":\"{rev}\",\n  \
          \"scale\":{scale},\n  \"cores\":{cores},\n  \"threads\":[1,2,4],\n  \
-         \"fixtures\":[\n{}\n  ],\n  \"serve\":{}\n}}\n",
+         \"fixtures\":[\n{}\n  ],\n  \"serve\":{},\n  \"eco\":{}\n}}\n",
         fixture_json.join(",\n"),
-        json_serve(corpus.len(), &serve_runs)
+        json_serve(corpus.len(), &serve_runs),
+        json_eco(&eco)
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("wrote {out_path}");

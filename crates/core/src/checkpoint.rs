@@ -197,6 +197,7 @@ pub fn serialize(ledger: &CommitLedger, failed: &[sadp_grid::NetId], fingerprint
         c.bands_recovered,
         c.waves_recovered
     );
+    let mut seen: std::collections::HashSet<sadp_grid::NetId> = std::collections::HashSet::new();
     for rec in ledger.records() {
         // Routing-phase journals always have their routed net; a record
         // whose net was unrouted later (cleanup) is not replayable and
@@ -205,6 +206,13 @@ pub fn serialize(ledger: &CommitLedger, failed: &[sadp_grid::NetId], fingerprint
         let Some(r) = ledger.routed().get(&rec.net) else {
             continue;
         };
+        // An ECO session re-commits ripped-up nets, so its journal can
+        // hold several records per net. Each net is emitted once, at its
+        // first journal position, with its *current* geometry — replay
+        // then reproduces the live plane exactly.
+        if !seen.insert(rec.net) {
+            continue;
+        }
         let _ = writeln!(body, "net {} {}", rec.net.0, r.branches.len());
         push_points(&mut body, 'p', r.path.points());
         for b in &r.branches {

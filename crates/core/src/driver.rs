@@ -80,18 +80,63 @@ pub(crate) fn reserve_pins(
     plane: &mut RoutingPlane,
     net: &Net,
 ) {
-    let guard = config.pin_guard_cost();
     for pin in net.pins() {
         for &c in pin.candidates() {
             let _ = plane.occupy(c, net.id);
+        }
+    }
+    claim_pin_guards(config, guards, net);
+}
+
+/// The guard-halo half of [`reserve_pins`]: claims the soft 3×3 keep-out
+/// around every pin candidate of `net` (first reserver wins) without
+/// touching plane occupancy. The ECO engine uses this alone when
+/// rebuilding a restored version, where occupancy comes from the replayed
+/// commits instead.
+pub(crate) fn claim_pin_guards(config: &RouterConfig, guards: &mut GuardGrid, net: &Net) {
+    let guard = config.pin_guard_cost();
+    if guard == 0 {
+        return;
+    }
+    for pin in net.pins() {
+        for &c in pin.candidates() {
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    let g = GridPoint::new(c.layer, c.x + dx, c.y + dy);
+                    // First reserver wins, as with the map's
+                    // entry().or_insert this replaced.
+                    if guards.contains(g) && guards.get(g) == NO_GUARD {
+                        guards.set(g, (net.id, guard));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Undoes [`reserve_pins`] for one net: frees every pin candidate cell
+/// still owned by `net` and returns its guard-halo claims to
+/// [`NO_GUARD`]. Called on the incremental failure path (and by the ECO
+/// engine when a net is removed) so an unroutable net does not pin its
+/// candidate cells forever.
+pub(crate) fn release_pins(
+    config: &RouterConfig,
+    guards: &mut GuardGrid,
+    plane: &mut RoutingPlane,
+    net: &Net,
+) {
+    let guard = config.pin_guard_cost();
+    for pin in net.pins() {
+        for &c in pin.candidates() {
+            if plane.occupant(c) == Some(net.id) {
+                plane.clear_path(&[c], net.id);
+            }
             if guard > 0 {
                 for dx in -1..=1 {
                     for dy in -1..=1 {
                         let g = GridPoint::new(c.layer, c.x + dx, c.y + dy);
-                        // First reserver wins, as with the map's
-                        // entry().or_insert this replaced.
-                        if guards.contains(g) && guards.get(g) == NO_GUARD {
-                            guards.set(g, (net.id, guard));
+                        if guards.contains(g) && guards.get(g).0 == net.id {
+                            guards.set(g, NO_GUARD);
                         }
                     }
                 }
@@ -259,7 +304,7 @@ pub(crate) fn route_net_presearched(
         // Stages 2-5: scenario scan, type-B check, propose, trial-color,
         // commit. Shared with the checkpoint-replay path, which re-commits
         // journaled routes without searching.
-        match commit_candidate(ctx, plane, net, candidate) {
+        match commit_candidate(ctx, plane, net, candidate, true) {
             Ok(flipped) => {
                 if ctx.rec.enabled() {
                     ctx.rec.event(RouterEvent::NetRouted {
@@ -335,11 +380,30 @@ pub(crate) enum StageReject {
 ///
 /// Split out of [`route_net`] so checkpoint replay can re-commit
 /// journaled routes through the identical pipeline without searching.
+///
+/// `enforce_steering` gates the two commit-time *steering heuristics*:
+/// the geometric type-B filter and the stage-4 risk abort. Live routing
+/// passes `true`. Replaying a *final* routed set passes `false`, because
+/// both checks are state- or order-dependent in ways a surviving journal
+/// cannot reproduce:
+///
+/// - the risk check sees the coloring at commit time, and the journal
+///   omits ripped-up interlopers and post-commit flip passes, so the
+///   replay coloring differs from the original mid-run state;
+/// - the type-B filter only fires when the "side" net commits after
+///   both "tip" nets, and incremental edits reorder the journal — a
+///   geometric pattern that is benign under the final coloring (and was
+///   never seen live) can surface under the replayed order.
+///
+/// The hard constraints (overlay odd cycles, occupancy) stay enforced;
+/// callers that skip the steering checks force the captured final
+/// coloring over the replayed one afterwards.
 pub(crate) fn commit_candidate(
     ctx: &mut RouteCtx<'_>,
     plane: &mut RoutingPlane,
     net: &Net,
     candidate: crate::search::RouteCandidate,
+    enforce_steering: bool,
 ) -> Result<bool, StageReject> {
     let key = net.id.0;
 
@@ -377,8 +441,10 @@ pub(crate) fn commit_candidate(
     }
 
     // Cut conflict check (type B, Fig. 16).
-    if let Some(bad) = type_b_conflict(&found, plane.rules()) {
-        return Err(StageReject::TypeB(bad));
+    if enforce_steering {
+        if let Some(bad) = type_b_conflict(&found, plane.rules()) {
+            return Err(StageReject::TypeB(bad));
+        }
     }
 
     // Stage 3: propose — stage the scenario edges in the ledger; odd
@@ -434,7 +500,11 @@ pub(crate) fn commit_candidate(
         ctx.ledger.flip_trial(&proposal, &layers);
         flipped = true;
     }
-    let risky_layers = ctx.ledger.risky_layers(&proposal, &layers);
+    let risky_layers = if enforce_steering {
+        ctx.ledger.risky_layers(&proposal, &layers)
+    } else {
+        Vec::new()
+    };
     clock.stop(ctx.rec, Stage::Recolor);
     if !risky_layers.is_empty() {
         let cells: Vec<(Layer, TrackRect)> = found

@@ -1,0 +1,1409 @@
+//! The dependence-scoped incremental (ECO) routing engine.
+//!
+//! An [`EcoSession`] starts from a finished batch run (it drives a
+//! [`RoutingSession`] to completion) and then accepts edits: nets can be
+//! added, removed or moved, and rectangular blockages added or removed.
+//! Each edit re-routes *only* the nets whose interaction footprints
+//! ([`net_footprint`], expanded by the scenario halo
+//! [`sadp_scenario::interaction_radius_tracks`]) intersect the edit's
+//! region — the TRIAD-style dependence-radius argument: a net whose
+//! footprint is disjoint from the edited region can neither read nor
+//! write any cell, fragment or scenario the edit touches, so its route
+//! and constraints are provably unaffected.
+//!
+//! Every edit is journaled as a version pair (the serialized commit
+//! ledger plus the explicit overlay colors, netlist, active-net set and
+//! dynamic obstacles before and after), giving [`EcoSession::undo`] /
+//! [`EcoSession::redo`] that restore the router state byte-identically:
+//! plane occupancy, overlay colors, patterns, hard-constraint (DSU)
+//! relations and counters all compare equal under
+//! [`EcoSession::state_digest`]. Restores *rebuild* deterministically —
+//! the pristine base plane is re-blocked, the journal replayed through
+//! the identical commit pipeline ([`crate::checkpoint`] replay), and the
+//! captured colors forced — rather than trusting an inverse of the live
+//! mutation, so the proof obligation is one directed rebuild instead of
+//! one inverse per edit kind.
+//!
+//! Steady-state invariant: between edits, plane occupancy is exactly
+//! *committed route cells plus blockages*. Unused pin candidates are
+//! released at commit and an unrouted net's reservations are released on
+//! its failure path, so nothing else holds cells. The rebuild relies on
+//! this — it reproduces occupancy purely from the replayed commits.
+//!
+//! The scripted form ([`parse_edit_script`], `sadp edit`) makes editing
+//! sessions replayable and byte-for-byte comparable across thread
+//! counts, like every other entry point of the router.
+
+use crate::checkpoint::{self, Snapshot};
+use crate::config::RouterConfig;
+use crate::driver;
+use crate::router::{Router, RouterError};
+use crate::schedule::net_footprint;
+use crate::session::{RoutingSession, SessionError, SessionStatus, StepBudget};
+use sadp_geom::{GridPoint, Layer, SpatialHash, TrackRect};
+use sadp_grid::{CellState, Net, NetId, Netlist, Pin, RoutingPlane};
+use sadp_obs::{BufferRecorder, EditKind, Recorder, RouterEvent};
+use sadp_scenario::Color;
+use std::collections::{BTreeSet, HashSet};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One ECO edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcoEdit {
+    /// Add a net (≥ 2 pins; first two are the trunk) and route it.
+    AddNet {
+        /// Net name (must not collide with an active net's name).
+        name: String,
+        /// Pins in [`sadp_grid::Net::multi`] order.
+        pins: Vec<Pin>,
+    },
+    /// Remove a net: unroute it and release its reservations. The net
+    /// stays in the netlist as a tombstone so ids remain stable.
+    RemoveNet {
+        /// The net to remove.
+        net: NetId,
+    },
+    /// Replace a net's pins and re-route it.
+    MoveNet {
+        /// The net to move.
+        net: NetId,
+        /// The new pins, in [`sadp_grid::Net::multi`] order.
+        pins: Vec<Pin>,
+    },
+    /// Block a rectangle on one layer.
+    AddObstacle {
+        /// Layer of the blockage.
+        layer: Layer,
+        /// Blocked cell rectangle (clipped to the plane).
+        rect: TrackRect,
+    },
+    /// Remove a previously added [`EcoEdit::AddObstacle`] rectangle
+    /// (must match one exactly; layout-file blockages cannot be removed).
+    RemoveObstacle {
+        /// Layer of the blockage.
+        layer: Layer,
+        /// The exact rectangle passed to `AddObstacle`.
+        rect: TrackRect,
+    },
+}
+
+impl EcoEdit {
+    /// The observability kind tag of this edit.
+    #[must_use]
+    pub fn kind(&self) -> EditKind {
+        match self {
+            EcoEdit::AddNet { .. } => EditKind::AddNet,
+            EcoEdit::RemoveNet { .. } => EditKind::RemoveNet,
+            EcoEdit::MoveNet { .. } => EditKind::MoveNet,
+            EcoEdit::AddObstacle { .. } => EditKind::AddObstacle,
+            EcoEdit::RemoveObstacle { .. } => EditKind::RemoveObstacle,
+        }
+    }
+}
+
+/// Errors of the ECO engine.
+#[derive(Debug)]
+pub enum EcoError {
+    /// The initial batch routing failed to build.
+    Session(SessionError),
+    /// The underlying incremental router rejected a call.
+    Router(RouterError),
+    /// A net reference did not resolve to an active net.
+    UnknownNet(String),
+    /// An edit failed validation (out-of-bounds pin, blocked candidate,
+    /// obstacle over a pin, …). The message says what and where.
+    BadEdit(String),
+    /// `undo()` with no edit left to undo.
+    NothingToUndo,
+    /// `redo()` with no undone edit left to re-apply.
+    NothingToRedo,
+    /// An edit script failed to parse.
+    Script {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for EcoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcoError::Session(e) => write!(f, "initial routing failed: {e}"),
+            EcoError::Router(e) => write!(f, "router error: {e}"),
+            EcoError::UnknownNet(what) => write!(f, "no active net matches `{what}`"),
+            EcoError::BadEdit(msg) => write!(f, "invalid edit: {msg}"),
+            EcoError::NothingToUndo => write!(f, "nothing to undo"),
+            EcoError::NothingToRedo => write!(f, "nothing to redo"),
+            EcoError::Script { line, message } => {
+                write!(f, "edit script line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for EcoError {}
+
+impl From<SessionError> for EcoError {
+    fn from(e: SessionError) -> EcoError {
+        EcoError::Session(e)
+    }
+}
+
+impl From<RouterError> for EcoError {
+    fn from(e: RouterError) -> EcoError {
+        EcoError::Router(e)
+    }
+}
+
+/// What one applied edit did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EditOutcome {
+    /// Session-wide edit sequence number (monotonic, not reused after
+    /// undo), matching the `edit` field of the trace events.
+    pub edit: u32,
+    /// The edit's kind tag.
+    pub kind: EditKind,
+    /// Nets invalidated by the dependence-radius query, ascending.
+    pub invalidated: Vec<NetId>,
+    /// Nets re-routed successfully (invalidated survivors plus an
+    /// added/moved net).
+    pub rerouted: u64,
+    /// Nets left unrouted after the edit (session-wide).
+    pub failed: u64,
+}
+
+/// A net reference in an edit script: by name or by `#id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetRef {
+    /// Resolve by net name among active nets (lowest id wins).
+    Name(String),
+    /// Resolve by raw net id.
+    Id(u32),
+}
+
+impl fmt::Display for NetRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetRef::Name(n) => write!(f, "{n}"),
+            NetRef::Id(i) => write!(f, "#{i}"),
+        }
+    }
+}
+
+/// One operation of a parsed edit script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// `add NAME PIN PIN [PIN...]`
+    Add {
+        /// Net name.
+        name: String,
+        /// Parsed pins.
+        pins: Vec<Pin>,
+    },
+    /// `remove NET`
+    Remove {
+        /// Net reference.
+        net: NetRef,
+    },
+    /// `move NET PIN PIN [PIN...]`
+    Move {
+        /// Net reference.
+        net: NetRef,
+        /// The new pins.
+        pins: Vec<Pin>,
+    },
+    /// `obstacle L X0 Y0 X1 Y1`
+    Obstacle {
+        /// Layer.
+        layer: Layer,
+        /// Rectangle.
+        rect: TrackRect,
+    },
+    /// `clear L X0 Y0 X1 Y1`
+    Clear {
+        /// Layer.
+        layer: Layer,
+        /// Rectangle.
+        rect: TrackRect,
+    },
+    /// `undo`
+    Undo,
+    /// `redo`
+    Redo,
+}
+
+/// What one script operation did when run by [`EcoSession::run_script`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// An edit was applied.
+    Edit(EditOutcome),
+    /// An `undo` line ran.
+    Undo,
+    /// A `redo` line ran.
+    Redo,
+}
+
+/// A captured router state: everything needed to rebuild it
+/// deterministically. The ledger text pins the committed geometry and
+/// counters; the colors pin the (commit-order-dependent) overlay
+/// coloring explicitly, because a replay is free to arrive at a
+/// different — equally valid — coloring.
+struct EcoVersion {
+    ckpt: String,
+    /// `(layer, net, color)`, sorted by `(layer, net)`.
+    colors: Vec<(u8, u32, Color)>,
+    netlist: Netlist,
+    active: BTreeSet<NetId>,
+    obstacles: Vec<(Layer, TrackRect)>,
+}
+
+/// One journal entry group: the edit plus the full state on both sides.
+struct EcoRecord {
+    edit: EcoEdit,
+    before: EcoVersion,
+    after: EcoVersion,
+}
+
+/// A live editing session over a routed layout. See the module docs.
+pub struct EcoSession {
+    router: Router,
+    plane: RoutingPlane,
+    /// The plane as loaded (layout blockages only, nothing routed) —
+    /// the rebuild root for restores.
+    base_plane: RoutingPlane,
+    netlist: Netlist,
+    /// Nets that exist from the editor's point of view. Removed nets
+    /// stay in `netlist` as tombstones (ids must not shift) but leave
+    /// this set.
+    active: BTreeSet<NetId>,
+    /// Dynamic blockages added by edits, in application order.
+    obstacles: Vec<(Layer, TrackRect)>,
+    rec: BufferRecorder,
+    undo_stack: Vec<EcoRecord>,
+    redo_stack: Vec<EcoRecord>,
+    edit_seq: u32,
+}
+
+impl EcoSession {
+    /// Routes `netlist` on `plane` to completion (the standard batch
+    /// schedule, honouring `config.threads`) and opens an editing
+    /// session on the result. With `trace` on, the batch events and all
+    /// later edit events accumulate in one stream for
+    /// [`EcoSession::drain_events`].
+    ///
+    /// Entering the session normalises reservations: pin cells held by
+    /// *unrouted* nets are released (they are re-reserved on retry), so
+    /// the steady-state invariant above holds from the first edit.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::Session`] when the batch session cannot be built
+    /// (oversized plane).
+    pub fn create(
+        config: RouterConfig,
+        plane: RoutingPlane,
+        netlist: Netlist,
+        trace: bool,
+    ) -> Result<EcoSession, EcoError> {
+        let base_plane = plane.clone();
+        let mut session = RoutingSession::create(config, plane, netlist, trace, false)?;
+        loop {
+            match session.advance(StepBudget::unbounded()) {
+                SessionStatus::Running | SessionStatus::CheckpointReady => {}
+                SessionStatus::Done(_) => break,
+                SessionStatus::Failed(e) => return Err(EcoError::Session(e)),
+            }
+        }
+        let (mut router, mut plane, netlist, rec) = session.into_router_parts();
+        // Normalise: unrouted nets must not hold pin reservations (the
+        // batch flow leaves them reserved; the incremental flow releases
+        // them on failure — adopt the incremental semantics).
+        {
+            let Router {
+                config,
+                workspace,
+                failed,
+                ..
+            } = &mut router;
+            let ws = workspace.as_mut().expect("session router is begun");
+            for id in failed.iter() {
+                driver::release_pins(config, &mut ws.guards, &mut plane, netlist.net(*id));
+            }
+        }
+        let active = netlist.iter().map(|n| n.id).collect();
+        Ok(EcoSession {
+            router,
+            plane,
+            base_plane,
+            netlist,
+            active,
+            obstacles: Vec::new(),
+            rec,
+            undo_stack: Vec::new(),
+            redo_stack: Vec::new(),
+            edit_seq: 0,
+        })
+    }
+
+    /// Applies one edit: validates it, computes the dependence-scoped
+    /// invalidated set, rips those nets up, applies the structural
+    /// change and re-routes — then journals the before/after versions.
+    /// A successful apply clears the redo stack.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::UnknownNet`] / [`EcoError::BadEdit`] when validation
+    /// rejects the edit; the session state is untouched in that case.
+    pub fn apply(&mut self, edit: EcoEdit) -> Result<EditOutcome, EcoError> {
+        self.validate(&edit)?;
+        let before = self.capture_version();
+        let outcome = self.apply_live(&edit);
+        let after = self.capture_version();
+        self.undo_stack.push(EcoRecord {
+            edit,
+            before,
+            after,
+        });
+        self.redo_stack.clear();
+        Ok(outcome)
+    }
+
+    /// Reverts the most recent edit by rebuilding its *before* version.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::NothingToUndo`] when the journal is empty.
+    pub fn undo(&mut self) -> Result<(), EcoError> {
+        let rec = self.undo_stack.pop().ok_or(EcoError::NothingToUndo)?;
+        self.restore(&rec.before);
+        self.redo_stack.push(rec);
+        Ok(())
+    }
+
+    /// Re-applies the most recently undone edit by rebuilding its
+    /// *after* version (no re-routing happens — the journaled result is
+    /// restored exactly).
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::NothingToRedo`] when nothing was undone.
+    pub fn redo(&mut self) -> Result<(), EcoError> {
+        let rec = self.redo_stack.pop().ok_or(EcoError::NothingToRedo)?;
+        self.restore(&rec.after);
+        self.undo_stack.push(rec);
+        Ok(())
+    }
+
+    /// Runs a parsed edit script in order, stopping at the first error.
+    ///
+    /// # Errors
+    ///
+    /// The first failing operation's error; operations before it remain
+    /// applied (each is individually undoable).
+    pub fn run_script(&mut self, ops: &[ScriptOp]) -> Result<Vec<OpOutcome>, EcoError> {
+        let mut out = Vec::with_capacity(ops.len());
+        for op in ops {
+            out.push(match op {
+                ScriptOp::Add { name, pins } => OpOutcome::Edit(self.apply(EcoEdit::AddNet {
+                    name: name.clone(),
+                    pins: pins.clone(),
+                })?),
+                ScriptOp::Remove { net } => {
+                    let net = self.resolve(net)?;
+                    OpOutcome::Edit(self.apply(EcoEdit::RemoveNet { net })?)
+                }
+                ScriptOp::Move { net, pins } => {
+                    let net = self.resolve(net)?;
+                    OpOutcome::Edit(self.apply(EcoEdit::MoveNet {
+                        net,
+                        pins: pins.clone(),
+                    })?)
+                }
+                ScriptOp::Obstacle { layer, rect } => {
+                    OpOutcome::Edit(self.apply(EcoEdit::AddObstacle {
+                        layer: *layer,
+                        rect: *rect,
+                    })?)
+                }
+                ScriptOp::Clear { layer, rect } => {
+                    OpOutcome::Edit(self.apply(EcoEdit::RemoveObstacle {
+                        layer: *layer,
+                        rect: *rect,
+                    })?)
+                }
+                ScriptOp::Undo => {
+                    self.undo()?;
+                    OpOutcome::Undo
+                }
+                ScriptOp::Redo => {
+                    self.redo()?;
+                    OpOutcome::Redo
+                }
+            });
+        }
+        Ok(out)
+    }
+
+    /// Resolves a script net reference against the active nets.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::UnknownNet`] when nothing matches.
+    pub fn resolve(&self, net: &NetRef) -> Result<NetId, EcoError> {
+        match net {
+            NetRef::Id(raw) => {
+                let id = NetId(*raw);
+                if self.active.contains(&id) {
+                    Ok(id)
+                } else {
+                    Err(EcoError::UnknownNet(format!("#{raw}")))
+                }
+            }
+            NetRef::Name(name) => self
+                .active
+                .iter()
+                .copied()
+                .find(|id| self.netlist.net(*id).name == *name)
+                .ok_or_else(|| EcoError::UnknownNet(name.clone())),
+        }
+    }
+
+    /// A canonical text digest of the router state: per-layer occupancy
+    /// and blockages, overlay colors, colored patterns, hard-constraint
+    /// components (in the order-independent form of
+    /// [`sadp_graph::OverlayGraph::hard_components`]), failed nets and
+    /// counters. Two states with equal digests route, color and
+    /// decompose identically; the undo property test pins
+    /// `digest(before) == digest(undo(apply(e)))` byte for byte.
+    #[must_use]
+    pub fn state_digest(&self) -> String {
+        let mut out = String::new();
+        for li in 0..self.plane.layers() {
+            let layer = Layer(li);
+            let _ = write!(out, "occ {li}");
+            for (x, y, net) in self.plane.occupied_cells(layer) {
+                let _ = write!(out, " {x},{y}:{}", net.0);
+            }
+            out.push('\n');
+            let _ = write!(out, "blk {li}");
+            for y in 0..self.plane.height() {
+                for x in 0..self.plane.width() {
+                    if self.plane.cell(GridPoint::new(layer, x, y)) == CellState::Blocked {
+                        let _ = write!(out, " {x},{y}");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        for (li, g) in self.router.ledger().graphs().iter().enumerate() {
+            let mut vs: Vec<u32> = g.vertices().collect();
+            vs.sort_unstable();
+            let _ = write!(out, "color {li}");
+            for v in vs {
+                let c = match g.color(v) {
+                    Color::Core => 'C',
+                    Color::Second => 'S',
+                };
+                let _ = write!(out, " {v}:{c}");
+            }
+            out.push('\n');
+            let _ = write!(out, "dsu {li}");
+            for (min, members) in g.hard_components() {
+                let _ = write!(out, " {min}=");
+                for (i, (v, p)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push('|');
+                    }
+                    let _ = write!(out, "{v}:{}", u8::from(*p));
+                }
+            }
+            out.push('\n');
+            let _ = write!(out, "pat {li}");
+            for (net, color, rects) in self.router.patterns_on_layer(Layer(li as u8)) {
+                let c = match color {
+                    Color::Core => 'C',
+                    Color::Second => 'S',
+                };
+                let _ = write!(out, " {net}:{c}:");
+                for (i, r) in rects.iter().enumerate() {
+                    if i > 0 {
+                        out.push('+');
+                    }
+                    let _ = write!(out, "{r}");
+                }
+            }
+            out.push('\n');
+        }
+        let mut failed: Vec<u32> = self.router.failed().iter().map(|id| id.0).collect();
+        failed.sort_unstable();
+        let _ = write!(out, "failed");
+        for id in failed {
+            let _ = write!(out, " {id}");
+        }
+        out.push('\n');
+        let _ = writeln!(out, "counters {}", self.router.ledger().counters.to_json());
+        out
+    }
+
+    /// Drains the trace events accumulated since the last drain (batch
+    /// routing plus every edit). Empty when tracing is off.
+    pub fn drain_events(&mut self) -> Vec<RouterEvent> {
+        self.rec.take_events()
+    }
+
+    /// The live router, for inspection (colors, patterns, report).
+    #[must_use]
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The live plane.
+    #[must_use]
+    pub fn plane(&self) -> &RoutingPlane {
+        &self.plane
+    }
+
+    /// The netlist, including tombstoned (removed) nets.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Ids of the active (non-removed) nets, ascending.
+    pub fn active_nets(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.active.iter().copied()
+    }
+
+    /// Routed / failed / active net counts, a cheap status triple.
+    #[must_use]
+    pub fn stats(&self) -> (usize, usize, usize) {
+        (
+            self.router.ledger().routed().len(),
+            self.router.failed().len(),
+            self.active.len(),
+        )
+    }
+
+    /// The session obstacles currently in force, in application order.
+    #[must_use]
+    pub fn obstacles(&self) -> &[(Layer, TrackRect)] {
+        &self.obstacles
+    }
+
+    /// Edits currently undoable.
+    #[must_use]
+    pub fn undo_depth(&self) -> usize {
+        self.undo_stack.len()
+    }
+
+    /// Undone edits currently redoable.
+    #[must_use]
+    pub fn redo_depth(&self) -> usize {
+        self.redo_stack.len()
+    }
+
+    /// The journaled edits, oldest first.
+    pub fn history(&self) -> impl Iterator<Item = &EcoEdit> {
+        self.undo_stack.iter().map(|r| &r.edit)
+    }
+
+    // ---- internals ----------------------------------------------------
+
+    fn validate(&self, edit: &EcoEdit) -> Result<(), EcoError> {
+        match edit {
+            EcoEdit::AddNet { name, pins } => {
+                if let Some(id) = self
+                    .active
+                    .iter()
+                    .find(|id| self.netlist.net(**id).name == *name)
+                {
+                    return Err(EcoError::BadEdit(format!(
+                        "net name `{name}` is already in use by net #{}",
+                        id.0
+                    )));
+                }
+                self.validate_pins(pins, None)
+            }
+            EcoEdit::RemoveNet { net } => self.check_active(*net),
+            EcoEdit::MoveNet { net, pins } => {
+                self.check_active(*net)?;
+                self.validate_pins(pins, Some(*net))
+            }
+            EcoEdit::AddObstacle { layer, rect } => {
+                if layer.index() >= self.plane.layers() as usize {
+                    return Err(EcoError::BadEdit(format!(
+                        "layer {} out of range (plane has {})",
+                        layer.index(),
+                        self.plane.layers()
+                    )));
+                }
+                if self.clip(rect).is_none() {
+                    return Err(EcoError::BadEdit(format!(
+                        "obstacle {rect} lies outside the plane"
+                    )));
+                }
+                // A blockage over a pin candidate would strand its net
+                // permanently (and silently skip occupied candidate
+                // cells); reject instead.
+                for &id in &self.active {
+                    for pin in self.netlist.net(id).pins() {
+                        for c in pin.candidates() {
+                            if c.layer == *layer && rect.contains_cell(c.x, c.y) {
+                                return Err(EcoError::BadEdit(format!(
+                                    "obstacle {rect} on layer {} covers pin candidate \
+                                     {},{} of net #{}",
+                                    layer.index(),
+                                    c.x,
+                                    c.y,
+                                    id.0
+                                )));
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            EcoEdit::RemoveObstacle { layer, rect } => {
+                if self.obstacles.contains(&(*layer, *rect)) {
+                    Ok(())
+                } else {
+                    Err(EcoError::BadEdit(format!(
+                        "no session obstacle {rect} on layer {} to remove \
+                         (layout-file blockages cannot be cleared)",
+                        layer.index()
+                    )))
+                }
+            }
+        }
+    }
+
+    fn check_active(&self, net: NetId) -> Result<(), EcoError> {
+        if self.active.contains(&net) {
+            Ok(())
+        } else {
+            Err(EcoError::UnknownNet(format!("#{}", net.0)))
+        }
+    }
+
+    fn validate_pins(&self, pins: &[Pin], moving: Option<NetId>) -> Result<(), EcoError> {
+        if pins.len() < 2 {
+            return Err(EcoError::BadEdit(format!(
+                "a net needs at least two pins, got {}",
+                pins.len()
+            )));
+        }
+        let mut new_cells: HashSet<GridPoint> = HashSet::new();
+        for pin in pins {
+            for &c in pin.candidates() {
+                if !self.plane.in_bounds(c) {
+                    return Err(EcoError::BadEdit(format!(
+                        "pin candidate {},{},{} is out of bounds",
+                        c.layer.index(),
+                        c.x,
+                        c.y
+                    )));
+                }
+                if self.plane.cell(c) == CellState::Blocked {
+                    return Err(EcoError::BadEdit(format!(
+                        "pin candidate {},{},{} is blocked",
+                        c.layer.index(),
+                        c.x,
+                        c.y
+                    )));
+                }
+                new_cells.insert(c);
+            }
+        }
+        // Sharing a candidate cell with another net's pin makes
+        // reservation outcomes order-dependent; keep edits unambiguous.
+        for &id in &self.active {
+            if Some(id) == moving {
+                continue;
+            }
+            for pin in self.netlist.net(id).pins() {
+                for c in pin.candidates() {
+                    if new_cells.contains(c) {
+                        return Err(EcoError::BadEdit(format!(
+                            "pin candidate {},{},{} collides with a pin of net #{}",
+                            c.layer.index(),
+                            c.x,
+                            c.y,
+                            id.0
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn clip(&self, rect: &TrackRect) -> Option<TrackRect> {
+        let plane_rect = TrackRect::new(0, 0, self.plane.width() - 1, self.plane.height() - 1);
+        rect.intersection(&plane_rect)
+    }
+
+    /// The regions an edit perturbs, already halo-expanded where the
+    /// edit is not itself a net footprint (footprints carry the halo).
+    fn edit_regions(&self, edit: &EcoEdit, halo: i32) -> Vec<TrackRect> {
+        let config = self.router.config();
+        match edit {
+            EcoEdit::AddNet { name, pins } => {
+                let probe = Net::multi(NetId(self.netlist.len() as u32), name, pins.clone());
+                vec![net_footprint(&probe, config, halo, &self.plane)]
+            }
+            EcoEdit::RemoveNet { net } => {
+                vec![net_footprint(
+                    self.netlist.net(*net),
+                    config,
+                    halo,
+                    &self.plane,
+                )]
+            }
+            EcoEdit::MoveNet { net, pins } => {
+                let old = net_footprint(self.netlist.net(*net), config, halo, &self.plane);
+                let probe = Net::multi(*net, &self.netlist.net(*net).name, pins.clone());
+                vec![old, net_footprint(&probe, config, halo, &self.plane)]
+            }
+            EcoEdit::AddObstacle { rect, .. } | EcoEdit::RemoveObstacle { rect, .. } => {
+                match self.clip(&rect.expanded(halo)) {
+                    Some(r) => vec![r],
+                    None => Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// The dependence-radius query: every active net whose interaction
+    /// footprint intersects one of the regions (excluding `exclude`, the
+    /// edited net itself — it is handled structurally).
+    fn invalidated_by(&self, regions: &[TrackRect], exclude: Option<NetId>) -> Vec<NetId> {
+        let config = self.router.config();
+        let halo = sadp_scenario::interaction_radius_tracks(self.plane.rules());
+        let mut index = SpatialHash::with_density(
+            self.plane.width(),
+            self.plane.height(),
+            self.active.len().max(1),
+        );
+        for &id in &self.active {
+            if Some(id) == exclude {
+                continue;
+            }
+            index.insert(
+                u64::from(id.0),
+                net_footprint(self.netlist.net(id), config, halo, &self.plane),
+            );
+        }
+        let mut hit: BTreeSet<NetId> = BTreeSet::new();
+        for region in regions {
+            for (raw, rect) in index.query_entries(region) {
+                if rect.intersects(region) {
+                    hit.insert(NetId(raw as u32));
+                }
+            }
+        }
+        hit.into_iter().collect()
+    }
+
+    /// The live edit path. Validation has already passed, so every step
+    /// here is infallible; routing failures are recorded per net, not
+    /// surfaced as errors.
+    fn apply_live(&mut self, edit: &EcoEdit) -> EditOutcome {
+        let seq = self.edit_seq;
+        self.edit_seq += 1;
+        let kind = edit.kind();
+        let halo = sadp_scenario::interaction_radius_tracks(self.plane.rules());
+        let exclude = match edit {
+            EcoEdit::RemoveNet { net } | EcoEdit::MoveNet { net, .. } => Some(*net),
+            _ => None,
+        };
+        let regions = self.edit_regions(edit, halo);
+        let invalidated = self.invalidated_by(&regions, exclude);
+        if self.rec.enabled() {
+            self.rec.event(RouterEvent::NetsInvalidated {
+                edit: seq,
+                nets: invalidated.iter().map(|id| id.0).collect(),
+            });
+        }
+
+        // Rip up the invalidated nets (freed cells stay reserved where
+        // they are pin candidates — commit released the unused ones) and
+        // clear their failure records; the re-route below re-records.
+        {
+            let Router {
+                config,
+                ledger,
+                workspace,
+                failed,
+                ..
+            } = &mut self.router;
+            let ws = workspace.as_mut().expect("eco router is begun");
+            for &id in &invalidated {
+                ledger.unroute(&mut self.plane, &mut ws.dir_map, id);
+                failed.retain(|f| *f != id);
+            }
+            // The structural change.
+            match edit {
+                EcoEdit::AddNet { name, pins } => {
+                    let id = self.netlist.add_multi_pin(name.clone(), pins.clone());
+                    self.active.insert(id);
+                }
+                EcoEdit::RemoveNet { net } => {
+                    ledger.unroute(&mut self.plane, &mut ws.dir_map, *net);
+                    driver::release_pins(
+                        config,
+                        &mut ws.guards,
+                        &mut self.plane,
+                        self.netlist.net(*net),
+                    );
+                    self.active.remove(net);
+                    failed.retain(|f| f != net);
+                }
+                EcoEdit::MoveNet { net, pins } => {
+                    ledger.unroute(&mut self.plane, &mut ws.dir_map, *net);
+                    driver::release_pins(
+                        config,
+                        &mut ws.guards,
+                        &mut self.plane,
+                        self.netlist.net(*net),
+                    );
+                    failed.retain(|f| f != net);
+                    let mut pins = pins.clone();
+                    let extra = pins.split_off(2);
+                    let n = self.netlist.net_mut(*net);
+                    n.target = pins.pop().expect("validated: two pins");
+                    n.source = pins.pop().expect("validated: two pins");
+                    n.extra = extra;
+                }
+                EcoEdit::AddObstacle { layer, rect } => {
+                    self.obstacles.push((*layer, *rect));
+                    self.plane.add_blockage(*layer, *rect);
+                }
+                EcoEdit::RemoveObstacle { layer, rect } => {
+                    let pos = self
+                        .obstacles
+                        .iter()
+                        .position(|o| o == &(*layer, *rect))
+                        .expect("validated: obstacle present");
+                    self.obstacles.remove(pos);
+                    self.plane.clear_blockage(*layer, *rect);
+                    // Cells also covered by the base layout or another
+                    // session obstacle stay blocked.
+                    for (x, y) in rect.cells() {
+                        let p = GridPoint::new(*layer, x, y);
+                        if self.base_plane.in_bounds(p)
+                            && self.base_plane.cell(p) == CellState::Blocked
+                        {
+                            self.plane.add_blockage(*layer, TrackRect::cell(x, y));
+                        }
+                    }
+                    for &(l, r) in &self.obstacles {
+                        if l == *layer && r.intersects(rect) {
+                            self.plane.add_blockage(l, r);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Re-route: the invalidated survivors plus an added/moved net,
+        // in the canonical net order. Pins are re-reserved for the whole
+        // set up front (ascending id, as the batch pre-pass does) so an
+        // early re-route cannot run over a later net's pins.
+        let mut targets: BTreeSet<NetId> = invalidated.iter().copied().collect();
+        match edit {
+            EcoEdit::AddNet { .. } => {
+                targets.insert(NetId(self.netlist.len() as u32 - 1));
+            }
+            EcoEdit::MoveNet { net, .. } => {
+                targets.insert(*net);
+            }
+            EcoEdit::RemoveNet { net } => {
+                targets.remove(net);
+            }
+            _ => {}
+        }
+        {
+            let Router {
+                config, workspace, ..
+            } = &mut self.router;
+            let ws = workspace.as_mut().expect("eco router is begun");
+            for &id in &targets {
+                driver::reserve_pins(
+                    config,
+                    &mut ws.guards,
+                    &mut self.plane,
+                    self.netlist.net(id),
+                );
+            }
+        }
+        let order = self.router.net_order(&self.netlist);
+        let mut rerouted: u64 = 0;
+        for id in order {
+            if !targets.contains(&id) {
+                continue;
+            }
+            let net = self.netlist.net(id);
+            let ok = self
+                .router
+                .route_incremental_with(&mut self.plane, net, &mut self.rec)
+                .expect("eco router is begun");
+            if ok {
+                rerouted += 1;
+            }
+        }
+        let failed = self.router.failed().len() as u64;
+        if self.rec.enabled() {
+            self.rec.event(RouterEvent::EditApplied {
+                edit: seq,
+                kind,
+                invalidated: invalidated.len() as u64,
+                rerouted,
+                failed,
+            });
+        }
+        EditOutcome {
+            edit: seq,
+            kind,
+            invalidated,
+            rerouted,
+            failed,
+        }
+    }
+
+    fn capture_version(&self) -> EcoVersion {
+        // The fingerprint field is unused on this path (restores rebuild
+        // from the session's own base plane, not from external files).
+        let ckpt = checkpoint::serialize(self.router.ledger(), self.router.failed(), 0);
+        let mut colors = Vec::new();
+        for (li, g) in self.router.ledger().graphs().iter().enumerate() {
+            let mut vs: Vec<u32> = g.vertices().collect();
+            vs.sort_unstable();
+            for v in vs {
+                colors.push((li as u8, v, g.color(v)));
+            }
+        }
+        EcoVersion {
+            ckpt,
+            colors,
+            netlist: self.netlist.clone(),
+            active: self.active.clone(),
+            obstacles: self.obstacles.clone(),
+        }
+    }
+
+    /// Rebuilds a captured version from scratch: base plane + obstacles,
+    /// replayed commits, forced colors, restored failure list and
+    /// counters. Deterministic and independent of the mutation history
+    /// that produced the version, which is what makes undo/redo exact.
+    fn restore(&mut self, v: &EcoVersion) {
+        self.netlist = v.netlist.clone();
+        self.active = v.active.clone();
+        self.obstacles = v.obstacles.clone();
+        let mut plane = self.base_plane.clone();
+        for &(layer, rect) in &self.obstacles {
+            plane.add_blockage(layer, rect);
+        }
+        let snap = Snapshot::parse(&v.ckpt).expect("eco versions hold self-produced snapshots");
+        let mut router = Router::new(self.router.config().clone());
+        router
+            .try_begin_sized(&plane, self.netlist.len())
+            .expect("the live plane already fit this router");
+        {
+            let Router {
+                config,
+                ledger,
+                workspace,
+                failed,
+                run_budget,
+                ..
+            } = &mut router;
+            let ws = workspace.as_mut().expect("just begun");
+            crate::router::replay_snapshot(
+                &snap,
+                config,
+                ledger,
+                ws,
+                &mut plane,
+                &self.netlist,
+                failed,
+                run_budget,
+                // A final routed set replays without the commit-time
+                // steering heuristics (risk abort, type-B filter): the
+                // captured colors are forced below, so mid-replay
+                // coloring state is transient, and the journal order no
+                // longer matches the live commit order.
+                false,
+            )
+            .expect("a consistent final routed set always replays");
+            // Colors are commit-order dependent; force the captured ones
+            // over whatever the replay chose.
+            for &(layer, net, color) in &v.colors {
+                ledger.graphs_mut()[layer as usize].set_color(net, color);
+            }
+            // Soft pin-guard halos for the routed nets (unrouted nets
+            // hold none, per the steady-state invariant). Plane
+            // occupancy is complete already: replayed commits own their
+            // cells and unused candidates stay free.
+            let unrouted: HashSet<NetId> = failed.iter().copied().collect();
+            for &id in &self.active {
+                if !unrouted.contains(&id) {
+                    driver::claim_pin_guards(config, &mut ws.guards, self.netlist.net(id));
+                }
+            }
+        }
+        self.plane = plane;
+        self.router = router;
+    }
+}
+
+impl fmt::Debug for EcoSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (routed, failed, active) = self.stats();
+        f.debug_struct("EcoSession")
+            .field("routed", &routed)
+            .field("failed", &failed)
+            .field("active", &active)
+            .field("edits", &self.undo_stack.len())
+            .field("redoable", &self.redo_stack.len())
+            .finish()
+    }
+}
+
+// ---- edit-script parsing ----------------------------------------------
+
+fn parse_i32(tok: &str, line: usize, what: &str) -> Result<i32, EcoError> {
+    tok.parse().map_err(|_| EcoError::Script {
+        line,
+        message: format!("bad {what}: `{tok}`"),
+    })
+}
+
+/// Parses one pin token: `layer:x,y` candidates separated by `|`.
+fn parse_pin(tok: &str, line: usize) -> Result<Pin, EcoError> {
+    let mut candidates = Vec::new();
+    for part in tok.split('|') {
+        let bad = || EcoError::Script {
+            line,
+            message: format!("bad pin `{part}` (want layer:x,y)"),
+        };
+        let (layer, xy) = part.split_once(':').ok_or_else(bad)?;
+        let (x, y) = xy.split_once(',').ok_or_else(bad)?;
+        let layer: u8 = layer.parse().map_err(|_| bad())?;
+        let x: i32 = x.parse().map_err(|_| bad())?;
+        let y: i32 = y.parse().map_err(|_| bad())?;
+        candidates.push(GridPoint::new(Layer(layer), x, y));
+    }
+    if candidates.is_empty() {
+        return Err(EcoError::Script {
+            line,
+            message: format!("empty pin `{tok}`"),
+        });
+    }
+    Ok(Pin::with_candidates(candidates))
+}
+
+fn parse_net_ref(tok: &str) -> NetRef {
+    match tok.strip_prefix('#').and_then(|s| s.parse::<u32>().ok()) {
+        Some(id) => NetRef::Id(id),
+        None => NetRef::Name(tok.to_string()),
+    }
+}
+
+fn parse_rect_op(toks: &[&str], line: usize) -> Result<(Layer, TrackRect), EcoError> {
+    if toks.len() != 5 {
+        return Err(EcoError::Script {
+            line,
+            message: format!("want `L X0 Y0 X1 Y1`, got {} fields", toks.len()),
+        });
+    }
+    let layer: u8 = toks[0].parse().map_err(|_| EcoError::Script {
+        line,
+        message: format!("bad layer: `{}`", toks[0]),
+    })?;
+    let x0 = parse_i32(toks[1], line, "x0")?;
+    let y0 = parse_i32(toks[2], line, "y0")?;
+    let x1 = parse_i32(toks[3], line, "x1")?;
+    let y1 = parse_i32(toks[4], line, "y1")?;
+    Ok((Layer(layer), TrackRect::new(x0, y0, x1, y1)))
+}
+
+/// Parses an edit script: one operation per line, `#` comments and blank
+/// lines skipped. Pin syntax matches the `.layout` format.
+///
+/// ```text
+/// add NAME PIN PIN [PIN...]   # add a net and route it
+/// remove NET                  # NET = name or #id
+/// move NET PIN PIN [PIN...]   # replace pins, re-route
+/// obstacle L X0 Y0 X1 Y1      # block a rect on layer L
+/// clear L X0 Y0 X1 Y1         # remove that exact obstacle again
+/// undo
+/// redo
+/// ```
+///
+/// # Errors
+///
+/// [`EcoError::Script`] with the 1-based line number of the first bad
+/// line.
+pub fn parse_edit_script(text: &str) -> Result<Vec<ScriptOp>, EcoError> {
+    let mut ops = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        // `#` starts a comment — except `#<digit>`, which is a net id.
+        let cut = raw
+            .char_indices()
+            .find(|&(i, c)| {
+                c == '#'
+                    && !raw[i + 1..]
+                        .chars()
+                        .next()
+                        .is_some_and(|next| next.is_ascii_digit())
+            })
+            .map_or(raw.len(), |(i, _)| i);
+        let content = raw[..cut].trim();
+        if content.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = content.split_whitespace().collect();
+        let op = match toks[0] {
+            "add" | "move" => {
+                if toks.len() < 4 {
+                    return Err(EcoError::Script {
+                        line,
+                        message: format!("`{}` wants a net and at least two pins", toks[0]),
+                    });
+                }
+                let pins = toks[2..]
+                    .iter()
+                    .map(|t| parse_pin(t, line))
+                    .collect::<Result<Vec<Pin>, EcoError>>()?;
+                if toks[0] == "add" {
+                    ScriptOp::Add {
+                        name: toks[1].to_string(),
+                        pins,
+                    }
+                } else {
+                    ScriptOp::Move {
+                        net: parse_net_ref(toks[1]),
+                        pins,
+                    }
+                }
+            }
+            "remove" => {
+                if toks.len() != 2 {
+                    return Err(EcoError::Script {
+                        line,
+                        message: "`remove` wants exactly one net".to_string(),
+                    });
+                }
+                ScriptOp::Remove {
+                    net: parse_net_ref(toks[1]),
+                }
+            }
+            "obstacle" => {
+                let (layer, rect) = parse_rect_op(&toks[1..], line)?;
+                ScriptOp::Obstacle { layer, rect }
+            }
+            "clear" => {
+                let (layer, rect) = parse_rect_op(&toks[1..], line)?;
+                ScriptOp::Clear { layer, rect }
+            }
+            "undo" => ScriptOp::Undo,
+            "redo" => ScriptOp::Redo,
+            other => {
+                return Err(EcoError::Script {
+                    line,
+                    message: format!(
+                        "unknown operation `{other}` (want add, remove, move, \
+                         obstacle, clear, undo or redo)"
+                    ),
+                })
+            }
+        };
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sadp_geom::DesignRules;
+
+    fn plane(w: i32, h: i32) -> RoutingPlane {
+        RoutingPlane::new(3, w, h, DesignRules::node_10nm()).expect("valid")
+    }
+
+    fn p0(x: i32, y: i32) -> GridPoint {
+        GridPoint::new(Layer(0), x, y)
+    }
+
+    type NetSpec<'a> = (&'a str, (i32, i32), (i32, i32));
+
+    fn session(nets: &[NetSpec<'_>]) -> EcoSession {
+        let mut nl = Netlist::new();
+        for (name, s, t) in nets {
+            nl.add_two_pin(*name, p0(s.0, s.1), p0(t.0, t.1));
+        }
+        EcoSession::create(RouterConfig::paper_defaults(), plane(96, 96), nl, true)
+            .expect("session builds")
+    }
+
+    #[test]
+    fn add_net_routes_and_scopes_invalidation() {
+        let mut eco = session(&[("a", (2, 2), (20, 2)), ("far", (2, 88), (20, 88))]);
+        eco.drain_events();
+        let out = eco
+            .apply(EcoEdit::AddNet {
+                name: "b".into(),
+                pins: vec![Pin::fixed(p0(2, 4)), Pin::fixed(p0(20, 4))],
+            })
+            .expect("valid edit");
+        assert_eq!(out.kind, EditKind::AddNet);
+        // `far` is 84 tracks away — beyond search margin plus halo.
+        assert!(!out.invalidated.contains(&NetId(1)));
+        let (routed, failed, active) = eco.stats();
+        assert_eq!((routed, failed, active), (3, 0, 3));
+        let events = eco.drain_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RouterEvent::NetsInvalidated { edit: 0, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RouterEvent::EditApplied { edit: 0, .. })));
+    }
+
+    #[test]
+    fn undo_redo_restore_digests() {
+        let mut eco = session(&[("a", (2, 2), (20, 2)), ("b", (2, 4), (20, 4))]);
+        let before = eco.state_digest();
+        eco.apply(EcoEdit::MoveNet {
+            net: NetId(0),
+            pins: vec![Pin::fixed(p0(2, 8)), Pin::fixed(p0(20, 8))],
+        })
+        .expect("valid edit");
+        let after = eco.state_digest();
+        assert_ne!(before, after);
+        eco.undo().expect("one edit to undo");
+        assert_eq!(eco.state_digest(), before);
+        eco.redo().expect("one edit to redo");
+        assert_eq!(eco.state_digest(), after);
+        eco.undo().expect("undoable again");
+        assert_eq!(eco.state_digest(), before);
+    }
+
+    #[test]
+    fn obstacle_roundtrip_restores_plane() {
+        let mut eco = session(&[("a", (2, 10), (40, 10))]);
+        let before = eco.state_digest();
+        let rect = TrackRect::new(10, 8, 14, 12);
+        eco.apply(EcoEdit::AddObstacle {
+            layer: Layer(0),
+            rect,
+        })
+        .expect("valid edit");
+        // The route crossed the rect's columns, so it must have moved.
+        assert_ne!(eco.state_digest(), before);
+        eco.apply(EcoEdit::RemoveObstacle {
+            layer: Layer(0),
+            rect,
+        })
+        .expect("obstacle exists");
+        eco.undo().expect("undo clear");
+        eco.undo().expect("undo obstacle");
+        assert_eq!(eco.state_digest(), before);
+    }
+
+    #[test]
+    fn remove_net_frees_cells_and_rejects_double_remove() {
+        let mut eco = session(&[("a", (2, 2), (20, 2))]);
+        eco.apply(EcoEdit::RemoveNet { net: NetId(0) })
+            .expect("active");
+        let (routed, _, active) = eco.stats();
+        assert_eq!((routed, active), (0, 0));
+        assert!(eco.plane().is_free(p0(2, 2)));
+        let err = eco.apply(EcoEdit::RemoveNet { net: NetId(0) }).unwrap_err();
+        assert!(matches!(err, EcoError::UnknownNet(_)));
+    }
+
+    #[test]
+    fn validation_rejects_bad_edits() {
+        let eco = session(&[("a", (2, 2), (20, 2))]);
+        let mut eco = eco;
+        // Obstacle over a's pin.
+        assert!(matches!(
+            eco.apply(EcoEdit::AddObstacle {
+                layer: Layer(0),
+                rect: TrackRect::new(1, 1, 3, 3),
+            }),
+            Err(EcoError::BadEdit(_))
+        ));
+        // Duplicate name.
+        assert!(matches!(
+            eco.apply(EcoEdit::AddNet {
+                name: "a".into(),
+                pins: vec![Pin::fixed(p0(2, 30)), Pin::fixed(p0(20, 30))],
+            }),
+            Err(EcoError::BadEdit(_))
+        ));
+        // Pin collision.
+        assert!(matches!(
+            eco.apply(EcoEdit::AddNet {
+                name: "c".into(),
+                pins: vec![Pin::fixed(p0(2, 2)), Pin::fixed(p0(20, 30))],
+            }),
+            Err(EcoError::BadEdit(_))
+        ));
+        // Out-of-bounds pin.
+        assert!(matches!(
+            eco.apply(EcoEdit::AddNet {
+                name: "d".into(),
+                pins: vec![Pin::fixed(p0(2, 120)), Pin::fixed(p0(20, 30))],
+            }),
+            Err(EcoError::BadEdit(_))
+        ));
+        // A failed validation must not burn an undo slot.
+        assert_eq!(eco.undo_depth(), 0);
+    }
+
+    #[test]
+    fn script_parses_and_runs() {
+        let text = "\
+# a comment
+add b 0:2,6 0:20,6   # trailing comment
+move #0 0:2,12|1:2,12 0:20,12
+obstacle 0 30 30 34 34
+clear 0 30 30 34 34
+remove b
+undo
+redo
+";
+        let ops = parse_edit_script(text).expect("parses");
+        assert_eq!(ops.len(), 7);
+        assert_eq!(
+            ops[0],
+            ScriptOp::Add {
+                name: "b".into(),
+                pins: vec![Pin::fixed(p0(2, 6)), Pin::fixed(p0(20, 6))],
+            }
+        );
+        let mut eco = session(&[("a", (2, 2), (20, 2))]);
+        let outcomes = eco.run_script(&ops).expect("runs");
+        assert_eq!(outcomes.len(), 7);
+        assert!(matches!(outcomes[5], OpOutcome::Undo));
+        // After remove+undo+redo, `b` is removed again.
+        assert!(eco.resolve(&NetRef::Name("b".into())).is_err());
+        assert!(eco.resolve(&NetRef::Id(0)).is_ok());
+    }
+
+    #[test]
+    fn script_errors_carry_line_numbers() {
+        let err = parse_edit_script("add x 0:1,1 0:5,1\nfrobnicate\n").unwrap_err();
+        match err {
+            EcoError::Script { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+}

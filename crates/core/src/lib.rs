@@ -45,6 +45,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod decompose;
 mod driver;
+pub mod eco;
 pub mod fault;
 pub mod grids;
 pub mod ledger;
@@ -63,6 +64,9 @@ pub use checkpoint::{Snapshot, SnapshotError};
 pub use config::{NetOrder, RouterConfig};
 pub use decompose::{
     decompose_layout, decompose_layout_observed, LayoutColoring, UndecomposableLayout,
+};
+pub use eco::{
+    parse_edit_script, EcoEdit, EcoError, EcoSession, EditOutcome, NetRef, OpOutcome, ScriptOp,
 };
 pub use fault::FaultPlan;
 pub use grids::{DenseGrid, DirGrid, GuardGrid, PenaltyGrid, NO_GUARD};

@@ -368,7 +368,9 @@ impl Router {
             driver::reserve_pins(config, &mut ws.guards, plane, net);
         }
         if let Some(snap) = resume {
-            replay_snapshot(snap, config, ledger, ws, plane, netlist, failed, run_budget)?;
+            replay_snapshot(
+                snap, config, ledger, ws, plane, netlist, failed, run_budget, true,
+            )?;
             let done: std::collections::HashSet<NetId> = snap.processed().into_iter().collect();
             order.retain(|id| !done.contains(id));
         }
@@ -431,6 +433,29 @@ impl Router {
         plane: &mut RoutingPlane,
         net: &Net,
     ) -> Result<bool, RouterError> {
+        self.route_incremental_with(plane, net, &mut NoopRecorder)
+    }
+
+    /// [`Router::route_incremental`] with an observability [`Recorder`]:
+    /// the net emits the same `net_routed` / `net_failed` / rip-up trace
+    /// events as the batch path.
+    ///
+    /// On failure the pin reservations taken for this net are released
+    /// again (cells and guard halo), so an unroutable net does not block
+    /// its candidate cells for later nets; a retry that succeeds clears
+    /// the net's earlier entry in [`Router::failed`], and repeated
+    /// failures record it only once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouterError::NotBegun`] if [`Router::begin`] (or a prior
+    /// `route_all`) has not sized the router for the plane.
+    pub fn route_incremental_with(
+        &mut self,
+        plane: &mut RoutingPlane,
+        net: &Net,
+        rec: &mut dyn Recorder,
+    ) -> Result<bool, RouterError> {
         let Router {
             config,
             ledger,
@@ -444,19 +469,16 @@ impl Router {
         }
         let ws = workspace.as_mut().ok_or(RouterError::NotBegun)?;
         driver::reserve_pins(config, &mut ws.guards, plane, net);
-        let ok = driver::route_one(
-            config,
-            ledger,
-            ws,
-            plane,
-            net,
-            &[],
-            run_budget,
-            &mut NoopRecorder,
-            true,
-        );
-        if !ok {
-            failed.push(net.id);
+        let ok = driver::route_one(config, ledger, ws, plane, net, &[], run_budget, rec, true);
+        if ok {
+            // A retry that made it clears the earlier failure record so
+            // report counters see the net exactly once.
+            failed.retain(|&id| id != net.id);
+        } else {
+            driver::release_pins(config, &mut ws.guards, plane, net);
+            if !failed.contains(&net.id) {
+                failed.push(net.id);
+            }
         }
         Ok(ok)
     }
@@ -876,8 +898,16 @@ impl Router {
 /// state of the original prefix exactly — no searching involved. The
 /// snapshot's counters then overwrite the replayed ones (replay re-counts
 /// flips but none of the search/rip-up work).
+///
+/// `enforce_steering` is forwarded to [`driver::commit_candidate`]:
+/// mid-run resume passes `true` (the replayed prefix made exactly these
+/// decisions), while restoring a *final* routed set passes `false` —
+/// the journal omits ripped-up interlopers, post-commit flip passes and
+/// the original commit order, so the commit-time steering heuristics
+/// (risk abort, geometric type-B filter) can reject a commit that is
+/// part of a perfectly consistent final state.
 #[allow(clippy::too_many_arguments)]
-fn replay_snapshot(
+pub(crate) fn replay_snapshot(
     snap: &Snapshot,
     config: &RouterConfig,
     ledger: &mut CommitLedger,
@@ -886,6 +916,7 @@ fn replay_snapshot(
     netlist: &Netlist,
     failed: &mut Vec<NetId>,
     run_budget: &RunBudget,
+    enforce_steering: bool,
 ) -> Result<(), SnapshotError> {
     let mut rec = NoopRecorder;
     for n in &snap.nets {
@@ -903,7 +934,14 @@ fn replay_snapshot(
             run_budget,
             rec: &mut rec,
         };
-        if driver::commit_candidate(&mut ctx, plane, netlist.net(n.id), candidate).is_err() {
+        let committed = driver::commit_candidate(
+            &mut ctx,
+            plane,
+            netlist.net(n.id),
+            candidate,
+            enforce_steering,
+        );
+        if committed.is_err() {
             return Err(SnapshotError::ReplayDiverged);
         }
     }

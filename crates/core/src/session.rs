@@ -367,6 +367,14 @@ impl RoutingSession {
     pub fn into_parts(self) -> (RoutingPlane, Netlist) {
         (self.plane, self.netlist)
     }
+
+    /// Consumes the session and returns the live router alongside the
+    /// plane, netlist and recorder — the full routing state, for layers
+    /// (the ECO engine) that keep editing where the batch run stopped.
+    #[must_use]
+    pub(crate) fn into_router_parts(self) -> (Router, RoutingPlane, Netlist, BufferRecorder) {
+        (self.router, self.plane, self.netlist, self.rec)
+    }
 }
 
 impl fmt::Debug for RoutingSession {

@@ -99,3 +99,82 @@ fn eco_style_addition_after_finalize() {
     assert_eq!(report.routed_nets, 4);
     assert_eq!(report.cut_conflicts, 0);
 }
+
+#[test]
+fn incremental_threads_the_callers_recorder() {
+    // `route_incremental_with` must feed the caller's recorder, not a
+    // silent no-op: the trace is the only evidence of what ran. Two
+    // isolated nets route first-try, so the JSONL is a stable golden.
+    let mut nl = Netlist::new();
+    nl.add_two_pin("a", p0(2, 2), p0(12, 2));
+    nl.add_two_pin("b", p0(2, 20), p0(12, 20));
+    let mut plane = RoutingPlane::new(3, 32, 32, DesignRules::node_10nm()).unwrap();
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    router.begin(&plane);
+    let mut rec = sadp_obs::BufferRecorder::with_flags(true, false);
+    for net in nl.iter() {
+        let ok = router
+            .route_incremental_with(&mut plane, net, &mut rec)
+            .unwrap();
+        assert!(ok);
+    }
+    let jsonl = sadp_obs::events_to_jsonl(&rec.take_events());
+    assert_eq!(
+        jsonl,
+        "{\"event\":\"net_routed\",\"net\":0,\"attempts\":1,\"flipped\":false}\n\
+         {\"event\":\"net_routed\",\"net\":1,\"attempts\":1,\"flipped\":false}\n"
+    );
+}
+
+/// Walls every layer at x = 8 so nothing crosses it.
+fn wall(plane: &mut RoutingPlane) {
+    for l in 0..plane.layers() {
+        plane.add_blockage(Layer(l), sadp_geom::TrackRect::new(8, 0, 8, 31));
+    }
+}
+
+#[test]
+fn failed_net_releases_its_pin_reservations() {
+    // Net `a` cannot cross the wall and fails; its reserved pin cells
+    // must be released, or net `b` — whose shortest path runs straight
+    // through `a`'s source — would be blocked by a net that isn't there.
+    let mut nl = Netlist::new();
+    let a = nl.add_two_pin("a", p0(2, 2), p0(12, 2));
+    let b = nl.add_two_pin("b", p0(1, 2), p0(3, 2));
+    let mut plane = RoutingPlane::new(3, 32, 32, DesignRules::node_10nm()).unwrap();
+    wall(&mut plane);
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    router.begin(&plane);
+    assert_eq!(router.route_incremental(&mut plane, nl.net(a)), Ok(false));
+    assert!(plane.is_free(p0(2, 2)), "failed net must release its pins");
+    assert_eq!(router.route_incremental(&mut plane, nl.net(b)), Ok(true));
+    assert_eq!(plane.occupant(p0(2, 2)), Some(b));
+    router.finalize(&mut plane, &nl);
+    let report = router.report(&nl, Instant::now());
+    assert_eq!(report.routed_nets, 1);
+    assert_eq!(report.total_nets - report.routed_nets, 1);
+}
+
+#[test]
+fn retries_neither_duplicate_failures_nor_keep_stale_ones() {
+    let mut nl = Netlist::new();
+    let a = nl.add_two_pin("a", p0(2, 2), p0(12, 2));
+    let mut plane = RoutingPlane::new(3, 32, 32, DesignRules::node_10nm()).unwrap();
+    wall(&mut plane);
+    let mut router = Router::new(RouterConfig::paper_defaults());
+    router.begin(&plane);
+    // Two failed attempts record the net once, not twice.
+    assert_eq!(router.route_incremental(&mut plane, nl.net(a)), Ok(false));
+    assert_eq!(router.route_incremental(&mut plane, nl.net(a)), Ok(false));
+    assert_eq!(router.failed(), &[a]);
+    // Tear the wall down: the retry succeeds and clears the record.
+    for l in 0..plane.layers() {
+        plane.clear_blockage(Layer(l), sadp_geom::TrackRect::new(8, 0, 8, 31));
+    }
+    assert_eq!(router.route_incremental(&mut plane, nl.net(a)), Ok(true));
+    assert_eq!(router.failed(), &[]);
+    router.finalize(&mut plane, &nl);
+    let report = router.report(&nl, Instant::now());
+    assert_eq!(report.routed_nets, 1);
+    assert_eq!(report.total_nets, report.routed_nets);
+}

@@ -560,6 +560,43 @@ impl OverlayGraph {
         }
         order
     }
+
+    /// The hard-constraint components in canonical form: one entry per
+    /// component, keyed by its minimum member net id, with members listed
+    /// ascending alongside their parity *relative to that minimum member*
+    /// (`false` = same color forced, `true` = opposite forced).
+    ///
+    /// Unlike the raw union–find internals (tree shape, root choice,
+    /// slot numbering) this representation depends only on which hard
+    /// relations hold, so two graphs built along different edit histories
+    /// compare equal exactly when they force the same colorings. Used by
+    /// the ECO engine's state digest.
+    #[must_use]
+    pub fn hard_components(&self) -> Vec<(u32, Vec<(u32, bool)>)> {
+        let mut groups: std::collections::HashMap<u32, Vec<(u32, bool)>> =
+            std::collections::HashMap::new();
+        let mut nets: Vec<u32> = self.colors.keys().copied().collect();
+        nets.sort_unstable();
+        for v in nets {
+            let (root, parity) = self.hard_root(v);
+            groups.entry(root).or_default().push((v, parity));
+        }
+        let mut out: Vec<(u32, Vec<(u32, bool)>)> = groups
+            .into_values()
+            .map(|members| {
+                // Members were inserted ascending, so the first one is the
+                // minimum; re-express parities relative to it.
+                let (min, min_parity) = members[0];
+                let rel = members
+                    .into_iter()
+                    .map(|(v, p)| (v, p != min_parity))
+                    .collect();
+                (min, rel)
+            })
+            .collect();
+        out.sort_unstable_by_key(|(min, _)| *min);
+        out
+    }
 }
 
 trait ParityDelta {
@@ -614,6 +651,31 @@ mod tests {
         g.add_scenario(1, 2, ScenarioKind::OneB.table()).unwrap();
         assert_eq!(g.hard_relation(0, 2), Some(true));
         assert_eq!(g.hard_relation(0, 3), None);
+    }
+
+    #[test]
+    fn hard_components_are_order_canonical() {
+        // Same hard relations built along two different edge orders (and
+        // with different union sequences) yield identical canonical
+        // components.
+        let mut a = OverlayGraph::new();
+        a.add_scenario(0, 1, ScenarioKind::OneA.table()).unwrap();
+        a.add_scenario(1, 2, ScenarioKind::OneB.table()).unwrap();
+        a.ensure_vertex(7);
+        let mut b = OverlayGraph::new();
+        b.ensure_vertex(7);
+        b.add_scenario(1, 2, ScenarioKind::OneB.table()).unwrap();
+        b.add_scenario(0, 1, ScenarioKind::OneA.table()).unwrap();
+        let ca = a.hard_components();
+        assert_eq!(ca, b.hard_components());
+        // 0≠1, 0≠2 (via 1=2), 7 isolated.
+        assert_eq!(
+            ca,
+            vec![
+                (0, vec![(0, false), (1, true), (2, true)]),
+                (7, vec![(7, false)]),
+            ]
+        );
     }
 
     #[test]

@@ -83,6 +83,16 @@ impl Netlist {
         &self.nets[id.index()]
     }
 
+    /// Mutable access to the net with the given id (the ECO engine edits
+    /// pins in place; the id and name are expected to stay put).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn net_mut(&mut self, id: NetId) -> &mut Net {
+        &mut self.nets[id.index()]
+    }
+
     /// Iterates over all nets in id order.
     pub fn iter(&self) -> std::slice::Iter<'_, Net> {
         self.nets.iter()
@@ -135,6 +145,15 @@ mod tests {
         assert_eq!(nl.net(a).name, "a");
         assert_eq!(nl.net(b).id, NetId(1));
         assert!(!nl.is_empty());
+    }
+
+    #[test]
+    fn net_mut_edits_pins_in_place() {
+        let mut nl = Netlist::new();
+        let a = nl.add_two_pin("a", p(0, 0), p(9, 0));
+        nl.net_mut(a).target = Pin::fixed(p(4, 4));
+        assert_eq!(nl.net(a).target.candidates(), &[p(4, 4)]);
+        assert_eq!(nl.net(a).id, a);
     }
 
     #[test]

@@ -267,6 +267,24 @@ impl RoutingPlane {
         }
     }
 
+    /// Frees every *blocked* cell of `rect` on `layer` (clipped to the
+    /// plane). Occupied cells are untouched, mirroring how
+    /// [`RoutingPlane::add_blockage`] only blocks free ones; a caller
+    /// removing one of several overlapping blockages must re-apply the
+    /// survivors afterwards.
+    pub fn clear_blockage(&mut self, layer: Layer, rect: TrackRect) {
+        for (x, y) in rect.cells() {
+            let p = GridPoint::new(layer, x, y);
+            if self.in_bounds(p) {
+                let i = self.index(p);
+                if self.cells[i] == BLOCKED {
+                    self.cells[i] = FREE;
+                    self.set_busy(i, false);
+                }
+            }
+        }
+    }
+
     /// Counts cells in each state: `(free, blocked, occupied)`.
     #[must_use]
     pub fn usage(&self) -> (usize, usize, usize) {
@@ -336,6 +354,25 @@ mod tests {
         assert_eq!(p.occupy(a, NetId(4)), Err(PlaneError::CellBusy(a)));
         p.clear_path(&[a], NetId(3));
         assert!(p.is_free(a));
+    }
+
+    #[test]
+    fn clear_blockage_frees_blocked_cells_only() {
+        let mut p = plane();
+        let occupied = GridPoint::new(Layer(1), 3, 3);
+        p.occupy(occupied, NetId(7)).unwrap();
+        p.add_blockage(Layer(1), TrackRect::new(2, 2, 5, 5));
+        let (_, blocked, _) = p.usage();
+        assert_eq!(blocked, 15); // 4x4 minus the occupied cell
+                                 // Clearing a sub-rect (clipped past the plane edge) frees only
+                                 // blocked cells; the occupied one keeps its owner.
+        p.clear_blockage(Layer(1), TrackRect::new(2, 2, 20, 3));
+        assert!(p.is_free(GridPoint::new(Layer(1), 2, 2)));
+        assert!(p.is_free(GridPoint::new(Layer(1), 5, 3)));
+        assert_eq!(p.occupant(occupied), Some(NetId(7)));
+        assert_eq!(p.cell(GridPoint::new(Layer(1), 2, 4)), CellState::Blocked);
+        // Freed cells are routable again (busy bit back in sync).
+        p.occupy(GridPoint::new(Layer(1), 2, 2), NetId(9)).unwrap();
     }
 
     #[test]

@@ -361,6 +361,59 @@ pub enum RouterEvent {
         /// The recovered net.
         net: u32,
     },
+    /// An ECO edit invalidated the routed nets whose dependence
+    /// footprints intersect the edit region. Emitted before the rip-up,
+    /// so the id list *is* the re-routing scope proof: nets outside it
+    /// are untouched by the edit.
+    NetsInvalidated {
+        /// Edit sequence number within the ECO session (0-based).
+        edit: u32,
+        /// Invalidated net ids, ascending.
+        nets: Vec<u32>,
+    },
+    /// An ECO edit finished applying (rip-up + scoped re-route done).
+    EditApplied {
+        /// Edit sequence number within the ECO session (0-based).
+        edit: u32,
+        /// What the edit did.
+        kind: EditKind,
+        /// Nets invalidated by the dependence-radius query.
+        invalidated: u64,
+        /// Nets re-routed successfully (invalidated survivors plus the
+        /// added/moved net itself).
+        rerouted: u64,
+        /// Nets left unrouted after the edit.
+        failed: u64,
+    },
+}
+
+/// What an ECO edit did, for the `edit_applied` trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditKind {
+    /// A net was added to the netlist and routed.
+    AddNet,
+    /// A net was removed and its occupancy released.
+    RemoveNet,
+    /// A net's pins were moved and the net re-routed.
+    MoveNet,
+    /// A rectangular blockage was added.
+    AddObstacle,
+    /// A previously added blockage was removed.
+    RemoveObstacle,
+}
+
+impl EditKind {
+    /// Stable lowercase name used in the JSONL schema.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EditKind::AddNet => "add_net",
+            EditKind::RemoveNet => "remove_net",
+            EditKind::MoveNet => "move_net",
+            EditKind::AddObstacle => "add_obstacle",
+            EditKind::RemoveObstacle => "remove_obstacle",
+        }
+    }
 }
 
 impl RouterEvent {
@@ -377,6 +430,8 @@ impl RouterEvent {
             RouterEvent::OddCycleDecomposed { .. } => "odd_cycle_decomposed",
             RouterEvent::WaveScheduled { .. } => "wave_scheduled",
             RouterEvent::WaveRecovered { .. } => "wave_recovered",
+            RouterEvent::NetsInvalidated { .. } => "nets_invalidated",
+            RouterEvent::EditApplied { .. } => "edit_applied",
         }
     }
 
@@ -424,6 +479,26 @@ impl RouterEvent {
             RouterEvent::WaveRecovered { wave, net } => {
                 format!("{{\"event\":\"wave_recovered\",\"wave\":{wave},\"net\":{net}}}")
             }
+            RouterEvent::NetsInvalidated { edit, nets } => {
+                let mut ids = String::new();
+                for (i, n) in nets.iter().enumerate() {
+                    if i > 0 {
+                        ids.push(',');
+                    }
+                    ids.push_str(&n.to_string());
+                }
+                format!("{{\"event\":\"nets_invalidated\",\"edit\":{edit},\"nets\":[{ids}]}}")
+            }
+            RouterEvent::EditApplied {
+                edit,
+                kind,
+                invalidated,
+                rerouted,
+                failed,
+            } => format!(
+                "{{\"event\":\"edit_applied\",\"edit\":{edit},\"kind\":\"{}\",\"invalidated\":{invalidated},\"rerouted\":{rerouted},\"failed\":{failed}}}",
+                kind.name()
+            ),
         }
     }
 }
@@ -852,6 +927,21 @@ mod tests {
             },
             RouterEvent::WaveScheduled { wave: 2, nets: 6 },
             RouterEvent::WaveRecovered { wave: 2, net: 11 },
+            RouterEvent::NetsInvalidated {
+                edit: 0,
+                nets: vec![1, 5, 9],
+            },
+            RouterEvent::NetsInvalidated {
+                edit: 1,
+                nets: vec![],
+            },
+            RouterEvent::EditApplied {
+                edit: 0,
+                kind: EditKind::MoveNet,
+                invalidated: 3,
+                rerouted: 4,
+                failed: 0,
+            },
         ];
         let jsonl = events_to_jsonl(&events);
         let expected = concat!(
@@ -865,8 +955,27 @@ mod tests {
             "{\"event\":\"net_failed\",\"net\":9,\"reason\":\"budget_exceeded\"}\n",
             "{\"event\":\"wave_scheduled\",\"wave\":2,\"nets\":6}\n",
             "{\"event\":\"wave_recovered\",\"wave\":2,\"net\":11}\n",
+            "{\"event\":\"nets_invalidated\",\"edit\":0,\"nets\":[1,5,9]}\n",
+            "{\"event\":\"nets_invalidated\",\"edit\":1,\"nets\":[]}\n",
+            "{\"event\":\"edit_applied\",\"edit\":0,\"kind\":\"move_net\",\"invalidated\":3,\"rerouted\":4,\"failed\":0}\n",
         );
         assert_eq!(jsonl, expected);
+        for kind in [
+            EditKind::AddNet,
+            EditKind::RemoveNet,
+            EditKind::MoveNet,
+            EditKind::AddObstacle,
+            EditKind::RemoveObstacle,
+        ] {
+            let ev = RouterEvent::EditApplied {
+                edit: 0,
+                kind,
+                invalidated: 0,
+                rerouted: 0,
+                failed: 0,
+            };
+            assert!(ev.to_json_line().contains(&format!("\"{}\"", kind.name())));
+        }
     }
 
     #[test]

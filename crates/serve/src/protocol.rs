@@ -20,9 +20,22 @@
 //! | `resume` | `job` | `{"ok":true,"job":N}` (re-enqueues a cancelled/failed job from its checkpoint) |
 //! | `subscribe` | `job` | event stream, then a final `done` line |
 //! | `list` | — | `{"ok":true,"jobs":[{...},...]}` |
+//! | `edit` | `job`, `script` (edit-script text) | `{"ok":true,"job":N,"results":[...],"routed":...,"failed":...,"undoable":...,"redoable":...}` |
+//! | `undo` | `job` | `{"ok":true,"job":N,"routed":...,"failed":...,"undoable":...,"redoable":...}` |
+//! | `redo` | `job` | same as `undo` |
 //! | `shutdown` | — | `{"ok":true}`; the daemon drains in-flight slices, checkpoints unfinished jobs and exits |
 //!
 //! Errors are `{"ok":false,"error":"<message>"}`.
+//!
+//! `edit` targets a **completed** job: the daemon lazily opens an ECO
+//! session over the job's routed layout ([`sadp_core::eco::EcoSession`])
+//! and runs the `script` operations (see
+//! [`sadp_core::eco::parse_edit_script`] for the line format). Each
+//! `results` entry is either an edit summary
+//! (`{"edit":N,"kind":"add_net","invalidated":K,"rerouted":R,"failed":F}`)
+//! or `{"op":"undo"}` / `{"op":"redo"}`. `undo`/`redo` requests revert or
+//! re-apply one edit. The ECO session lives in memory only — a daemon
+//! restart keeps the job's batch result but forgets its edit journal.
 //!
 //! `node_budget` and `deadline_ms` map onto the router's whole-run
 //! budgets ([`RouterConfig::run_node_budget`] /
@@ -77,6 +90,23 @@ pub enum Request {
     },
     /// Summarize all known jobs.
     List,
+    /// Run an ECO edit script against a completed job.
+    Edit {
+        /// The job id.
+        job: u64,
+        /// The edit-script text (see `sadp_core::eco::parse_edit_script`).
+        script: String,
+    },
+    /// Revert the most recent edit of a completed job's ECO session.
+    Undo {
+        /// The job id.
+        job: u64,
+    },
+    /// Re-apply the most recently undone edit.
+    Redo {
+        /// The job id.
+        job: u64,
+    },
     /// Drain and exit.
     Shutdown,
 }
@@ -134,10 +164,20 @@ impl Request {
             "resume" => Ok(Request::Resume { job: job_of(&v)? }),
             "subscribe" => Ok(Request::Subscribe { job: job_of(&v)? }),
             "list" => Ok(Request::List),
+            "edit" => Ok(Request::Edit {
+                job: job_of(&v)?,
+                script: v
+                    .get("script")
+                    .and_then(Json::as_str)
+                    .ok_or("`edit` needs a string `script` field")?
+                    .to_string(),
+            }),
+            "undo" => Ok(Request::Undo { job: job_of(&v)? }),
+            "redo" => Ok(Request::Redo { job: job_of(&v)? }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
                 "unknown command `{other}` (expected ping, submit, status, \
-                 cancel, resume, subscribe, list, or shutdown)"
+                 cancel, resume, subscribe, list, edit, undo, redo, or shutdown)"
             )),
         }
     }
@@ -177,6 +217,12 @@ impl Request {
             Request::Resume { job } => format!("{{\"cmd\":\"resume\",\"job\":{job}}}"),
             Request::Subscribe { job } => format!("{{\"cmd\":\"subscribe\",\"job\":{job}}}"),
             Request::List => "{\"cmd\":\"list\"}".into(),
+            Request::Edit { job, script } => format!(
+                "{{\"cmd\":\"edit\",\"job\":{job},\"script\":{}}}",
+                json::escape(script)
+            ),
+            Request::Undo { job } => format!("{{\"cmd\":\"undo\",\"job\":{job}}}"),
+            Request::Redo { job } => format!("{{\"cmd\":\"redo\",\"job\":{job}}}"),
             Request::Shutdown => "{\"cmd\":\"shutdown\"}".into(),
         }
     }
@@ -215,6 +261,12 @@ mod tests {
             Request::Resume { job: 4 },
             Request::Subscribe { job: 5 },
             Request::List,
+            Request::Edit {
+                job: 6,
+                script: "add x 0:2,2 0:9,2\nundo\nredo\n".into(),
+            },
+            Request::Undo { job: 6 },
+            Request::Redo { job: 6 },
             Request::Shutdown,
         ];
         for req in requests {
@@ -234,6 +286,10 @@ mod tests {
         let err = Request::parse("{\"cmd\":\"submit\"}").unwrap_err();
         assert!(err.contains("`layout`"), "{err}");
         let err = Request::parse("{\"cmd\":\"status\"}").unwrap_err();
+        assert!(err.contains("`job`"), "{err}");
+        let err = Request::parse("{\"cmd\":\"edit\",\"job\":1}").unwrap_err();
+        assert!(err.contains("`script`"), "{err}");
+        let err = Request::parse("{\"cmd\":\"undo\"}").unwrap_err();
         assert!(err.contains("`job`"), "{err}");
         let err =
             Request::parse("{\"cmd\":\"submit\",\"layout\":\"x\",\"priority\":999}").unwrap_err();

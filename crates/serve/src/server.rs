@@ -26,6 +26,7 @@
 
 use crate::json::{self, Json};
 use crate::protocol::{error_line, Request};
+use sadp_core::eco::{parse_edit_script, EcoSession, OpOutcome};
 use sadp_core::{RouterConfig, RoutingReport, RoutingSession, SessionStatus, Snapshot, StepBudget};
 use sadp_grid::io::read_layout;
 use sadp_obs::SessionEvent;
@@ -123,6 +124,13 @@ struct Job {
     final_line: Option<String>,
     steps_done: u64,
     steps_total: u64,
+    /// The job's ECO session, opened lazily by the first `edit` request
+    /// after the job is done. In-memory only: a daemon restart keeps the
+    /// batch result but forgets the edit journal.
+    eco: Option<Box<EcoSession>>,
+    /// An `edit`/`undo`/`redo` holds the session outside the lock while
+    /// it routes; concurrent requests are refused instead of queued.
+    eco_busy: bool,
 }
 
 impl Job {
@@ -404,6 +412,8 @@ fn load_state(shared: &Arc<Shared>, dir: &Path) {
             final_line,
             steps_done: 0,
             steps_total: 0,
+            eco: None,
+            eco_busy: false,
         };
         g.next_id = g.next_id.max(id + 1);
         let requeue = state == JobState::Queued;
@@ -486,6 +496,11 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
                 drop(g);
                 writeln!(out, "{{\"ok\":true,\"jobs\":[{}]}}", jobs.join(","))?;
             }
+            Request::Edit { job, script } => {
+                writeln!(out, "{}", eco_op(shared, job, &EcoOp::Edit(script)))?;
+            }
+            Request::Undo { job } => writeln!(out, "{}", eco_op(shared, job, &EcoOp::Undo))?,
+            Request::Redo { job } => writeln!(out, "{}", eco_op(shared, job, &EcoOp::Redo))?,
             Request::Subscribe { job } => {
                 return subscribe(shared, job, out);
             }
@@ -546,6 +561,8 @@ fn submit(
         final_line: None,
         steps_done: 0,
         steps_total: 0,
+        eco: None,
+        eco_busy: false,
     };
     if job.threads == 0 {
         job.threads = 1;
@@ -626,6 +643,126 @@ fn resume(shared: &Arc<Shared>, id: u64) -> String {
             format!("{{\"ok\":true,\"job\":{id}}}")
         }
         JobState::Done => error_line(&format!("job {id} is already done")),
+    }
+}
+
+/// One ECO request against a completed job.
+enum EcoOp {
+    Edit(String),
+    Undo,
+    Redo,
+}
+
+/// Runs an `edit`/`undo`/`redo` request. The session is taken out of the
+/// job and driven outside the lock (an edit re-routes nets, which can
+/// take a while); a concurrent ECO request on the same job is refused.
+fn eco_op(shared: &Arc<Shared>, id: u64, op: &EcoOp) -> String {
+    // Phase 1: claim the job's ECO session (or the makings of one).
+    let (eco, layout, config) = {
+        let mut g = shared.lock();
+        let Some(job) = g.jobs.get_mut(&id) else {
+            return error_line(&format!("no such job {id}"));
+        };
+        if job.state != JobState::Done {
+            return error_line(&format!(
+                "job {id} is {}; ECO edits need a completed job",
+                job.state.name()
+            ));
+        }
+        if job.eco_busy {
+            return error_line(&format!("job {id} has an ECO request in progress"));
+        }
+        job.eco_busy = true;
+        (job.eco.take(), job.layout.clone(), job.config())
+    };
+    let release = |eco: Option<Box<EcoSession>>, events: Vec<String>| {
+        let mut g = shared.lock();
+        if let Some(job) = g.jobs.get_mut(&id) {
+            job.eco = eco;
+            job.eco_busy = false;
+            job.trace.extend(events);
+            if !job.trace.is_empty() {
+                shared.event_cv.notify_all();
+            }
+        }
+    };
+
+    // Phase 2: bring the session up (first request routes the layout
+    // from scratch — deterministic, so it reproduces the job's result).
+    let mut eco = match eco {
+        Some(eco) => eco,
+        None => {
+            let built = read_layout(&layout)
+                .map_err(|e| format!("layout rejected: {e}"))
+                .and_then(|(plane, netlist)| {
+                    EcoSession::create(config, plane, netlist, true).map_err(|e| e.to_string())
+                });
+            match built {
+                Ok(mut eco) => {
+                    // The batch events duplicate the job's original
+                    // trace; only edit events should stream.
+                    let _ = eco.drain_events();
+                    Box::new(eco)
+                }
+                Err(message) => {
+                    release(None, Vec::new());
+                    return error_line(&format!("job {id}: {message}"));
+                }
+            }
+        }
+    };
+
+    // Phase 3: the operation itself.
+    let mut results = Vec::new();
+    let outcome: Result<(), String> = match op {
+        EcoOp::Undo => eco.undo().map_err(|e| e.to_string()),
+        EcoOp::Redo => eco.redo().map_err(|e| e.to_string()),
+        EcoOp::Edit(script) => parse_edit_script(script)
+            .map_err(|e| e.to_string())
+            .and_then(|ops| {
+                // One at a time: ops before a failure stay applied and
+                // reported.
+                for op in &ops {
+                    match eco.run_script(std::slice::from_ref(op)) {
+                        Ok(outcomes) => results.push(match &outcomes[0] {
+                            OpOutcome::Edit(e) => format!(
+                                "{{\"edit\":{},\"kind\":\"{}\",\"invalidated\":{},\"rerouted\":{},\"failed\":{}}}",
+                                e.edit,
+                                e.kind.name(),
+                                e.invalidated.len(),
+                                e.rerouted,
+                                e.failed
+                            ),
+                            OpOutcome::Undo => "{\"op\":\"undo\"}".to_string(),
+                            OpOutcome::Redo => "{\"op\":\"redo\"}".to_string(),
+                        }),
+                        Err(e) => return Err(e.to_string()),
+                    }
+                }
+                Ok(())
+            }),
+    };
+
+    let (routed, failed, _) = eco.stats();
+    let (undoable, redoable) = (eco.undo_depth(), eco.redo_depth());
+    let events: Vec<String> = eco
+        .drain_events()
+        .iter()
+        .map(sadp_obs::RouterEvent::to_json_line)
+        .collect();
+    release(Some(eco), events);
+    match outcome {
+        Err(message) => error_line(&format!("job {id}: {message}")),
+        Ok(()) => {
+            let results = match op {
+                EcoOp::Edit(_) => format!("\"results\":[{}],", results.join(",")),
+                _ => String::new(),
+            };
+            format!(
+                "{{\"ok\":true,\"job\":{id},{results}\"routed\":{routed},\"failed\":{failed},\
+                 \"undoable\":{undoable},\"redoable\":{redoable}}}"
+            )
+        }
     }
 }
 

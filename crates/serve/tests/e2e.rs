@@ -336,3 +336,68 @@ fn tempdir(tag: &str) -> PathBuf {
     std::fs::create_dir_all(&dir).expect("create temp dir");
     dir
 }
+
+#[test]
+fn eco_verbs_edit_undo_redo_a_done_job() {
+    let layout = fixture("clock-tree-multi-terminal.layout");
+    let server = serve(ServeConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let job = submit(&mut client, &layout, 100);
+
+    // ECO verbs are refused until the job completes.
+    let err = client
+        .call(&Request::Undo { job })
+        .expect_err("undo on an unfinished job fails");
+    assert!(err.to_string().contains("completed job"), "{err}");
+    stream_job(&addr, job);
+
+    // A fresh session has nothing to undo.
+    let err = client
+        .call(&Request::Undo { job })
+        .expect_err("empty journal");
+    assert!(err.to_string().contains("nothing to undo"), "{err}");
+
+    // An edit script: add a net, then move it.
+    let resp = client
+        .call(&Request::Edit {
+            job,
+            script: "add eco0 0:30,4 0:44,4\nmove eco0 0:30,2 0:44,2\n".into(),
+        })
+        .expect("edit succeeds");
+    assert_eq!(resp.get("routed").and_then(Json::as_u64), Some(6));
+    assert_eq!(resp.get("failed").and_then(Json::as_u64), Some(0));
+    assert_eq!(resp.get("undoable").and_then(Json::as_u64), Some(2));
+    let results = resp.get("results").expect("edit reports results");
+    let rendered = format!("{results}");
+    assert!(rendered.contains("\"kind\":\"add_net\""), "{rendered}");
+    assert!(rendered.contains("\"kind\":\"move_net\""), "{rendered}");
+
+    // Undo both edits: back to the batch result.
+    for left in [1, 0] {
+        let resp = client.call(&Request::Undo { job }).expect("undo succeeds");
+        assert_eq!(resp.get("undoable").and_then(Json::as_u64), Some(left));
+        assert_eq!(resp.get("redoable").and_then(Json::as_u64), Some(2 - left));
+    }
+    let resp = client
+        .call(&Request::Status { job })
+        .expect("status succeeds");
+    assert_eq!(
+        resp.get("state").and_then(Json::as_str),
+        Some("done"),
+        "ECO edits do not disturb the job lifecycle"
+    );
+
+    // Redo one edit, and a bad script line is an error.
+    let resp = client.call(&Request::Redo { job }).expect("redo succeeds");
+    assert_eq!(resp.get("redoable").and_then(Json::as_u64), Some(1));
+    let err = client
+        .call(&Request::Edit {
+            job,
+            script: "frobnicate\n".into(),
+        })
+        .expect_err("bad script rejected");
+    assert!(err.to_string().contains("line 1"), "{err}");
+
+    server.shutdown();
+}

@@ -6,6 +6,8 @@
 //!                                                      route + verify a layout file
 //! sadp verify <layout.txt> [--threads N] [--trace FILE] [--profile]
 //!                                                      route, then pixel-verify only
+//! sadp edit <layout.txt> --script FILE [--threads N] [--trace FILE]
+//!                                                      route, then apply an ECO edit script
 //! sadp bench [--test K] [--scale X] [--seed N] [--threads N] [--trace FILE]
 //!            [--profile]                               route a TestK-family instance
 //! sadp fuzz [--seeds N] [--start S] [--regime R] [--minimize] [--threads N]
@@ -69,6 +71,14 @@
 //! and `sadp job` are the matching client commands; `sadp submit --wait
 //! --trace FILE` streams the job's event trace, which (lifecycle lines
 //! aside) is byte-identical to `sadp route --trace` of the same layout.
+//!
+//! `sadp edit` routes the layout, then drives a `sadp_core::eco::EcoSession`
+//! through the operations of `--script` (one per line: `add`, `remove`,
+//! `move`, `obstacle`, `clear`, `undo`, `redo` — see
+//! `sadp_core::eco::parse_edit_script`). Each edit re-routes only the nets
+//! inside the edit's dependence radius; `undo`/`redo` restore the router
+//! state byte-identically. Stdout and the `--trace` stream are
+//! byte-identical for every `--threads` value.
 //!
 //! Exit codes: 0 success, 1 failed check (verification, fuzz violation),
 //! 2 usage error, 3 unreadable/malformed input, 4 routing failure
@@ -156,6 +166,7 @@ fn dispatch(args: &[String]) -> CliResult {
     match args.first().map(String::as_str) {
         Some("route") => cmd_route(&args[1..], false),
         Some("verify") => cmd_route(&args[1..], true),
+        Some("edit") => cmd_edit(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -173,12 +184,13 @@ fn dispatch(args: &[String]) -> CliResult {
 }
 
 fn print_usage() {
-    eprintln!("usage: sadp <route|verify|bench|fuzz|table2|serve|submit|job> [args]");
+    eprintln!("usage: sadp <route|verify|edit|bench|fuzz|table2|serve|submit|job> [args]");
     eprintln!(
         "  route <layout.txt> [--svg DIR] [--masks FILE] [--threads N] \
          [--trace FILE] [--profile] [--checkpoint FILE] [--resume FILE]"
     );
     eprintln!("  verify <layout.txt> [--threads N] [--trace FILE] [--profile]");
+    eprintln!("  edit <layout.txt> --script FILE [--threads N] [--trace FILE]");
     eprintln!(
         "  bench [--test K] [--scale X] [--seed N] [--threads N] [--trace FILE] \
          [--profile]"
@@ -398,6 +410,76 @@ fn cmd_route(args: &[String], verify_only: bool) -> CliResult {
         println!("wrote {file}");
     }
     Ok(())
+}
+
+fn cmd_edit(args: &[String]) -> CliResult {
+    use sadp::core::eco::{parse_edit_script, EcoError, EcoSession, OpOutcome};
+
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("missing layout file".into()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+    let (plane, netlist) =
+        read_layout(&text).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+    let script_path =
+        flag_value(args, "--script").ok_or_else(|| CliError::Usage("missing --script".into()))?;
+    let script = std::fs::read_to_string(script_path)
+        .map_err(|e| CliError::Input(format!("{script_path}: {e}")))?;
+    let ops =
+        parse_edit_script(&script).map_err(|e| CliError::Input(format!("{script_path}: {e}")))?;
+
+    let trace_path = flag_value(args, "--trace");
+    let config = config_from(args)?;
+    let mut eco = EcoSession::create(config, plane, netlist, trace_path.is_some())
+        .map_err(|e| CliError::Routing(e.to_string()))?;
+    let (routed, failed, active) = eco.stats();
+    println!("batch: {active} nets, {routed} routed, {failed} failed");
+
+    // Ops run one at a time so an error mid-script still prints what the
+    // earlier operations did — those stay applied.
+    let mut result: Result<(), EcoError> = Ok(());
+    for op in &ops {
+        match eco.run_script(std::slice::from_ref(op)) {
+            Ok(outcomes) => match &outcomes[0] {
+                OpOutcome::Edit(e) => println!(
+                    "edit {} {}: invalidated {}, rerouted {}, failed {}",
+                    e.edit,
+                    e.kind.name(),
+                    e.invalidated.len(),
+                    e.rerouted,
+                    e.failed
+                ),
+                OpOutcome::Undo => println!("undo"),
+                OpOutcome::Redo => println!("redo"),
+            },
+            Err(e) => {
+                result = Err(e);
+                break;
+            }
+        }
+    }
+    let (routed, failed, active) = eco.stats();
+    println!("final: {active} nets, {routed} routed, {failed} failed");
+    println!(
+        "journal: {} undoable, {} redoable",
+        eco.undo_depth(),
+        eco.redo_depth()
+    );
+
+    if let Some(file) = trace_path {
+        let jsonl = events_to_jsonl(&eco.drain_events());
+        std::fs::write(file, jsonl).map_err(|e| CliError::Other(format!("{file}: {e}")))?;
+        println!("wrote {file}");
+    }
+    match result {
+        Ok(_) => Ok(()),
+        Err(e @ (EcoError::Session(_) | EcoError::Router(_))) => {
+            Err(CliError::Routing(format!("{script_path}: {e}")))
+        }
+        Err(e) => Err(CliError::Input(format!("{script_path}: {e}"))),
+    }
 }
 
 fn cmd_serve(args: &[String]) -> CliResult {
