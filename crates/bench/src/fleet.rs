@@ -1,0 +1,305 @@
+//! Fleet benchmark support: instance discovery over the committed
+//! fixture tree and structural validation of the emitted record.
+//!
+//! The `fleet` binary routes every committed design — native `.layout`
+//! fixtures, the replay corpus, and the imported DSN/DEF suite — at
+//! 1/2/4 threads, asserts byte-identity of the deterministic report
+//! projection per instance, and writes a consolidated
+//! `BENCH_<rev>.json` with schema [`SCHEMA`]. CI gates only on the
+//! deterministic fields of that record (schema, per-format instance
+//! counts, routability), never on wall-clock.
+
+use sadp_ingest::{ingest_text, lef::read_lef, sidecar_lef, Format, Imported};
+use sadp_serve::json::{self, Json};
+use std::path::{Path, PathBuf};
+
+/// Schema tag of the consolidated fleet record.
+pub const SCHEMA: &str = "sadp-fleet-bench/v4";
+
+/// The thread counts every instance is routed at.
+pub const THREADS: [usize; 3] = [1, 2, 4];
+
+/// One design file in the fleet.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Stable display name: path relative to `fixtures/`, extension
+    /// stripped (e.g. `corpus/odd-cycle-merge-and-cut`).
+    pub name: String,
+    /// On-disk location.
+    pub path: PathBuf,
+    /// Format implied by the fixture tree layout; the actual parse
+    /// still goes through content sniffing.
+    pub format: Format,
+}
+
+/// Collects `*.layout` files in a directory as instances named
+/// `prefix/<stem>`.
+fn collect(dir: &Path, prefix: &str, exts: &[(&str, Format)], out: &mut Vec<Instance>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(ext) = path.extension().and_then(|e| e.to_str()) else {
+            continue;
+        };
+        let Some(&(_, format)) = exts.iter().find(|(e, _)| ext.eq_ignore_ascii_case(e)) else {
+            continue;
+        };
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        out.push(Instance {
+            name: if prefix.is_empty() {
+                stem.to_string()
+            } else {
+                format!("{prefix}/{stem}")
+            },
+            path,
+            format,
+        });
+    }
+}
+
+/// Discovers every routable design under `<root>/fixtures`: top-level
+/// and corpus `.layout` files plus the imported `.dsn`/`.def` suite
+/// (`.lef` sidecars are libraries, not instances). Sorted by name so
+/// the record ordering is deterministic.
+#[must_use]
+pub fn discover(root: &Path) -> Vec<Instance> {
+    let fixtures = root.join("fixtures");
+    let mut out = Vec::new();
+    collect(&fixtures, "", &[("layout", Format::Layout)], &mut out);
+    collect(
+        &fixtures.join("corpus"),
+        "corpus",
+        &[("layout", Format::Layout)],
+        &mut out,
+    );
+    collect(
+        &fixtures.join("imported"),
+        "imported",
+        &[("dsn", Format::Dsn), ("def", Format::Def)],
+        &mut out,
+    );
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Reads and ingests one instance, resolving the conventional LEF
+/// sidecar for DEF files.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the failing file.
+pub fn load(instance: &Instance) -> Result<Imported, String> {
+    let path = &instance.path;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let lef = match sidecar_lef(path) {
+        Some(lef_path) => {
+            let lef_text = std::fs::read_to_string(&lef_path)
+                .map_err(|e| format!("{}: {e}", lef_path.display()))?;
+            Some(read_lef(&lef_text).map_err(|e| format!("{}: lef: {e}", lef_path.display()))?)
+        }
+        None => None,
+    };
+    ingest_text(&text, Some(path), lef.as_ref()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn num(v: &Json, key: &str) -> Result<f64, String> {
+    match field(v, key)? {
+        Json::Num(n) => Ok(*n),
+        _ => Err(format!("field `{key}` is not a number")),
+    }
+}
+
+fn arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    match field(v, key)? {
+        Json::Arr(items) => Ok(items),
+        _ => Err(format!("field `{key}` is not an array")),
+    }
+}
+
+/// Structurally validates a fleet record: schema tag, per-format
+/// instance counts consistent with the instance list, three runs per
+/// instance at [`THREADS`], routability within `[0, 1]`, stage seconds
+/// present, and a non-vacuous imported suite (at least one DSN and one
+/// DEF instance, each with at least one routed net).
+///
+/// The `fleet` binary self-checks its output through this before
+/// writing; the unit tests pin the rejection messages.
+///
+/// # Errors
+///
+/// Returns the first structural problem found.
+pub fn validate_record(text: &str) -> Result<(), String> {
+    let root = json::parse(text)?;
+    let schema = field(&root, "schema")?.as_str().unwrap_or("");
+    if schema != SCHEMA {
+        return Err(format!("schema is `{schema}`, expected `{SCHEMA}`"));
+    }
+    if field(&root, "rev")?.as_str().is_none() {
+        return Err("field `rev` is not a string".to_string());
+    }
+    let threads = arr(&root, "threads")?;
+    let want: Vec<Json> = THREADS.iter().map(|&t| Json::Num(t as f64)).collect();
+    if threads != want {
+        return Err(format!("threads is {threads:?}, expected {THREADS:?}"));
+    }
+
+    let formats = field(&root, "formats")?;
+    let mut declared = 0u64;
+    for fmt in ["layout", "dsn", "def"] {
+        declared += num(formats, fmt)? as u64;
+    }
+    let instances = arr(&root, "instances")?;
+    if instances.len() as u64 != declared {
+        return Err(format!(
+            "formats declare {declared} instances, list has {}",
+            instances.len()
+        ));
+    }
+
+    let mut routed_by_format = [("layout", 0u64), ("dsn", 0), ("def", 0)];
+    for inst in instances {
+        let name = field(inst, "name")?.as_str().unwrap_or("?").to_string();
+        let fmt = field(inst, "format")?.as_str().unwrap_or("").to_string();
+        let slot = routed_by_format
+            .iter_mut()
+            .find(|(f, _)| *f == fmt)
+            .ok_or_else(|| format!("{name}: unknown format `{fmt}`"))?;
+        num(inst, "nets")?;
+        num(inst, "waves")?;
+        let runs = arr(inst, "runs")?;
+        if runs.len() != THREADS.len() {
+            return Err(format!("{name}: expected {} runs", THREADS.len()));
+        }
+        for (run, &t) in runs.iter().zip(THREADS.iter()) {
+            if num(run, "threads")? as usize != t {
+                return Err(format!("{name}: runs are not ordered {THREADS:?}"));
+            }
+            let routability = num(run, "routability")?;
+            if !(0.0..=1.0).contains(&routability) {
+                return Err(format!("{name}: routability {routability} outside [0, 1]"));
+            }
+            num(run, "wall_s")?;
+            let stages = field(run, "stages")?;
+            match stages {
+                Json::Obj(map) if !map.is_empty() => {
+                    for (stage, s) in map {
+                        num(s, "s").map_err(|e| format!("{name}: stage `{stage}`: {e}"))?;
+                        num(s, "count").map_err(|e| format!("{name}: stage `{stage}`: {e}"))?;
+                    }
+                }
+                _ => return Err(format!("{name}: `stages` is not a non-empty object")),
+            }
+            slot.1 += num(run, "routed")? as u64;
+        }
+    }
+    for (fmt, routed) in routed_by_format {
+        if routed == 0 {
+            return Err(format!(
+                "vacuous record: no `{fmt}` instance routed any net"
+            ));
+        }
+    }
+
+    let eco = field(&root, "eco")?;
+    if num(eco, "edits")? < 1.0 {
+        return Err("vacuous record: eco section has no edits".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    #[test]
+    fn discovery_finds_all_three_formats_in_the_committed_tree() {
+        let instances = discover(&repo_root());
+        let count = |f: Format| instances.iter().filter(|i| i.format == f).count();
+        assert!(count(Format::Layout) >= 2, "layout fixtures missing");
+        assert!(count(Format::Dsn) >= 1, "imported DSN fixture missing");
+        assert!(count(Format::Def) >= 1, "imported DEF fixture missing");
+        let names: Vec<&str> = instances.iter().map(|i| i.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "instances are not name-sorted");
+        assert!(
+            !names.iter().any(|n| n.contains("macro-block.lef")),
+            "LEF sidecars are libraries, not instances"
+        );
+    }
+
+    #[test]
+    fn committed_imported_fixtures_load_and_carry_nets() {
+        for inst in discover(&repo_root()) {
+            let imported = load(&inst).expect("committed fixture ingests");
+            assert!(
+                !imported.netlist.is_empty(),
+                "{}: no nets survived import",
+                inst.name
+            );
+            assert_eq!(imported.format, inst.format, "{}", inst.name);
+        }
+    }
+
+    fn record(schema: &str, def_routed: u64, routability: f64) -> String {
+        let inst = |name: &str, fmt: &str, routed: u64| {
+            let run = |t: usize| {
+                format!(
+                    "{{\"threads\":{t},\"wall_s\":0.1,\"routability\":{routability},\
+                     \"routed\":{routed},\"failed\":0,\
+                     \"stages\":{{\"order\":{{\"s\":0.01,\"count\":3}}}}}}"
+                )
+            };
+            format!(
+                "{{\"name\":\"{name}\",\"format\":\"{fmt}\",\"nets\":2,\"waves\":1,\
+                 \"runs\":[{},{},{}]}}",
+                run(1),
+                run(2),
+                run(4)
+            )
+        };
+        format!(
+            "{{\"schema\":\"{schema}\",\"rev\":\"abc\",\"cores\":4,\"threads\":[1,2,4],\
+             \"formats\":{{\"layout\":1,\"dsn\":1,\"def\":1}},\
+             \"instances\":[{},{},{}],\"eco\":{{\"edits\":8}}}}",
+            inst("odd_cycle", "layout", 2),
+            inst("imported/led-matrix", "dsn", 2),
+            inst("imported/macro-block", "def", def_routed),
+        )
+    }
+
+    #[test]
+    fn a_well_formed_record_validates() {
+        validate_record(&record(SCHEMA, 2, 1.0)).expect("valid record");
+    }
+
+    #[test]
+    fn the_wrong_schema_tag_is_rejected() {
+        let e = validate_record(&record("sadp-fleet-bench/v3", 2, 1.0)).unwrap_err();
+        assert!(e.contains("expected `sadp-fleet-bench/v4`"), "{e}");
+    }
+
+    #[test]
+    fn a_vacuous_imported_suite_is_rejected() {
+        let e = validate_record(&record(SCHEMA, 0, 1.0)).unwrap_err();
+        assert!(e.contains("no `def` instance routed"), "{e}");
+    }
+
+    #[test]
+    fn out_of_range_routability_is_rejected() {
+        let e = validate_record(&record(SCHEMA, 2, 1.5)).unwrap_err();
+        assert!(e.contains("outside [0, 1]"), "{e}");
+    }
+}

@@ -1,0 +1,621 @@
+//! DEF subset reader: placed IC blocks onto the routing grid.
+//!
+//! Maps the classic DEF skeleton into a routing problem:
+//!
+//! * `UNITS DISTANCE MICRONS dbu` — database units (default 100/micron),
+//! * `DIEAREA` — the die bounding box,
+//! * `TRACKS ... STEP s` — explicit snapping pitch (smallest step wins),
+//! * `COMPONENTS` — placed macro instances, resolved through a LEF
+//!   library: macro `OBS` become obstacles, macro pins become pads,
+//! * `PINS` — die-edge I/O pads (`+ LAYER` rect relative to `+ PLACED`),
+//! * `NETS` — terminals `( comp pin )` and `( PIN ioname )`,
+//! * `BLOCKAGES` — routing blockage rectangles.
+//!
+//! Subset rejections (explicit errors): orientations other than `N`,
+//! `POLYGON` geometry, components without a LEF library. Pre-routed
+//! wiring (`+ ROUTED`), special nets, vias and rows are skipped — the
+//! router starts from an unrouted design. Layer names map to grid
+//! layers by their trailing integer (`metal1` → layer 0).
+
+use crate::error::{err, ParseError, Pos};
+use crate::lef::LefLibrary;
+use crate::map::pad_pin;
+use crate::snap::Snapper;
+use crate::tok::Cursor;
+use crate::{Format, Imported};
+use sadp_geom::{DesignRules, Layer, TrackRect};
+use sadp_grid::{Netlist, Pin, RoutingPlane};
+use std::collections::BTreeMap;
+
+struct Comp {
+    macro_name: String,
+    x: f64,
+    y: f64,
+    pos: Pos,
+}
+
+struct IoPin {
+    /// `(layer name, world rect in dbu)`.
+    rects: Vec<(String, [f64; 4], Pos)>,
+}
+
+enum Terminal {
+    Comp { comp: String, pin: String, pos: Pos },
+    Io { name: String, pos: Pos },
+}
+
+#[derive(Default)]
+struct Design {
+    dbu: f64,
+    diearea: Option<(f64, f64, f64, f64)>,
+    pitch: Option<f64>,
+    components: BTreeMap<String, Comp>,
+    io_pins: BTreeMap<String, IoPin>,
+    nets: Vec<(String, Vec<Terminal>)>,
+    blockages: Vec<(String, [f64; 4], Pos)>,
+}
+
+/// Reads a DEF design into a routing plane and netlist.
+///
+/// `lef` supplies macro footprints for `COMPONENTS`; a DEF whose
+/// components are referenced by any net (or which places macros with
+/// obstructions) cannot be imported without one.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with line/column context on syntax problems
+/// or subset violations.
+pub fn read_def(text: &str, lef: Option<&LefLibrary>) -> Result<Imported, ParseError> {
+    let mut c = Cursor::new(text)?;
+    let mut d = Design {
+        dbu: 100.0,
+        ..Design::default()
+    };
+    parse_design(&mut c, &mut d)?;
+    build(d, lef)
+}
+
+fn parse_design(c: &mut Cursor, d: &mut Design) -> Result<(), ParseError> {
+    while let Some(t) = c.peek().cloned() {
+        if t.text.eq_ignore_ascii_case("END") {
+            c.next();
+            let what = c.expect("a section name after END")?;
+            if what.text.eq_ignore_ascii_case("DESIGN") {
+                return Ok(());
+            }
+        } else if t.text.eq_ignore_ascii_case("UNITS") {
+            c.next();
+            c.expect_text("DISTANCE")?;
+            c.expect_text("MICRONS")?;
+            let dbu = c.num("database units per micron")?;
+            if dbu <= 0.0 {
+                return Err(err(
+                    t.pos,
+                    format!("database units must be positive, got {dbu}"),
+                ));
+            }
+            d.dbu = dbu;
+            c.expect_text(";")?;
+        } else if t.text.eq_ignore_ascii_case("DIEAREA") {
+            c.next();
+            let (mut x0, mut y0) = (f64::INFINITY, f64::INFINITY);
+            let (mut x1, mut y1) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+            let mut points = 0;
+            while !c.eat(";") {
+                let (x, y) = c.point("diearea corner")?;
+                (x0, y0) = (x0.min(x), y0.min(y));
+                (x1, y1) = (x1.max(x), y1.max(y));
+                points += 1;
+            }
+            if points < 2 {
+                return Err(err(t.pos, "DIEAREA needs at least two corners"));
+            }
+            d.diearea = Some((x0, y0, x1, y1));
+        } else if t.text.eq_ignore_ascii_case("TRACKS") {
+            c.next();
+            c.expect("tracks direction")?;
+            c.num("tracks start")?;
+            c.expect_text("DO")?;
+            c.num("tracks count")?;
+            c.expect_text("STEP")?;
+            let step = c.num("tracks step")?;
+            if step > 0.0 {
+                d.pitch = Some(d.pitch.map_or(step, |p: f64| p.min(step)));
+            }
+            c.skip_statement();
+        } else if t.text.eq_ignore_ascii_case("COMPONENTS") {
+            c.next();
+            c.skip_statement(); // the count; entries are self-describing
+            parse_components(c, d)?;
+        } else if t.text.eq_ignore_ascii_case("PINS") {
+            c.next();
+            c.skip_statement();
+            parse_pins(c, d)?;
+        } else if t.text.eq_ignore_ascii_case("NETS") {
+            c.next();
+            c.skip_statement();
+            parse_nets(c, d)?;
+        } else if t.text.eq_ignore_ascii_case("BLOCKAGES") {
+            c.next();
+            c.skip_statement();
+            parse_blockages(c, d)?;
+        } else {
+            c.next();
+            c.skip_statement();
+        }
+    }
+    Err(err(c.pos(), "missing END DESIGN"))
+}
+
+/// Consumes an orientation token, rejecting everything but `N`.
+fn orient_n(c: &mut Cursor) -> Result<(), ParseError> {
+    let o = c.expect("an orientation")?;
+    if o.text.eq_ignore_ascii_case("N") {
+        Ok(())
+    } else {
+        Err(err(
+            o.pos,
+            format!("unsupported orientation `{}` (subset: N)", o.text),
+        ))
+    }
+}
+
+fn parse_components(c: &mut Cursor, d: &mut Design) -> Result<(), ParseError> {
+    loop {
+        if c.eat("END") {
+            c.expect_text("COMPONENTS")?;
+            return Ok(());
+        }
+        let dash = c.expect_text("-")?;
+        let id = c.expect("component id")?;
+        let macro_name = c.expect("component macro name")?;
+        let mut place: Option<(f64, f64)> = None;
+        loop {
+            let t = c.expect("`;` ending the component")?;
+            if t.text == ";" {
+                break;
+            }
+            if t.text == "+" {
+                let kw = c.expect("a component property")?;
+                if kw.text.eq_ignore_ascii_case("PLACED") || kw.text.eq_ignore_ascii_case("FIXED") {
+                    let p = c.point("placement")?;
+                    orient_n(c)?;
+                    place = Some(p);
+                }
+            }
+        }
+        let Some((x, y)) = place else {
+            return Err(err(
+                dash.pos,
+                format!("component `{}` has no PLACED location", id.text),
+            ));
+        };
+        d.components.insert(
+            id.text,
+            Comp {
+                macro_name: macro_name.text,
+                x,
+                y,
+                pos: dash.pos,
+            },
+        );
+    }
+}
+
+fn parse_pins(c: &mut Cursor, d: &mut Design) -> Result<(), ParseError> {
+    loop {
+        if c.eat("END") {
+            c.expect_text("PINS")?;
+            return Ok(());
+        }
+        let dash = c.expect_text("-")?;
+        let name = c.expect("pin name")?;
+        let mut place: Option<(f64, f64)> = None;
+        let mut rects: Vec<(String, [f64; 4], Pos)> = Vec::new();
+        loop {
+            let t = c.expect("`;` ending the pin")?;
+            if t.text == ";" {
+                break;
+            }
+            if t.text == "+" {
+                let kw = c.expect("a pin property")?;
+                if kw.text.eq_ignore_ascii_case("LAYER") {
+                    let layer = c.expect("pin layer name")?;
+                    let (x0, y0) = c.point("pin rect corner")?;
+                    let (x1, y1) = c.point("pin rect corner")?;
+                    rects.push((layer.text, [x0, y0, x1, y1], kw.pos));
+                } else if kw.text.eq_ignore_ascii_case("PLACED")
+                    || kw.text.eq_ignore_ascii_case("FIXED")
+                {
+                    let p = c.point("pin placement")?;
+                    orient_n(c)?;
+                    place = Some(p);
+                } else if kw.text.eq_ignore_ascii_case("POLYGON") {
+                    return Err(err(kw.pos, "unsupported POLYGON pin (subset: LAYER rect)"));
+                }
+            }
+        }
+        let Some((px, py)) = place else {
+            return Err(err(
+                dash.pos,
+                format!("pin `{}` has no PLACED location", name.text),
+            ));
+        };
+        if rects.is_empty() {
+            return Err(err(
+                dash.pos,
+                format!("pin `{}` has no LAYER geometry", name.text),
+            ));
+        }
+        let rects = rects
+            .into_iter()
+            .map(|(l, [x0, y0, x1, y1], pos)| (l, [px + x0, py + y0, px + x1, py + y1], pos))
+            .collect();
+        d.io_pins.insert(name.text, IoPin { rects });
+    }
+}
+
+fn parse_nets(c: &mut Cursor, d: &mut Design) -> Result<(), ParseError> {
+    loop {
+        if c.eat("END") {
+            c.expect_text("NETS")?;
+            return Ok(());
+        }
+        c.expect_text("-")?;
+        let name = c.expect("net name")?;
+        let mut terminals = Vec::new();
+        loop {
+            let t = c.expect("`;` ending the net")?;
+            if t.text == ";" {
+                break;
+            }
+            if t.text == "(" {
+                let a = c.expect("net terminal")?;
+                let b = c.expect("net terminal pin")?;
+                c.expect_text(")")?;
+                if a.text.eq_ignore_ascii_case("PIN") {
+                    terminals.push(Terminal::Io {
+                        name: b.text,
+                        pos: a.pos,
+                    });
+                } else {
+                    terminals.push(Terminal::Comp {
+                        comp: a.text,
+                        pin: b.text,
+                        pos: a.pos,
+                    });
+                }
+            } else if t.text == "+" {
+                // Net properties (+ USE SIGNAL, + ROUTED ...) follow the
+                // terminals; skip the rest of the statement.
+                c.skip_statement();
+                break;
+            }
+        }
+        d.nets.push((name.text, terminals));
+    }
+}
+
+fn parse_blockages(c: &mut Cursor, d: &mut Design) -> Result<(), ParseError> {
+    loop {
+        if c.eat("END") {
+            c.expect_text("BLOCKAGES")?;
+            return Ok(());
+        }
+        c.expect_text("-")?;
+        let kind = c.expect("a blockage kind")?;
+        if kind.text.eq_ignore_ascii_case("LAYER") {
+            let layer = c.expect("blockage layer name")?;
+            loop {
+                let t = c.expect("`;` ending the blockage")?;
+                if t.text == ";" {
+                    break;
+                }
+                if t.text.eq_ignore_ascii_case("RECT") {
+                    let (x0, y0) = c.point("blockage rect corner")?;
+                    let (x1, y1) = c.point("blockage rect corner")?;
+                    d.blockages
+                        .push((layer.text.clone(), [x0, y0, x1, y1], t.pos));
+                } else if t.text.eq_ignore_ascii_case("POLYGON") {
+                    return Err(err(t.pos, "unsupported POLYGON blockage (subset: RECT)"));
+                }
+            }
+        } else {
+            // PLACEMENT blockages constrain cells, not routing; skip.
+            c.skip_statement();
+        }
+    }
+}
+
+/// Maps a layer name to its grid layer via the trailing integer:
+/// `metal1`/`M1` → layer 0.
+fn layer_index(name: &str, pos: Pos) -> Result<Layer, ParseError> {
+    let digits: String = name
+        .chars()
+        .rev()
+        .take_while(char::is_ascii_digit)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    let n: u32 = digits.parse().map_err(|_| {
+        err(
+            pos,
+            format!("cannot infer a layer index from `{name}` (expected a trailing integer, like metal1)"),
+        )
+    })?;
+    let idx = n.max(1) - 1;
+    if idx >= 16 {
+        return Err(err(
+            pos,
+            format!("layer `{name}` exceeds the 16-layer import cap"),
+        ));
+    }
+    Ok(Layer(idx as u8))
+}
+
+fn build(d: Design, lef: Option<&LefLibrary>) -> Result<Imported, ParseError> {
+    let diearea = d
+        .diearea
+        .ok_or_else(|| err(Pos::new(1, 1), "missing DIEAREA"))?;
+    let snap = Snapper::new(diearea, d.pitch).map_err(|m| err(Pos::new(1, 1), m))?;
+
+    // Resolve every component's macro up front so layer discovery and
+    // the no-LEF error both happen before any plane mutation.
+    let mut comp_macros: BTreeMap<&str, &crate::lef::LefMacro> = BTreeMap::new();
+    if !d.components.is_empty() {
+        let Some(lib) = lef else {
+            let first = d.components.values().next().expect("non-empty");
+            return Err(err(
+                first.pos,
+                "DEF components need a LEF library (pass --lef FILE or place FILE.lef next to the DEF)",
+            ));
+        };
+        for (id, comp) in &d.components {
+            let m = lib.macros.get(&comp.macro_name).ok_or_else(|| {
+                err(
+                    comp.pos,
+                    format!(
+                        "component `{id}` uses macro `{}` not in the LEF library",
+                        comp.macro_name
+                    ),
+                )
+            })?;
+            comp_macros.insert(id.as_str(), m);
+        }
+    }
+
+    // Discover the layer count across every geometry source.
+    let mut max_layer = 1u8; // at least 2 routing layers
+    let mut bump = |l: Layer| max_layer = max_layer.max(l.0);
+    for (name, _, pos) in &d.blockages {
+        bump(layer_index(name, *pos)?);
+    }
+    for pin in d.io_pins.values() {
+        for (name, _, pos) in &pin.rects {
+            bump(layer_index(name, *pos)?);
+        }
+    }
+    for (id, m) in &comp_macros {
+        let pos = d.components[*id].pos;
+        for (name, _) in &m.obs {
+            bump(layer_index(name, pos)?);
+        }
+        for p in &m.pins {
+            for (name, _) in &p.rects {
+                bump(layer_index(name, pos)?);
+            }
+        }
+    }
+
+    let mut plane = RoutingPlane::new(
+        max_layer + 1,
+        snap.width(),
+        snap.height(),
+        DesignRules::node_10nm(),
+    )
+    .map_err(|e| err(Pos::new(1, 1), e.to_string()))?;
+
+    // Obstacles: explicit blockages, then macro OBS at placed positions.
+    let mut obstacle_rects = 0usize;
+    for (name, [x0, y0, x1, y1], pos) in &d.blockages {
+        let layer = layer_index(name, *pos)?;
+        let (x0, y0, x1, y1) = snap.rect(*x0, *y0, *x1, *y1);
+        plane.add_blockage(layer, TrackRect::new(x0, y0, x1, y1));
+        obstacle_rects += 1;
+    }
+    for (id, m) in &comp_macros {
+        let comp = &d.components[*id];
+        for (name, [x0, y0, x1, y1]) in &m.obs {
+            let layer = layer_index(name, comp.pos)?;
+            let (x0, y0, x1, y1) = snap.rect(
+                comp.x + x0 * d.dbu,
+                comp.y + y0 * d.dbu,
+                comp.x + x1 * d.dbu,
+                comp.y + y1 * d.dbu,
+            );
+            plane.add_blockage(layer, TrackRect::new(x0, y0, x1, y1));
+            obstacle_rects += 1;
+        }
+    }
+
+    // Nets: resolve terminals to multi-candidate pins.
+    let mut netlist = Netlist::new();
+    let mut skipped_nets = 0usize;
+    for (name, terminals) in &d.nets {
+        let mut pins: Vec<Pin> = Vec::new();
+        for t in terminals {
+            let (rects, pos, what) = match t {
+                Terminal::Io { name, pos } => {
+                    let io = d
+                        .io_pins
+                        .get(name)
+                        .ok_or_else(|| err(*pos, format!("net references unknown PIN `{name}`")))?;
+                    let rects = io
+                        .rects
+                        .iter()
+                        .map(|(l, r, p)| {
+                            Ok((layer_index(l, *p)?, snap.rect(r[0], r[1], r[2], r[3])))
+                        })
+                        .collect::<Result<Vec<_>, ParseError>>()?;
+                    (rects, *pos, format!("PIN {name}"))
+                }
+                Terminal::Comp { comp, pin, pos } => {
+                    let place = d.components.get(comp).ok_or_else(|| {
+                        err(*pos, format!("net references unknown component `{comp}`"))
+                    })?;
+                    let m = comp_macros.get(comp.as_str()).expect("resolved above");
+                    let lp = m.pin(pin).ok_or_else(|| {
+                        err(
+                            *pos,
+                            format!("macro `{}` has no pin `{pin}`", place.macro_name),
+                        )
+                    })?;
+                    let rects = lp
+                        .rects
+                        .iter()
+                        .map(|(l, r)| {
+                            Ok((
+                                layer_index(l, *pos)?,
+                                snap.rect(
+                                    place.x + r[0] * d.dbu,
+                                    place.y + r[1] * d.dbu,
+                                    place.x + r[2] * d.dbu,
+                                    place.y + r[3] * d.dbu,
+                                ),
+                            ))
+                        })
+                        .collect::<Result<Vec<_>, ParseError>>()?;
+                    (rects, *pos, format!("{comp} {pin}"))
+                }
+            };
+            let pin = pad_pin(&plane, &rects).ok_or_else(|| {
+                err(
+                    pos,
+                    format!("pad `{what}` snaps onto fully blocked or off-die cells"),
+                )
+            })?;
+            pins.push(pin);
+        }
+        if pins.len() < 2 {
+            skipped_nets += 1;
+            continue;
+        }
+        netlist.add_multi_pin(name.clone(), pins);
+    }
+
+    let mut notes = vec![format!(
+        "{}x{} tracks, {} layers, pitch {} ({})",
+        snap.width(),
+        snap.height(),
+        max_layer + 1,
+        snap.pitch(),
+        if d.pitch.is_some() {
+            "TRACKS step"
+        } else {
+            "derived"
+        },
+    )];
+    if obstacle_rects > 0 {
+        notes.push(format!("{obstacle_rects} obstacle rects"));
+    }
+    if skipped_nets > 0 {
+        notes.push(format!("skipped {skipped_nets} nets with <2 pins"));
+    }
+    Ok(Imported {
+        plane,
+        netlist,
+        format: Format::Def,
+        skipped_nets,
+        notes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lef::read_lef;
+
+    const LEF: &str = "\
+MACRO RAM1
+  SIZE 20 BY 16 ;
+  PIN A
+    PORT
+      LAYER metal1 ;
+      RECT 0.0 7.0 1.0 9.0 ;
+    END
+  END A
+  OBS
+    LAYER metal1 ;
+    RECT 2.0 0.0 18.0 16.0 ;
+  END
+END RAM1
+";
+
+    const DEF: &str = "\
+VERSION 5.8 ;
+DESIGN demo ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 64000 48000 ) ;
+TRACKS X 500 DO 64 STEP 1000 LAYER metal1 ;
+COMPONENTS 1 ;
+- u1 RAM1 + PLACED ( 4000 4000 ) N ;
+END COMPONENTS
+PINS 1 ;
+- io_a + NET n1 + LAYER metal2 ( -500 -500 ) ( 500 500 ) + PLACED ( 32000 47500 ) N ;
+END PINS
+NETS 1 ;
+- n1 ( PIN io_a ) ( u1 A ) + USE SIGNAL ;
+END NETS
+BLOCKAGES 1 ;
+- LAYER metal1 RECT ( 40000 0 ) ( 48000 8000 ) ;
+END BLOCKAGES
+END DESIGN
+";
+
+    #[test]
+    fn reads_a_placed_design_with_lef_macros() {
+        let lib = read_lef(LEF).expect("lef parses");
+        let imp = read_def(DEF, Some(&lib)).expect("def parses");
+        assert_eq!((imp.plane.width(), imp.plane.height()), (64, 48));
+        assert_eq!(imp.plane.layers(), 2);
+        assert_eq!(imp.netlist.len(), 1);
+        // The macro OBS covers [6000, 22000] x [4000, 20000]: cell (10, 10)
+        // has center (10500, 10500), inside it.
+        assert!(!imp
+            .plane
+            .is_free(sadp_geom::GridPoint::new(Layer(0), 10, 10)));
+        // Pin A of u1 sits left of the OBS: rect [4000,11000]x[4000,13000].
+        let net = imp.netlist.net(sadp_grid::NetId(0));
+        assert!(net.pins().all(|p| !p.candidates().is_empty()));
+    }
+
+    #[test]
+    fn components_without_lef_are_an_actionable_error() {
+        let e = read_def(DEF, None).unwrap_err();
+        assert!(e.to_string().contains("need a LEF library"), "{e}");
+        assert_eq!(e.pos().line, 7);
+    }
+
+    #[test]
+    fn rejects_rotated_placements() {
+        let text = DEF.replace("( 4000 4000 ) N", "( 4000 4000 ) S");
+        let lib = read_lef(LEF).expect("lef parses");
+        let e = read_def(&text, Some(&lib)).unwrap_err();
+        assert!(e.to_string().contains("unsupported orientation `S`"), "{e}");
+    }
+
+    #[test]
+    fn missing_diearea_is_an_error() {
+        let e = read_def("VERSION 5.8 ;\nEND DESIGN\n", None).unwrap_err();
+        assert!(e.to_string().contains("missing DIEAREA"), "{e}");
+    }
+
+    #[test]
+    fn layer_names_map_by_trailing_integer() {
+        assert_eq!(layer_index("metal3", Pos::new(1, 1)).unwrap(), Layer(2));
+        assert_eq!(layer_index("M1", Pos::new(1, 1)).unwrap(), Layer(0));
+        let e = layer_index("poly", Pos::new(2, 5)).unwrap_err();
+        assert!(e.to_string().contains("trailing integer"), "{e}");
+    }
+}

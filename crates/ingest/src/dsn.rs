@@ -1,0 +1,623 @@
+//! Specctra DSN subset reader.
+//!
+//! Maps a printed-circuit-board description onto the routing grid:
+//!
+//! * `(structure (layer ...))` — signal layers, in declaration order,
+//! * `(structure (boundary (rect|path ...)))` — the die bounding box,
+//! * `(structure (grid wire P))` — explicit snapping pitch (optional),
+//! * `(structure (keepout ... (rect ...)))` — routing obstacles,
+//! * `(library (image ...) (padstack ...))` + `(placement ...)` — pads,
+//!   resolved to multi-candidate pin groups,
+//! * `(network (net NAME (pins REF-PIN ...)))` — the netlist; nets with
+//!   fewer than two resolvable pins are skipped (counted in the import
+//!   stats), multi-pin nets become multi-terminal nets.
+//!
+//! Subset rejections (explicit errors, never silent): non-rect keepout
+//! and padstack shapes other than `rect`/`circle`, rotations off the
+//! 90-degree grid, unknown layer/component/pin references. The
+//! `(wiring ...)` section — pre-existing routes — is ignored: the
+//! router re-routes from scratch.
+
+use crate::error::{err, ParseError, Pos};
+use crate::map::pad_pin;
+use crate::sexpr::{parse, Sexpr};
+use crate::snap::Snapper;
+use crate::{Format, Imported};
+use sadp_geom::{DesignRules, Layer, TrackRect};
+use sadp_grid::{Netlist, Pin, RoutingPlane};
+use std::collections::BTreeMap;
+
+/// A pin offset within an image.
+struct PinDef {
+    padstack: String,
+    dx: f64,
+    dy: f64,
+}
+
+/// One padstack shape: a rectangle relative to the pad origin, on a
+/// named layer (or `signal`/`pcb`, mapped to the first routing layer).
+struct Shape {
+    layer: String,
+    rect: [f64; 4],
+    pos: Pos,
+}
+
+/// A placed component instance.
+struct Place {
+    image: String,
+    x: f64,
+    y: f64,
+    back: bool,
+    rot: i32,
+    pos: Pos,
+}
+
+/// Reads a Specctra DSN board into a routing plane and netlist.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with line/column context on any syntax
+/// problem or subset violation.
+pub fn read_dsn(text: &str) -> Result<Imported, ParseError> {
+    let root = parse(text)?;
+    if !root.is("pcb") {
+        return Err(err(
+            root.pos(),
+            format!(
+                "top-level list must be (pcb ...), got ({})",
+                root.tag().unwrap_or("?")
+            ),
+        ));
+    }
+    let structure = root
+        .child("structure")
+        .ok_or_else(|| err(root.pos(), "missing (structure ...)"))?;
+
+    // Signal layers, in declaration order.
+    let mut layer_names: Vec<String> = Vec::new();
+    for l in structure.children("layer") {
+        let name = l.atom_at(1, "layer name")?;
+        if !layer_names.iter().any(|n| n == name) {
+            layer_names.push(name.to_string());
+        }
+    }
+    if layer_names.is_empty() {
+        return Err(err(
+            structure.pos(),
+            "no (layer ...) declarations in (structure ...)",
+        ));
+    }
+    if layer_names.len() > 16 {
+        return Err(err(
+            structure.pos(),
+            format!(
+                "{} layers exceeds the 16-layer import cap",
+                layer_names.len()
+            ),
+        ));
+    }
+    let layer_of = |name: &str, pos: Pos| -> Result<Layer, ParseError> {
+        if name.eq_ignore_ascii_case("pcb")
+            || name.eq_ignore_ascii_case("signal")
+            || name.eq_ignore_ascii_case("all")
+        {
+            return Ok(Layer(0));
+        }
+        layer_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Layer(i as u8))
+            .ok_or_else(|| err(pos, format!("unknown layer `{name}`")))
+    };
+
+    // Boundary bounding box and snapping pitch.
+    let boundary = structure
+        .child("boundary")
+        .ok_or_else(|| err(structure.pos(), "missing (boundary ...)"))?;
+    let bbox = boundary_bbox(boundary)?;
+    let mut pitch: Option<f64> = None;
+    for g in structure.children("grid") {
+        if g.atom_at(1, "grid kind")?.eq_ignore_ascii_case("wire") {
+            let p = g.num_at(2, "grid wire pitch")?;
+            pitch = Some(pitch.map_or(p, |q: f64| q.min(p)));
+        }
+    }
+    let explicit_pitch = pitch.is_some();
+    let snap = Snapper::new(bbox, pitch).map_err(|m| err(boundary.pos(), m))?;
+    let layers = (layer_names.len().max(2)) as u8;
+    let mut plane = RoutingPlane::new(
+        layers,
+        snap.width(),
+        snap.height(),
+        DesignRules::node_10nm(),
+    )
+    .map_err(|e| err(boundary.pos(), e.to_string()))?;
+
+    // Library: images (pin offsets + keepouts) and padstacks (shapes).
+    // Per image: named pin definitions plus keepout rects (layer
+    // selector, rect, source position).
+    type ImageKeepout = (String, [f64; 4], Pos);
+    type ImageDef = (Vec<(String, PinDef)>, Vec<ImageKeepout>);
+    let mut images: BTreeMap<String, ImageDef> = BTreeMap::new();
+    let mut padstacks: BTreeMap<String, Vec<Shape>> = BTreeMap::new();
+    if let Some(library) = root.child("library") {
+        for image in library.children("image") {
+            let name = image.atom_at(1, "image name")?;
+            let mut pins = Vec::new();
+            for p in image.children("pin") {
+                let padstack = p.atom_at(1, "pin padstack")?.to_string();
+                // Subset grammar: (pin PADSTACK ID x y). Sub-lists such
+                // as (rotate ...) are not supported.
+                if p.items().iter().skip(2).any(|i| i.as_atom().is_none()) {
+                    return Err(err(
+                        p.pos(),
+                        "unsupported pin form (subset: `(pin PADSTACK ID x y)`)",
+                    ));
+                }
+                let id = p.atom_at(2, "pin id")?.to_string();
+                let dx = p.num_at(3, "pin x offset")?;
+                let dy = p.num_at(4, "pin y offset")?;
+                pins.push((id, PinDef { padstack, dx, dy }));
+            }
+            let mut keepouts = Vec::new();
+            for ko in image.children("keepout") {
+                for (layer, rect, pos) in keepout_rects(ko)? {
+                    keepouts.push((layer, rect, pos));
+                }
+            }
+            images.insert(name.to_string(), (pins, keepouts));
+        }
+        for ps in library.children("padstack") {
+            let name = ps.atom_at(1, "padstack name")?;
+            let mut shapes = Vec::new();
+            for sh in ps.children("shape") {
+                let inner = sh
+                    .items()
+                    .get(1)
+                    .ok_or_else(|| err(sh.pos(), "empty (shape ...)"))?;
+                shapes.push(shape_rect(inner)?);
+            }
+            if shapes.is_empty() {
+                return Err(err(ps.pos(), format!("padstack `{name}` has no shapes")));
+            }
+            padstacks.insert(name.to_string(), shapes);
+        }
+    }
+
+    // Placement: REF -> placed image instance.
+    let mut places: BTreeMap<String, Place> = BTreeMap::new();
+    if let Some(placement) = root.child("placement") {
+        for comp in placement.children("component") {
+            let image = comp.atom_at(1, "component image name")?;
+            for place in comp.children("place") {
+                let refname = place.atom_at(1, "place reference")?;
+                let x = place.num_at(2, "place x")?;
+                let y = place.num_at(3, "place y")?;
+                let back = match place.items().get(4).and_then(Sexpr::as_atom) {
+                    None => false,
+                    Some(s) if s.eq_ignore_ascii_case("front") => false,
+                    Some(s) if s.eq_ignore_ascii_case("back") => true,
+                    Some(s) => {
+                        return Err(err(
+                            place.pos(),
+                            format!("unsupported side `{s}` (want front or back)"),
+                        ))
+                    }
+                };
+                let rot = match place.items().get(5) {
+                    None => 0,
+                    Some(_) => {
+                        let r = place.num_at(5, "place rotation")?;
+                        let r = r.rem_euclid(360.0);
+                        if r.fract() != 0.0 || (r as i32) % 90 != 0 {
+                            return Err(err(
+                                place.pos(),
+                                format!("unsupported rotation {r} (subset: 0/90/180/270)"),
+                            ));
+                        }
+                        r as i32
+                    }
+                };
+                if places.contains_key(refname) {
+                    return Err(err(
+                        place.pos(),
+                        format!("component `{refname}` placed twice"),
+                    ));
+                }
+                places.insert(
+                    refname.to_string(),
+                    Place {
+                        image: image.to_string(),
+                        x,
+                        y,
+                        back,
+                        rot,
+                        pos: place.pos(),
+                    },
+                );
+            }
+        }
+    }
+
+    // Obstacles: board-level keepouts, then per-image keepouts at their
+    // placed positions.
+    let mut obstacle_rects = 0usize;
+    for ko in structure.children("keepout") {
+        for (layer_name, rect, pos) in keepout_rects(ko)? {
+            let all_layers = layer_name.eq_ignore_ascii_case("pcb")
+                || layer_name.eq_ignore_ascii_case("signal")
+                || layer_name.eq_ignore_ascii_case("all");
+            let (x0, y0, x1, y1) = snap.rect(rect[0], rect[1], rect[2], rect[3]);
+            let track_rect = TrackRect::new(x0, y0, x1, y1);
+            if all_layers {
+                for l in 0..plane.layers() {
+                    plane.add_blockage(Layer(l), track_rect);
+                }
+            } else {
+                plane.add_blockage(layer_of(&layer_name, pos)?, track_rect);
+            }
+            obstacle_rects += 1;
+        }
+    }
+    for place in places.values() {
+        let Some((_, keepouts)) = images.get(&place.image) else {
+            return Err(err(
+                place.pos,
+                format!("component uses unknown image `{}`", place.image),
+            ));
+        };
+        for (layer_name, rect, pos) in keepouts {
+            let [ax0, ay0, ax1, ay1] = transform_rect(*rect, place);
+            let (x0, y0, x1, y1) = snap.rect(ax0, ay0, ax1, ay1);
+            plane.add_blockage(layer_of(layer_name, *pos)?, TrackRect::new(x0, y0, x1, y1));
+            obstacle_rects += 1;
+        }
+    }
+
+    // Network: resolve REF-PIN references through placement + library.
+    let network = root
+        .child("network")
+        .ok_or_else(|| err(root.pos(), "missing (network ...)"))?;
+    let mut netlist = Netlist::new();
+    let mut skipped_nets = 0usize;
+    for net in network.children("net") {
+        let name = net.atom_at(1, "net name")?;
+        let Some(pins_list) = net.child("pins") else {
+            skipped_nets += 1;
+            continue;
+        };
+        let mut pins: Vec<Pin> = Vec::new();
+        for item in pins_list.items().iter().skip(1) {
+            let refpin = item
+                .as_atom()
+                .ok_or_else(|| err(item.pos(), "expected a REF-PIN atom in (pins ...)"))?;
+            let (refname, pin_id) = refpin.rsplit_once('-').ok_or_else(|| {
+                err(
+                    item.pos(),
+                    format!("bad pin reference `{refpin}` (want REF-PIN)"),
+                )
+            })?;
+            let place = places.get(refname).ok_or_else(|| {
+                err(
+                    item.pos(),
+                    format!("unknown component `{refname}` in net `{name}`"),
+                )
+            })?;
+            let (image_pins, _) = images.get(&place.image).expect("checked above");
+            let pin_def = image_pins
+                .iter()
+                .find(|(id, _)| id == pin_id)
+                .map(|(_, d)| d)
+                .ok_or_else(|| {
+                    err(
+                        item.pos(),
+                        format!("image `{}` has no pin `{pin_id}`", place.image),
+                    )
+                })?;
+            let shapes = padstacks.get(&pin_def.padstack).ok_or_else(|| {
+                err(
+                    item.pos(),
+                    format!("unknown padstack `{}`", pin_def.padstack),
+                )
+            })?;
+            let mut rects = Vec::new();
+            for shape in shapes {
+                let [rx0, ry0, rx1, ry1] = shape.rect;
+                let world = transform_rect(
+                    [
+                        rx0 + pin_def.dx,
+                        ry0 + pin_def.dy,
+                        rx1 + pin_def.dx,
+                        ry1 + pin_def.dy,
+                    ],
+                    place,
+                );
+                let layer = layer_of(&shape.layer, shape.pos)?;
+                let (x0, y0, x1, y1) = snap.rect(world[0], world[1], world[2], world[3]);
+                rects.push((layer, (x0, y0, x1, y1)));
+            }
+            let pin = pad_pin(&plane, &rects).ok_or_else(|| {
+                err(
+                    item.pos(),
+                    format!("pad `{refpin}` snaps onto fully blocked or off-board cells"),
+                )
+            })?;
+            pins.push(pin);
+        }
+        if pins.len() < 2 {
+            skipped_nets += 1;
+            continue;
+        }
+        netlist.add_multi_pin(name, pins);
+    }
+
+    let mut notes = vec![format!(
+        "{}x{} tracks, {} layers, pitch {} ({})",
+        snap.width(),
+        snap.height(),
+        layers,
+        snap.pitch(),
+        if explicit_pitch {
+            "grid wire"
+        } else {
+            "derived"
+        },
+    )];
+    if obstacle_rects > 0 {
+        notes.push(format!("{obstacle_rects} keepout rects"));
+    }
+    if skipped_nets > 0 {
+        notes.push(format!("skipped {skipped_nets} nets with <2 pins"));
+    }
+    Ok(Imported {
+        plane,
+        netlist,
+        format: Format::Dsn,
+        skipped_nets,
+        notes,
+    })
+}
+
+/// Applies a placed instance's rotation/side to an image-relative rect
+/// and translates it to world coordinates. Rotation is counterclockwise
+/// about the component origin; `back` mirrors x after the rotation.
+fn transform_rect(rect: [f64; 4], place: &Place) -> [f64; 4] {
+    let rot = |x: f64, y: f64| -> (f64, f64) {
+        let (x, y) = match place.rot {
+            0 => (x, y),
+            90 => (-y, x),
+            180 => (-x, -y),
+            270 => (y, -x),
+            _ => unreachable!("rotation validated at parse time"),
+        };
+        if place.back {
+            (-x, y)
+        } else {
+            (x, y)
+        }
+    };
+    let (ax, ay) = rot(rect[0], rect[1]);
+    let (bx, by) = rot(rect[2], rect[3]);
+    [
+        place.x + ax.min(bx),
+        place.y + ay.min(by),
+        place.x + ax.max(bx),
+        place.y + ay.max(by),
+    ]
+}
+
+/// The `(rect LAYER x0 y0 x1 y1)` shapes of a keepout; every other
+/// shape is a subset rejection.
+fn keepout_rects(ko: &Sexpr) -> Result<Vec<(String, [f64; 4], Pos)>, ParseError> {
+    let mut out = Vec::new();
+    for item in ko.items().iter().skip(1) {
+        let Some(tag) = item.tag() else {
+            continue; // the optional keepout name atom
+        };
+        if tag.eq_ignore_ascii_case("rect") {
+            let layer = item.atom_at(1, "keepout rect layer")?.to_string();
+            let r = [
+                item.num_at(2, "keepout rect x0")?,
+                item.num_at(3, "keepout rect y0")?,
+                item.num_at(4, "keepout rect x1")?,
+                item.num_at(5, "keepout rect y1")?,
+            ];
+            out.push((layer, r, item.pos()));
+        } else if tag.eq_ignore_ascii_case("sequence_number")
+            || tag.eq_ignore_ascii_case("clearance_class")
+        {
+            continue;
+        } else {
+            return Err(err(
+                item.pos(),
+                format!("unsupported keepout shape `{tag}` (subset: rect)"),
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// One padstack shape as a layer + origin-relative rect. `rect` is
+/// taken verbatim; `circle` becomes its bounding square.
+fn shape_rect(inner: &Sexpr) -> Result<Shape, ParseError> {
+    let tag = inner
+        .tag()
+        .ok_or_else(|| err(inner.pos(), "expected a shape list"))?;
+    if tag.eq_ignore_ascii_case("rect") {
+        Ok(Shape {
+            layer: inner.atom_at(1, "shape layer")?.to_string(),
+            rect: [
+                inner.num_at(2, "shape x0")?,
+                inner.num_at(3, "shape y0")?,
+                inner.num_at(4, "shape x1")?,
+                inner.num_at(5, "shape y1")?,
+            ],
+            pos: inner.pos(),
+        })
+    } else if tag.eq_ignore_ascii_case("circle") {
+        let layer = inner.atom_at(1, "shape layer")?.to_string();
+        let d = inner.num_at(2, "circle diameter")?;
+        let cx = match inner.items().get(3) {
+            Some(_) => inner.num_at(3, "circle center x")?,
+            None => 0.0,
+        };
+        let cy = match inner.items().get(4) {
+            Some(_) => inner.num_at(4, "circle center y")?,
+            None => 0.0,
+        };
+        Ok(Shape {
+            layer,
+            rect: [cx - d / 2.0, cy - d / 2.0, cx + d / 2.0, cy + d / 2.0],
+            pos: inner.pos(),
+        })
+    } else {
+        Err(err(
+            inner.pos(),
+            format!("unsupported padstack shape `{tag}` (subset: rect, circle)"),
+        ))
+    }
+}
+
+/// The bounding box of a `(boundary ...)`: a `(rect pcb x0 y0 x1 y1)`
+/// or the vertex bbox of a `(path pcb WIDTH x y x y ...)`.
+fn boundary_bbox(boundary: &Sexpr) -> Result<(f64, f64, f64, f64), ParseError> {
+    let inner = boundary
+        .items()
+        .get(1)
+        .ok_or_else(|| err(boundary.pos(), "empty (boundary ...)"))?;
+    let tag = inner
+        .tag()
+        .ok_or_else(|| err(inner.pos(), "expected (rect ...) or (path ...) boundary"))?;
+    if tag.eq_ignore_ascii_case("rect") {
+        let x0 = inner.num_at(2, "boundary x0")?;
+        let y0 = inner.num_at(3, "boundary y0")?;
+        let x1 = inner.num_at(4, "boundary x1")?;
+        let y1 = inner.num_at(5, "boundary y1")?;
+        Ok((x0.min(x1), y0.min(y1), x0.max(x1), y0.max(y1)))
+    } else if tag.eq_ignore_ascii_case("path") {
+        // (path pcb WIDTH x y x y ...): vertices from item 3 on.
+        let coords: Vec<f64> = inner
+            .items()
+            .iter()
+            .skip(3)
+            .map(|a| {
+                a.as_atom()
+                    .and_then(|t| t.parse::<f64>().ok())
+                    .ok_or_else(|| err(a.pos(), "bad boundary path coordinate"))
+            })
+            .collect::<Result<_, _>>()?;
+        if coords.len() < 4 || !coords.len().is_multiple_of(2) {
+            return Err(err(
+                inner.pos(),
+                "boundary path needs at least two x y vertices",
+            ));
+        }
+        let xs = coords.iter().step_by(2);
+        let ys = coords.iter().skip(1).step_by(2);
+        Ok((
+            xs.clone().fold(f64::INFINITY, |a, &b| a.min(b)),
+            ys.clone().fold(f64::INFINITY, |a, &b| a.min(b)),
+            xs.fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
+            ys.fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
+        ))
+    } else {
+        Err(err(
+            inner.pos(),
+            format!("unsupported boundary shape `{tag}` (subset: rect, path)"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sadp_geom::GridPoint;
+
+    const DSN: &str = "\
+(pcb demo
+  (structure
+    (layer F.Cu)
+    (layer B.Cu)
+    (boundary (rect pcb 0 0 8000 6000))
+    (grid wire 200)
+    (keepout \"ko\" (rect F.Cu 3600 2600 4400 3400))
+  )
+  (placement
+    (component LED (place D1 1000 1000 front 0) (place D2 7000 5000 front 180))
+    (component RES (place R1 1000 5000 back 90))
+  )
+  (library
+    (image LED (pin PAD-RECT A 0 0) (pin PAD-RECT K 600 0))
+    (image RES (pin PAD-RECT 1 0 0) (pin PAD-RECT 2 800 0))
+    (padstack PAD-RECT (shape (rect F.Cu -150 -150 150 150)))
+  )
+  (network
+    (net ROW0 (pins D1-A R1-1))
+    (net COL0 (pins D1-K D2-A R1-2))
+    (net LONELY (pins D2-K))
+  )
+)
+";
+
+    #[test]
+    fn reads_a_board_end_to_end() {
+        let imp = read_dsn(DSN).expect("parses");
+        assert_eq!(imp.format, Format::Dsn);
+        // 8000x6000 at pitch 200 -> 40x30 tracks, 2 layers.
+        assert_eq!((imp.plane.width(), imp.plane.height()), (40, 30));
+        assert_eq!(imp.plane.layers(), 2);
+        // Two routable nets; the single-pin net is skipped, not fatal.
+        assert_eq!(imp.netlist.len(), 2);
+        assert_eq!(imp.skipped_nets, 1);
+        // The keepout covers cell centers inside [3600,4400]x[2600,3400]:
+        // cell (19,14) has center (3900, 2900).
+        assert!(!imp.plane.is_free(GridPoint::new(Layer(0), 19, 14)));
+        // D1's pad A sits at (1000, 1000) -> cell (5, 5) area.
+        let row0 = imp.netlist.net(sadp_grid::NetId(0));
+        let primary = row0.pins().next().expect("source pin").primary();
+        assert!((4..=5).contains(&primary.x) && (4..=5).contains(&primary.y));
+    }
+
+    #[test]
+    fn rotation_and_mirroring_move_pads_deterministically() {
+        let imp = read_dsn(DSN).expect("parses");
+        let col0 = imp.netlist.net(sadp_grid::NetId(1));
+        let pins: Vec<_> = col0.pins().map(Pin::primary).collect();
+        // D2 is rotated 180: its pad A (offset 0,0) stays at the origin
+        // (7000, 5000) -> cell (34..35, 24..25).
+        assert!((34..=35).contains(&pins[1].x) && (24..=25).contains(&pins[1].y));
+        // R1 is on the back at rot 90: pin 2 offset (800, 0) rotates to
+        // (0, 800), mirrors to (0, 800) -> world (1000, 5800) -> cell (4..5, 28..29).
+        assert!((4..=5).contains(&pins[2].x) && (28..=29).contains(&pins[2].y));
+    }
+
+    #[test]
+    fn subset_violations_are_positioned_errors() {
+        let e = read_dsn("(session x)").unwrap_err();
+        assert!(e.to_string().contains("(pcb ...)"), "{e}");
+
+        let e = read_dsn(&DSN.replace("(rect pcb 0 0 8000 6000)", "(circle pcb 100)")).unwrap_err();
+        assert!(e.to_string().contains("unsupported boundary shape"), "{e}");
+
+        let e = read_dsn(&DSN.replace("front 180", "front 45")).unwrap_err();
+        assert!(e.to_string().contains("unsupported rotation"), "{e}");
+
+        let e = read_dsn(&DSN.replace("(pins D1-A R1-1)", "(pins D9-A R1-1)")).unwrap_err();
+        assert!(e.to_string().contains("unknown component `D9`"), "{e}");
+        assert_eq!(e.pos().line, 19);
+
+        let e = read_dsn(&DSN.replace("(rect F.Cu 3600", "(polygon F.Cu 0 3600")).unwrap_err();
+        assert!(e.to_string().contains("unsupported keepout shape"), "{e}");
+    }
+
+    #[test]
+    fn fully_blocked_pads_are_an_import_error() {
+        // Blanket keepout over D1's pad A on its layer.
+        let text = DSN.replace(
+            "(keepout \"ko\" (rect F.Cu 3600 2600 4400 3400))",
+            "(keepout \"ko\" (rect F.Cu 600 600 1400 1400))",
+        );
+        let e = read_dsn(&text).unwrap_err();
+        assert!(e.to_string().contains("fully blocked"), "{e}");
+    }
+}

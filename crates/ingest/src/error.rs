@@ -1,0 +1,91 @@
+//! Line/column parse errors for the external-format readers.
+//!
+//! The `.layout` parser of `sadp_grid::io` reports the offending *line*;
+//! the external formats (s-expressions, LEF/DEF token streams) put many
+//! tokens on one line, so their errors also carry the *column* of the
+//! token that broke the parse.
+
+use std::error::Error;
+use std::fmt;
+
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: usize,
+    /// Column number (byte offset within the line), starting at 1.
+    pub col: usize,
+}
+
+impl Pos {
+    /// A position at the given line and column.
+    #[must_use]
+    pub fn new(line: usize, col: usize) -> Pos {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, col {}", self.line, self.col)
+    }
+}
+
+/// Error produced while parsing a DSN, LEF or DEF file.
+///
+/// Displays as `line L, col C: message` — the same shape as the
+/// `.layout` parser's `line L: message`, with the column added.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pos: Pos,
+    message: String,
+}
+
+impl ParseError {
+    /// An error at the given position.
+    #[must_use]
+    pub fn new(pos: Pos, message: impl Into<String>) -> ParseError {
+        ParseError {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// The source position of the error.
+    #[must_use]
+    pub fn pos(&self) -> Pos {
+        self.pos
+    }
+
+    /// The bare message, without the position prefix.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Shorthand constructor used throughout the readers.
+pub(crate) fn err(pos: Pos, message: impl Into<String>) -> ParseError {
+    ParseError::new(pos, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_line_and_column() {
+        let e = ParseError::new(Pos::new(3, 17), "bad token");
+        assert_eq!(e.to_string(), "line 3, col 17: bad token");
+        assert_eq!(e.pos(), Pos::new(3, 17));
+        assert_eq!(e.message(), "bad token");
+    }
+}

@@ -1,0 +1,229 @@
+//! LEF subset reader: macro footprints for the DEF importer.
+//!
+//! Reads `MACRO` blocks — `SIZE`, `PIN`/`PORT` geometry and `OBS`
+//! obstructions, all in microns — into a [`LefLibrary`]. The DEF
+//! reader multiplies these by its own database-unit factor when
+//! placing component instances.
+//!
+//! Subset: `RECT` geometry only (`POLYGON` is an explicit rejection);
+//! statements outside the subset (`CLASS`, `FOREIGN`, `SITE`,
+//! technology layers, …) are skipped at statement granularity, never
+//! mis-parsed.
+
+use crate::error::{err, ParseError};
+use crate::tok::Cursor;
+use std::collections::BTreeMap;
+
+/// One pin of a macro: named geometry on routing layers.
+#[derive(Debug, Clone)]
+pub struct LefPin {
+    /// Pin name (`A`, `Q`, `VDD`, …).
+    pub name: String,
+    /// `(layer name, rect)` in microns, relative to the macro origin.
+    pub rects: Vec<(String, [f64; 4])>,
+}
+
+/// One macro: its size, pins and obstructions, in microns.
+#[derive(Debug, Clone)]
+pub struct LefMacro {
+    /// `SIZE x BY y`.
+    pub size: (f64, f64),
+    /// Pins in declaration order.
+    pub pins: Vec<LefPin>,
+    /// `OBS` rectangles: `(layer name, rect)` in microns.
+    pub obs: Vec<(String, [f64; 4])>,
+}
+
+impl LefMacro {
+    /// The pin named `name`, if any.
+    #[must_use]
+    pub fn pin(&self, name: &str) -> Option<&LefPin> {
+        self.pins.iter().find(|p| p.name == name)
+    }
+}
+
+/// The macros of one LEF file, by name.
+#[derive(Debug, Clone, Default)]
+pub struct LefLibrary {
+    /// Macro name → footprint.
+    pub macros: BTreeMap<String, LefMacro>,
+}
+
+/// Reads the macros of a LEF file.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with line/column context on syntax problems
+/// or subset violations inside `MACRO` blocks.
+pub fn read_lef(text: &str) -> Result<LefLibrary, ParseError> {
+    let mut c = Cursor::new(text)?;
+    let mut macros = BTreeMap::new();
+    while let Some(t) = c.peek() {
+        if t.text.eq_ignore_ascii_case("MACRO") {
+            c.next();
+            let name = c.expect("macro name")?;
+            let m = read_macro(&mut c, &name.text)?;
+            macros.insert(name.text, m);
+        } else if t.text.eq_ignore_ascii_case("END") {
+            // `END LIBRARY`, `END UNITS`, `END <layer>`, ... — the END
+            // keyword plus one name, no semicolon.
+            c.next();
+            c.next();
+        } else {
+            c.skip_statement();
+        }
+    }
+    Ok(LefLibrary { macros })
+}
+
+fn read_macro(c: &mut Cursor, name: &str) -> Result<LefMacro, ParseError> {
+    let mut size: Option<(f64, f64)> = None;
+    let mut pins = Vec::new();
+    let mut obs = Vec::new();
+    loop {
+        let t = c.expect(&format!("a statement in MACRO {name}"))?;
+        if t.text.eq_ignore_ascii_case("END") {
+            let got = c.expect(&format!("`{name}` closing MACRO {name}"))?;
+            if got.text != name {
+                return Err(err(
+                    got.pos,
+                    format!("expected `END {name}`, got `END {}`", got.text),
+                ));
+            }
+            break;
+        } else if t.text.eq_ignore_ascii_case("SIZE") {
+            let x = c.num("macro size x")?;
+            c.expect_text("BY")?;
+            let y = c.num("macro size y")?;
+            c.expect_text(";")?;
+            size = Some((x, y));
+        } else if t.text.eq_ignore_ascii_case("PIN") {
+            let pin_name = c.expect("pin name")?;
+            pins.push(read_pin(c, &pin_name.text)?);
+        } else if t.text.eq_ignore_ascii_case("OBS") {
+            read_geometry(c, "OBS", &mut obs)?;
+        } else {
+            c.skip_statement();
+        }
+    }
+    let size = size.ok_or_else(|| err(c.pos(), format!("MACRO {name} has no SIZE statement")))?;
+    Ok(LefMacro { size, pins, obs })
+}
+
+fn read_pin(c: &mut Cursor, name: &str) -> Result<LefPin, ParseError> {
+    let mut rects = Vec::new();
+    loop {
+        let t = c.expect(&format!("a statement in PIN {name}"))?;
+        if t.text.eq_ignore_ascii_case("END") {
+            let got = c.expect(&format!("`{name}` closing PIN {name}"))?;
+            if got.text != name {
+                return Err(err(
+                    got.pos,
+                    format!("expected `END {name}`, got `END {}`", got.text),
+                ));
+            }
+            break;
+        } else if t.text.eq_ignore_ascii_case("PORT") {
+            read_geometry(c, "PORT", &mut rects)?;
+        } else {
+            c.skip_statement();
+        }
+    }
+    Ok(LefPin {
+        name: name.to_string(),
+        rects,
+    })
+}
+
+/// Reads a `PORT`/`OBS` geometry body up to its bare `END`: `LAYER`
+/// selections and `RECT` statements.
+fn read_geometry(
+    c: &mut Cursor,
+    what: &str,
+    out: &mut Vec<(String, [f64; 4])>,
+) -> Result<(), ParseError> {
+    let mut layer: Option<String> = None;
+    loop {
+        let t = c.expect(&format!("a statement in {what}"))?;
+        if t.text.eq_ignore_ascii_case("END") {
+            return Ok(());
+        } else if t.text.eq_ignore_ascii_case("LAYER") {
+            layer = Some(c.expect("layer name")?.text);
+            // Optional qualifiers (SPACING x, DESIGNRULEWIDTH x) up to `;`.
+            c.skip_statement();
+        } else if t.text.eq_ignore_ascii_case("RECT") {
+            let Some(layer) = layer.clone() else {
+                return Err(err(t.pos, format!("RECT before any LAYER in {what}")));
+            };
+            let r = [
+                c.num("rect x0")?,
+                c.num("rect y0")?,
+                c.num("rect x1")?,
+                c.num("rect y1")?,
+            ];
+            c.expect_text(";")?;
+            out.push((layer, r));
+        } else if t.text.eq_ignore_ascii_case("POLYGON") {
+            return Err(err(
+                t.pos,
+                format!("unsupported POLYGON in {what} (subset: RECT)"),
+            ));
+        } else {
+            c.skip_statement();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEF: &str = "\
+VERSION 5.7 ;
+BUSBITCHARS \"[]\" ;
+MACRO RAM1
+  CLASS BLOCK ;
+  ORIGIN 0 0 ;
+  SIZE 20 BY 16 ;
+  PIN A
+    DIRECTION INPUT ;
+    PORT
+      LAYER metal1 ;
+      RECT 0.0 7.0 1.0 9.0 ;
+    END
+  END A
+  OBS
+    LAYER metal1 ;
+    RECT 2.0 0.0 18.0 16.0 ;
+    LAYER metal2 ;
+    RECT 2.0 0.0 18.0 16.0 ;
+  END
+END RAM1
+END LIBRARY
+";
+
+    #[test]
+    fn reads_macros_pins_and_obstructions() {
+        let lib = read_lef(LEF).expect("parses");
+        let m = lib.macros.get("RAM1").expect("RAM1 present");
+        assert_eq!(m.size, (20.0, 16.0));
+        let a = m.pin("A").expect("pin A");
+        assert_eq!(a.rects, vec![("metal1".to_string(), [0.0, 7.0, 1.0, 9.0])]);
+        assert_eq!(m.obs.len(), 2);
+        assert_eq!(m.obs[1].0, "metal2");
+    }
+
+    #[test]
+    fn rejects_polygons_with_position() {
+        let text = LEF.replace("RECT 0.0 7.0 1.0 9.0 ;", "POLYGON 0 0 1 0 1 1 ;");
+        let e = read_lef(&text).unwrap_err();
+        assert!(e.to_string().contains("unsupported POLYGON"), "{e}");
+        assert_eq!(e.pos().line, 11);
+    }
+
+    #[test]
+    fn missing_size_is_an_error() {
+        let e = read_lef("MACRO M\nEND M\n").unwrap_err();
+        assert!(e.to_string().contains("no SIZE"), "{e}");
+    }
+}

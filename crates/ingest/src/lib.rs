@@ -1,0 +1,234 @@
+//! Real-layout ingestion: Specctra DSN and LEF/DEF subset readers.
+//!
+//! The router's native `.layout` fixtures are hand-written; this crate
+//! maps real board (`.dsn`) and IC-block (`.def` + `.lef`) geometry
+//! onto the same `(RoutingPlane, Netlist)` pair, so every downstream
+//! stage — routing, SADP decomposition, verification, the benchmark
+//! fleet — runs unchanged on imported designs.
+//!
+//! Entry points:
+//!
+//! * [`detect_format`] — content sniffing with the file extension as a
+//!   tie-breaking hint only,
+//! * [`ingest_text`] — parse any supported format into an [`Imported`],
+//! * [`sidecar_lef`] — the `FILE.lef` conventionally next to `FILE.def`.
+//!
+//! The snapping policy lives in [`snap`]; the subset coverage and
+//! rejection rules are documented per reader ([`dsn`], [`lef`],
+//! [`def`]) and summarised in DESIGN.md ("Ingestion").
+
+pub mod def;
+pub mod dsn;
+mod error;
+pub mod lef;
+mod map;
+pub mod sexpr;
+pub mod snap;
+mod tok;
+
+pub use error::{ParseError, Pos};
+
+use sadp_grid::{read_layout, Netlist, ParseLayoutError, RoutingPlane};
+use std::path::{Path, PathBuf};
+
+/// A supported input format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// The native `.layout` text format.
+    Layout,
+    /// Specctra DSN board description.
+    Dsn,
+    /// DEF (with an optional LEF library for macros).
+    Def,
+}
+
+impl Format {
+    /// The lowercase format name used in messages and benchmark records.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::Layout => "layout",
+            Format::Dsn => "dsn",
+            Format::Def => "def",
+        }
+    }
+}
+
+/// An ingested design: the routing problem plus import provenance.
+#[derive(Debug)]
+pub struct Imported {
+    /// The snapped routing plane with all obstacles applied.
+    pub plane: RoutingPlane,
+    /// The netlist, pads resolved to multi-candidate pin groups.
+    pub netlist: Netlist,
+    /// Which reader produced this.
+    pub format: Format,
+    /// Nets dropped for having fewer than two resolvable pins.
+    pub skipped_nets: usize,
+    /// Human-readable import notes (grid dimensions, pitch source,
+    /// obstacle counts) for the CLI summary line.
+    pub notes: Vec<String>,
+}
+
+/// An ingestion failure, wrapping whichever parser ran.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The native `.layout` parser failed (`line N: msg`).
+    Layout(ParseLayoutError),
+    /// A DSN/LEF/DEF reader failed (`line N, col C: msg`).
+    Parse(Format, ParseError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Layout(e) => write!(f, "{e}"),
+            IngestError::Parse(format, e) => write!(f, "{}: {e}", format.name()),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<ParseLayoutError> for IngestError {
+    fn from(e: ParseLayoutError) -> IngestError {
+        IngestError::Layout(e)
+    }
+}
+
+/// Sniffs the format from the file content, consulting the extension
+/// only when the content is ambiguous.
+///
+/// The first non-empty, non-`#`-comment line decides: `(` opens a DSN
+/// s-expression; a `.layout` keyword (`plane`, `blockage`, `net`) is
+/// the native format; a DEF header keyword (`VERSION`, `DESIGN`,
+/// `UNITS`, `DIEAREA`, `NAMESCASESENSITIVE`, `TECHNOLOGY`,
+/// `COMPONENTS`) is DEF. Only when none of these match does the
+/// extension hint decide, defaulting to `.layout` (whose parser then
+/// reports the offending line).
+#[must_use]
+pub fn detect_format(text: &str, path_hint: Option<&Path>) -> Format {
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('(') {
+            return Format::Dsn;
+        }
+        let word = line.split_whitespace().next().unwrap_or("");
+        if matches!(word, "plane" | "blockage" | "net") {
+            return Format::Layout;
+        }
+        if [
+            "VERSION",
+            "DESIGN",
+            "UNITS",
+            "DIEAREA",
+            "NAMESCASESENSITIVE",
+            "TECHNOLOGY",
+            "COMPONENTS",
+        ]
+        .iter()
+        .any(|kw| word.eq_ignore_ascii_case(kw))
+        {
+            return Format::Def;
+        }
+        break;
+    }
+    match path_hint.and_then(Path::extension).and_then(|e| e.to_str()) {
+        Some(ext) if ext.eq_ignore_ascii_case("dsn") => Format::Dsn,
+        Some(ext) if ext.eq_ignore_ascii_case("def") => Format::Def,
+        _ => Format::Layout,
+    }
+}
+
+/// Parses `text` in whatever format [`detect_format`] sniffs.
+///
+/// `lef` supplies macro footprints when the text turns out to be a DEF
+/// with components.
+///
+/// # Errors
+///
+/// Returns [`IngestError`] wrapping the failing parser's error.
+pub fn ingest_text(
+    text: &str,
+    path_hint: Option<&Path>,
+    lef: Option<&lef::LefLibrary>,
+) -> Result<Imported, IngestError> {
+    match detect_format(text, path_hint) {
+        Format::Layout => {
+            let (plane, netlist) = read_layout(text)?;
+            Ok(Imported {
+                plane,
+                netlist,
+                format: Format::Layout,
+                skipped_nets: 0,
+                notes: Vec::new(),
+            })
+        }
+        Format::Dsn => dsn::read_dsn(text).map_err(|e| IngestError::Parse(Format::Dsn, e)),
+        Format::Def => def::read_def(text, lef).map_err(|e| IngestError::Parse(Format::Def, e)),
+    }
+}
+
+/// The conventional LEF sidecar of a DEF path: the same file name with
+/// a `.lef` extension, when it exists on disk.
+#[must_use]
+pub fn sidecar_lef(def_path: &Path) -> Option<PathBuf> {
+    let candidate = def_path.with_extension("lef");
+    (candidate != def_path && candidate.is_file()).then_some(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_sniffing_beats_the_extension() {
+        // A native layout saved with a misleading extension still
+        // parses as a layout.
+        let layout = "plane 2 8 8\nnet a 0:0,0 0:7,7\n";
+        assert_eq!(
+            detect_format(layout, Some(Path::new("board.dsn"))),
+            Format::Layout
+        );
+        // Comments and blank lines are skipped before sniffing.
+        let dsn = "# exported\n\n(pcb demo)\n";
+        assert_eq!(
+            detect_format(dsn, Some(Path::new("design.layout"))),
+            Format::Dsn
+        );
+        let def = "VERSION 5.8 ;\nEND DESIGN\n";
+        assert_eq!(detect_format(def, Some(Path::new("chip.txt"))), Format::Def);
+    }
+
+    #[test]
+    fn ambiguous_content_falls_back_to_the_extension_hint() {
+        assert_eq!(
+            detect_format("xyzzy\n", Some(Path::new("a.dsn"))),
+            Format::Dsn
+        );
+        assert_eq!(
+            detect_format("xyzzy\n", Some(Path::new("a.def"))),
+            Format::Def
+        );
+        assert_eq!(detect_format("xyzzy\n", None), Format::Layout);
+        assert_eq!(detect_format("", None), Format::Layout);
+    }
+
+    #[test]
+    fn ingest_text_routes_to_the_right_parser() {
+        let imp =
+            ingest_text("plane 2 8 8\nnet a 0:0,0 0:7,7\n", None, None).expect("layout parses");
+        assert_eq!(imp.format, Format::Layout);
+        assert_eq!(imp.netlist.len(), 1);
+
+        let e = ingest_text("(pcb demo)", None, None).unwrap_err();
+        assert!(e.to_string().starts_with("dsn: "), "{e}");
+
+        let e = ingest_text("VERSION 5.8 ;\nEND DESIGN\n", None, None).unwrap_err();
+        assert!(e.to_string().starts_with("def: "), "{e}");
+        assert!(e.to_string().contains("missing DIEAREA"), "{e}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Pad-to-pin-group mapping shared by the DSN and DEF readers.
+
+use sadp_geom::{GridPoint, Layer};
+use sadp_grid::net::Pin;
+use sadp_grid::RoutingPlane;
+
+/// A pad rectangle snapped to the track grid: a layer plus an
+/// inclusive `(x0, y0, x1, y1)` cell range.
+pub(crate) type PadRect = (Layer, (i32, i32, i32, i32));
+
+/// Cap on candidate locations per pad. Real pads can cover dozens of
+/// cells; the router only needs a handful of well-spread entry points,
+/// and the A* source/target sets stay small.
+pub(crate) const MAX_PAD_CANDIDATES: usize = 8;
+
+/// Maps a pad — the union of one or more snapped layer-rectangles —
+/// into a multi-candidate [`Pin`].
+///
+/// Every free cell covered by the rectangles is a candidate; blocked
+/// cells (keepouts, macro obstructions) are filtered out. Candidates
+/// are ordered by distance from the pad's geometric center (ties:
+/// layer, then y, then x — fully deterministic) and capped at
+/// [`MAX_PAD_CANDIDATES`]. Returns `None` when every covered cell is
+/// blocked, which the callers report as an import error.
+pub(crate) fn pad_pin(plane: &RoutingPlane, rects: &[PadRect]) -> Option<Pin> {
+    let mut cells: Vec<GridPoint> = Vec::new();
+    let (mut sx, mut sy, mut n) = (0i64, 0i64, 0i64);
+    for &(layer, (x0, y0, x1, y1)) in rects {
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let p = GridPoint::new(layer, x, y);
+                if plane.in_bounds(p) {
+                    sx += i64::from(x);
+                    sy += i64::from(y);
+                    n += 1;
+                    if plane.is_free(p) && !cells.contains(&p) {
+                        cells.push(p);
+                    }
+                }
+            }
+        }
+    }
+    if cells.is_empty() {
+        return None;
+    }
+    // Distance from the covered-area centroid, doubled coordinates so
+    // the comparison stays integral.
+    let (cx2, cy2) = (2 * sx / n, 2 * sy / n);
+    let dist2 = |p: &GridPoint| {
+        let dx = 2 * i64::from(p.x) - cx2;
+        let dy = 2 * i64::from(p.y) - cy2;
+        dx * dx + dy * dy
+    };
+    cells.sort_by_key(|p| (dist2(p), p.layer.0, p.y, p.x));
+    cells.truncate(MAX_PAD_CANDIDATES);
+    Some(Pin::with_candidates(cells))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sadp_geom::{DesignRules, TrackRect};
+
+    fn plane() -> RoutingPlane {
+        RoutingPlane::new(2, 16, 16, DesignRules::node_10nm()).expect("valid plane")
+    }
+
+    #[test]
+    fn candidates_are_center_out_and_capped() {
+        let plane = plane();
+        let pin = pad_pin(&plane, &[(Layer(0), (2, 2, 5, 5))]).expect("free pad");
+        assert_eq!(pin.candidates().len(), MAX_PAD_CANDIDATES);
+        // The first candidate is one of the four central cells.
+        let first = pin.primary();
+        assert!((3..=4).contains(&first.x) && (3..=4).contains(&first.y));
+    }
+
+    #[test]
+    fn blocked_cells_are_filtered_and_full_blockage_is_none() {
+        let mut plane = plane();
+        plane.add_blockage(Layer(0), TrackRect::new(2, 2, 4, 5));
+        let pin = pad_pin(&plane, &[(Layer(0), (2, 2, 5, 5))]).expect("one column free");
+        assert!(pin.candidates().iter().all(|p| p.x == 5));
+        plane.add_blockage(Layer(0), TrackRect::new(5, 2, 5, 5));
+        assert!(pad_pin(&plane, &[(Layer(0), (2, 2, 5, 5))]).is_none());
+    }
+
+    #[test]
+    fn multi_layer_pads_merge_and_dedup() {
+        let plane = plane();
+        let pin = pad_pin(
+            &plane,
+            &[
+                (Layer(0), (1, 1, 1, 1)),
+                (Layer(1), (1, 1, 1, 1)),
+                (Layer(0), (1, 1, 1, 1)),
+            ],
+        )
+        .expect("free pad");
+        assert_eq!(pin.candidates().len(), 2);
+    }
+}

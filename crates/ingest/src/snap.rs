@@ -1,0 +1,195 @@
+//! Grid snapping: mapping real-world coordinates onto the track grid.
+//!
+//! The router works on a uniform track grid; real boards and blocks use
+//! arbitrary-precision coordinates and (sometimes) non-uniform tracks.
+//! The snapping policy, shared by every importer and documented in
+//! DESIGN.md ("Ingestion"):
+//!
+//! * One pitch per design. The pitch is the explicit wire grid when the
+//!   file declares one (DSN `(grid wire P)`, DEF `TRACKS ... STEP P`;
+//!   the smallest declared step wins), otherwise it is derived so the
+//!   longer die dimension maps to [`TARGET_TRACKS`] tracks.
+//! * Track `i` covers the half-open world span
+//!   `[min + i*pitch, min + (i+1)*pitch)`; its center sits at
+//!   `min + (i + 0.5) * pitch`. A point snaps to the track whose span
+//!   contains it, clamped to the die.
+//! * A rectangle (pad, keepout, macro obstacle) covers every cell whose
+//!   *center* lies inside it; a rectangle narrower than a cell still
+//!   covers the single cell containing its own center, so no shape
+//!   vanishes in the snap.
+//! * Designs that would exceed [`MAX_TRACKS`] tracks on either axis are
+//!   rejected (route a coarser grid instead of silently exploding), as
+//!   are degenerate boundaries under [`MIN_TRACKS`].
+
+/// Track count the derived pitch aims for on the longer die axis.
+pub const TARGET_TRACKS: i32 = 256;
+
+/// Hard ceiling on tracks per axis; above this the import is rejected.
+pub const MAX_TRACKS: i32 = 2048;
+
+/// Minimum tracks per axis for a meaningful routing problem.
+pub const MIN_TRACKS: i32 = 4;
+
+/// The world-to-track mapping for one imported design.
+#[derive(Debug, Clone, Copy)]
+pub struct Snapper {
+    min_x: f64,
+    min_y: f64,
+    pitch: f64,
+    width: i32,
+    height: i32,
+}
+
+impl Snapper {
+    /// Builds the mapping for a world bounding box and an optional
+    /// explicit pitch (in the same world units).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message (no position — the caller attaches one) when
+    /// the box is degenerate or the track counts leave
+    /// `[MIN_TRACKS, MAX_TRACKS]`.
+    pub fn new(
+        (min_x, min_y, max_x, max_y): (f64, f64, f64, f64),
+        explicit_pitch: Option<f64>,
+    ) -> Result<Snapper, String> {
+        let (dx, dy) = (max_x - min_x, max_y - min_y);
+        if !(dx > 0.0 && dy > 0.0 && dx.is_finite() && dy.is_finite()) {
+            return Err(format!("degenerate boundary ({dx} x {dy} world units)"));
+        }
+        let pitch = match explicit_pitch {
+            Some(p) if p > 0.0 && p.is_finite() => p,
+            Some(p) => return Err(format!("grid pitch must be positive, got {p}")),
+            None => dx.max(dy) / f64::from(TARGET_TRACKS),
+        };
+        let tracks = |d: f64| (d / pitch).ceil().max(1.0) as i64;
+        let (w, h) = (tracks(dx), tracks(dy));
+        for (axis, n) in [("x", w), ("y", h)] {
+            if n > i64::from(MAX_TRACKS) {
+                return Err(format!(
+                    "{n} {axis}-tracks at pitch {pitch} exceeds the {MAX_TRACKS}-track \
+                     import ceiling (coarsen the grid)"
+                ));
+            }
+            if n < i64::from(MIN_TRACKS) {
+                return Err(format!(
+                    "{n} {axis}-tracks at pitch {pitch} is below the {MIN_TRACKS}-track \
+                     minimum (boundary too small for this grid)"
+                ));
+            }
+        }
+        Ok(Snapper {
+            min_x,
+            min_y,
+            pitch,
+            width: w as i32,
+            height: h as i32,
+        })
+    }
+
+    /// Tracks along x.
+    #[must_use]
+    pub fn width(&self) -> i32 {
+        self.width
+    }
+
+    /// Tracks along y.
+    #[must_use]
+    pub fn height(&self) -> i32 {
+        self.height
+    }
+
+    /// The pitch in world units.
+    #[must_use]
+    pub fn pitch(&self) -> f64 {
+        self.pitch
+    }
+
+    /// Snaps a world x to its track index, clamped to the die.
+    #[must_use]
+    pub fn x(&self, wx: f64) -> i32 {
+        (((wx - self.min_x) / self.pitch).floor() as i64).clamp(0, i64::from(self.width - 1)) as i32
+    }
+
+    /// Snaps a world y to its track index, clamped to the die.
+    #[must_use]
+    pub fn y(&self, wy: f64) -> i32 {
+        (((wy - self.min_y) / self.pitch).floor() as i64).clamp(0, i64::from(self.height - 1))
+            as i32
+    }
+
+    /// The inclusive track-rectangle covered by a world rectangle: every
+    /// cell whose center lies inside it, or the center cell when the
+    /// rectangle is narrower than a cell. Corners may be given in any
+    /// order.
+    #[must_use]
+    pub fn rect(&self, x0: f64, y0: f64, x1: f64, y1: f64) -> (i32, i32, i32, i32) {
+        let (x0, x1) = (x0.min(x1), x0.max(x1));
+        let (y0, y1) = (y0.min(y1), y0.max(y1));
+        let lo = |v: f64, min: f64| ((v - min) / self.pitch - 0.5).ceil() as i64;
+        let hi = |v: f64, min: f64| ((v - min) / self.pitch - 0.5).floor() as i64;
+        let span = |a: f64, b: f64, min: f64, n: i32, center: i32| -> (i32, i32) {
+            let (l, h) = (lo(a, min), hi(b, min));
+            if l > h {
+                (center, center)
+            } else {
+                (
+                    l.clamp(0, i64::from(n - 1)) as i32,
+                    h.clamp(0, i64::from(n - 1)) as i32,
+                )
+            }
+        };
+        let (cx, cy) = (self.x((x0 + x1) / 2.0), self.y((y0 + y1) / 2.0));
+        let (ix0, ix1) = span(x0, x1, self.min_x, self.width, cx);
+        let (iy0, iy1) = span(y0, y1, self.min_y, self.height, cy);
+        (ix0, iy0, ix1, iy1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_pitch_sets_the_track_count() {
+        let s = Snapper::new((0.0, 0.0, 8000.0, 6000.0), Some(200.0)).expect("valid");
+        assert_eq!((s.width(), s.height()), (40, 30));
+        // Track 0 covers [0, 200): both ends snap inside it.
+        assert_eq!(s.x(0.0), 0);
+        assert_eq!(s.x(199.9), 0);
+        assert_eq!(s.x(200.0), 1);
+        // Clamped at the die edge.
+        assert_eq!(s.x(8000.0), 39);
+        assert_eq!(s.x(-5.0), 0);
+    }
+
+    #[test]
+    fn derived_pitch_targets_the_track_budget() {
+        let s = Snapper::new((0.0, 0.0, 1.0, 0.5), None).expect("valid");
+        assert_eq!(s.width(), TARGET_TRACKS);
+        assert_eq!(s.height(), TARGET_TRACKS / 2);
+    }
+
+    #[test]
+    fn rect_covers_cell_centers_and_never_vanishes() {
+        let s = Snapper::new((0.0, 0.0, 1000.0, 1000.0), Some(100.0)).expect("valid");
+        // Centers at 50, 150, ... 350 lie inside [20, 390].
+        assert_eq!(s.rect(20.0, 20.0, 390.0, 390.0), (0, 0, 3, 3));
+        // A sliver thinner than a cell keeps its center cell.
+        assert_eq!(s.rect(210.0, 210.0, 220.0, 215.0), (2, 2, 2, 2));
+        // Swapped corners are normalised.
+        assert_eq!(s.rect(390.0, 390.0, 20.0, 20.0), (0, 0, 3, 3));
+    }
+
+    #[test]
+    fn rejects_degenerate_and_oversized_imports() {
+        assert!(Snapper::new((0.0, 0.0, 0.0, 10.0), None).is_err());
+        assert!(Snapper::new((0.0, 0.0, 10.0, 10.0), Some(0.0)).is_err());
+        assert!(Snapper::new((0.0, 0.0, 1e9, 1e9), Some(1.0))
+            .unwrap_err()
+            .contains("ceiling"));
+        assert!(Snapper::new((0.0, 0.0, 10.0, 10.0), Some(5.0))
+            .unwrap_err()
+            .contains("minimum"));
+    }
+}

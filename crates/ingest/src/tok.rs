@@ -1,0 +1,215 @@
+//! A position-tracking token cursor shared by the LEF and DEF readers.
+//!
+//! Both formats are whitespace-separated token streams with `#` line
+//! comments, `;` statement terminators and parenthesised coordinate
+//! pairs. The cursor pre-tokenises the whole file (keeping the 1-based
+//! line/column of every token) and exposes the small lookahead /
+//! expectation API the readers are written against.
+
+use crate::error::{err, ParseError, Pos};
+
+/// One token: its text and source position.
+#[derive(Debug, Clone)]
+pub(crate) struct Tok {
+    pub text: String,
+    pub pos: Pos,
+}
+
+/// A forward-only cursor over the token stream.
+pub(crate) struct Cursor {
+    toks: Vec<Tok>,
+    i: usize,
+    eof: Pos,
+}
+
+impl Cursor {
+    /// Tokenises `text`. `(`, `)` and `;` are single-character tokens;
+    /// `#` starts a comment running to end of line; double-quoted
+    /// strings are one token without the quotes.
+    pub fn new(text: &str) -> Result<Cursor, ParseError> {
+        let mut toks = Vec::new();
+        let (mut line, mut col) = (1usize, 1usize);
+        let mut chars = text.chars().peekable();
+        let bump = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+                    line: &mut usize,
+                    col: &mut usize|
+         -> Option<char> {
+            let c = chars.next()?;
+            if c == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            Some(c)
+        };
+        while let Some(&c) = chars.peek() {
+            if c.is_whitespace() {
+                bump(&mut chars, &mut line, &mut col);
+            } else if c == '#' {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump(&mut chars, &mut line, &mut col);
+                }
+            } else if c == '(' || c == ')' || c == ';' {
+                toks.push(Tok {
+                    text: c.to_string(),
+                    pos: Pos::new(line, col),
+                });
+                bump(&mut chars, &mut line, &mut col);
+            } else if c == '"' {
+                let pos = Pos::new(line, col);
+                bump(&mut chars, &mut line, &mut col);
+                let mut text = String::new();
+                loop {
+                    match bump(&mut chars, &mut line, &mut col) {
+                        None => return Err(err(pos, "unterminated string")),
+                        Some('"') => break,
+                        Some(c) => text.push(c),
+                    }
+                }
+                toks.push(Tok { text, pos });
+            } else {
+                let pos = Pos::new(line, col);
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || matches!(c, '(' | ')' | ';' | '#' | '"') {
+                        break;
+                    }
+                    text.push(c);
+                    bump(&mut chars, &mut line, &mut col);
+                }
+                toks.push(Tok { text, pos });
+            }
+        }
+        Ok(Cursor {
+            toks,
+            i: 0,
+            eof: Pos::new(line, col),
+        })
+    }
+
+    /// The next token without consuming it.
+    pub fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i)
+    }
+
+    /// Consumes and returns the next token.
+    pub fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    /// The position of the next token, or end-of-file.
+    pub fn pos(&self) -> Pos {
+        self.peek().map_or(self.eof, |t| t.pos)
+    }
+
+    /// Consumes the next token, erroring with `expected {what}` at
+    /// end-of-file.
+    pub fn expect(&mut self, what: &str) -> Result<Tok, ParseError> {
+        let eof = self.eof;
+        self.next()
+            .ok_or_else(|| err(eof, format!("expected {what}, got end of file")))
+    }
+
+    /// Consumes the next token and requires its exact text
+    /// (case-insensitive for keywords).
+    pub fn expect_text(&mut self, text: &str) -> Result<Tok, ParseError> {
+        let t = self.expect(&format!("`{text}`"))?;
+        if t.text.eq_ignore_ascii_case(text) {
+            Ok(t)
+        } else {
+            Err(err(t.pos, format!("expected `{text}`, got `{}`", t.text)))
+        }
+    }
+
+    /// Consumes the next token as a number.
+    pub fn num(&mut self, what: &str) -> Result<f64, ParseError> {
+        let t = self.expect(what)?;
+        t.text
+            .parse::<f64>()
+            .map_err(|_| err(t.pos, format!("expected {what}, got `{}`", t.text)))
+    }
+
+    /// Consumes the next token when it matches `text`
+    /// (case-insensitive); returns whether it did.
+    pub fn eat(&mut self, text: &str) -> bool {
+        if self
+            .peek()
+            .is_some_and(|t| t.text.eq_ignore_ascii_case(text))
+        {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Skips tokens through the next `;` (inclusive). Used to pass over
+    /// statements outside the supported subset.
+    pub fn skip_statement(&mut self) {
+        while let Some(t) = self.next() {
+            if t.text == ";" {
+                return;
+            }
+        }
+    }
+
+    /// Reads a parenthesised coordinate pair `( x y )`.
+    pub fn point(&mut self, what: &str) -> Result<(f64, f64), ParseError> {
+        self.expect_text("(")?;
+        let x = self.num(&format!("{what} x"))?;
+        let y = self.num(&format!("{what} y"))?;
+        self.expect_text(")")?;
+        Ok((x, y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenises_punctuation_comments_and_positions() {
+        let mut c =
+            Cursor::new("UNITS DISTANCE MICRONS 100 ; # dbu\nDIEAREA ( 0 0 ) ( 64000 48000 ) ;")
+                .expect("tokenises");
+        assert!(c.eat("units"));
+        c.expect_text("DISTANCE").unwrap();
+        c.expect_text("MICRONS").unwrap();
+        assert_eq!(c.num("dbu").unwrap(), 100.0);
+        c.expect_text(";").unwrap();
+        let t = c.expect("DIEAREA").unwrap();
+        assert_eq!(t.pos, Pos::new(2, 1));
+        assert_eq!(c.point("diearea corner").unwrap(), (0.0, 0.0));
+        assert_eq!(c.point("diearea corner").unwrap(), (64000.0, 48000.0));
+    }
+
+    #[test]
+    fn errors_name_the_expectation_and_position() {
+        let mut c = Cursor::new("DIEAREA ( zero 0 )").expect("tokenises");
+        c.expect_text("DIEAREA").unwrap();
+        let e = c.point("diearea corner").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "line 1, col 11: expected diearea corner x, got `zero`"
+        );
+        let mut c = Cursor::new("END").expect("tokenises");
+        c.expect_text("END").unwrap();
+        let e = c.expect("a design statement").unwrap_err();
+        assert!(e.to_string().contains("end of file"), "{e}");
+    }
+
+    #[test]
+    fn skip_statement_stops_after_the_semicolon() {
+        let mut c = Cursor::new("ROW r1 core 0 0 N DO 10 BY 1 ;\nTRACKS").expect("tokenises");
+        c.skip_statement();
+        assert!(c.eat("TRACKS"));
+    }
+}

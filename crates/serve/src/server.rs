@@ -28,7 +28,8 @@ use crate::json::{self, Json};
 use crate::protocol::{error_line, Request};
 use sadp_core::eco::{parse_edit_script, EcoSession, OpOutcome};
 use sadp_core::{RouterConfig, RoutingReport, RoutingSession, SessionStatus, Snapshot, StepBudget};
-use sadp_grid::io::read_layout;
+use sadp_grid::io::{read_layout, write_layout};
+use sadp_ingest::{ingest_text, Format};
 use sadp_obs::SessionEvent;
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, BufRead, BufReader, Write};
@@ -536,8 +537,21 @@ fn submit(
 ) -> String {
     // Validate the layout up front so a typo'd submit fails on the spot
     // with the parser's line-numbered message, not later in the queue.
-    let nets = match read_layout(&layout) {
-        Ok((_, netlist)) => netlist.len() as u64,
+    // Non-native formats (Specctra DSN, DEF) are canonicalised to
+    // layout text at the door, so queued and persisted jobs are always
+    // the native format and the resume/checkpoint paths stay untouched.
+    // A DEF whose components need a LEF library is rejected here: the
+    // daemon receives bare text and has no sidecar file to consult.
+    let (layout, nets) = match ingest_text(&layout, None, None) {
+        Ok(imported) => {
+            let nets = imported.netlist.len() as u64;
+            let text = if imported.format == Format::Layout {
+                layout
+            } else {
+                write_layout(&imported.plane, &imported.netlist)
+            };
+            (text, nets)
+        }
         Err(e) => return error_line(&format!("layout rejected: {e}")),
     };
     let mut g = shared.lock();

@@ -340,16 +340,28 @@ fn tempdir(tag: &str) -> PathBuf {
 #[test]
 fn eco_verbs_edit_undo_redo_a_done_job() {
     let layout = fixture("clock-tree-multi-terminal.layout");
+
+    // ECO verbs are refused until the job completes. A queue-only
+    // daemon (zero workers) pins the job in its unfinished state — on a
+    // worker-backed daemon this small layout can finish before the undo
+    // request arrives, making the refusal check racy.
+    let queue_only = serve(ServeConfig {
+        workers: 0,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(&queue_only.addr().to_string()).expect("connect");
+    let parked = submit(&mut client, &layout, 100);
+    let err = client
+        .call(&Request::Undo { job: parked })
+        .expect_err("undo on an unfinished job fails");
+    assert!(err.to_string().contains("completed job"), "{err}");
+    queue_only.shutdown();
+
     let server = serve(ServeConfig::default()).expect("bind");
     let addr = server.addr().to_string();
     let mut client = Client::connect(&addr).expect("connect");
     let job = submit(&mut client, &layout, 100);
-
-    // ECO verbs are refused until the job completes.
-    let err = client
-        .call(&Request::Undo { job })
-        .expect_err("undo on an unfinished job fails");
-    assert!(err.to_string().contains("completed job"), "{err}");
     stream_job(&addr, job);
 
     // A fresh session has nothing to undo.
@@ -399,5 +411,51 @@ fn eco_verbs_edit_undo_redo_a_done_job() {
         .expect_err("bad script rejected");
     assert!(err.to_string().contains("line 1"), "{err}");
 
+    server.shutdown();
+}
+
+#[test]
+fn submitted_dsn_is_canonicalised_and_routes_like_its_converted_layout() {
+    let dsn = {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../fixtures/imported/led-matrix.dsn");
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+    };
+    // The daemon canonicalises the DSN at the door, so the served trace
+    // matches a direct route of the converted fixture byte for byte.
+    let (_, want_trace) = route_direct(&fixture("imported-dsn-board.layout"), 2);
+
+    let server = serve(ServeConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let job = submit(&mut client, &dsn, 100);
+    let (trace, done) = stream_job(&addr, job);
+    assert_eq!(done.get("state").and_then(Json::as_str), Some("done"));
+    assert_eq!(
+        trace, want_trace,
+        "canonicalised DSN must route identically"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn submitted_def_without_lef_is_rejected_with_the_subset_message() {
+    let def = "VERSION 5.8 ;\nDESIGN d ;\nUNITS DISTANCE MICRONS 1000 ;\n\
+               DIEAREA ( 0 0 ) ( 64000 48000 ) ;\nCOMPONENTS 1 ;\n\
+               - u1 RAM1 + PLACED ( 4000 4000 ) N ;\nEND COMPONENTS\nEND DESIGN\n";
+    let server = serve(ServeConfig::default()).expect("bind");
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    let err = client
+        .call(&Request::Submit {
+            layout: def.to_string(),
+            priority: 100,
+            threads: None,
+            node_budget: None,
+            deadline_ms: None,
+        })
+        .expect_err("DEF with components cannot be served without a LEF");
+    let msg = err.to_string();
+    assert!(msg.contains("layout rejected"), "{msg}");
+    assert!(msg.contains("need a LEF library"), "{msg}");
     server.shutdown();
 }

@@ -1,0 +1,177 @@
+#!/usr/bin/env bash
+# End-to-end smoke suite for the sadp CLI, shared by CI and local runs.
+#
+# Usage: scripts/ci-smoke.sh [corpus|trace|fault|serve|eco|all]
+#
+# Environment:
+#   SADP_BIN         sadp binary to drive (default ./target/release/sadp;
+#                    CI builds it first, tests point this at the debug bin)
+#   SADP_SMOKE_PORT  first of three consecutive TCP ports for the serve
+#                    smoke (default 7471)
+#
+# Every check is vacuity-guarded: a guard greps for evidence the
+# interesting path actually ran before comparing outputs, so a silently
+# skipped code path fails the suite instead of passing it.
+set -euo pipefail
+
+BIN=${SADP_BIN:-./target/release/sadp}
+PORT=${SADP_SMOKE_PORT:-7471}
+cd "$(dirname "$0")/.."
+
+die() {
+  echo "ci-smoke: $*" >&2
+  exit 1
+}
+
+[ -x "$BIN" ] || die "binary not found: $BIN (build it or set SADP_BIN)"
+
+# Every fixture is a shrunk, once-failing instance; a replay failure
+# means a fixed bug regressed. The imported suite rides along, with a
+# per-format non-vacuity guard: a DSN and a DEF must each route >=1 net,
+# otherwise the real-layout ingestion path is silently dead.
+smoke_corpus() {
+  for f in fixtures/corpus/*.layout; do
+    "$BIN" fuzz --replay "$f"
+  done
+  routed_at_least_one() { # file
+    local out
+    out=$("$BIN" fuzz --replay "$1")
+    echo "$out"
+    [[ "$out" == *"clean ("* ]] || die "$1: replay was not clean"
+    [[ "$out" =~ clean\ \(([0-9]+)\ nets,\ ([0-9]+)\ routed\) ]] ||
+      die "$1: unrecognised replay summary"
+    [ "${BASH_REMATCH[2]}" -ge 1 ] || die "$1: vacuous import — 0 nets routed"
+  }
+  local dsn=0 def=0
+  for f in fixtures/imported/*.dsn; do
+    routed_at_least_one "$f"
+    dsn=$((dsn + 1))
+  done
+  for f in fixtures/imported/*.def; do
+    routed_at_least_one "$f"
+    def=$((def + 1))
+  done
+  [ "$dsn" -ge 1 ] || die "no .dsn fixture under fixtures/imported/"
+  [ "$def" -ge 1 ] || die "no .def fixture under fixtures/imported/"
+  echo "corpus smoke: OK ($dsn dsn, $def def imported)"
+}
+
+# Test5 at scale 0.2 is ~402 tracks wide: a multi-band partition, so the
+# two runs genuinely take the sharded path.
+smoke_trace() {
+  "$BIN" bench --test 5 --scale 0.2 --threads 1 --trace /tmp/trace-t1.jsonl
+  "$BIN" bench --test 5 --scale 0.2 --threads 2 --trace /tmp/trace-t2.jsonl
+  grep -q band_merged /tmp/trace-t1.jsonl || die "banded path was not exercised"
+  cmp /tmp/trace-t1.jsonl /tmp/trace-t2.jsonl
+  echo "trace smoke: OK"
+}
+
+# Injected band panics must be absorbed by the serial fallback and the
+# recovered result must stay byte-identical across thread counts. Seed 3
+# panics at least one band on this fixture.
+smoke_fault() {
+  "$BIN" bench --test 5 --scale 0.2 --faults 3 --threads 1 --trace /tmp/trace-f1.jsonl
+  "$BIN" bench --test 5 --scale 0.2 --faults 3 --threads 2 --trace /tmp/trace-f2.jsonl
+  grep -q band_recovered /tmp/trace-f1.jsonl || die "no panic was injected"
+  cmp /tmp/trace-f1.jsonl /tmp/trace-f2.jsonl
+  echo "fault smoke: OK"
+}
+
+# Drives the binary over real TCP: a served job's streamed trace must
+# byte-match `sadp route --trace`, and a job cancelled on a queue-only
+# daemon must survive a daemon restart and resume to the same result as
+# an uninterrupted submit. (`sadp submit --trace` strips the daemon's
+# `job_*` lifecycle lines; on a raw socket the equivalent filter is
+# `grep -v '"event":"job_'`.)
+smoke_serve() {
+  local STATE FIX BIG SERVE JOB REF
+  STATE=$(mktemp -d)
+  FIX=fixtures/corpus/clock-tree-multi-terminal.layout
+  BIG=fixtures/corpus/multi-band-fault-recovery.layout
+  # `grep -q` on a pipe SIGPIPEs the client under pipefail, so every
+  # check captures the output first.
+  status_has() { # job addr substring
+    local out
+    out=$("$BIN" job "$1" --status --addr "$2" 2>&1 || true)
+    [[ "$out" == *"$3"* ]]
+  }
+  wait_ready() { # addr
+    for _ in $(seq 100); do
+      if status_has 999999 "$1" 'no such job'; then return 0; fi
+      sleep 0.1
+    done
+    die "daemon at $1 never became ready"
+  }
+  # Live daemon: served trace is byte-identical to a direct route.
+  "$BIN" serve --addr 127.0.0.1:"$PORT" --workers 2 --state-dir "$STATE" &
+  SERVE=$!
+  wait_ready 127.0.0.1:"$PORT"
+  "$BIN" submit $FIX --addr 127.0.0.1:"$PORT" --wait --trace /tmp/served.jsonl
+  "$BIN" route $FIX --trace /tmp/direct.jsonl
+  cmp /tmp/served.jsonl /tmp/direct.jsonl
+  kill $SERVE; wait $SERVE || true
+  # Queue-only daemon, same state dir: submit stays queued and a cancel
+  # settles it; the state survives the daemon's death.
+  "$BIN" serve --addr 127.0.0.1:$((PORT + 1)) --workers 0 --state-dir "$STATE" &
+  SERVE=$!
+  wait_ready 127.0.0.1:$((PORT + 1))
+  JOB=$("$BIN" submit $BIG --addr 127.0.0.1:$((PORT + 1)) | awk '{print $2; exit}')
+  "$BIN" job "$JOB" --cancel --addr 127.0.0.1:$((PORT + 1))
+  status_has "$JOB" 127.0.0.1:$((PORT + 1)) '"state":"cancelled"'
+  kill $SERVE; wait $SERVE || true
+  # Restarted worker daemon: the cancelled job reloads, resumes, and
+  # matches an uninterrupted submit of the same layout.
+  "$BIN" serve --addr 127.0.0.1:$((PORT + 2)) --workers 2 --state-dir "$STATE" &
+  SERVE=$!
+  wait_ready 127.0.0.1:$((PORT + 2))
+  status_has "$JOB" 127.0.0.1:$((PORT + 2)) '"state":"cancelled"'
+  "$BIN" job "$JOB" --resume --addr 127.0.0.1:$((PORT + 2))
+  for _ in $(seq 200); do
+    if status_has "$JOB" 127.0.0.1:$((PORT + 2)) '"state":"done"'; then break; fi
+    sleep 0.1
+  done
+  status_has "$JOB" 127.0.0.1:$((PORT + 2)) '"state":"done"'
+  REF=$("$BIN" submit $BIG --addr 127.0.0.1:$((PORT + 2)) --wait | awk '{print $2; exit}')
+  kill $SERVE; wait $SERVE || true
+  fields() {
+    grep -o '"routed_nets":[0-9]*\|"wirelength":[0-9]*\|"vias":[0-9]*\|"overlay_units":[0-9]*\|"hard_overlay_violations":[0-9]*\|"cut_conflicts":[0-9]*' "$1"
+  }
+  diff <(fields "$STATE/job-$JOB.final") <(fields "$STATE/job-$REF.final")
+  echo "serve smoke: OK"
+}
+
+# The anchor edit script exercises every edit kind plus undo/redo
+# against the clock-tree fixture. An ECO trace is part of the
+# reproducible contract: byte-identical across thread counts, like
+# every other entry point.
+smoke_eco() {
+  local FIX SCRIPT
+  FIX=fixtures/corpus/clock-tree-multi-terminal.layout
+  SCRIPT=fixtures/corpus/eco-undo-redo-roundtrip.edits
+  "$BIN" edit $FIX --script $SCRIPT --threads 1 --trace /tmp/eco-t1.jsonl
+  "$BIN" edit $FIX --script $SCRIPT --threads 2 --trace /tmp/eco-t2.jsonl
+  grep -q '"event":"edit_applied"' /tmp/eco-t1.jsonl || die "no edits ran"
+  grep -q '"event":"nets_invalidated"' /tmp/eco-t1.jsonl || die "no invalidation ran"
+  cmp /tmp/eco-t1.jsonl /tmp/eco-t2.jsonl
+  echo "eco smoke: OK"
+}
+
+case "${1:-all}" in
+  corpus) smoke_corpus ;;
+  trace) smoke_trace ;;
+  fault) smoke_fault ;;
+  serve) smoke_serve ;;
+  eco) smoke_eco ;;
+  all)
+    smoke_corpus
+    smoke_trace
+    smoke_fault
+    smoke_serve
+    smoke_eco
+    echo "all smokes: OK"
+    ;;
+  *)
+    echo "usage: $0 [corpus|trace|fault|serve|eco|all]" >&2
+    exit 2
+    ;;
+esac

@@ -1,12 +1,13 @@
 //! `sadp` — command-line front end for the overlay-aware SADP router.
 //!
 //! ```text
-//! sadp route <layout.txt> [--svg DIR] [--masks FILE] [--threads N]
+//! sadp route <design> [--svg DIR] [--masks FILE] [--threads N]
 //!            [--trace FILE] [--profile] [--checkpoint FILE] [--resume FILE]
-//!                                                      route + verify a layout file
-//! sadp verify <layout.txt> [--threads N] [--trace FILE] [--profile]
+//!                                                      route + verify a design file
+//! sadp verify <design> [--threads N] [--trace FILE] [--profile]
 //!                                                      route, then pixel-verify only
-//! sadp edit <layout.txt> --script FILE [--threads N] [--trace FILE]
+//! sadp convert <design> [--lef FILE] [--out FILE]      emit the native .layout form
+//! sadp edit <design> --script FILE [--threads N] [--trace FILE]
 //!                                                      route, then apply an ECO edit script
 //! sadp bench [--test K] [--scale X] [--seed N] [--threads N] [--trace FILE]
 //!            [--profile]                               route a TestK-family instance
@@ -84,13 +85,21 @@
 //! 2 usage error, 3 unreadable/malformed input, 4 routing failure
 //! (router error, checkpoint mismatch, internal panic).
 //!
-//! Layout files use the `sadp_grid::io` text format (see its module docs).
+//! `<design>` inputs accept three formats, auto-detected by *content*
+//! (the extension is only a fallback hint): the native `.layout` text
+//! format of `sadp_grid::io`, Specctra DSN boards, and DEF blocks
+//! (macro footprints from `--lef FILE` or a same-stem `.lef` sidecar) —
+//! see `sadp_ingest`. Imported designs print a one-line import summary;
+//! native layouts print nothing extra, so their output is stable.
+//! `sadp convert` emits the ingested design as a native `.layout`
+//! fixture with a provenance comment header.
 
 use sadp::core::{FaultPlan, RoutingSession, ScenarioCensus, SessionStatus, Snapshot, StepBudget};
 use sadp::decomp::{
     export_masks, render_svg, verify_layers_observed, ColoredPattern, CutSimulator,
 };
-use sadp::grid::read_layout;
+use sadp::grid::write_layout;
+use sadp::ingest::{ingest_text, lef::read_lef, sidecar_lef, Format, Imported};
 use sadp::obs::events_to_jsonl;
 use sadp::prelude::*;
 use sadp::serve::{serve, Client, Json, Request, ServeConfig};
@@ -166,6 +175,7 @@ fn dispatch(args: &[String]) -> CliResult {
     match args.first().map(String::as_str) {
         Some("route") => cmd_route(&args[1..], false),
         Some("verify") => cmd_route(&args[1..], true),
+        Some("convert") => cmd_convert(&args[1..]),
         Some("edit") => cmd_edit(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
@@ -184,13 +194,19 @@ fn dispatch(args: &[String]) -> CliResult {
 }
 
 fn print_usage() {
-    eprintln!("usage: sadp <route|verify|edit|bench|fuzz|table2|serve|submit|job> [args]");
+    eprintln!("usage: sadp <route|verify|convert|edit|bench|fuzz|table2|serve|submit|job> [args]");
     eprintln!(
-        "  route <layout.txt> [--svg DIR] [--masks FILE] [--threads N] \
+        "  route <design> [--svg DIR] [--masks FILE] [--threads N] \
          [--trace FILE] [--profile] [--checkpoint FILE] [--resume FILE]"
     );
-    eprintln!("  verify <layout.txt> [--threads N] [--trace FILE] [--profile]");
-    eprintln!("  edit <layout.txt> --script FILE [--threads N] [--trace FILE]");
+    eprintln!("  verify <design> [--threads N] [--trace FILE] [--profile]");
+    eprintln!("  convert <design> [--lef FILE] [--out FILE]");
+    eprintln!("  edit <design> --script FILE [--threads N] [--trace FILE]");
+    eprintln!(
+        "  <design> is a .layout, Specctra .dsn or .def file; the format is \
+         sniffed from the content. DEF macros come from --lef FILE or a \
+         FILE.lef sidecar."
+    );
     eprintln!(
         "  bench [--test K] [--scale X] [--seed N] [--threads N] [--trace FILE] \
          [--profile]"
@@ -298,15 +314,54 @@ fn write_atomic(path: &str, text: &str) -> std::io::Result<()> {
 /// Matches the historical checkpoint throttle (one save per 64 nets).
 const ROUTE_SLICE_STEPS: u64 = 64;
 
+/// Reads and ingests a design file in any supported format (native
+/// `.layout`, Specctra DSN, DEF). The format is sniffed from the file
+/// content, with the extension as fallback hint. DEF macros come from
+/// `--lef FILE` or, failing that, the `.lef` sidecar next to the DEF.
+/// Returns the raw text alongside the imported design.
+fn ingest_file(path: &str, args: &[String]) -> Result<(String, Imported), CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+    let lef_path = match flag_value(args, "--lef") {
+        Some(p) => Some(std::path::PathBuf::from(p)),
+        None => sidecar_lef(std::path::Path::new(path)),
+    };
+    let lef_lib = match &lef_path {
+        Some(p) => {
+            let lef_text = std::fs::read_to_string(p)
+                .map_err(|e| CliError::Input(format!("{}: {e}", p.display())))?;
+            Some(
+                read_lef(&lef_text)
+                    .map_err(|e| CliError::Input(format!("{}: lef: {e}", p.display())))?,
+            )
+        }
+        None => None,
+    };
+    let imported = ingest_text(&text, Some(std::path::Path::new(path)), lef_lib.as_ref())
+        .map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+    Ok((text, imported))
+}
+
+/// The import summary printed for non-native formats. Native layouts
+/// print nothing, keeping `route` stdout byte-identical to before.
+fn print_import_summary(path: &str, imported: &Imported) {
+    if imported.format != Format::Layout {
+        println!(
+            "imported {path} ({}): {}",
+            imported.format.name(),
+            imported.notes.join("; ")
+        );
+    }
+}
+
 fn cmd_route(args: &[String], verify_only: bool) -> CliResult {
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
         .ok_or_else(|| CliError::Usage("missing layout file".into()))?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
-    let (plane, netlist) =
-        read_layout(&text).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+    let (_, imported) = ingest_file(path, args)?;
+    print_import_summary(path, &imported);
+    let (plane, netlist) = (imported.plane, imported.netlist);
 
     let resume = match flag_value(args, "--resume") {
         Some(p) => {
@@ -412,6 +467,36 @@ fn cmd_route(args: &[String], verify_only: bool) -> CliResult {
     Ok(())
 }
 
+/// `sadp convert <file> [--lef FILE] [--out FILE]` — ingest any
+/// supported format and emit the equivalent native `.layout` fixture
+/// (stdout by default), with a provenance comment header.
+fn cmd_convert(args: &[String]) -> CliResult {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("missing input file".into()))?;
+    let (_, imported) = ingest_file(path, args)?;
+    let name = std::path::Path::new(path)
+        .file_name()
+        .map_or_else(|| path.to_string(), |n| n.to_string_lossy().into_owned());
+    let mut out = format!(
+        "# converted from {name} ({} reader)\n",
+        imported.format.name()
+    );
+    for note in &imported.notes {
+        out.push_str(&format!("# {note}\n"));
+    }
+    out.push_str(&write_layout(&imported.plane, &imported.netlist));
+    match flag_value(args, "--out") {
+        Some(file) => {
+            std::fs::write(file, out).map_err(|e| CliError::Other(format!("{file}: {e}")))?;
+            println!("wrote {file}");
+        }
+        None => print!("{out}"),
+    }
+    Ok(())
+}
+
 fn cmd_edit(args: &[String]) -> CliResult {
     use sadp::core::eco::{parse_edit_script, EcoError, EcoSession, OpOutcome};
 
@@ -419,10 +504,9 @@ fn cmd_edit(args: &[String]) -> CliResult {
         .first()
         .filter(|a| !a.starts_with("--"))
         .ok_or_else(|| CliError::Usage("missing layout file".into()))?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
-    let (plane, netlist) =
-        read_layout(&text).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+    let (_, imported) = ingest_file(path, args)?;
+    print_import_summary(path, &imported);
+    let (plane, netlist) = (imported.plane, imported.netlist);
     let script_path =
         flag_value(args, "--script").ok_or_else(|| CliError::Usage("missing --script".into()))?;
     let script = std::fs::read_to_string(script_path)
@@ -617,10 +701,9 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
     cfg.oracle.fault_seed = u64_flag(args, "--faults")?;
 
     if let Some(path) = flag_value(args, "--replay") {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
-        let (plane, netlist) =
-            read_layout(&text).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+        let (text, imported) = ingest_file(path, args)?;
+        print_import_summary(path, &imported);
+        let (plane, netlist) = (imported.plane, imported.netlist);
         // Fault-mode fixtures carry their fault seed in a comment marker;
         // an explicit --faults flag overrides it.
         if cfg.oracle.fault_seed.is_none() {

@@ -29,7 +29,7 @@
 //! See the crate-level docs of the member crates for details:
 //! [`sadp_geom`], [`sadp_grid`], [`sadp_scenario`], [`sadp_graph`],
 //! [`sadp_decomp`], [`sadp_core`], [`sadp_baselines`], [`sadp_obs`],
-//! [`sadp_fuzz`], [`sadp_serve`].
+//! [`sadp_fuzz`], [`sadp_ingest`], [`sadp_serve`].
 
 pub use sadp_baselines as baselines;
 pub use sadp_core as core;
@@ -38,6 +38,7 @@ pub use sadp_fuzz as fuzz;
 pub use sadp_geom as geom;
 pub use sadp_graph as graph;
 pub use sadp_grid as grid;
+pub use sadp_ingest as ingest;
 pub use sadp_obs as obs;
 pub use sadp_scenario as scenario;
 pub use sadp_serve as serve;
