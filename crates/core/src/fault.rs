@@ -35,6 +35,47 @@ pub struct FaultPlan {
     net_budget_rate: f64,
     /// Probability that a boundary net's wave pre-search panics.
     wave_panic_rate: f64,
+    /// Probability that a given persistence write is faulted.
+    io_fault_rate: f64,
+}
+
+/// Which persisted artifact a write belongs to, for [`FaultPlan::io_fault`]
+/// keying. The serving layer persists one of each per job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistKind {
+    /// The job's submitted layout text.
+    Layout,
+    /// The job's metadata record.
+    Meta,
+    /// A `SADPCKPT` snapshot.
+    Checkpoint,
+    /// The terminal result line.
+    Final,
+}
+
+impl PersistKind {
+    fn stream_salt(self) -> u64 {
+        match self {
+            PersistKind::Layout => 0x1A70_u64,
+            PersistKind::Meta => 0x3E7A,
+            PersistKind::Checkpoint => 0xC4B7,
+            PersistKind::Final => 0xF1A1,
+        }
+    }
+}
+
+/// An injected persistence fault, modelling the two ways real storage
+/// betrays a daemon: a write that claims success but lands truncated
+/// (torn write surviving a crash), and a write the filesystem refuses
+/// outright (ENOSPC and friends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Write only the first `keep_bytes(len)` bytes, report success.
+    /// The corruption is only discoverable by reading the file back —
+    /// exactly what the quarantine path on daemon restart must catch.
+    ShortWrite,
+    /// Fail the write with an out-of-space-style I/O error.
+    Enospc,
 }
 
 impl FaultPlan {
@@ -48,6 +89,7 @@ impl FaultPlan {
             band_panic_rate: 0.5,
             net_budget_rate: 0.02,
             wave_panic_rate: 0.05,
+            io_fault_rate: 0.25,
         }
     }
 
@@ -85,6 +127,39 @@ impl FaultPlan {
             self.seed ^ 0xB10D_6E75 ^ u64::from(net).wrapping_mul(0x2545_F491_4F6C_DD1D),
         );
         rng.chance(self.net_budget_rate)
+    }
+
+    /// Whether — and how — the persistence write of `kind` for `job`
+    /// should be faulted. Keyed by `(job, kind)` only, never by write
+    /// attempt or wall-clock, so the fault set of a plan is identical
+    /// across daemon restarts and retries: a faulted artifact stays
+    /// faulted for the plan's lifetime, which is what makes the
+    /// resulting corruption reproducible enough to test quarantine
+    /// recovery against.
+    #[must_use]
+    pub fn io_fault(&self, job: u64, kind: PersistKind) -> Option<IoFault> {
+        let mut rng = Rng::seed_from_u64(
+            self.seed
+                ^ 0x10FA_017u64
+                ^ kind.stream_salt().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ job.wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        if !rng.chance(self.io_fault_rate) {
+            return None;
+        }
+        Some(if rng.chance(0.5) {
+            IoFault::ShortWrite
+        } else {
+            IoFault::Enospc
+        })
+    }
+
+    /// How many bytes a [`IoFault::ShortWrite`] of a `len`-byte payload
+    /// keeps: roughly half, and always strictly less than `len` for a
+    /// non-empty payload, so the torn artifact can never parse clean.
+    #[must_use]
+    pub fn short_write_len(len: usize) -> usize {
+        len / 2
     }
 
     /// Whether the boundary-wave pre-search of `net` should panic. Keyed
@@ -146,6 +221,46 @@ mod tests {
         assert!(band_hit, "no seed in 0..32 panics band 1");
         let budget_hit = (0..32).any(|s| (0..200).any(|n| FaultPlan::new(s).injects_net_budget(n)));
         assert!(budget_hit, "no seed in 0..32 exhausts any net budget");
+    }
+
+    #[test]
+    fn io_faults_are_pure_and_cover_both_kinds() {
+        let kinds = [
+            PersistKind::Layout,
+            PersistKind::Meta,
+            PersistKind::Checkpoint,
+            PersistKind::Final,
+        ];
+        let a = FaultPlan::new(7);
+        let b = FaultPlan::new(7);
+        for job in 0..64 {
+            for kind in kinds {
+                assert_eq!(a.io_fault(job, kind), b.io_fault(job, kind));
+            }
+        }
+        let mut short = false;
+        let mut enospc = false;
+        for seed in 0..64 {
+            let plan = FaultPlan::new(seed);
+            for job in 1..16 {
+                match plan.io_fault(job, PersistKind::Layout) {
+                    Some(IoFault::ShortWrite) => short = true,
+                    Some(IoFault::Enospc) => enospc = true,
+                    None => {}
+                }
+            }
+        }
+        assert!(short, "no seed in 0..64 injects a short write");
+        assert!(enospc, "no seed in 0..64 injects an ENOSPC");
+    }
+
+    #[test]
+    fn short_write_always_truncates_nonempty_payloads() {
+        for len in 1..=1024usize {
+            let keep = FaultPlan::short_write_len(len);
+            assert!(keep < len, "len {len} kept {keep}");
+        }
+        assert_eq!(FaultPlan::short_write_len(0), 0);
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub use decompose::{
 pub use eco::{
     parse_edit_script, EcoEdit, EcoError, EcoSession, EditOutcome, NetRef, OpOutcome, ScriptOp,
 };
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, IoFault, PersistKind};
 pub use grids::{DenseGrid, DirGrid, GuardGrid, PenaltyGrid, NO_GUARD};
 pub use ledger::{CommitLedger, CommitRecord, LedgerCounters, Proposal, RoutedNet};
 pub use report::RoutingReport;

@@ -35,10 +35,15 @@
 pub mod generator;
 pub mod oracle;
 pub mod shrink;
+pub mod wire;
 
 pub use generator::{generate, FuzzInstance, Regime};
 pub use oracle::{check_instance, check_layout, Invariant, OracleConfig, OracleStats, Violation};
 pub use shrink::{minimize, ShrinkResult};
+pub use wire::{
+    check_wire_input, generate_wire_input, run_wire_campaign, WireCampaignConfig, WireClass,
+    WireFailure, WireRegime, WireReport,
+};
 
 /// Configuration of one fuzzing campaign.
 #[derive(Debug, Clone)]

@@ -169,15 +169,40 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, 
     }
 }
 
+/// The longest numeric literal the parser accepts. Every legitimate
+/// protocol number — ids, counters, f64 metrics — fits in a fraction of
+/// this; a longer digit run is hostile input, not a number.
+const MAX_NUMBER_LEN: usize = 64;
+
 fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
     while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii digits");
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+    let digits = &b[start..*pos];
+    if digits.len() > MAX_NUMBER_LEN {
+        return Err(format!(
+            "numeric literal of {} bytes at byte {start} exceeds the \
+             {MAX_NUMBER_LEN}-byte limit",
+            digits.len()
+        ));
+    }
+    // The matched bytes are all ASCII, but stay total anyway: this
+    // parser faces raw network bytes and must never panic.
+    let Ok(text) = std::str::from_utf8(digits) else {
+        return Err(format!("invalid number at byte {start}"));
+    };
+    match text.parse::<f64>() {
+        // `parse::<f64>` maps out-of-range literals like `1e999` to
+        // infinity instead of failing; a non-finite number has no JSON
+        // representation, so reject it here rather than let it reach
+        // `as_u64` (where `inf.fract()` is NaN) or `Display`.
+        Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+        Ok(_) => Err(format!(
+            "numeric literal `{text}` at byte {start} overflows an f64"
+        )),
+        Err(_) => Err(format!("invalid number `{text}` at byte {start}")),
+    }
 }
 
 fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -353,5 +378,34 @@ mod tests {
         assert_eq!(Json::Num(1.5).as_u64(), None);
         assert_eq!(Json::Num(-1.0).as_u64(), None);
         assert_eq!(Json::Num(0.0).as_u64(), Some(0));
+    }
+
+    #[test]
+    fn number_parsing_is_total_on_hostile_literals() {
+        // An overlong digit run is an error, never a panic or a stall.
+        let huge = "9".repeat(10_000);
+        let err = parse(&huge).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+        let err = parse(&format!("{{\"job\":{huge}}}")).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+        // Malformed sign/exponent soups stay errors.
+        for text in ["-", "+", ".", "e", "1e", "--5", "1.2.3", "0x10"] {
+            assert!(parse(text).is_err(), "{text} should not parse");
+        }
+        // Literals that overflow f64 to infinity are rejected: the value
+        // would have no JSON representation.
+        for text in ["1e999", "-1e999", "1e400"] {
+            let err = parse(text).unwrap_err();
+            assert!(err.contains("overflows"), "{text}: {err}");
+        }
+        // The biggest in-range protocol integers still parse exactly.
+        let max = 2u64.pow(53);
+        assert_eq!(parse(&max.to_string()).unwrap().as_u64(), Some(max));
+        assert_eq!(parse("0").unwrap().as_u64(), Some(0));
+        // At the cap: a 64-byte literal is fine, 65 is not.
+        let at_cap = format!("0.{}", "1".repeat(62));
+        assert!(parse(&at_cap).is_ok());
+        let over_cap = format!("0.{}", "1".repeat(63));
+        assert!(parse(&over_cap).is_err());
     }
 }

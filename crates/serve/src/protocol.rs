@@ -25,7 +25,10 @@
 //! | `redo` | `job` | same as `undo` |
 //! | `shutdown` | — | `{"ok":true}`; the daemon drains in-flight slices, checkpoints unfinished jobs and exits |
 //!
-//! Errors are `{"ok":false,"error":"<message>"}`.
+//! Errors are `{"ok":false,"error":"<message>"}`. A submit shed by
+//! admission control additionally carries `"overloaded":true`
+//! (`{"ok":false,"overloaded":true,"error":...}`) so clients can
+//! distinguish "back off and retry" from "your request is wrong".
 //!
 //! `edit` targets a **completed** job: the daemon lazily opens an ECO
 //! session over the job's routed layout ([`sadp_core::eco::EcoSession`])
@@ -234,6 +237,20 @@ pub fn error_line(message: &str) -> String {
     format!("{{\"ok\":false,\"error\":{}}}", json::escape(message))
 }
 
+/// Formats the admission-control shed response for a submit that found
+/// the job queue full: an error line with an extra `"overloaded":true`
+/// marker so clients can tell a retryable overload apart from a
+/// malformed request.
+#[must_use]
+pub fn overloaded_line(queued: usize, limit: usize) -> String {
+    format!(
+        "{{\"ok\":false,\"overloaded\":true,\"error\":{}}}",
+        json::escape(&format!(
+            "overloaded: {queued} jobs queued (limit {limit}); retry later or raise --max-queue"
+        ))
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +311,17 @@ mod tests {
         let err =
             Request::parse("{\"cmd\":\"submit\",\"layout\":\"x\",\"priority\":999}").unwrap_err();
         assert!(err.contains("0-255"), "{err}");
+    }
+
+    #[test]
+    fn overloaded_line_parses_and_carries_the_marker() {
+        let line = overloaded_line(1024, 1024);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("overloaded").and_then(Json::as_bool), Some(true));
+        let msg = v.get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains("1024"), "{msg}");
+        assert!(msg.contains("--max-queue"), "{msg}");
     }
 
     #[test]

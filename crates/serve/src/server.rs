@@ -25,18 +25,23 @@
 //! from the checkpoint on (replay emits no events).
 
 use crate::json::{self, Json};
-use crate::protocol::{error_line, Request};
+use crate::protocol::{error_line, overloaded_line, Request};
 use sadp_core::eco::{parse_edit_script, EcoSession, OpOutcome};
-use sadp_core::{RouterConfig, RoutingReport, RoutingSession, SessionStatus, Snapshot, StepBudget};
+use sadp_core::{
+    FaultPlan, IoFault, PersistKind, RouterConfig, RoutingReport, RoutingSession, SessionStatus,
+    Snapshot, StepBudget,
+};
 use sadp_grid::io::{read_layout, write_layout};
 use sadp_ingest::{ingest_text, Format};
 use sadp_obs::SessionEvent;
 use std::collections::{BTreeMap, BTreeSet};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -57,6 +62,32 @@ pub struct ServeConfig {
     pub slice_steps: u64,
     /// Router threads per job when a submit does not specify `threads`.
     pub default_threads: usize,
+    /// Hard cap on one request line's byte length (`--max-request-bytes`).
+    /// A longer line gets a structured error and the connection is
+    /// closed; the oversized tail is never buffered. `0` disables the
+    /// cap (not recommended on an untrusted network).
+    pub max_request_bytes: usize,
+    /// Socket read/write timeout in milliseconds (`--io-timeout-ms`).
+    /// A half-written request followed by silence (slow-loris) times
+    /// out with a structured error instead of pinning a handler thread
+    /// forever; a subscriber that stops draining its stream is
+    /// disconnected the same way. `0` disables the timeouts.
+    pub io_timeout_ms: u64,
+    /// Maximum concurrently served connections (`--max-conns`).
+    /// Connection number `max_conns + 1` is answered with a structured
+    /// refusal line and closed immediately. Subscribers count. `0`
+    /// disables the cap.
+    pub max_conns: usize,
+    /// Maximum queued (ready-to-run) jobs (`--max-queue`). A submit
+    /// past the cap is shed with `{"ok":false,"overloaded":true,...}`
+    /// before the layout is even parsed, so a submit flood costs the
+    /// daemon almost nothing. `0` disables admission control.
+    pub max_queue: usize,
+    /// Deterministic persistence-fault injection (`--faults SEED`):
+    /// state-dir writes consult [`FaultPlan::io_fault`] and suffer
+    /// seeded short writes / ENOSPC-style failures. A recovery
+    /// test-bench, not a production mode.
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +98,11 @@ impl Default for ServeConfig {
             state_dir: None,
             slice_steps: 32,
             default_threads: 1,
+            max_request_bytes: 16 * 1024 * 1024,
+            io_timeout_ms: 10_000,
+            max_conns: 256,
+            max_queue: 1024,
+            fault_seed: None,
         }
     }
 }
@@ -102,6 +138,22 @@ impl JobState {
     }
 }
 
+/// Parses a persisted/wire state string, splitting a `failed:<reason>`
+/// qualifier (e.g. `failed:corrupt-state` from the quarantine path) off
+/// the base state.
+fn parse_state(name: &str) -> Option<(JobState, Option<String>)> {
+    if let Some(reason) = name.strip_prefix("failed:") {
+        if reason.is_empty() {
+            return None;
+        }
+        return Some((JobState::Failed, Some(reason.to_string())));
+    }
+    JobState::parse(name).map(|s| (s, None))
+}
+
+/// The reason tag of a job whose persisted artifacts were quarantined.
+const CORRUPT_STATE: &str = "corrupt-state";
+
 struct Job {
     id: u64,
     priority: u8,
@@ -110,6 +162,9 @@ struct Job {
     node_budget: Option<u64>,
     deadline_ms: Option<u64>,
     state: JobState,
+    /// Why a failed job failed, when the failure deserves a qualified
+    /// state string (`failed:corrupt-state` for quarantined artifacts).
+    fail_reason: Option<String>,
     cancel_requested: bool,
     /// The live session, parked between slices. `None` before the first
     /// slice, after a terminal state, and across daemon restarts (the
@@ -143,11 +198,20 @@ impl Job {
         config
     }
 
+    /// The wire state string: the base state, plus the failure reason
+    /// qualifier when there is one (`failed:corrupt-state`).
+    fn state_string(&self) -> String {
+        match (&self.state, &self.fail_reason) {
+            (JobState::Failed, Some(reason)) => format!("failed:{reason}"),
+            (state, _) => state.name().to_string(),
+        }
+    }
+
     fn status_line(&self) -> String {
         format!(
             "{{\"ok\":true,\"job\":{},\"state\":\"{}\",\"priority\":{},\"steps_done\":{},\"steps_total\":{},\"has_checkpoint\":{}}}",
             self.id,
-            self.state.name(),
+            self.state_string(),
             self.priority,
             self.steps_done,
             self.steps_total,
@@ -175,11 +239,24 @@ struct Shared {
     event_cv: Condvar,
     state_dir: Option<PathBuf>,
     slice_steps: u64,
+    /// Per-connection limits and admission control (see [`ServeConfig`]).
+    max_request_bytes: usize,
+    io_timeout: Option<Duration>,
+    max_conns: usize,
+    max_queue: usize,
+    /// Live handler-thread count, for the connection cap.
+    conns: AtomicUsize,
+    /// Seeded persistence-fault injection, when armed.
+    faults: Option<FaultPlan>,
 }
 
 impl Shared {
     fn lock(&self) -> MutexGuard<'_, Core> {
         self.core.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn io_fault(&self, job: u64, kind: PersistKind) -> Option<IoFault> {
+        self.faults.as_ref().and_then(|p| p.io_fault(job, kind))
     }
 
     fn enqueue(&self, g: &mut Core, id: u64) {
@@ -196,7 +273,7 @@ impl Shared {
             "priority={}\nthreads={}\nstate={}\n",
             job.priority,
             job.threads,
-            job.state.name()
+            job.state_string()
         );
         if let Some(n) = job.node_budget {
             meta.push_str(&format!("node_budget={n}\n"));
@@ -207,6 +284,7 @@ impl Shared {
         log_io_err(atomic_write(
             &dir.join(format!("job-{}.meta", job.id)),
             &meta,
+            self.io_fault(job.id, PersistKind::Meta),
         ));
     }
 
@@ -215,6 +293,7 @@ impl Shared {
         log_io_err(atomic_write(
             &dir.join(format!("job-{}.layout", job.id)),
             &job.layout,
+            self.io_fault(job.id, PersistKind::Layout),
         ));
     }
 
@@ -225,6 +304,7 @@ impl Shared {
         log_io_err(atomic_write(
             &dir.join(format!("job-{}.ckpt", job.id)),
             ckpt,
+            self.io_fault(job.id, PersistKind::Checkpoint),
         ));
     }
 
@@ -235,6 +315,7 @@ impl Shared {
         log_io_err(atomic_write(
             &dir.join(format!("job-{}.final", job.id)),
             line,
+            self.io_fault(job.id, PersistKind::Final),
         ));
     }
 }
@@ -247,9 +328,26 @@ fn log_io_err(r: io::Result<()>) {
     }
 }
 
-fn atomic_write(path: &Path, text: &str) -> io::Result<()> {
+/// Writes `text` to `path` via a sibling temp file + rename. An armed
+/// fault plan can corrupt the write deterministically: `ShortWrite`
+/// truncates the payload but still reports success (a torn write that
+/// survives a crash — only a read-back can catch it), `Enospc` fails the
+/// write outright and leaves the previous file contents intact.
+fn atomic_write(path: &Path, text: &str, fault: Option<IoFault>) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, text)?;
+    match fault {
+        Some(IoFault::Enospc) => {
+            return Err(io::Error::other(format!(
+                "injected ENOSPC writing {} (fault plan)",
+                path.display()
+            )));
+        }
+        Some(IoFault::ShortWrite) => {
+            let keep = FaultPlan::short_write_len(text.len());
+            std::fs::write(&tmp, &text.as_bytes()[..keep])?;
+        }
+        None => std::fs::write(&tmp, text)?,
+    }
     std::fs::rename(&tmp, path)
 }
 
@@ -300,7 +398,13 @@ impl ServerHandle {
         let mut g = self.shared.lock();
         let ids: Vec<u64> = g.jobs.keys().copied().collect();
         for id in ids {
-            let job = g.jobs.get_mut(&id).expect("listed above");
+            // Never trust the listing across map mutations: a job that
+            // vanished (e.g. a concurrent cancel settled it) is skipped,
+            // not unwrapped into a panic.
+            let Some(job) = g.jobs.get_mut(&id) else {
+                eprintln!("sadp serve: job {id} disappeared during shutdown; skipping");
+                continue;
+            };
             if let Some(session) = job.session.take() {
                 job.ckpt = Some(session.snapshot());
                 job.state = JobState::Queued;
@@ -337,6 +441,12 @@ pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
         event_cv: Condvar::new(),
         state_dir: config.state_dir.clone(),
         slice_steps: config.slice_steps.max(1),
+        max_request_bytes: config.max_request_bytes,
+        io_timeout: (config.io_timeout_ms > 0).then(|| Duration::from_millis(config.io_timeout_ms)),
+        max_conns: config.max_conns,
+        max_queue: config.max_queue,
+        conns: AtomicUsize::new(0),
+        faults: config.fault_seed.map(FaultPlan::new),
     });
     if let Some(dir) = &config.state_dir {
         load_state(&shared, dir);
@@ -360,6 +470,14 @@ pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
 
 /// Reloads jobs from a previous daemon run. Unfinished jobs re-enter
 /// the queue; their checkpoint (if any) is picked up on first slice.
+///
+/// Every persisted artifact is validated before it is trusted: a job
+/// with an unreadable/unparsable meta, layout, checkpoint, or final
+/// record has its files moved to `state-dir/quarantine/` (with the
+/// reason logged) and is surfaced as `failed:corrupt-state` — never
+/// silently resurrected with default-empty state. The quarantine
+/// verdict itself is persisted, so later restarts remember it without
+/// the (moved) artifacts.
 fn load_state(shared: &Arc<Shared>, dir: &Path) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
@@ -379,49 +497,156 @@ fn load_state(shared: &Arc<Shared>, dir: &Path) {
     metas.sort_unstable();
     let mut g = shared.lock();
     for (id, meta_path) in metas {
-        let Ok(meta) = std::fs::read_to_string(&meta_path) else {
-            eprintln!("sadp serve: skipping unreadable {}", meta_path.display());
-            continue;
-        };
-        let field = |key: &str| -> Option<String> {
-            meta.lines()
-                .find_map(|l| l.strip_prefix(&format!("{key}=")))
-                .map(str::to_string)
-        };
-        let Some(state) = field("state").as_deref().and_then(JobState::parse) else {
-            eprintln!("sadp serve: skipping job {id}: bad state in meta");
-            continue;
-        };
-        let layout =
-            std::fs::read_to_string(dir.join(format!("job-{id}.layout"))).unwrap_or_default();
-        let ckpt = std::fs::read_to_string(dir.join(format!("job-{id}.ckpt"))).ok();
-        let final_line = std::fs::read_to_string(dir.join(format!("job-{id}.final"))).ok();
-        let job = Job {
-            id,
-            priority: field("priority")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(100),
-            layout,
-            threads: field("threads").and_then(|v| v.parse().ok()).unwrap_or(1),
-            node_budget: field("node_budget").and_then(|v| v.parse().ok()),
-            deadline_ms: field("deadline_ms").and_then(|v| v.parse().ok()),
-            state,
-            cancel_requested: false,
-            session: None,
-            ckpt,
-            trace: Vec::new(),
-            final_line,
-            steps_done: 0,
-            steps_total: 0,
-            eco: None,
-            eco_busy: false,
-        };
-        g.next_id = g.next_id.max(id + 1);
-        let requeue = state == JobState::Queued;
-        g.jobs.insert(id, job);
-        if requeue {
-            shared.enqueue(&mut g, id);
+        match load_job(dir, id, &meta_path) {
+            Ok(job) => {
+                g.next_id = g.next_id.max(id + 1);
+                let requeue = job.state == JobState::Queued;
+                g.jobs.insert(id, job);
+                if requeue {
+                    shared.enqueue(&mut g, id);
+                }
+            }
+            Err(reason) => {
+                quarantine_job(dir, id, &reason);
+                g.next_id = g.next_id.max(id + 1);
+                let job = corrupt_state_job(id, &reason);
+                // Persist the verdict so the next restart reloads the
+                // failed job directly instead of re-quarantining files
+                // that are no longer there.
+                shared.persist_meta(&job);
+                shared.persist_final(&job);
+                g.jobs.insert(id, job);
+            }
         }
+    }
+}
+
+/// Loads and validates one persisted job. Any corrupt artifact is an
+/// `Err(reason)` — the caller quarantines the job's files.
+fn load_job(dir: &Path, id: u64, meta_path: &Path) -> Result<Job, String> {
+    let meta = std::fs::read_to_string(meta_path)
+        .map_err(|e| format!("meta unreadable: {e}"))?;
+    let field = |key: &str| -> Option<String> {
+        meta.lines()
+            .find_map(|l| l.strip_prefix(&format!("{key}=")))
+            .map(str::to_string)
+    };
+    let state_text = field("state").ok_or("meta has no state field")?;
+    let (state, fail_reason) =
+        parse_state(&state_text).ok_or(format!("meta has bad state `{state_text}`"))?;
+    let mut job = Job {
+        id,
+        priority: field("priority")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100),
+        layout: String::new(),
+        threads: field("threads").and_then(|v| v.parse().ok()).unwrap_or(1),
+        node_budget: field("node_budget").and_then(|v| v.parse().ok()),
+        deadline_ms: field("deadline_ms").and_then(|v| v.parse().ok()),
+        state,
+        fail_reason,
+        cancel_requested: false,
+        session: None,
+        ckpt: None,
+        trace: Vec::new(),
+        final_line: None,
+        steps_done: 0,
+        steps_total: 0,
+        eco: None,
+        eco_busy: false,
+    };
+    if job.fail_reason.is_some() {
+        // An already-quarantined job: its artifacts were moved on a
+        // previous restart; only the verdict meta/final remain.
+        job.final_line = std::fs::read_to_string(dir.join(format!("job-{id}.final"))).ok();
+        return Ok(job);
+    }
+    job.layout = match std::fs::read_to_string(dir.join(format!("job-{id}.layout"))) {
+        Ok(text) => {
+            read_layout(&text).map_err(|e| format!("layout does not parse: {e}"))?;
+            text
+        }
+        Err(e) => return Err(format!("layout unreadable: {e}")),
+    };
+    job.ckpt = match std::fs::read_to_string(dir.join(format!("job-{id}.ckpt"))) {
+        Ok(text) => {
+            Snapshot::parse(&text).map_err(|e| format!("checkpoint does not parse: {e}"))?;
+            Some(text)
+        }
+        Err(_) => None,
+    };
+    job.final_line = match std::fs::read_to_string(dir.join(format!("job-{id}.final"))) {
+        Ok(line) => {
+            json::parse(line.trim())
+                .map_err(|e| format!("final record does not parse: {e}"))?;
+            Some(line)
+        }
+        Err(_) => None,
+    };
+    Ok(job)
+}
+
+/// Moves every artifact of job `id` into `dir/quarantine/`, logging the
+/// reason. Rename failures are logged and the file left behind — the
+/// job is still registered as `failed:corrupt-state` either way.
+fn quarantine_job(dir: &Path, id: u64, reason: &str) {
+    let qdir = dir.join("quarantine");
+    if let Err(e) = std::fs::create_dir_all(&qdir) {
+        eprintln!("sadp serve: cannot create {}: {e}", qdir.display());
+        return;
+    }
+    eprintln!(
+        "sadp serve: job {id}: {reason}; moving its artifacts to {}",
+        qdir.display()
+    );
+    for ext in ["layout", "meta", "ckpt", "final"] {
+        let name = format!("job-{id}.{ext}");
+        let from = dir.join(&name);
+        if !from.exists() {
+            continue;
+        }
+        if let Err(e) = std::fs::rename(&from, qdir.join(&name)) {
+            eprintln!("sadp serve: quarantine of {name} failed: {e}");
+        }
+    }
+}
+
+/// The in-memory record of a quarantined job: terminal, resumable only
+/// by resubmitting the layout, with the reason in its final line.
+fn corrupt_state_job(id: u64, reason: &str) -> Job {
+    Job {
+        id,
+        priority: 100,
+        layout: String::new(),
+        threads: 1,
+        node_budget: None,
+        deadline_ms: None,
+        state: JobState::Failed,
+        fail_reason: Some(CORRUPT_STATE.to_string()),
+        cancel_requested: false,
+        session: None,
+        ckpt: None,
+        trace: Vec::new(),
+        final_line: Some(format!(
+            "{{\"done\":true,\"job\":{id},\"state\":\"failed:{CORRUPT_STATE}\",\"error\":{}}}",
+            json::escape(&format!(
+                "persisted state was corrupt ({reason}); artifacts quarantined — resubmit the layout"
+            ))
+        )),
+        steps_done: 0,
+        steps_total: 0,
+        eco: None,
+        eco_busy: false,
+    }
+}
+
+/// Decrements the live-connection count when a handler thread exits,
+/// however it exits.
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.conns.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -431,20 +656,154 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             return;
         }
         let Ok(stream) = stream else { continue };
+        // Admission check before spawning: connection max_conns + 1 is
+        // answered with a structured refusal and closed. The refusal
+        // write gets a short timeout of its own so a client that never
+        // reads cannot wedge the accept loop.
+        let active = shared.conns.fetch_add(1, Ordering::SeqCst) + 1;
+        if shared.max_conns > 0 && active > shared.max_conns {
+            shared.conns.fetch_sub(1, Ordering::SeqCst);
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let _ = writeln!(
+                stream,
+                "{}",
+                error_line(&format!(
+                    "too many connections ({} active, limit {}); retry later",
+                    active - 1,
+                    shared.max_conns
+                ))
+            );
+            continue;
+        }
         let shared = Arc::clone(shared);
         // Handler threads are detached: they exit when their client
-        // disconnects or the daemon shuts down.
+        // disconnects, misbehaves (oversized line, timeout), or the
+        // daemon shuts down.
         std::thread::spawn(move || {
+            let _guard = ConnGuard(Arc::clone(&shared));
             let _ = handle_conn(stream, &shared);
         });
     }
 }
 
+/// One bounded, timeout-aware request-line read.
+enum LineRead {
+    /// A complete line (CR/LF stripped).
+    Line(String),
+    /// Clean end of stream (also: EOF after a partial line — the client
+    /// hung up mid-request, nobody is left to answer).
+    Eof,
+    /// The line exceeded the byte cap before a newline arrived.
+    TooLong,
+    /// The line is not valid UTF-8.
+    NotUtf8,
+    /// The socket read timed out (slow-loris or idle keep-alive).
+    TimedOut,
+    /// Any other socket error.
+    Failed(io::Error),
+}
+
+/// Reads one `\n`-terminated line, buffering at most `max` bytes. Unlike
+/// `BufRead::read_line`, a hostile line can never grow the buffer past
+/// the cap, and a read timeout surfaces as [`LineRead::TimedOut`]
+/// instead of an opaque error. `max == 0` disables the cap.
+fn read_request_line(reader: &mut BufReader<TcpStream>, max: usize) -> LineRead {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                return LineRead::TimedOut;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return LineRead::Failed(e),
+        };
+        if chunk.is_empty() {
+            return LineRead::Eof;
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        if max > 0 && buf.len() + take > max {
+            // Consume what we peeked so the refusal write goes out on a
+            // socket with no pending input, then stop reading: the
+            // connection is closed, never drained.
+            let consumed = chunk.len();
+            reader.consume(consumed);
+            return LineRead::TooLong;
+        }
+        buf.extend_from_slice(&chunk[..take]);
+        let consumed = take + usize::from(newline.is_some());
+        reader.consume(consumed);
+        if newline.is_some() {
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return match String::from_utf8(buf) {
+                Ok(line) => LineRead::Line(line),
+                Err(_) => LineRead::NotUtf8,
+            };
+        }
+    }
+}
+
 fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+    // Slow-loris defense: both directions time out. A half-written
+    // request followed by silence gets a structured error and the
+    // connection closed; a subscriber that stops draining its stream is
+    // disconnected rather than pinning a handler thread forever.
+    if let Some(timeout) = shared.io_timeout {
+        let _ = stream.set_read_timeout(Some(timeout));
+        let _ = stream.set_write_timeout(Some(timeout));
+    }
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut out = stream;
-    for line in reader.lines() {
-        let line = line?;
+    loop {
+        let line = match read_request_line(&mut reader, shared.max_request_bytes) {
+            LineRead::Line(line) => line,
+            LineRead::Eof => return Ok(()),
+            LineRead::TooLong => {
+                writeln!(
+                    out,
+                    "{}",
+                    error_line(&format!(
+                        "request line exceeds {} bytes; closing the connection \
+                         (raise --max-request-bytes for larger layouts)",
+                        shared.max_request_bytes
+                    ))
+                )?;
+                // Drain whatever oversized tail already arrived before
+                // closing: a close with unread bytes in the receive
+                // buffer turns into an RST that can destroy the error
+                // line before the client reads it. Non-blocking, so a
+                // client that keeps streaming can't pin this thread.
+                let _ = out.set_nonblocking(true);
+                let mut sink = [0u8; 8192];
+                while matches!(reader.get_mut().read(&mut sink), Ok(n) if n > 0) {}
+                return Ok(());
+            }
+            LineRead::NotUtf8 => {
+                writeln!(
+                    out,
+                    "{}",
+                    error_line("request is not valid UTF-8; closing the connection")
+                )?;
+                return Ok(());
+            }
+            LineRead::TimedOut => {
+                writeln!(
+                    out,
+                    "{}",
+                    error_line(&format!(
+                        "timed out waiting for a complete request line ({} ms); \
+                         closing the connection",
+                        shared.io_timeout.map_or(0, |t| t.as_millis() as u64)
+                    ))
+                )?;
+                return Ok(());
+            }
+            LineRead::Failed(e) => return Err(e),
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -487,7 +846,7 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
                         format!(
                             "{{\"job\":{},\"state\":\"{}\",\"priority\":{},\"steps_done\":{},\"steps_total\":{}}}",
                             j.id,
-                            j.state.name(),
+                            j.state_string(),
                             j.priority,
                             j.steps_done,
                             j.steps_total
@@ -524,7 +883,6 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
             }
         }
     }
-    Ok(())
 }
 
 fn submit(
@@ -535,6 +893,18 @@ fn submit(
     node_budget: Option<u64>,
     deadline_ms: Option<u64>,
 ) -> String {
+    // Admission control first, BEFORE the layout parse: shedding a
+    // submit during overload must cost the daemon a queue-length check,
+    // not a full parse of however many megabytes the flood is pushing.
+    {
+        let g = shared.lock();
+        if g.shutdown {
+            return error_line("daemon is shutting down");
+        }
+        if shared.max_queue > 0 && g.queue.len() >= shared.max_queue {
+            return overloaded_line(g.queue.len(), shared.max_queue);
+        }
+    }
     // Validate the layout up front so a typo'd submit fails on the spot
     // with the parser's line-numbered message, not later in the queue.
     // Non-native formats (Specctra DSN, DEF) are canonicalised to
@@ -558,6 +928,11 @@ fn submit(
     if g.shutdown {
         return error_line("daemon is shutting down");
     }
+    // Re-check under the lock: the queue may have filled while we were
+    // parsing (admission is advisory outside the lock, binding inside).
+    if shared.max_queue > 0 && g.queue.len() >= shared.max_queue {
+        return overloaded_line(g.queue.len(), shared.max_queue);
+    }
     let id = g.next_id;
     g.next_id += 1;
     let mut job = Job {
@@ -568,6 +943,7 @@ fn submit(
         node_budget,
         deadline_ms,
         state: JobState::Queued,
+        fail_reason: None,
         cancel_requested: false,
         session: None,
         ckpt: None,
@@ -643,7 +1019,16 @@ fn resume(shared: &Arc<Shared>, id: u64) -> String {
     };
     match job.state {
         JobState::Cancelled | JobState::Failed => {
+            if job.fail_reason.as_deref() == Some(CORRUPT_STATE) {
+                // Nothing left to resume: the layout itself was moved to
+                // quarantine. Only a fresh submit can revive this work.
+                return error_line(&format!(
+                    "job {id} failed with corrupt persisted state; its artifacts \
+                     were quarantined — resubmit the layout"
+                ));
+            }
             job.state = JobState::Queued;
+            job.fail_reason = None;
             job.cancel_requested = false;
             job.final_line = None;
             if let Some(dir) = &shared.state_dir {

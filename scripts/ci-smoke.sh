@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # End-to-end smoke suite for the sadp CLI, shared by CI and local runs.
 #
-# Usage: scripts/ci-smoke.sh [corpus|trace|fault|serve|eco|all]
+# Usage: scripts/ci-smoke.sh [corpus|trace|fault|serve|eco|wire|all]
 #
 # Environment:
 #   SADP_BIN         sadp binary to drive (default ./target/release/sadp;
@@ -156,22 +156,86 @@ smoke_eco() {
   echo "eco smoke: OK"
 }
 
+# Hostile-input smoke: replays the wire/ingest fuzz regime (parse level
+# plus a live in-process daemon), then drives the external daemon binary
+# with an oversized line, garbage bytes, a half-written request
+# (slow-loris) and a submit flood past --max-queue. Vacuity guards: the
+# fuzz campaign must both accept and reject inputs, and every hostile
+# probe must see its *specific* structured error marker.
+smoke_wire() {
+  local OUT SERVE P LINE SUB
+  OUT=$("$BIN" fuzz --wire --seeds 60)
+  echo "$OUT"
+  [[ "$OUT" == *clean* ]] || die "wire fuzz campaign was not clean"
+  [[ "$OUT" =~ checked\ ([0-9]+)\ inputs\ \(([0-9]+)\ accepted,\ ([0-9]+)\ rejected ]] ||
+    die "unrecognised wire fuzz summary"
+  [ "${BASH_REMATCH[2]}" -ge 1 ] || die "vacuous wire fuzz: no input accepted"
+  [ "${BASH_REMATCH[3]}" -ge 1 ] || die "vacuous wire fuzz: no input rejected"
+
+  P=$((PORT + 3))
+  "$BIN" serve --addr 127.0.0.1:"$P" --workers 0 --max-request-bytes 2048 \
+    --io-timeout-ms 500 --max-queue 1 &
+  SERVE=$!
+  probe() { # request line -> first response line
+    exec 3<>/dev/tcp/127.0.0.1/"$P"
+    printf '%s\n' "$1" >&3
+    head -n 1 <&3
+    exec 3<&- 3>&-
+  }
+  OUT=""
+  for _ in $(seq 100); do
+    if OUT=$(probe '{"cmd":"ping"}' 2>/dev/null) && [[ "$OUT" == *'"ok":true'* ]]; then
+      break
+    fi
+    sleep 0.1
+  done
+  [[ "$OUT" == *'"ok":true'* ]] || die "daemon at port $P never became ready"
+
+  # Oversized request line: structured refusal naming the cap.
+  LINE=$(printf 'x%.0s' $(seq 4000))
+  OUT=$(probe "$LINE")
+  [[ "$OUT" == *'exceeds 2048 bytes'* ]] || die "oversized line not refused: $OUT"
+  # Garbage bytes: classified parse error.
+  OUT=$(probe 'GET / HTTP/1.1')
+  [[ "$OUT" == *'not valid JSON'* ]] || die "garbage not classified: $OUT"
+  # Slow-loris: half a request, then silence — the daemon must answer
+  # with its timeout error instead of parking the handler thread.
+  exec 3<>/dev/tcp/127.0.0.1/"$P"
+  printf '{"cmd":"pi' >&3
+  OUT=$(head -n 1 <&3)
+  exec 3<&- 3>&-
+  [[ "$OUT" == *'timed out'* ]] || die "slow-loris not timed out: $OUT"
+  # Submit flood past --max-queue 1: the second submit is shed with the
+  # overloaded marker.
+  SUB='{"cmd":"submit","layout":"plane 3 8 8\nnet a 0:1,1 0:6,6\n"}'
+  OUT=$(probe "$SUB")
+  [[ "$OUT" == *'"ok":true'* ]] || die "first submit not admitted: $OUT"
+  OUT=$(probe "$SUB")
+  [[ "$OUT" == *'"overloaded":true'* ]] || die "flooded submit not shed: $OUT"
+
+  probe '{"cmd":"shutdown"}' >/dev/null || true
+  wait $SERVE || true
+  echo "wire smoke: OK"
+}
+
 case "${1:-all}" in
   corpus) smoke_corpus ;;
   trace) smoke_trace ;;
   fault) smoke_fault ;;
   serve) smoke_serve ;;
   eco) smoke_eco ;;
+  wire) smoke_wire ;;
   all)
     smoke_corpus
     smoke_trace
     smoke_fault
     smoke_serve
     smoke_eco
+    smoke_wire
     echo "all smokes: OK"
     ;;
   *)
-    echo "usage: $0 [corpus|trace|fault|serve|eco|all]" >&2
+    echo "usage: $0 [corpus|trace|fault|serve|eco|wire|all]" >&2
     exit 2
     ;;
 esac

@@ -14,9 +14,12 @@
 //! sadp fuzz [--seeds N] [--start S] [--regime R] [--minimize] [--threads N]
 //!           [--out DIR] [--replay FILE] [--faults SEED]
 //!                                                      deterministic fuzzing campaign
+//! sadp fuzz --wire [--seeds N] [--start S] [--regime R] [--no-live] [--out DIR]
+//!                                                      wire/ingest hostile-input fuzzing
 //! sadp table2                                          print the scenario table
 //! sadp serve [--addr A] [--workers N] [--state-dir DIR] [--slice-steps N]
-//!                                                      run the TCP job daemon
+//!            [--max-request-bytes N] [--io-timeout-ms MS] [--max-conns N]
+//!            [--max-queue N] [--faults SEED]           run the TCP job daemon
 //! sadp submit <layout.txt> [--addr A] [--priority P] [--threads N]
 //!             [--node-budget N] [--deadline-ms MS] [--trace FILE] [--wait]
 //!                                                      submit a job to a daemon
@@ -34,6 +37,15 @@
 //! fault plan automatically. `--faults SEED` turns on deterministic fault
 //! injection: the oracle additionally checks that injected band panics
 //! and budget exhaustions are recovered without corrupting the output.
+//!
+//! `sadp fuzz --wire` targets the untrusted-bytes surface instead of the
+//! router core: seed corpora of wire-protocol request lines and
+//! DSN/DEF/LEF/layout inputs are mutated per `(regime, seed)` and every
+//! parser must classify the result without panicking, deterministically.
+//! The `protocol` regime additionally probes a live in-process daemon
+//! over TCP (skip with `--no-live`): each input must be answered with
+//! one parseable JSON line within the deadline. Failures are written to
+//! `<out>/fuzz-wire-<regime>-<seed>.txt`.
 //!
 //! `--threads N` runs the region-sharded schedule on up to `N` worker
 //! threads: band-interior nets on band workers, then band-straddling
@@ -72,6 +84,20 @@
 //! and `sadp job` are the matching client commands; `sadp submit --wait
 //! --trace FILE` streams the job's event trace, which (lifecycle lines
 //! aside) is byte-identical to `sadp route --trace` of the same layout.
+//!
+//! The daemon's hostile-input limits (0 disables each):
+//! `--max-request-bytes N` caps one request line (default 16 MiB; a
+//! longer line gets a structured error and the connection closes),
+//! `--io-timeout-ms MS` bounds socket reads/writes (default 10000;
+//! slow-loris clients get a timeout error instead of a parked thread),
+//! `--max-conns N` caps concurrent connections (default 256), and
+//! `--max-queue N` caps ready jobs (default 1024) — a submit past the
+//! cap is shed with `{"ok":false,"overloaded":true,...}` before its
+//! layout is parsed. On restart, corrupt `job-<id>.*` state files are
+//! moved to `<state-dir>/quarantine/` and the job surfaces as
+//! `failed:corrupt-state` rather than resurrecting with empty state.
+//! `--faults SEED` arms deterministic persistence-fault injection
+//! (short writes, ENOSPC-style errors) for recovery testing.
 //!
 //! `sadp edit` routes the layout, then drives a `sadp_core::eco::EcoSession`
 //! through the operations of `--script` (one per line: `add`, `remove`,
@@ -215,11 +241,16 @@ fn print_usage() {
         "  fuzz [--seeds N] [--start S] [--regime R] [--minimize] [--threads N] \
          [--out DIR] [--replay FILE] [--faults SEED]"
     );
+    eprintln!("  fuzz --wire [--seeds N] [--start S] [--regime R] [--no-live] [--out DIR]");
     eprintln!(
         "  route/verify/bench budgets: [--net-nodes N] [--net-deadline-ms MS] \
          [--run-nodes N] [--run-deadline-ms MS] [--faults SEED]"
     );
-    eprintln!("  serve [--addr A] [--workers N] [--state-dir DIR] [--slice-steps N]");
+    eprintln!(
+        "  serve [--addr A] [--workers N] [--state-dir DIR] [--slice-steps N] \
+         [--max-request-bytes N] [--io-timeout-ms MS] [--max-conns N] \
+         [--max-queue N] [--faults SEED]"
+    );
     eprintln!(
         "  submit <layout.txt> [--addr A] [--priority P] [--threads N] \
          [--node-budget N] [--deadline-ms MS] [--trace FILE] [--wait]"
@@ -584,6 +615,22 @@ fn cmd_serve(args: &[String]) -> CliResult {
     if let Some(n) = u64_flag(args, "--slice-steps")? {
         config.slice_steps = n.max(1);
     }
+    // Hostile-input / overload limits. 0 disables the respective limit.
+    if let Some(n) = u64_flag(args, "--max-request-bytes")? {
+        config.max_request_bytes = n as usize;
+    }
+    if let Some(n) = u64_flag(args, "--io-timeout-ms")? {
+        config.io_timeout_ms = n;
+    }
+    if let Some(n) = u64_flag(args, "--max-conns")? {
+        config.max_conns = n as usize;
+    }
+    if let Some(n) = u64_flag(args, "--max-queue")? {
+        config.max_queue = n as usize;
+    }
+    // A recovery test-bench, not a production mode: state-dir writes
+    // suffer deterministic short writes / ENOSPC-style failures.
+    config.fault_seed = u64_flag(args, "--faults")?;
     let workers = config.workers;
     let addr = config.addr.clone();
     let handle = serve(config).map_err(|e| CliError::Other(format!("{addr}: {e}")))?;
@@ -692,6 +739,10 @@ fn cmd_job(args: &[String]) -> CliResult {
 fn cmd_fuzz(args: &[String]) -> CliResult {
     use sadp::fuzz::{check_layout, fault_seed_marker, run_campaign, CampaignConfig, Regime};
 
+    if args.iter().any(|a| a == "--wire") {
+        return cmd_fuzz_wire(args);
+    }
+
     let mut cfg = CampaignConfig::default();
     if let Some(v) = flag_value(args, "--threads") {
         cfg.oracle.threads = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
@@ -783,6 +834,69 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
     }
     Err(CliError::Other(format!(
         "{} invariant violations",
+        report.failures.len()
+    )))
+}
+
+/// The wire/ingest half of `sadp fuzz` (`--wire`): mutate protocol
+/// request lines and DSN/DEF/LEF/layout inputs from seed corpora, and
+/// require every parser — and, unless `--no-live`, a real in-process
+/// daemon probed over TCP — to answer with no panic, no hang, and a
+/// classified error. Failures are written to
+/// `<out>/fuzz-wire-<regime>-<seed>.txt` as replayable artifacts.
+fn cmd_fuzz_wire(args: &[String]) -> CliResult {
+    use sadp::fuzz::{run_wire_campaign, WireCampaignConfig, WireRegime};
+
+    let mut cfg = WireCampaignConfig::default();
+    if let Some(v) = flag_value(args, "--seeds") {
+        cfg.seeds = v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+            CliError::Usage(format!("--seeds wants a positive integer, got {v:?}"))
+        })?;
+    }
+    if let Some(n) = u64_flag(args, "--start")? {
+        cfg.start = n;
+    }
+    if let Some(v) = flag_value(args, "--regime") {
+        let regime = WireRegime::parse(v).ok_or_else(|| {
+            let names: Vec<&str> = WireRegime::ALL.iter().map(|r| r.name()).collect();
+            CliError::Usage(format!(
+                "unknown wire regime {v:?} (one of: {})",
+                names.join(", ")
+            ))
+        })?;
+        cfg.regimes = vec![regime];
+    }
+    cfg.live = !args.iter().any(|a| a == "--no-live");
+    let out_dir = flag_value(args, "--out").unwrap_or("fuzz-out");
+
+    let started = std::time::Instant::now();
+    let report = run_wire_campaign(&cfg, |line| println!("{line}"));
+    eprintln!(
+        "campaign wall-clock: {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+
+    println!(
+        "checked {} inputs ({} accepted, {} rejected with classified errors)",
+        report.instances, report.accepted, report.rejected
+    );
+    if report.is_clean() {
+        println!("clean");
+        return Ok(());
+    }
+    std::fs::create_dir_all(out_dir).map_err(|e| CliError::Other(format!("{out_dir}: {e}")))?;
+    for failure in &report.failures {
+        println!(
+            "FAIL wire/{} seed {}: {}",
+            failure.regime, failure.seed, failure.detail
+        );
+        let path = format!("{out_dir}/fuzz-wire-{}-{}.txt", failure.regime, failure.seed);
+        std::fs::write(&path, failure.artifact_text())
+            .map_err(|e| CliError::Other(format!("{path}: {e}")))?;
+        println!("wrote {path}");
+    }
+    Err(CliError::Other(format!(
+        "{} wire contract violations",
         report.failures.len()
     )))
 }
